@@ -1,0 +1,35 @@
+# Common development targets for the taxitrace reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench results examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One bench per paper table/figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem -run xxx ./...
+
+# Regenerate every paper table and figure (plus ablations) into results/.
+results:
+	$(GO) run ./cmd/experiments -scale paper -ablations -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/odanalysis
+	$(GO) run ./examples/mixedmodel
+	$(GO) run ./examples/mapmatching
+	$(GO) run ./examples/datacleaning
+	$(GO) run ./examples/drivingcoach
+
+clean:
+	rm -rf experiments-out

@@ -1,0 +1,107 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section and writes them under an output directory:
+// one .txt per table/figure with the printed rows/series, plus the SVG
+// map and chart artifacts.
+//
+// Usage:
+//
+//	experiments [-out DIR] [-scale small|medium|paper] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	out := flag.String("out", "experiments-out", "output directory")
+	scale := flag.String("scale", "medium", "data volume: small, medium or paper")
+	seed := flag.Int64("seed", 42, "master random seed")
+	ablations := flag.Bool("ablations", false, "also run the ablation studies and the eco-routing/hotspot extensions")
+	flag.Parse()
+
+	var cfg experiments.EnvConfig
+	switch *scale {
+	case "small":
+		cfg = experiments.SmallScale()
+	case "medium":
+		cfg = experiments.EnvConfig{Seed: 42, Cars: 4, TripsPerCar: 60, GateRunFraction: 0.25}
+	case "paper":
+		cfg = experiments.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q (want small, medium or paper)", *scale)
+	}
+	cfg.Seed = *seed
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	log.Printf("building environment (%d cars x %d trips, seed %d)...", cfg.Cars, cfg.TripsPerCar, cfg.Seed)
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("pipeline complete in %s", time.Since(start).Round(time.Millisecond))
+
+	reports := experiments.All(env)
+	if *ablations {
+		reports = append(reports, experiments.Ablations(env)...)
+		reports = append(reports, experiments.Extensions(env)...)
+	}
+	for _, r := range reports {
+		txt := filepath.Join(*out, r.ID+".txt")
+		body := "# " + r.Title + "\n\n" + r.Text
+		if err := os.WriteFile(txt, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		for _, a := range r.Artifacts {
+			if err := os.WriteFile(filepath.Join(*out, a.Name), a.Data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("==== %s\n%s\n", r.Title, r.Text)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "index.html"), indexHTML(reports), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote results to %s in %s", *out, time.Since(start).Round(time.Millisecond))
+}
+
+// indexHTML renders a single browsable page over all reports: the
+// printed rows inline, the SVG figures embedded.
+func indexHTML(reports []*experiments.Report) []byte {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><meta charset="utf-8">` +
+		`<title>taxitrace experiments</title><style>` +
+		`body{font-family:sans-serif;max-width:1100px;margin:2em auto;padding:0 1em}` +
+		`pre{background:#f6f6f6;padding:1em;overflow-x:auto}` +
+		`img{max-width:100%;border:1px solid #ddd;margin:0.5em 0}` +
+		`nav a{margin-right:1em}` +
+		"</style></head><body>\n<h1>taxitrace — paper tables and figures</h1>\n<nav>")
+	for _, r := range reports {
+		fmt.Fprintf(&b, `<a href="#%s">%s</a>`, r.ID, html.EscapeString(r.ID))
+	}
+	b.WriteString("</nav>\n")
+	for _, r := range reports {
+		fmt.Fprintf(&b, `<h2 id="%s">%s</h2>`+"\n", r.ID, html.EscapeString(r.Title))
+		fmt.Fprintf(&b, "<pre>%s</pre>\n", html.EscapeString(r.Text))
+		for _, a := range r.Artifacts {
+			fmt.Fprintf(&b, `<p><img src="%s" alt="%s"></p>`+"\n",
+				html.EscapeString(a.Name), html.EscapeString(a.Name))
+		}
+	}
+	b.WriteString("</body></html>\n")
+	return []byte(b.String())
+}

@@ -1,0 +1,173 @@
+// Command taxiflow runs the full pipeline end to end — synthetic city,
+// simulated fleet, cleaning, segmentation, OD selection, map-matching,
+// attribute fetching, grid aggregation and mixed-model fitting — and
+// prints a stage-by-stage account of what happened to the data.
+//
+// Usage:
+//
+//	taxiflow [-cars N] [-trips N] [-seed N] [-gatefrac F] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro"
+	"repro/internal/render"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("taxiflow: ")
+	cars := flag.Int("cars", 4, "number of simulated taxis")
+	trips := flag.Int("trips", 60, "engine-on trips per taxi")
+	seed := flag.Int64("seed", 42, "master random seed")
+	gateFrac := flag.Float64("gatefrac", 0.25, "share of runs between OD gates")
+	tracesIn := flag.String("traces", "", "optional route-point CSV (from cmd/tracegen) to process instead of simulating; must match -seed")
+	svgOut := flag.String("svg", "", "optional SVG output: the accepted transitions' speed map")
+	verbose := flag.Bool("v", false, "print per-transition details")
+	flag.Parse()
+
+	start := time.Now()
+	p, err := taxitrace.New(taxitrace.Config{
+		CitySeed: *seed,
+		Fleet: tracegen.Config{
+			Seed:            *seed,
+			Cars:            *cars,
+			TripsPerCar:     *trips,
+			GateRunFraction: *gateFrac,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city: %d traffic elements, %d point objects\n",
+		p.City.DB.NumElements(), p.City.DB.NumObjects())
+	fmt.Printf("network: %s\n", p.Graph.Stats())
+
+	var res *taxitrace.Result
+	if *tracesIn != "" {
+		res, err = processCSV(p, *tracesIn)
+	} else {
+		res, err = p.Run()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "car\traw trips\treordered\tsegments\tfiltered\ttransitions\tcentre\taccepted")
+	for _, cr := range res.Cars {
+		f := cr.Funnel
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			cr.Car, cr.RawTrips, cr.CleanStats.Reordered,
+			f.TripSegments, f.Filtered, f.Transitions, f.WithinCentre, f.PostFiltered)
+	}
+	w.Flush()
+
+	recs := res.Transitions()
+	fmt.Printf("\naccepted transitions: %d, measured point speeds: %d\n",
+		len(recs), len(taxitrace.PointSpeeds(recs)))
+	if *verbose {
+		for _, rec := range recs {
+			fmt.Printf("  %s %s: %.2f km in %.1f min, low %.0f%%, normal %.0f%%, "+
+				"%d lights, %d junctions, %.0f ml\n",
+				rec.Transition.Key(), rec.Direction(), rec.RouteDistKm,
+				rec.RouteTimeH*60, rec.LowSpeedPct, rec.NormalSpeedPct,
+				rec.Attrs.TrafficLights, rec.Attrs.Junctions, rec.FuelMl)
+			fmt.Printf("    segment: %s\n", trace.ComputeStats(rec.Transition.Seg))
+		}
+	}
+
+	agg, lmm, err := p.GridAnalysis(recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngrid: %d non-empty %d m cells\n", agg.NumNonEmpty(), int(agg.Grid.CellM))
+	fmt.Printf("mixed model: mu=%.2f km/h, sigma_a=%.2f, sigma=%.2f (REML over %d observations)\n",
+		lmm.Mu, math.Sqrt(lmm.SigmaA2), math.Sqrt(lmm.Sigma2), lmm.NObs)
+	blups := lmm.BLUPs()
+	mn, mx := blups[0], blups[0]
+	for _, v := range blups {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	fmt.Printf("cell intercepts (BLUP): %.2f .. %.2f km/h across %d cells\n", mn, mx, len(blups))
+
+	if *svgOut != "" {
+		if err := writeSpeedMap(p, recs, *svgOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+	fmt.Printf("\ndone in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeSpeedMap renders the accepted transitions' point speeds over the
+// network.
+func writeSpeedMap(p *taxitrace.Pipeline, recs []*taxitrace.TransitionRecord, path string) error {
+	c := render.NewCanvas(p.City.StudyArea, 1000)
+	for i := range p.Graph.Edges {
+		c.Polyline(p.Graph.Edges[i].Geom, "#dddddd", 1)
+	}
+	for _, rec := range recs {
+		for _, sp := range taxitrace.TransitionSpeedPoints(rec) {
+			c.Circle(sp.Pos, 2, render.SpeedColor(sp.SpeedKmh, 60))
+		}
+	}
+	c.SpeedLegend(60)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// processCSV loads externally recorded trips (e.g. written by
+// cmd/tracegen against the same city seed) and runs the processing
+// stages over them, grouped by car.
+func processCSV(p *taxitrace.Pipeline, path string) (*taxitrace.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	trips, err := trace.ReadCSV(f, p.City.DB.Proj)
+	if err != nil {
+		return nil, err
+	}
+	byCar := map[int][]*trace.Trip{}
+	for _, t := range trips {
+		byCar[t.CarID] = append(byCar[t.CarID], t)
+	}
+	cars := make([]int, 0, len(byCar))
+	for car := range byCar {
+		cars = append(cars, car)
+	}
+	sort.Ints(cars)
+	res := &taxitrace.Result{}
+	for _, car := range cars {
+		cr, err := p.Process(car, byCar[car])
+		if err != nil {
+			return nil, err
+		}
+		res.Cars = append(res.Cars, cr)
+	}
+	return res, nil
+}

@@ -1,0 +1,97 @@
+// Command tracegen generates a synthetic taxi-trace dataset over the
+// synthetic city and writes it as CSV (one route point per row, in
+// arrival order, with the transmission corruption the cleaning stage
+// repairs), plus the road database as a second CSV.
+//
+// Usage:
+//
+//	tracegen [-cars N] [-trips N] [-seed N] [-traces FILE] [-map FILE]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/digiroad"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	cars := flag.Int("cars", 7, "number of simulated taxis")
+	trips := flag.Int("trips", 60, "engine-on trips per taxi")
+	seed := flag.Int64("seed", 42, "master random seed")
+	tracesOut := flag.String("traces", "traces.csv", "route-point CSV output")
+	mapOut := flag.String("map", "digiroad.csv", "road database CSV output")
+	geoJSON := flag.String("geojson", "", "optional GeoJSON output prefix: writes <prefix>-map.geojson and <prefix>-trips.geojson")
+	flag.Parse()
+
+	city := digiroad.SynthesizeOulu(digiroad.SynthConfig{Seed: *seed})
+	graph, err := roadnet.Build(city.DB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := tracegen.New(city, graph, tracegen.Config{
+		Seed: *seed, Cars: *cars, TripsPerCar: *trips,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet := gen.Fleet()
+	points := 0
+	for _, t := range fleet {
+		points += len(t.Points)
+	}
+	log.Printf("simulated %d trips, %d route points", len(fleet), points)
+
+	if err := writeFile(*tracesOut, func(w *bufio.Writer) error {
+		return trace.WriteCSV(w, fleet, city.DB.Proj)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *tracesOut)
+
+	if err := writeFile(*mapOut, func(w *bufio.Writer) error {
+		return city.DB.WriteCSV(w)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d elements, %d objects)", *mapOut,
+		city.DB.NumElements(), city.DB.NumObjects())
+
+	if *geoJSON != "" {
+		if err := writeFile(*geoJSON+"-map.geojson", func(w *bufio.Writer) error {
+			return city.DB.WriteGeoJSON(w)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if err := writeFile(*geoJSON+"-trips.geojson", func(w *bufio.Writer) error {
+			return trace.WriteGeoJSON(w, fleet, city.DB.Proj)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s-map.geojson and %s-trips.geojson", *geoJSON, *geoJSON)
+	}
+}
+
+func writeFile(path string, write func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := write(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,77 @@
+// Driving coach: the post-driving analysis prototype the paper's
+// conclusions describe (ref [31]) — per-trip eco scores with concrete
+// suggestions, and the eco-routing comparison across the route variants
+// drivers actually chose between each origin-destination pair.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+	"repro/internal/coach"
+	"repro/internal/routes"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	log.SetFlags(0)
+	p, err := taxitrace.New(taxitrace.Config{
+		CitySeed: 42,
+		Fleet: tracegen.Config{
+			Seed: 42, Cars: 3, TripsPerCar: 50, GateRunFraction: 0.3,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs := res.Transitions()
+	c := coach.New(p.Graph)
+
+	// Per-trip reports, best and worst.
+	reports := make([]coach.TripReport, len(recs))
+	for i, rec := range recs {
+		reports[i] = c.Analyze(rec)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].EcoScore > reports[j].EcoScore })
+
+	fmt.Printf("analysed %d trips\n\nmost fuel-efficient trip (score %.0f):\n",
+		len(reports), reports[0].EcoScore)
+	show(reports[0])
+	worst := reports[len(reports)-1]
+	fmt.Printf("\nleast fuel-efficient trip (score %.0f):\n", worst.EcoScore)
+	show(worst)
+
+	// Eco-routing: route variants per direction.
+	options, err := coach.CompareRoutes(recs, routes.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nroute variants driven per direction (eco-best marked *):")
+	fmt.Printf("%-5s %-8s %6s %10s %10s %9s %8s\n",
+		"dir", "variant", "trips", "fuel(ml)", "time(min)", "dist(km)", "low%")
+	for _, o := range options {
+		mark := " "
+		if o.EcoBest {
+			mark = "*"
+		}
+		fmt.Printf("%-5s %-8d %6d %9.0f%s %10.1f %9.2f %8.1f\n",
+			o.Direction, o.Variant, o.Trips, o.MeanFuelMl, mark,
+			o.MeanTimeMin, o.MeanDistKm, o.MeanLowPct)
+	}
+}
+
+func show(r coach.TripReport) {
+	fmt.Printf("  %s %s: %.2f km, %.1f min, %.0f ml (%.0f ml/km)\n",
+		r.Key, r.Direction, r.DistanceKm, r.DurationMin, r.FuelMl, r.FuelPerKm)
+	fmt.Printf("  idle %.0f%%, low speed %.0f%%, detour factor %.2f\n",
+		r.IdlePct, r.LowSpeedPct, r.DetourFactor)
+	for _, s := range r.Suggestions {
+		fmt.Printf("  - %s\n", s)
+	}
+}

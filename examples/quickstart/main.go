@@ -1,0 +1,59 @@
+// Quickstart: build the pipeline, run it over a small simulated fleet,
+// and print what survived each stage — the minimal end-to-end use of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One seed controls everything: the synthetic city, the fleet, the
+	// weather. The same seed always reproduces the same results.
+	p, err := taxitrace.New(taxitrace.Config{
+		CitySeed: 7,
+		Fleet: tracegen.Config{
+			Seed:            7,
+			Cars:            2,
+			TripsPerCar:     15,
+			GateRunFraction: 0.3,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := p.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, cr := range res.Cars {
+		fmt.Printf("taxi %d: %d raw engine-on trips -> %d segments -> %d accepted transitions\n",
+			cr.Car, cr.RawTrips, cr.Funnel.TripSegments, cr.Funnel.PostFiltered)
+	}
+
+	recs := res.Transitions()
+	fmt.Printf("\n%d transitions between the T, S and L gates:\n", len(recs))
+	for _, rec := range recs {
+		fmt.Printf("  %-4s %.2f km, %4.1f min, low speed %4.1f%%, %d traffic lights, %.0f ml fuel\n",
+			rec.Direction(), rec.RouteDistKm, rec.RouteTimeH*60,
+			rec.LowSpeedPct, rec.Attrs.TrafficLights, rec.FuelMl)
+	}
+
+	speeds := taxitrace.PointSpeeds(recs)
+	low := 0
+	for _, s := range speeds {
+		if s < taxitrace.LowSpeedKmh {
+			low++
+		}
+	}
+	fmt.Printf("\n%d measured point speeds, %.1f%% below %d km/h\n",
+		len(speeds), 100*float64(low)/float64(len(speeds)), taxitrace.LowSpeedKmh)
+}

@@ -1,0 +1,61 @@
+package clean
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// FuzzRepair: arbitrary point metadata must never panic the cleaner,
+// and the output (when any) must satisfy the monotonicity contract.
+func FuzzRepair(f *testing.F) {
+	f.Add(int64(1), uint8(5), false)
+	f.Add(int64(99), uint8(0), true)
+	f.Add(int64(-7), uint8(40), true)
+
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, scramble bool) {
+		tr := &trace.Trip{ID: 1, CarID: 1}
+		s := seed
+		next := func() int64 {
+			// xorshift; deterministic per seed, fine for fuzzing shapes.
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return s
+		}
+		for i := 0; i < int(n); i++ {
+			id := i + 1
+			ts := t0.Add(time.Duration(i) * 10 * time.Second)
+			if scramble {
+				id = int(next() % 50)
+				ts = t0.Add(time.Duration(next()%100000) * time.Millisecond)
+			}
+			tr.Points = append(tr.Points, trace.RoutePoint{
+				PointID: id, TripID: 1,
+				Pos:      geo.V(float64(next()%10000), float64(next()%10000)),
+				Time:     ts,
+				SpeedKmh: float64(next() % 200),
+				FuelMl:   float64(next() % 100000),
+				DistM:    float64(next() % 1000000),
+			})
+		}
+		r := Repair(tr, Config{})
+		if r.Trip == nil {
+			return
+		}
+		pts := r.Trip.Points
+		for i := 1; i < len(pts); i++ {
+			if pts[i].PointID != pts[i-1].PointID+1 {
+				t.Fatal("ids not sequential after repair")
+			}
+			if pts[i].Time.Before(pts[i-1].Time) {
+				t.Fatal("time not monotone after repair")
+			}
+			if pts[i].FuelMl < pts[i-1].FuelMl || pts[i].DistM < pts[i-1].DistM {
+				t.Fatal("cumulative measurements not monotone after repair")
+			}
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package clean
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// InterpolateConfig tunes gap restoration.
+type InterpolateConfig struct {
+	// MaxGap is the longest silent interval left untouched; longer
+	// gaps (up to MaxRestorable) get points interpolated at Step.
+	// Default 60 s.
+	MaxGap time.Duration
+	// MaxRestorable bounds how long a gap may be and still be
+	// restored: beyond it the gap is presumed to be a genuine stop or
+	// outage and left alone for the segmentation rules. Default 150 s.
+	MaxRestorable time.Duration
+	// Step is the spacing of restored points. Default 20 s.
+	Step time.Duration
+}
+
+func (c InterpolateConfig) withDefaults() InterpolateConfig {
+	if c.MaxGap <= 0 {
+		c.MaxGap = 60 * time.Second
+	}
+	if c.MaxRestorable <= 0 {
+		c.MaxRestorable = 150 * time.Second
+	}
+	if c.Step <= 0 {
+		c.Step = 20 * time.Second
+	}
+	return c
+}
+
+// Interpolate restores lost route points by linear interpolation, the
+// repair approach of Jiang et al. [17] that the paper cites for sensor
+// data with dropped records. It acts on a *cleaned* trip (points in
+// true order) and fills only moderate gaps — long silences are left
+// for the segmentation rules to classify as stops. The input is not
+// modified; restored points carry interpolated position, time, speed
+// and cumulative measurements, and renumbered ids.
+func Interpolate(t *trace.Trip, cfg InterpolateConfig) (*trace.Trip, int) {
+	cfg = cfg.withDefaults()
+	if len(t.Points) < 2 {
+		return t.Clone(), 0
+	}
+	out := t.Clone()
+	restored := 0
+	pts := make([]trace.RoutePoint, 0, len(out.Points))
+	pts = append(pts, out.Points[0])
+	for i := 1; i < len(out.Points); i++ {
+		a, b := out.Points[i-1], out.Points[i]
+		gap := b.Time.Sub(a.Time)
+		if gap > cfg.MaxGap && gap <= cfg.MaxRestorable {
+			n := int(gap / cfg.Step)
+			for k := 1; k <= n; k++ {
+				f := float64(k) / float64(n+1)
+				pts = append(pts, trace.RoutePoint{
+					TripID:   a.TripID,
+					Pos:      a.Pos.Lerp(b.Pos, f),
+					Time:     a.Time.Add(time.Duration(f * float64(gap))),
+					SpeedKmh: a.SpeedKmh + f*(b.SpeedKmh-a.SpeedKmh),
+					FuelMl:   a.FuelMl + f*(b.FuelMl-a.FuelMl),
+					DistM:    a.DistM + f*(b.DistM-a.DistM),
+				})
+				restored++
+			}
+		}
+		pts = append(pts, b)
+	}
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].Time.Before(pts[j].Time) })
+	for i := range pts {
+		pts[i].PointID = i + 1
+	}
+	out.Points = pts
+	return out, restored
+}

@@ -1,0 +1,96 @@
+package clean
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// gapTrip drives east with one silent gap of the given duration in the
+// middle.
+func gapTrip(gap time.Duration) *trace.Trip {
+	tr := &trace.Trip{ID: 1, CarID: 1}
+	add := func(x float64, at time.Time, fuel, dist float64) {
+		tr.Points = append(tr.Points, trace.RoutePoint{
+			PointID: len(tr.Points) + 1, TripID: 1,
+			Pos: geo.V(x, 0), Time: at, SpeedKmh: 36,
+			FuelMl: fuel, DistM: dist,
+		})
+	}
+	at := t0
+	for i := 0; i < 4; i++ {
+		add(float64(i)*100, at, float64(i)*10, float64(i)*100)
+		at = at.Add(10 * time.Second)
+	}
+	// Gap: device silent, vehicle kept moving.
+	at = at.Add(gap - 10*time.Second)
+	for i := 4; i < 8; i++ {
+		add(float64(i)*100+500, at, float64(i)*10+50, float64(i)*100+500)
+		at = at.Add(10 * time.Second)
+	}
+	return tr
+}
+
+func TestInterpolateFillsModerateGap(t *testing.T) {
+	tr := gapTrip(90 * time.Second)
+	out, restored := Interpolate(tr, InterpolateConfig{})
+	if restored == 0 {
+		t.Fatal("90 s gap not restored")
+	}
+	if len(out.Points) != len(tr.Points)+restored {
+		t.Fatalf("points = %d, want %d + %d", len(out.Points), len(tr.Points), restored)
+	}
+	// Restored points sit between the gap endpoints in every field.
+	for i := 1; i < len(out.Points); i++ {
+		a, b := out.Points[i-1], out.Points[i]
+		if b.Time.Before(a.Time) || b.FuelMl < a.FuelMl || b.DistM < a.DistM {
+			t.Fatalf("restored sequence not monotone at %d", i)
+		}
+		if b.Time.Sub(a.Time) > 35*time.Second {
+			t.Fatalf("gap at %d still %v after restoration", i, b.Time.Sub(a.Time))
+		}
+		if b.PointID != a.PointID+1 {
+			t.Fatalf("ids not renumbered at %d", i)
+		}
+	}
+	// Input untouched.
+	if len(tr.Points) != 8 {
+		t.Fatal("Interpolate mutated its input")
+	}
+}
+
+func TestInterpolateLeavesShortAndLongGaps(t *testing.T) {
+	short := gapTrip(30 * time.Second)
+	if _, restored := Interpolate(short, InterpolateConfig{}); restored != 0 {
+		t.Fatalf("30 s gap restored (%d points)", restored)
+	}
+	long := gapTrip(10 * time.Minute)
+	if _, restored := Interpolate(long, InterpolateConfig{}); restored != 0 {
+		t.Fatalf("10 min outage restored (%d points); stops must be left for segmentation", restored)
+	}
+}
+
+func TestInterpolateDegenerate(t *testing.T) {
+	out, restored := Interpolate(&trace.Trip{ID: 1}, InterpolateConfig{})
+	if restored != 0 || len(out.Points) != 0 {
+		t.Fatal("empty trip mishandled")
+	}
+	single := &trace.Trip{ID: 1, Points: []trace.RoutePoint{{PointID: 1, TripID: 1, Time: t0}}}
+	out, restored = Interpolate(single, InterpolateConfig{})
+	if restored != 0 || len(out.Points) != 1 {
+		t.Fatal("single-point trip mishandled")
+	}
+}
+
+func TestInterpolatePositionsOnChord(t *testing.T) {
+	tr := gapTrip(100 * time.Second)
+	out, _ := Interpolate(tr, InterpolateConfig{})
+	// Every restored point must lie on the straight chord of the gap.
+	for _, p := range out.Points {
+		if p.Pos.Y != 0 {
+			t.Fatalf("restored point off the chord: %v", p.Pos)
+		}
+	}
+}

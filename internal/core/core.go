@@ -1,0 +1,425 @@
+// Package core assembles the paper's full pipeline — the primary
+// contribution — from raw taxi traces to map-referenced information:
+//
+//	raw trips → cleaning → segmentation → OD selection → map-matching
+//	          → attribute fetching → grid aggregation → mixed models.
+//
+// It also owns the synthetic substrates (city + fleet simulator) that
+// stand in for the proprietary Driveco data and the Digiroad national
+// database; see DESIGN.md for the substitution argument.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/clean"
+	"repro/internal/digiroad"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/mapattr"
+	"repro/internal/mapmatch"
+	"repro/internal/odselect"
+	"repro/internal/roadnet"
+	"repro/internal/segment"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/weather"
+)
+
+// LowSpeedKmh is the paper's low-speed threshold (<10 km/h), one of
+// the significant factors for fuel consumption and emissions.
+const LowSpeedKmh = 10
+
+// NormalSpeedToleranceKmh: a point counts as "normal speed" (at the
+// speed limit) when within this margin below the local limit.
+const NormalSpeedToleranceKmh = 2
+
+// Config assembles one pipeline. Zero values select the paper's
+// settings.
+type Config struct {
+	CitySeed   int64
+	City       digiroad.SynthConfig
+	Fleet      tracegen.Config
+	Clean      clean.Config
+	Segment    segment.Rules
+	OD         odselect.Config
+	Match      mapmatch.Config
+	GateWidthM float64 // thick-geometry width (default 150)
+	GridCellM  float64 // analysis cell size (default 200)
+}
+
+func (c Config) withDefaults() Config {
+	if c.City.Seed == 0 {
+		c.City.Seed = c.CitySeed
+	}
+	if c.Segment.MinPoints == 0 {
+		c.Segment = segment.DefaultRules()
+	}
+	if c.GateWidthM <= 0 {
+		c.GateWidthM = 150
+	}
+	if c.GridCellM <= 0 {
+		c.GridCellM = grid.DefaultCellMeters
+	}
+	return c
+}
+
+// Pipeline is a ready-to-run reproduction pipeline over one synthetic
+// city and fleet.
+type Pipeline struct {
+	Config   Config
+	City     *digiroad.City
+	Graph    *roadnet.Graph
+	Gen      *tracegen.Generator
+	Selector *odselect.Selector
+	Matcher  *mapmatch.Matcher
+	Fetcher  *mapattr.Fetcher
+	Weather  *weather.Model
+	Rules    segment.Rules
+}
+
+// NewPipeline builds the city, road graph and processing stages.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	city := digiroad.SynthesizeOulu(cfg.City)
+	return NewPipelineWithCity(city, cfg)
+}
+
+// NewPipelineWithCity builds the processing stages over an existing
+// city (e.g. one reloaded from CSV). The city must carry the three
+// gate roads and the analysis areas.
+func NewPipelineWithCity(city *digiroad.City, cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	graph, err := roadnet.Build(city.DB)
+	if err != nil {
+		return nil, fmt.Errorf("core: build road graph: %w", err)
+	}
+	gen, err := tracegen.New(city, graph, cfg.Fleet)
+	if err != nil {
+		return nil, fmt.Errorf("core: build fleet generator: %w", err)
+	}
+	odCfg := cfg.OD
+	if odCfg.CentralArea.Area() == 0 {
+		odCfg.CentralArea = city.CentralArea
+	}
+	sel, err := odselect.NewSelector([]odselect.Gate{
+		odselect.NewGate("T", city.GateT, cfg.GateWidthM),
+		odselect.NewGate("S", city.GateS, cfg.GateWidthM),
+		odselect.NewGate("L", city.GateL, cfg.GateWidthM),
+	}, odCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: build OD selector: %w", err)
+	}
+	wm := cfg.Fleet.Weather
+	if wm == nil {
+		wm = weather.DefaultModel(cfg.Fleet.Seed)
+	}
+	return &Pipeline{
+		Config:   cfg,
+		City:     city,
+		Graph:    graph,
+		Gen:      gen,
+		Selector: sel,
+		Matcher:  mapmatch.NewIncremental(graph, cfg.Match),
+		Fetcher:  mapattr.NewFetcher(city.DB, graph, 0),
+		Weather:  wm,
+		Rules:    cfg.Segment,
+	}, nil
+}
+
+// TransitionRecord is one accepted OD transition with everything the
+// analysis needs.
+type TransitionRecord struct {
+	Car        int
+	Transition *odselect.Transition
+	Match      *mapmatch.Result
+	Attrs      mapattr.RouteAttributes
+
+	// Table 4 metrics, computed over the trajectory between the origin
+	// and destination crossings.
+	RouteTimeH     float64
+	RouteDistKm    float64
+	LowSpeedPct    float64
+	NormalSpeedPct float64
+	FuelMl         float64
+
+	Season    weather.Season
+	TempClass weather.TemperatureClass
+}
+
+// Direction returns the transition direction, e.g. "S-T".
+func (r *TransitionRecord) Direction() string { return r.Transition.Direction }
+
+// CarResult is the per-car pipeline output (one Table 3 row).
+type CarResult struct {
+	Car         int
+	RawTrips    int
+	CleanStats  CleanStats
+	SegStats    segment.Stats
+	Segments    []*trace.Trip
+	Funnel      odselect.Funnel
+	Transitions []*TransitionRecord
+}
+
+// CleanStats summarises the cleaning stage for one car.
+type CleanStats struct {
+	Trips         int
+	Reordered     int // trips whose arrival order was repaired
+	ChoseTime     int // trips where the timestamp ordering won
+	DroppedPoints int
+}
+
+// Result is the full fleet output.
+type Result struct {
+	Cars []CarResult
+}
+
+// Transitions flattens all accepted transitions.
+func (r *Result) Transitions() []*TransitionRecord {
+	var out []*TransitionRecord
+	for i := range r.Cars {
+		out = append(out, r.Cars[i].Transitions...)
+	}
+	return out
+}
+
+// Segments flattens all kept trip segments.
+func (r *Result) Segments() []*trace.Trip {
+	var out []*trace.Trip
+	for i := range r.Cars {
+		out = append(out, r.Cars[i].Segments...)
+	}
+	return out
+}
+
+// Run executes the pipeline for the whole fleet, processing cars
+// concurrently. Each car's simulation and processing are independent
+// and deterministic, so the result is identical to a serial run.
+func (p *Pipeline) Run() (*Result, error) {
+	n := p.Gen.Cars()
+	results := make([]CarResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for car := 1; car <= n; car++ {
+		wg.Add(1)
+		go func(car int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[car-1], errs[car-1] = p.RunCar(car)
+		}(car)
+	}
+	wg.Wait()
+	res := &Result{Cars: results}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// RunCar executes the pipeline for one car.
+func (p *Pipeline) RunCar(car int) (CarResult, error) {
+	raw := p.Gen.CarTrips(car)
+	return p.Process(car, raw)
+}
+
+// Process runs the cleaning → segmentation → selection → matching →
+// attribute stages over raw trips (however they were obtained).
+func (p *Pipeline) Process(car int, raw []*trace.Trip) (CarResult, error) {
+	cr := CarResult{Car: car, RawTrips: len(raw)}
+
+	// Cleaning (§IV-B).
+	results := clean.RepairAll(raw, p.Config.Clean)
+	cr.CleanStats.Trips = len(results)
+	for _, r := range results {
+		if r.Reordered {
+			cr.CleanStats.Reordered++
+		}
+		if r.ChosenOrder == clean.OrderByTime {
+			cr.CleanStats.ChoseTime++
+		}
+		cr.CleanStats.DroppedPoints += r.Dropped
+	}
+
+	// Segmentation (Table 2).
+	cr.Segments = segment.SplitAll(clean.Trips(results), p.Rules, &cr.SegStats)
+
+	// OD selection (Table 3) and per-transition analysis.
+	funnel, accepted := p.Selector.Run(car, cr.Segments)
+	cr.Funnel = funnel
+	for _, tr := range accepted {
+		rec, err := p.analyseTransition(car, tr)
+		if err != nil {
+			// A transition that cannot be matched is dropped from the
+			// analysis but stays in the funnel count, mirroring the
+			// paper's "only cleared and filtered transitions ... are
+			// map-matched".
+			continue
+		}
+		cr.Transitions = append(cr.Transitions, rec)
+	}
+	return cr, nil
+}
+
+// analyseTransition map-matches one transition and derives the Table 4
+// metrics.
+func (p *Pipeline) analyseTransition(car int, tr *odselect.Transition) (*TransitionRecord, error) {
+	pts := tr.Seg.Points
+	lo := tr.FromCross.EntryIndex
+	hi := tr.ToCross.ExitIndex
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	span := pts[lo : hi+1]
+	if len(span) < 2 {
+		return nil, fmt.Errorf("core: degenerate transition span")
+	}
+	match, err := p.Matcher.Match(span)
+	if err != nil {
+		return nil, err
+	}
+	attrs := p.Fetcher.ForMatch(match)
+
+	rec := &TransitionRecord{
+		Car:        car,
+		Transition: tr,
+		Match:      match,
+		Attrs:      attrs,
+		Season:     weather.SeasonOf(span[0].Time),
+		TempClass:  p.Weather.ClassAt(span[0].Time),
+	}
+	rec.RouteTimeH = span[len(span)-1].Time.Sub(span[0].Time).Hours()
+	rec.RouteDistKm = match.Geometry.Length() / 1000
+	rec.FuelMl = span[len(span)-1].FuelMl - span[0].FuelMl
+
+	// Low/normal speed shares are time-weighted: each point's speed
+	// holds until the next point, so standing at a red light counts by
+	// its duration, not by how many records the device emitted.
+	var low, normal, total float64
+	for i := 0; i < len(span)-1; i++ {
+		dt := span[i+1].Time.Sub(span[i].Time).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		total += dt
+		if span[i].SpeedKmh < LowSpeedKmh {
+			low += dt
+		}
+		if limit, ok := p.limitAtMatch(match, i); ok && span[i].SpeedKmh >= limit-NormalSpeedToleranceKmh {
+			normal += dt
+		}
+	}
+	if total > 0 {
+		rec.LowSpeedPct = 100 * low / total
+		rec.NormalSpeedPct = 100 * normal / total
+	}
+	return rec, nil
+}
+
+// limitAtMatch returns the speed limit at the matched edge of span
+// point i.
+func (p *Pipeline) limitAtMatch(match *mapmatch.Result, i int) (float64, bool) {
+	if i >= len(match.Points) || match.Points[i].Skipped {
+		return 0, false
+	}
+	return p.Graph.Edges[match.Points[i].Edge].SpeedLimitKmh, true
+}
+
+// GridAnalysis aggregates the transition point speeds on the analysis
+// grid over the study area, attaches per-cell features, and fits the
+// per-cell random-intercept mixed model (paper model 3).
+func (p *Pipeline) GridAnalysis(recs []*TransitionRecord) (*grid.Aggregator, *stats.LMMResult, error) {
+	g, err := grid.New(p.City.StudyArea, p.Config.GridCellM)
+	if err != nil {
+		return nil, nil, err
+	}
+	agg := grid.NewAggregator(g)
+	for _, rec := range recs {
+		pts := rec.Transition.Seg.Points
+		lo, hi := rec.Transition.FromCross.EntryIndex, rec.Transition.ToCross.ExitIndex
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for _, pt := range pts[lo : hi+1] {
+			agg.Add(pt.Pos, pt.SpeedKmh)
+		}
+	}
+	agg.AttachFeatures(p.City.DB, p.Graph)
+
+	lmm, err := stats.FitLMM(agg.LMMGroups())
+	if err != nil {
+		return agg, nil, err
+	}
+	return agg, lmm, nil
+}
+
+// PointSpeeds extracts every point speed of the given transitions (the
+// paper's "30469 measured point speeds").
+func PointSpeeds(recs []*TransitionRecord) []float64 {
+	var out []float64
+	for _, rec := range recs {
+		pts := rec.Transition.Seg.Points
+		lo, hi := rec.Transition.FromCross.EntryIndex, rec.Transition.ToCross.ExitIndex
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for _, pt := range pts[lo : hi+1] {
+			out = append(out, pt.SpeedKmh)
+		}
+	}
+	return out
+}
+
+// SpeedPoints pairs positions and speeds for map figures (Figs 3-5).
+type SpeedPoint struct {
+	Pos      geo.XY
+	SpeedKmh float64
+}
+
+// TransitionSpeedPoints extracts the positioned speeds of one record.
+func TransitionSpeedPoints(rec *TransitionRecord) []SpeedPoint {
+	pts := rec.Transition.Seg.Points
+	lo, hi := rec.Transition.FromCross.EntryIndex, rec.Transition.ToCross.ExitIndex
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	out := make([]SpeedPoint, 0, hi-lo+1)
+	for _, pt := range pts[lo : hi+1] {
+		out = append(out, SpeedPoint{Pos: pt.Pos, SpeedKmh: pt.SpeedKmh})
+	}
+	return out
+}
+
+// FeatureNames are the fixed-effect covariates of FeatureModel, in
+// coefficient order (after the intercept).
+var FeatureNames = []string{"traffic_lights", "bus_stops", "pedestrian_crossings", "junctions"}
+
+// FeatureModel fits the paper's model 2: cell point speeds regressed on
+// the cell's map features with a per-cell random intercept, estimated
+// by REML. It quantifies the associations between map features and
+// driving speed that the grid analysis shows qualitatively.
+func (p *Pipeline) FeatureModel(recs []*TransitionRecord) (*stats.LMMFixedResult, error) {
+	g, err := grid.New(p.City.StudyArea, p.Config.GridCellM)
+	if err != nil {
+		return nil, err
+	}
+	agg := grid.NewAggregator(g)
+	for _, rec := range recs {
+		pts := rec.Transition.Seg.Points
+		lo, hi := rec.Transition.FromCross.EntryIndex, rec.Transition.ToCross.ExitIndex
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for _, pt := range pts[lo : hi+1] {
+			agg.Add(pt.Pos, pt.SpeedKmh)
+		}
+	}
+	agg.AttachFeatures(p.City.DB, p.Graph)
+	return stats.FitLMMFixed(agg.LMMGroupsWithFeatures())
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tracegen"
+)
+
+// smallPipeline builds a pipeline sized for unit tests: few trips, a
+// high gate fraction so transitions actually occur.
+func smallPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline(Config{
+		CitySeed: 1,
+		Fleet: tracegen.Config{
+			Seed:            2,
+			Cars:            2,
+			TripsPerCar:     8,
+			GateRunFraction: 0.5,
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	return p
+}
+
+func TestPipelineRunEndToEnd(t *testing.T) {
+	p := smallPipeline(t)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Cars) != 2 {
+		t.Fatalf("cars = %d", len(res.Cars))
+	}
+	for _, cr := range res.Cars {
+		if cr.RawTrips == 0 || len(cr.Segments) == 0 {
+			t.Fatalf("car %d produced nothing: %+v", cr.Car, cr)
+		}
+		// Funnel consistency.
+		f := cr.Funnel
+		if f.TripSegments != len(cr.Segments) {
+			t.Fatalf("funnel segments %d != %d", f.TripSegments, len(cr.Segments))
+		}
+		if !(f.TripSegments >= f.Filtered && f.Filtered >= f.Transitions &&
+			f.Transitions >= f.WithinCentre && f.WithinCentre >= f.PostFiltered) {
+			t.Fatalf("funnel not monotone: %+v", f)
+		}
+		if len(cr.Transitions) > f.PostFiltered {
+			t.Fatalf("more analysed transitions (%d) than accepted (%d)",
+				len(cr.Transitions), f.PostFiltered)
+		}
+	}
+	if len(res.Transitions()) == 0 {
+		t.Fatal("no transitions survived the pipeline")
+	}
+}
+
+func TestTransitionMetricsPlausible(t *testing.T) {
+	p := smallPipeline(t)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Transitions() {
+		if rec.RouteTimeH <= 0 || rec.RouteTimeH > 1 {
+			t.Fatalf("route time %f h implausible", rec.RouteTimeH)
+		}
+		if rec.RouteDistKm < 0.5 || rec.RouteDistKm > 15 {
+			t.Fatalf("route distance %f km implausible", rec.RouteDistKm)
+		}
+		if rec.LowSpeedPct < 0 || rec.LowSpeedPct > 100 ||
+			rec.NormalSpeedPct < 0 || rec.NormalSpeedPct > 100 {
+			t.Fatalf("percentages out of range: %+v", rec)
+		}
+		if rec.FuelMl <= 0 {
+			t.Fatalf("fuel %f must be positive", rec.FuelMl)
+		}
+		if rec.Attrs.Junctions == 0 {
+			t.Fatalf("a downtown transition must pass junctions: %+v", rec.Attrs)
+		}
+		switch rec.Direction() {
+		case "T-S", "S-T", "T-L", "L-T":
+		default:
+			t.Fatalf("unexpected direction %q", rec.Direction())
+		}
+	}
+}
+
+func TestCleaningStageEngages(t *testing.T) {
+	p := smallPipeline(t)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reordered := 0
+	for _, cr := range res.Cars {
+		reordered += cr.CleanStats.Reordered
+	}
+	if reordered == 0 {
+		t.Fatal("cleaning never repaired an ordering; corruption not exercised")
+	}
+}
+
+func TestGridAnalysis(t *testing.T) {
+	p := smallPipeline(t)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := res.Transitions()
+	agg, lmm, err := p.GridAnalysis(recs)
+	if err != nil {
+		t.Fatalf("GridAnalysis: %v", err)
+	}
+	if agg.NumNonEmpty() < 5 {
+		t.Fatalf("only %d non-empty cells", agg.NumNonEmpty())
+	}
+	if lmm.NObs == 0 || lmm.Sigma2 <= 0 {
+		t.Fatalf("LMM fit degenerate: %+v", lmm)
+	}
+	// Speeds are km/h city driving: grand mean sane.
+	if lmm.Mu < 5 || lmm.Mu > 70 {
+		t.Fatalf("grand mean speed %f implausible", lmm.Mu)
+	}
+	// PointSpeeds matches the grid observation count up to points
+	// outside the study area.
+	speeds := PointSpeeds(recs)
+	if len(speeds) < lmm.NObs {
+		t.Fatalf("point speeds %d < LMM observations %d", len(speeds), lmm.NObs)
+	}
+}
+
+func TestTransitionSpeedPoints(t *testing.T) {
+	p := smallPipeline(t)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := res.Transitions()
+	if len(recs) == 0 {
+		t.Skip("no transitions in this configuration")
+	}
+	sp := TransitionSpeedPoints(recs[0])
+	if len(sp) < 2 {
+		t.Fatalf("speed points = %d", len(sp))
+	}
+	for _, s := range sp {
+		if s.SpeedKmh < 0 {
+			t.Fatalf("negative speed point")
+		}
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	a := smallPipeline(t)
+	b := smallPipeline(t)
+	ra, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := ra.Transitions(), rb.Transitions()
+	if len(ta) != len(tb) {
+		t.Fatalf("transition counts differ: %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i].Direction() != tb[i].Direction() || ta[i].RouteDistKm != tb[i].RouteDistKm {
+			t.Fatalf("transition %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestFeatureModel(t *testing.T) {
+	p := smallPipeline(t)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := p.FeatureModel(res.Transitions())
+	if err != nil {
+		t.Fatalf("FeatureModel: %v", err)
+	}
+	if len(fit.Coef) != len(FeatureNames)+1 || len(fit.StdErr) != len(fit.Coef) {
+		t.Fatalf("coefficient shape: %d coefs", len(fit.Coef))
+	}
+	if fit.Sigma2 <= 0 || fit.NObs == 0 {
+		t.Fatalf("degenerate fit: %+v", fit)
+	}
+}
+
+func TestDetectHotspotsRecoversPlantedAreas(t *testing.T) {
+	// The information-discovery claim end to end: the feature-adjusted
+	// mixed model must flag cells concentrated at the city's planted
+	// crowded areas.
+	p, err := NewPipeline(Config{
+		CitySeed: 42,
+		Fleet: tracegen.Config{
+			Seed: 42, Cars: 3, TripsPerCar: 40, GateRunFraction: 0.3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := p.DetectHotspots(res.Transitions(), 0)
+	if err != nil {
+		t.Fatalf("DetectHotspots: %v", err)
+	}
+	if len(det.Cells) == 0 {
+		t.Fatal("no hotspot candidates flagged")
+	}
+	if det.ThresholdKmh >= 0 {
+		t.Fatalf("threshold = %f, want negative", det.ThresholdKmh)
+	}
+	// Most-negative first.
+	for i := 1; i < len(det.Cells); i++ {
+		if det.Cells[i].BLUP < det.Cells[i-1].BLUP {
+			t.Fatal("cells not ordered by deficit")
+		}
+	}
+	rec := EvaluateHotspotRecovery(det, p.City.Hotspots, 150)
+	t.Logf("detected %d cells, precision %.2f, hotspots found %d/%d",
+		rec.Detected, rec.Precision, rec.HotspotsFound, rec.HotspotsTotal)
+	if rec.HotspotsFound != rec.HotspotsTotal {
+		t.Fatalf("missed planted hotspots: %d/%d", rec.HotspotsFound, rec.HotspotsTotal)
+	}
+	if rec.Precision < 0.5 {
+		t.Fatalf("precision %.2f too low: flagged cells scattered away from crowds", rec.Precision)
+	}
+}
+
+func TestEvaluateHotspotRecoveryEmpty(t *testing.T) {
+	r := EvaluateHotspotRecovery(&HotspotDetection{}, nil, 100)
+	if r.Detected != 0 || r.Precision != 0 || r.HotspotsFound != 0 {
+		t.Fatalf("empty recovery = %+v", r)
+	}
+}

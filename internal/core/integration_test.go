@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/digiroad"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// TestCSVRoundTripThroughPipeline is the interchange integration test:
+// trips serialised to CSV (the cmd/tracegen path) and read back must
+// flow through the pipeline with the same funnel results as the
+// in-memory trips, up to sub-centimetre coordinate rounding.
+func TestCSVRoundTripThroughPipeline(t *testing.T) {
+	p, err := NewPipeline(Config{
+		CitySeed: 9,
+		Fleet:    tracegen.Config{Seed: 9, Cars: 1, TripsPerCar: 10, GateRunFraction: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := p.Gen.CarTrips(1)
+
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, raw, p.City.DB.Proj); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	loaded, err := trace.ReadCSV(bytes.NewReader(buf.Bytes()), p.City.DB.Proj)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(loaded) != len(raw) {
+		t.Fatalf("loaded %d trips, want %d", len(loaded), len(raw))
+	}
+
+	direct, err := p.Process(1, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCSV, err := p.Process(1, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Funnel != viaCSV.Funnel {
+		t.Fatalf("funnels differ:\ndirect %+v\nvia csv %+v", direct.Funnel, viaCSV.Funnel)
+	}
+	if len(direct.Transitions) != len(viaCSV.Transitions) {
+		t.Fatalf("transitions differ: %d vs %d", len(direct.Transitions), len(viaCSV.Transitions))
+	}
+	for i := range direct.Transitions {
+		a, b := direct.Transitions[i], viaCSV.Transitions[i]
+		if a.Direction() != b.Direction() {
+			t.Fatalf("transition %d direction %s vs %s", i, a.Direction(), b.Direction())
+		}
+		if d := a.RouteDistKm - b.RouteDistKm; d > 0.01 || d < -0.01 {
+			t.Fatalf("transition %d distance drifted: %f vs %f", i, a.RouteDistKm, b.RouteDistKm)
+		}
+	}
+}
+
+// TestMapCSVRoundTripThroughGraph: a city database serialised to CSV
+// and reloaded must rebuild into an equivalent road graph and support
+// a pipeline via NewPipelineWithCity.
+func TestMapCSVRoundTripThroughGraph(t *testing.T) {
+	orig := digiroad.SynthesizeOulu(digiroad.SynthConfig{Seed: 9})
+	var buf bytes.Buffer
+	if err := orig.DB.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db := digiroad.NewDatabase(digiroad.OuluOrigin)
+	if err := db.ReadCSV(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	reloaded := &digiroad.City{
+		DB:          db,
+		GateT:       orig.GateT,
+		GateS:       orig.GateS,
+		GateL:       orig.GateL,
+		Hotspots:    orig.Hotspots,
+		CentralArea: orig.CentralArea,
+		StudyArea:   orig.StudyArea,
+	}
+	p, err := NewPipelineWithCity(reloaded, Config{
+		Fleet: tracegen.Config{Seed: 9, Cars: 1, TripsPerCar: 4, GateRunFraction: 0.4},
+	})
+	if err != nil {
+		t.Fatalf("NewPipelineWithCity: %v", err)
+	}
+	pOrig, err := NewPipelineWithCity(orig, Config{
+		Fleet: tracegen.Config{Seed: 9, Cars: 1, TripsPerCar: 4, GateRunFraction: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Graph.Edges) != len(pOrig.Graph.Edges) ||
+		len(p.Graph.Nodes) != len(pOrig.Graph.Nodes) {
+		t.Fatalf("reloaded graph differs: %d/%d edges, %d/%d nodes",
+			len(p.Graph.Edges), len(pOrig.Graph.Edges),
+			len(p.Graph.Nodes), len(pOrig.Graph.Nodes))
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments()) == 0 {
+		t.Fatal("reloaded-city pipeline produced nothing")
+	}
+}

@@ -1,0 +1,88 @@
+package digiroad
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpeedLimitRange is one piece of a segmented line-like speed-limit
+// attribute: the limit applies from FromM to ToM metres along the
+// element's digitization direction. Digiroad describes road addresses
+// and speed restrictions this way (paper §III).
+type SpeedLimitRange struct {
+	FromM float64
+	ToM   float64
+	Kmh   float64
+}
+
+// Validate checks a range against the element length.
+func (r SpeedLimitRange) Validate(length float64) error {
+	if r.FromM < 0 || r.ToM > length+0.01 || r.FromM >= r.ToM {
+		return fmt.Errorf("digiroad: speed range [%.1f, %.1f] invalid for %.1f m element",
+			r.FromM, r.ToM, length)
+	}
+	if r.Kmh <= 0 || r.Kmh > 130 {
+		return fmt.Errorf("digiroad: speed limit %.1f km/h out of range", r.Kmh)
+	}
+	return nil
+}
+
+// SetSpeedLimits attaches segmented limits to an element, replacing any
+// previous ranges. Ranges must be valid and non-overlapping; they need
+// not cover the whole element (uncovered parts fall back to the
+// element-level SpeedLimitKmh).
+func (db *Database) SetSpeedLimits(elementID int, ranges []SpeedLimitRange) error {
+	e := db.Element(elementID)
+	if e == nil {
+		return fmt.Errorf("digiroad: no element %d", elementID)
+	}
+	length := e.Length()
+	sorted := append([]SpeedLimitRange(nil), ranges...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].FromM < sorted[j].FromM })
+	for i, r := range sorted {
+		if err := r.Validate(length); err != nil {
+			return err
+		}
+		if i > 0 && r.FromM < sorted[i-1].ToM-0.01 {
+			return fmt.Errorf("digiroad: speed ranges overlap at %.1f m", r.FromM)
+		}
+	}
+	e.Limits = sorted
+	return nil
+}
+
+// LimitAt returns the speed limit at the given distance along the
+// element's digitization direction, falling back to the element-level
+// limit (or 0 when none is recorded).
+func (e *TrafficElement) LimitAt(alongM float64) float64 {
+	for _, r := range e.Limits {
+		if alongM >= r.FromM && alongM < r.ToM {
+			return r.Kmh
+		}
+	}
+	return e.SpeedLimitKmh
+}
+
+// MinLimit returns the most restrictive limit anywhere on the element,
+// the value the road graph uses for a merged edge.
+func (e *TrafficElement) MinLimit() float64 {
+	min := e.SpeedLimitKmh
+	covered := 0.0
+	for _, r := range e.Limits {
+		if min == 0 || (r.Kmh > 0 && r.Kmh < min) {
+			min = r.Kmh
+		}
+		covered += r.ToM - r.FromM
+	}
+	// If the ranges cover the whole element, the element-level default
+	// never applies; recompute over ranges only.
+	if len(e.Limits) > 0 && covered >= e.Length()-0.02 {
+		min = e.Limits[0].Kmh
+		for _, r := range e.Limits[1:] {
+			if r.Kmh < min {
+				min = r.Kmh
+			}
+		}
+	}
+	return min
+}

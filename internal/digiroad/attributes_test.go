@@ -1,0 +1,137 @@
+package digiroad
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func attrElement(t *testing.T, db *Database) *TrafficElement {
+	t.Helper()
+	e, err := db.AddElement(TrafficElement{
+		Geom: geo.Line(0, 0, 100, 0), Class: ClassLocal, SpeedLimitKmh: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSetSpeedLimitsAndLimitAt(t *testing.T) {
+	db := NewDatabase(OuluOrigin)
+	e := attrElement(t, db)
+	err := db.SetSpeedLimits(e.ID, []SpeedLimitRange{
+		{FromM: 0, ToM: 40, Kmh: 60},
+		{FromM: 40, ToM: 80, Kmh: 30},
+	})
+	if err != nil {
+		t.Fatalf("SetSpeedLimits: %v", err)
+	}
+	cases := []struct {
+		at   float64
+		want float64
+	}{
+		{0, 60}, {39, 60}, {40, 30}, {79, 30},
+		{80, 50}, // uncovered tail: element default
+		{95, 50},
+	}
+	for _, c := range cases {
+		if got := e.LimitAt(c.at); got != c.want {
+			t.Errorf("LimitAt(%f) = %f, want %f", c.at, got, c.want)
+		}
+	}
+	if got := e.MinLimit(); got != 30 {
+		t.Fatalf("MinLimit = %f, want 30", got)
+	}
+}
+
+func TestMinLimitFullCoverage(t *testing.T) {
+	db := NewDatabase(OuluOrigin)
+	e := attrElement(t, db)
+	// Element default 50 is lower than every range, but the ranges
+	// cover the whole element, so the default never applies.
+	if err := db.SetSpeedLimits(e.ID, []SpeedLimitRange{
+		{FromM: 0, ToM: 50, Kmh: 80},
+		{FromM: 50, ToM: 100, Kmh: 60},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.MinLimit(); got != 60 {
+		t.Fatalf("MinLimit = %f, want 60 (full coverage)", got)
+	}
+}
+
+func TestSetSpeedLimitsValidation(t *testing.T) {
+	db := NewDatabase(OuluOrigin)
+	e := attrElement(t, db)
+	cases := [][]SpeedLimitRange{
+		{{FromM: -5, ToM: 10, Kmh: 40}},                                // negative start
+		{{FromM: 0, ToM: 150, Kmh: 40}},                                // beyond element
+		{{FromM: 20, ToM: 10, Kmh: 40}},                                // inverted
+		{{FromM: 0, ToM: 10, Kmh: 0}},                                  // zero limit
+		{{FromM: 0, ToM: 10, Kmh: 200}},                                // absurd limit
+		{{FromM: 0, ToM: 60, Kmh: 40}, {FromM: 50, ToM: 100, Kmh: 40}}, // overlap
+	}
+	for i, ranges := range cases {
+		if err := db.SetSpeedLimits(e.ID, ranges); err == nil {
+			t.Errorf("case %d accepted invalid ranges", i)
+		}
+	}
+	if err := db.SetSpeedLimits(9999, nil); err == nil {
+		t.Error("unknown element accepted")
+	}
+}
+
+func TestNoLimitsFallsBack(t *testing.T) {
+	db := NewDatabase(OuluOrigin)
+	e := attrElement(t, db)
+	if e.LimitAt(50) != 50 || e.MinLimit() != 50 {
+		t.Fatal("element without ranges must use the default limit")
+	}
+}
+
+func TestSegmentedLimitsCSVRoundTrip(t *testing.T) {
+	db := NewDatabase(OuluOrigin)
+	e := attrElement(t, db)
+	want := []SpeedLimitRange{
+		{FromM: 0, ToM: 40, Kmh: 60},
+		{FromM: 40, ToM: 100, Kmh: 30},
+	}
+	if err := db.SetSpeedLimits(e.ID, want); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back := NewDatabase(OuluOrigin)
+	if err := back.ReadCSV(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got := back.Element(e.ID).Limits
+	if len(got) != len(want) {
+		t.Fatalf("ranges = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kmh != want[i].Kmh ||
+			!almostRange(got[i].FromM, want[i].FromM) ||
+			!almostRange(got[i].ToM, want[i].ToM) {
+			t.Fatalf("range %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if back.Element(e.ID).MinLimit() != 30 {
+		t.Fatal("reloaded MinLimit wrong")
+	}
+}
+
+func almostRange(a, b float64) bool { return a-b < 0.05 && b-a < 0.05 }
+
+func TestBadSpeedRangeCSVRejected(t *testing.T) {
+	db := NewDatabase(OuluOrigin)
+	in := "E,1,1,0,40,street,25.47 65.01;25.48 65.01,banana\n"
+	if err := db.ReadCSV(strings.NewReader(in)); err == nil {
+		t.Fatal("malformed speed ranges accepted")
+	}
+}

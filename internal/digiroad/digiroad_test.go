@@ -1,0 +1,332 @@
+package digiroad
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func testDB(t *testing.T) *Database {
+	t.Helper()
+	return NewDatabase(OuluOrigin)
+}
+
+func mustAddElement(t *testing.T, db *Database, e TrafficElement) *TrafficElement {
+	t.Helper()
+	stored, err := db.AddElement(e)
+	if err != nil {
+		t.Fatalf("AddElement: %v", err)
+	}
+	return stored
+}
+
+func TestAddElementAssignsIDs(t *testing.T) {
+	db := testDB(t)
+	g := geo.Line(0, 0, 100, 0)
+	a := mustAddElement(t, db, TrafficElement{Geom: g})
+	b := mustAddElement(t, db, TrafficElement{Geom: g})
+	if a.ID == 0 || b.ID == 0 || a.ID == b.ID {
+		t.Fatalf("bad auto IDs: %d, %d", a.ID, b.ID)
+	}
+	if db.Element(a.ID) != a {
+		t.Fatal("Element lookup failed")
+	}
+}
+
+func TestAddElementRejectsDuplicatesAndDegenerate(t *testing.T) {
+	db := testDB(t)
+	g := geo.Line(0, 0, 100, 0)
+	mustAddElement(t, db, TrafficElement{ID: 7, Geom: g})
+	if _, err := db.AddElement(TrafficElement{ID: 7, Geom: g}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if _, err := db.AddElement(TrafficElement{Geom: geo.Polyline{geo.V(0, 0)}}); err == nil {
+		t.Fatal("single-point geometry accepted")
+	}
+}
+
+func TestExplicitIDAdvancesCounter(t *testing.T) {
+	db := testDB(t)
+	g := geo.Line(0, 0, 100, 0)
+	mustAddElement(t, db, TrafficElement{ID: 100, Geom: g})
+	e := mustAddElement(t, db, TrafficElement{Geom: g})
+	if e.ID <= 100 {
+		t.Fatalf("auto ID %d must be above explicit 100", e.ID)
+	}
+}
+
+func TestElementsNear(t *testing.T) {
+	db := testDB(t)
+	near := mustAddElement(t, db, TrafficElement{Geom: geo.Line(0, 0, 100, 0)})
+	mustAddElement(t, db, TrafficElement{Geom: geo.Line(0, 500, 100, 500)})
+	got := db.ElementsNear(geo.V(50, 10), 50)
+	if len(got) != 1 || got[0].ID != near.ID {
+		t.Fatalf("ElementsNear = %v", got)
+	}
+	got = db.ElementsNear(geo.V(50, 250), 300)
+	if len(got) != 2 {
+		t.Fatalf("wide ElementsNear found %d, want 2", len(got))
+	}
+	// Must be sorted by distance: the y=500 street is farther.
+	if got[0].ID != near.ID {
+		t.Fatal("ElementsNear not distance-sorted")
+	}
+}
+
+func TestIndexRebuildAfterMutation(t *testing.T) {
+	db := testDB(t)
+	mustAddElement(t, db, TrafficElement{Geom: geo.Line(0, 0, 100, 0)})
+	if n := len(db.ElementsNear(geo.V(50, 0), 10)); n != 1 {
+		t.Fatalf("first query found %d", n)
+	}
+	mustAddElement(t, db, TrafficElement{Geom: geo.Line(0, 5, 100, 5)})
+	if n := len(db.ElementsNear(geo.V(50, 0), 10)); n != 2 {
+		t.Fatalf("query after add found %d, want 2 (index not rebuilt)", n)
+	}
+}
+
+func TestObjectsQueries(t *testing.T) {
+	db := testDB(t)
+	e := mustAddElement(t, db, TrafficElement{Geom: geo.Line(0, 0, 200, 0)})
+	db.AddObject(PointObject{Kind: TrafficLight, Pos: geo.V(50, 0), ElementID: e.ID})
+	db.AddObject(PointObject{Kind: BusStop, Pos: geo.V(150, 0), ElementID: e.ID})
+	db.AddObject(PointObject{Kind: PedestrianCrossing, Pos: geo.V(150, 300), ElementID: e.ID})
+
+	if got := db.ObjectsOfKind(TrafficLight); len(got) != 1 || got[0].Kind != TrafficLight {
+		t.Fatalf("ObjectsOfKind = %v", got)
+	}
+	inRect := db.ObjectsInRect(geo.R(0, -10, 200, 10))
+	if len(inRect) != 2 {
+		t.Fatalf("ObjectsInRect found %d, want 2", len(inRect))
+	}
+	nearLine := db.ObjectsNearLine(geo.Line(0, 0, 200, 0), 20, 0)
+	if len(nearLine) != 2 {
+		t.Fatalf("ObjectsNearLine found %d, want 2", len(nearLine))
+	}
+	onlyBus := db.ObjectsNearLine(geo.Line(0, 0, 200, 0), 20, BusStop)
+	if len(onlyBus) != 1 || onlyBus[0].Kind != BusStop {
+		t.Fatalf("kind-filtered ObjectsNearLine = %v", onlyBus)
+	}
+	fc := db.CountFeatures(geo.R(-10, -10, 400, 400))
+	if fc.TrafficLights != 1 || fc.BusStops != 1 || fc.PedestrianCrossings != 1 {
+		t.Fatalf("CountFeatures = %+v", fc)
+	}
+}
+
+func TestSynthesizeOuluDeterministic(t *testing.T) {
+	a := SynthesizeOulu(SynthConfig{Seed: 5})
+	b := SynthesizeOulu(SynthConfig{Seed: 5})
+	if a.DB.NumElements() != b.DB.NumElements() || a.DB.NumObjects() != b.DB.NumObjects() {
+		t.Fatalf("same seed differs: %d/%d vs %d/%d elements/objects",
+			a.DB.NumElements(), a.DB.NumObjects(), b.DB.NumElements(), b.DB.NumObjects())
+	}
+	ea, eb := a.DB.Elements(), b.DB.Elements()
+	for i := range ea {
+		if ea[i].ID != eb[i].ID || len(ea[i].Geom) != len(eb[i].Geom) {
+			t.Fatalf("element %d differs between runs", i)
+		}
+	}
+}
+
+func TestSynthesizeOuluFeatureTotals(t *testing.T) {
+	city := SynthesizeOulu(SynthConfig{Seed: 1})
+	fc := city.DB.CountFeatures(city.StudyArea)
+	// Paper study-area totals: 67 lights, 48 bus stops, 293 pedestrian
+	// crossings. The generator targets these; allow modest slack for
+	// objects dropped near pruned fringe segments.
+	check := func(name string, got, want int) {
+		t.Helper()
+		lo := want - want/5
+		hi := want + want/10
+		if got < lo || got > hi {
+			t.Errorf("%s = %d, want within [%d,%d] (paper: %d)", name, got, lo, hi, want)
+		}
+	}
+	check("traffic lights", fc.TrafficLights, 67)
+	check("bus stops", fc.BusStops, 48)
+	check("pedestrian crossings", fc.PedestrianCrossings, 293)
+}
+
+func TestSynthesizeOuluGates(t *testing.T) {
+	city := SynthesizeOulu(SynthConfig{Seed: 1})
+	for _, name := range []string{"T", "S", "L"} {
+		gate := city.Gate(name)
+		if len(gate) < 2 {
+			t.Fatalf("gate %s missing", name)
+		}
+		// Every gate must lie on the road network.
+		for _, p := range gate {
+			if _, _, ok := city.DB.SnapToNetwork(p, 5); !ok {
+				t.Errorf("gate %s vertex %v is off the network", name, p)
+			}
+		}
+		// Gates are outside the central area (they are enter/exit
+		// points), but inside the study frame's general vicinity.
+		mid := gate.PointAt(gate.Length() / 2)
+		if city.CentralArea.Contains(mid) {
+			t.Errorf("gate %s midpoint %v should be outside the central area", name, mid)
+		}
+	}
+	if city.Gate("X") != nil {
+		t.Fatal("unknown gate name must return nil")
+	}
+}
+
+func TestSynthesizeOuluChains(t *testing.T) {
+	// The generator must emit chained elements (shared endpoints with
+	// exactly two incident elements) so that map preparation has chains
+	// to merge.
+	city := SynthesizeOulu(SynthConfig{Seed: 1})
+	degree := map[geo.XY]int{}
+	for _, e := range city.DB.Elements() {
+		degree[e.Geom[0]]++
+		degree[e.Geom[len(e.Geom)-1]]++
+	}
+	twos := 0
+	for _, d := range degree {
+		if d == 2 {
+			twos++
+		}
+	}
+	if twos < 50 {
+		t.Fatalf("only %d intermediate endpoints; chain splitting not happening", twos)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	city := SynthesizeOulu(SynthConfig{Seed: 3})
+	var buf bytes.Buffer
+	if err := city.DB.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back := NewDatabase(OuluOrigin)
+	if err := back.ReadCSV(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.NumElements() != city.DB.NumElements() {
+		t.Fatalf("element count %d, want %d", back.NumElements(), city.DB.NumElements())
+	}
+	if back.NumObjects() != city.DB.NumObjects() {
+		t.Fatalf("object count %d, want %d", back.NumObjects(), city.DB.NumObjects())
+	}
+	// Geometry survives the WGS84 round trip to centimetre accuracy.
+	orig := city.DB.Elements()
+	load := back.Elements()
+	for i := range orig {
+		if orig[i].ID != load[i].ID || orig[i].Name != load[i].Name ||
+			orig[i].Class != load[i].Class || orig[i].Flow != load[i].Flow ||
+			orig[i].SpeedLimitKmh != load[i].SpeedLimitKmh {
+			t.Fatalf("element %d attributes differ", orig[i].ID)
+		}
+		for k := range orig[i].Geom {
+			if orig[i].Geom[k].Dist(load[i].Geom[k]) > 0.02 {
+				t.Fatalf("element %d vertex %d moved %.4f m",
+					orig[i].ID, k, orig[i].Geom[k].Dist(load[i].Geom[k]))
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"X,1,2,3\n", // unknown tag
+		"E,1,2\n",   // short element record
+		"E,a,1,0,40,street,25.4 65.0;25.5 65.0\n", // bad id
+		"E,1,1,0,40,street,banana\n",              // bad geometry
+		"O,1,1,x,65.0,1\n",                        // bad lon
+		"O,1,1\n",                                 // short object record
+	}
+	for i, in := range cases {
+		db := NewDatabase(OuluOrigin)
+		if err := db.ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if ClassArterial.String() != "arterial" || ClassPedestrian.String() != "pedestrian" {
+		t.Fatal("FunctionalClass.String broken")
+	}
+	if FunctionalClass(99).String() == "" {
+		t.Fatal("unknown class must still stringify")
+	}
+	if FlowBoth.String() != "both" || FlowForward.String() != "forward" || FlowBackward.String() != "backward" {
+		t.Fatal("FlowDirection.String broken")
+	}
+	if TrafficLight.String() != "traffic_light" || BusStop.String() != "bus_stop" ||
+		PedestrianCrossing.String() != "pedestrian_crossing" {
+		t.Fatal("ObjectKind.String broken")
+	}
+}
+
+func TestSnapToNetwork(t *testing.T) {
+	db := testDB(t)
+	e := mustAddElement(t, db, TrafficElement{Geom: geo.Line(0, 0, 100, 0)})
+	p, elem, ok := db.SnapToNetwork(geo.V(50, 8), 10)
+	if !ok || elem.ID != e.ID || p.Dist(geo.V(50, 0)) > 1e-9 {
+		t.Fatalf("SnapToNetwork = %v %v %v", p, elem, ok)
+	}
+	if _, _, ok := db.SnapToNetwork(geo.V(50, 100), 10); ok {
+		t.Fatal("snap beyond radius must fail")
+	}
+}
+
+func TestBoundsAndHotspots(t *testing.T) {
+	db := testDB(t)
+	if !db.Bounds().IsEmpty() {
+		t.Fatal("empty db bounds must be empty")
+	}
+	mustAddElement(t, db, TrafficElement{Geom: geo.Line(0, 0, 100, 50)})
+	b := db.Bounds()
+	if b.MinX != 0 || b.MaxX != 100 || b.MaxY != 50 {
+		t.Fatalf("bounds = %+v", b)
+	}
+
+	city := SynthesizeOulu(SynthConfig{Seed: 1})
+	if len(city.Hotspots) == 0 {
+		t.Fatal("city must have pedestrian hotspots")
+	}
+	h := city.Hotspots[0]
+	if !h.Contains(h.Center) || h.Contains(geo.V(h.Center.X+h.Radius+1, h.Center.Y)) {
+		t.Fatal("Hotspot.Contains broken")
+	}
+	if !city.InHotspot(h.Center) {
+		t.Fatal("InHotspot must find the first hotspot")
+	}
+	if city.InHotspot(geo.V(-99999, -99999)) {
+		t.Fatal("far point must not be in a hotspot")
+	}
+}
+
+func TestWriteGeoJSON(t *testing.T) {
+	db := testDB(t)
+	e := mustAddElement(t, db, TrafficElement{
+		Geom: geo.Line(0, 0, 100, 0), Class: ClassLocal, SpeedLimitKmh: 40, Name: "Main",
+	})
+	db.AddObject(PointObject{Kind: TrafficLight, Pos: geo.V(50, 0), ElementID: e.ID})
+	var buf bytes.Buffer
+	if err := db.WriteGeoJSON(&buf); err != nil {
+		t.Fatalf("WriteGeoJSON: %v", err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if parsed["type"] != "FeatureCollection" {
+		t.Fatalf("type = %v", parsed["type"])
+	}
+	features := parsed["features"].([]any)
+	if len(features) != 2 {
+		t.Fatalf("features = %d, want 2", len(features))
+	}
+	s := buf.String()
+	for _, frag := range []string{"LineString", "Point", "traffic_light", "Main", "speed_limit_kmh"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("GeoJSON missing %q", frag)
+		}
+	}
+}

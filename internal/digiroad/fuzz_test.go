@@ -1,0 +1,31 @@
+package digiroad
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: the road-database parser must reject arbitrary input
+// with an error, never a panic, and never store degenerate elements.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("E,1,1,0,40,street,25.47 65.01;25.48 65.01\n")
+	f.Add("E,1,1,0,40,street,25.47 65.01;25.48 65.01,0.00:10.00:30.0\n")
+	f.Add("O,1,1,25.4700000,65.0100000,1\n")
+	f.Add("X,unknown\n")
+	f.Add("E,1,1,0,40,street,banana\n")
+	f.Add("E,1,1,0,40,street,25.47 65.01;25.48 65.01,bad:ranges\n")
+	f.Add("")
+	f.Add("E,1,1,0,1e309,street,25.47 65.01;25.48 65.01\n")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		db := NewDatabase(OuluOrigin)
+		if err := db.ReadCSV(strings.NewReader(in)); err != nil {
+			return
+		}
+		for _, e := range db.Elements() {
+			if len(e.Geom) < 2 {
+				t.Fatalf("accepted degenerate element %d", e.ID)
+			}
+		}
+	})
+}

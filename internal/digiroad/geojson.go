@@ -1,0 +1,72 @@
+package digiroad
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// GeoJSON export: the road database as a FeatureCollection of WGS84
+// LineStrings (traffic elements) and Points (transport-system objects),
+// loadable by QGIS — the paper's visualisation tool — or any web map.
+
+type geoJSONFeature struct {
+	Type       string         `json:"type"`
+	Geometry   geoJSONGeom    `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+type geoJSONGeom struct {
+	Type        string `json:"type"`
+	Coordinates any    `json:"coordinates"`
+}
+
+type geoJSONCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+// WriteGeoJSON serialises the database as a GeoJSON FeatureCollection.
+func (db *Database) WriteGeoJSON(w io.Writer) error {
+	fc := geoJSONCollection{Type: "FeatureCollection"}
+	for _, e := range db.Elements() {
+		coords := make([][2]float64, len(e.Geom))
+		for i, xy := range e.Geom {
+			p := db.Proj.ToPoint(xy)
+			coords[i] = [2]float64{p.Lon, p.Lat}
+		}
+		props := map[string]any{
+			"element_id":      e.ID,
+			"class":           e.Class.String(),
+			"flow":            e.Flow.String(),
+			"speed_limit_kmh": e.SpeedLimitKmh,
+		}
+		if e.Name != "" {
+			props["name"] = e.Name
+		}
+		if len(e.Limits) > 0 {
+			props["segmented_limits"] = e.Limits
+		}
+		fc.Features = append(fc.Features, geoJSONFeature{
+			Type:       "Feature",
+			Geometry:   geoJSONGeom{Type: "LineString", Coordinates: coords},
+			Properties: props,
+		})
+	}
+	for _, o := range db.Objects() {
+		p := db.Proj.ToPoint(o.Pos)
+		fc.Features = append(fc.Features, geoJSONFeature{
+			Type: "Feature",
+			Geometry: geoJSONGeom{
+				Type:        "Point",
+				Coordinates: [2]float64{p.Lon, p.Lat},
+			},
+			Properties: map[string]any{
+				"object_id":  o.ID,
+				"kind":       o.Kind.String(),
+				"element_id": o.ElementID,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(fc)
+}

@@ -1,0 +1,518 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/stats"
+	"repro/internal/weather"
+)
+
+// sharedEnv is built once: the environment is deterministic, and every
+// experiment reads it without mutation.
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(EnvConfig{
+			Seed: 42, Cars: 4, TripsPerCar: 60, GateRunFraction: 0.25,
+		})
+	})
+	if envErr != nil {
+		t.Fatalf("NewEnv: %v", envErr)
+	}
+	return envVal
+}
+
+func checkReport(t *testing.T, r *Report, wantID string) {
+	t.Helper()
+	if r.ID != wantID {
+		t.Fatalf("report id = %q, want %q", r.ID, wantID)
+	}
+	if r.Title == "" || r.Text == "" {
+		t.Fatalf("report %s missing title or text", r.ID)
+	}
+	for _, a := range r.Artifacts {
+		if a.Name == "" || len(a.Data) == 0 {
+			t.Fatalf("report %s has empty artifact %q", r.ID, a.Name)
+		}
+		if !strings.HasPrefix(string(a.Data), "<svg") {
+			t.Fatalf("artifact %s is not SVG", a.Name)
+		}
+		if !strings.HasSuffix(strings.TrimSpace(string(a.Data)), "</svg>") {
+			t.Fatalf("artifact %s is truncated", a.Name)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r := Table1(testEnv(t))
+	checkReport(t, r, "table1")
+	if !strings.Contains(r.Text, "POINT(") {
+		t.Fatal("Table 1 must print EPSG:4326 junction points")
+	}
+	// Merged chains must appear: an elements array with >= 2 ids.
+	if !strings.Contains(r.Text, " ") || !strings.Contains(r.Text, "[") {
+		t.Fatal("Table 1 must print element arrays")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r := Table2()
+	checkReport(t, r, "table2")
+	for _, frag := range []string{"3m0s", "7m0s", "0.002", "15m0s", "1m30s", "30 km"} {
+		if !strings.Contains(r.Text, frag) {
+			t.Fatalf("Table 2 missing %q:\n%s", frag, r.Text)
+		}
+	}
+}
+
+func TestTable3FunnelShape(t *testing.T) {
+	env := testEnv(t)
+	r := Table3(env)
+	checkReport(t, r, "table3")
+	for _, cr := range env.Res.Cars {
+		f := cr.Funnel
+		if !(f.TripSegments > f.Filtered && f.Filtered > f.Transitions &&
+			f.Transitions >= f.WithinCentre && f.WithinCentre >= f.PostFiltered) {
+			t.Fatalf("car %d funnel not strictly narrowing: %+v", f.Car, f)
+		}
+		// Paper shape: a minority of segments touch gates (~25 %), a
+		// few percent become transitions.
+		ratio := float64(f.Filtered) / float64(f.TripSegments)
+		if ratio < 0.05 || ratio > 0.8 {
+			t.Fatalf("car %d filtered ratio %f out of plausible band", f.Car, ratio)
+		}
+		if f.PostFiltered == 0 {
+			t.Fatalf("car %d has no accepted transitions", f.Car)
+		}
+	}
+}
+
+// directionMeans computes mean low-speed and normal-speed shares per
+// direction from the raw records.
+func directionMeans(env *Env) (low, normal map[string]float64) {
+	sums := map[string][2]float64{}
+	counts := map[string]int{}
+	for _, rec := range env.Res.Transitions() {
+		d := rec.Direction()
+		s := sums[d]
+		s[0] += rec.LowSpeedPct
+		s[1] += rec.NormalSpeedPct
+		sums[d] = s
+		counts[d]++
+	}
+	low = map[string]float64{}
+	normal = map[string]float64{}
+	for d, s := range sums {
+		low[d] = s[0] / float64(counts[d])
+		normal[d] = s[1] / float64(counts[d])
+	}
+	return low, normal
+}
+
+func TestTable4PaperShape(t *testing.T) {
+	env := testEnv(t)
+	r := Table4(env)
+	checkReport(t, r, "table4")
+
+	low, normal := directionMeans(env)
+	for _, d := range Table4Directions {
+		if low[d] == 0 {
+			t.Fatalf("direction %s has no data", d)
+		}
+	}
+	// Paper: S-T and T-S contain a greater proportion of low speed
+	// than T-L and L-T; proportion of normal speed is contrariwise.
+	busy := (low["T-S"] + low["S-T"]) / 2
+	calm := (low["T-L"] + low["L-T"]) / 2
+	if busy <= calm {
+		t.Fatalf("low-speed shape inverted: T-S/S-T %.1f vs T-L/L-T %.1f", busy, calm)
+	}
+	busyN := (normal["T-S"] + normal["S-T"]) / 2
+	calmN := (normal["T-L"] + normal["L-T"]) / 2
+	if busyN >= calmN {
+		t.Fatalf("normal-speed shape inverted: T-S/S-T %.1f vs T-L/L-T %.1f", busyN, calmN)
+	}
+}
+
+func TestTable4LightsSimilarAcrossDirections(t *testing.T) {
+	// Paper section VI: "the mean value of traffic lights and junctions
+	// is almost the same for each Origin-Destination pair", so the
+	// count of lights does not itself explain the low-speed gap.
+	env := testEnv(t)
+	means := map[string]float64{}
+	counts := map[string]int{}
+	for _, rec := range env.Res.Transitions() {
+		means[rec.Direction()] += float64(rec.Attrs.TrafficLights)
+		counts[rec.Direction()]++
+	}
+	min, max := 1e18, 0.0
+	for _, d := range Table4Directions {
+		m := means[d] / float64(counts[d])
+		if m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	if max > 1.8*min {
+		t.Fatalf("light means differ too much across directions: %.1f vs %.1f", min, max)
+	}
+}
+
+func TestTable5PaperShape(t *testing.T) {
+	env := testEnv(t)
+	r := Table5(env)
+	checkReport(t, r, "table5")
+
+	cells := env.Agg.Cells()
+	withLights := func(f grid.CellFeatures) bool { return f.TrafficLights > 0 }
+	noLights := func(f grid.CellFeatures) bool { return f.TrafficLights == 0 }
+	sWith := grid.ConditionalStats(cells, withLights)
+	sWithout := grid.ConditionalStats(cells, noLights)
+	if sWith.N == 0 || sWithout.N == 0 {
+		t.Fatal("both cell groups must be populated")
+	}
+	// Paper: traffic lights decrease the average speed; cells without
+	// lights have a much higher variance of values.
+	if sWith.Mean >= sWithout.Mean {
+		t.Fatalf("cells with lights must be slower: %.2f vs %.2f", sWith.Mean, sWithout.Mean)
+	}
+	vWith := grid.VarianceOfMeans(cells, withLights)
+	vWithout := grid.VarianceOfMeans(cells, noLights)
+	if vWith >= vWithout {
+		t.Fatalf("no-light cells must vary more: %.2f vs %.2f", vWith, vWithout)
+	}
+	// And the fastest cells are light-free.
+	if sWith.Max >= sWithout.Max {
+		t.Fatalf("fastest cell should be light-free: %.2f vs %.2f", sWith.Max, sWithout.Max)
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	r := Figure3(testEnv(t), 1)
+	checkReport(t, r, "fig3")
+	if !strings.Contains(r.Text, "taxi 1") {
+		t.Fatal("Figure 3 must describe taxi 1")
+	}
+	if len(r.Artifacts) != 1 {
+		t.Fatalf("Figure 3 artifacts = %d", len(r.Artifacts))
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	r := Figure4(testEnv(t), 1)
+	checkReport(t, r, "fig4")
+	for _, d := range Table4Directions {
+		if !strings.Contains(r.Text, d) {
+			t.Fatalf("Figure 4 missing direction %s", d)
+		}
+	}
+	if len(r.Artifacts) != 4 {
+		t.Fatalf("Figure 4 should render one map per direction, got %d", len(r.Artifacts))
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	r := Figure5(testEnv(t), 1)
+	checkReport(t, r, "fig5")
+	for _, s := range []string{"winter", "spring", "summer", "autumn"} {
+		if !strings.Contains(r.Text, s) {
+			t.Fatalf("Figure 5 missing season %s", s)
+		}
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	r := Figure6(testEnv(t))
+	checkReport(t, r, "fig6")
+	if !strings.Contains(r.Text, "paper: {67, 48, 293, 271}") {
+		t.Fatal("Figure 6 must report study-area totals against the paper's")
+	}
+}
+
+func TestFigure7QQ(t *testing.T) {
+	env := testEnv(t)
+	r := Figure7(env)
+	checkReport(t, r, "fig7")
+	qq := stats.NormalQQ(env.LMM.BLUPs())
+	if len(qq) < 20 {
+		t.Fatalf("QQ over %d cells only", len(qq))
+	}
+	// Gaussian regularisation justified: central half of the QQ plot
+	// close to a straight line through the origin.
+	mid := qq[len(qq)/2]
+	if mid.Theoretical < -0.2 || mid.Theoretical > 0.2 {
+		t.Fatalf("central theoretical quantile %f", mid.Theoretical)
+	}
+}
+
+func TestFigure8Intervals(t *testing.T) {
+	env := testEnv(t)
+	r := Figure8(env)
+	checkReport(t, r, "fig8")
+	for _, e := range env.LMM.Groups {
+		if e.SE < 0 {
+			t.Fatalf("negative SE for %s", e.Name)
+		}
+		// Sparse cells carry wider intervals: check the extremes.
+	}
+	// Find a sparse and a dense cell and compare SEs.
+	var sparse, dense *stats.GroupEffect
+	for i := range env.LMM.Groups {
+		e := &env.LMM.Groups[i]
+		if sparse == nil || e.N < sparse.N {
+			sparse = e
+		}
+		if dense == nil || e.N > dense.N {
+			dense = e
+		}
+	}
+	if sparse.N < dense.N && sparse.SE <= dense.SE {
+		t.Fatalf("sparse cell (n=%d, se=%f) should have wider interval than dense (n=%d, se=%f)",
+			sparse.N, sparse.SE, dense.N, dense.SE)
+	}
+}
+
+func TestFigure9BLUPShape(t *testing.T) {
+	env := testEnv(t)
+	r := Figure9(env)
+	checkReport(t, r, "fig9")
+	blups := env.LMM.BLUPs()
+	mn, mx := stats.MinMax(blups)
+	// Paper: coefficients vary between ca. -15 and +20 km/h; require a
+	// clearly non-degenerate spread in the same order of magnitude.
+	if mx-mn < 5 {
+		t.Fatalf("BLUP spread %.2f too small", mx-mn)
+	}
+	if mn > -2 || mx < 2 {
+		t.Fatalf("BLUP range [%.2f, %.2f] lacks both slow and fast cells", mn, mx)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	env := testEnv(t)
+	r := Figure10(env)
+	checkReport(t, r, "fig10")
+	// Paper: when lights >= 9 there is in general an increase of low
+	// speed, independent of the weather. Pool across classes.
+	var fewSum, fewN, manySum, manyN float64
+	for _, rec := range env.Res.Transitions() {
+		if rec.Attrs.TrafficLights >= 9 {
+			manySum += rec.LowSpeedPct
+			manyN++
+		} else {
+			fewSum += rec.LowSpeedPct
+			fewN++
+		}
+	}
+	if manyN == 0 {
+		t.Fatal("no routes with >= 9 lights")
+	}
+	if fewN > 0 && manySum/manyN <= fewSum/fewN {
+		t.Fatalf("routes with >=9 lights must show more low speed: %.1f vs %.1f",
+			manySum/manyN, fewSum/fewN)
+	}
+}
+
+func TestSeasonalDeltasReport(t *testing.T) {
+	env := testEnv(t)
+	r := SeasonalDeltas(env)
+	checkReport(t, r, "seasonal")
+	if !strings.Contains(r.Text, "annual mean point speed") {
+		t.Fatal("seasonal report missing annual mean")
+	}
+	for _, s := range []weather.Season{weather.Winter, weather.Spring, weather.Summer, weather.Autumn} {
+		if !strings.Contains(r.Text, s.String()) {
+			t.Fatalf("seasonal report missing %s", s)
+		}
+	}
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	reports := All(testEnv(t))
+	wantIDs := []string{"table1", "table2", "table3", "table4", "table5",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"seasonal", "features", "odmatrix"}
+	if len(reports) != len(wantIDs) {
+		t.Fatalf("All returned %d reports, want %d", len(reports), len(wantIDs))
+	}
+	for i, r := range reports {
+		if r.ID != wantIDs[i] {
+			t.Fatalf("report %d = %s, want %s", i, r.ID, wantIDs[i])
+		}
+	}
+}
+
+func TestFeatureAssociations(t *testing.T) {
+	env := testEnv(t)
+	r := FeatureAssociations(env)
+	checkReport(t, r, "features")
+	fit, err := env.P.FeatureModel(env.Res.Transitions())
+	if err != nil {
+		t.Fatalf("FeatureModel: %v", err)
+	}
+	if len(fit.Coef) != len(core.FeatureNames)+1 {
+		t.Fatalf("coefficients = %d", len(fit.Coef))
+	}
+	// Paper expectation: traffic lights decrease the average speed.
+	if fit.Coef[1] >= 0 {
+		t.Fatalf("traffic-light coefficient %.3f should be negative", fit.Coef[1])
+	}
+	if !strings.Contains(r.Text, "traffic_lights") {
+		t.Fatal("report must name the covariates")
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	env := testEnv(t)
+	r := Figure2(env)
+	checkReport(t, r, "fig2")
+	if len(r.Artifacts) != 1 {
+		t.Fatalf("Figure 2 artifacts = %d", len(r.Artifacts))
+	}
+	svg := string(r.Artifacts[0].Data)
+	if !strings.Contains(svg, "stroke-opacity") {
+		t.Fatal("thick geometry band missing from Fig 2")
+	}
+}
+
+func TestODMatrix(t *testing.T) {
+	env := testEnv(t)
+	r := ODMatrix(env)
+	checkReport(t, r, "odmatrix")
+	for _, g := range []string{"T", "S", "L"} {
+		if !strings.Contains(r.Text, g) {
+			t.Fatalf("matrix missing gate %s", g)
+		}
+	}
+	if !strings.Contains(r.Text, "total transitions:") {
+		t.Fatal("matrix missing total")
+	}
+}
+
+func TestPointSpeedVolume(t *testing.T) {
+	// Sanity proxy for the paper's "30469 measured point speeds": the
+	// test-scale env must still produce thousands.
+	env := testEnv(t)
+	speeds := core.PointSpeeds(env.Res.Transitions())
+	if len(speeds) < 1000 {
+		t.Fatalf("only %d point speeds", len(speeds))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	env := testEnv(t)
+	reports := Ablations(env)
+	if len(reports) != 3 {
+		t.Fatalf("ablations = %d reports", len(reports))
+	}
+	ids := map[string]bool{}
+	for _, r := range reports {
+		if r.Text == "" || r.Title == "" {
+			t.Fatalf("ablation %s empty", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	for _, want := range []string{"ablation-matchers", "ablation-thickness", "ablation-ordering"} {
+		if !ids[want] {
+			t.Fatalf("missing ablation %s", want)
+		}
+	}
+}
+
+func TestAblationOrderingAsymmetry(t *testing.T) {
+	// The paper's rule must dominate the timestamp-only sort in the
+	// timestamp-jitter regime; parse the report text for the counts.
+	env := testEnv(t)
+	r := AblationOrderingRepair(env)
+	if !strings.Contains(r.Text, "timestamp-jitter corruption") {
+		t.Fatalf("report missing jitter section:\n%s", r.Text)
+	}
+	// In the jitter regime the paper's rule must dominate the
+	// timestamp-only sort decisively.
+	jitter := r.Text[strings.Index(r.Text, "timestamp-jitter"):]
+	var total, minOK, tsOK int
+	if _, err := fmt.Sscanf(jitter,
+		"timestamp-jitter corruption over %d trips:\n"+
+			"  min-distance rule recovered the true path: %d",
+		&total, &minOK); err != nil {
+		t.Fatalf("cannot parse jitter section: %v\n%s", err, jitter)
+	}
+	tsLine := jitter[strings.Index(jitter, "timestamp-only"):]
+	if _, err := fmt.Sscanf(tsLine, "timestamp-only sort recovered it:          %d", &tsOK); err != nil {
+		t.Fatalf("cannot parse timestamp-only line: %v\n%s", err, tsLine)
+	}
+	if minOK <= tsOK {
+		t.Fatalf("min-distance (%d) must beat timestamp-only (%d) under jitter", minOK, tsOK)
+	}
+	if float64(tsOK) > 0.5*float64(total) {
+		t.Fatalf("timestamp-only recovered %d/%d under jitter; should mostly fail", tsOK, total)
+	}
+}
+
+func TestEcoRoutesExtension(t *testing.T) {
+	env := testEnv(t)
+	reports := Extensions(env)
+	if len(reports) != 2 {
+		t.Fatalf("extensions = %d", len(reports))
+	}
+	r := reports[0]
+	checkReport(t, r, "ecoroutes")
+	if !strings.Contains(r.Text, "driving coach fleet summary") {
+		t.Fatal("missing coach summary")
+	}
+	if !strings.Contains(r.Text, "*") {
+		t.Fatal("no eco-best variant marked")
+	}
+}
+
+func TestHotspotRecoveryExtension(t *testing.T) {
+	env := testEnv(t)
+	r := HotspotRecovery(env)
+	checkReport(t, r, "hotspots")
+	if !strings.Contains(r.Text, "planted hotspots found") {
+		t.Fatal("missing recovery line")
+	}
+	var detected int
+	var precision float64
+	var found, total int
+	line := r.Text[strings.Index(r.Text, "flagged cells:"):]
+	if _, err := fmt.Sscanf(line, "flagged cells: %d, precision %f, planted hotspots found %d/%d",
+		&detected, &precision, &found, &total); err != nil {
+		t.Fatalf("cannot parse recovery line: %v\n%s", err, line)
+	}
+	if found != total {
+		t.Fatalf("planted hotspots missed: %d/%d", found, total)
+	}
+	if precision < 0.5 {
+		t.Fatalf("precision %.2f too low", precision)
+	}
+}
+
+func TestEnvironmentDeterministic(t *testing.T) {
+	// Two environments from the same config must print identical
+	// funnels: the whole experiment battery is reproducible.
+	a := testEnv(t)
+	b, err := NewEnv(a.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Table3(a).Text != Table3(b).Text {
+		t.Fatal("Table 3 differs between identical environments")
+	}
+	if Table4(a).Text != Table4(b).Text {
+		t.Fatal("Table 4 differs between identical environments")
+	}
+}

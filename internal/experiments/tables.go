@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/segment"
+	"repro/internal/stats"
+)
+
+// Table1 prints junction pairs with their contributing traffic-element
+// arrays (paper Table 1, EPSG:4326 presentation).
+func Table1(env *Env) *Report {
+	var w bytes.Buffer
+	fmt.Fprintf(&w, "%-28s %-28s %s\n", "Junction1 (Point,4326)", "Junction2 (Point,4326)", "elements")
+	pairs := env.P.Graph.JunctionPairs()
+	proj := env.P.City.DB.Proj
+	// Show the multi-element chains first: those are the interesting
+	// Table 1 rows (merged edges), then a few single-element rows.
+	shown := 0
+	for _, multi := range []bool{true, false} {
+		for _, pr := range pairs {
+			if (len(pr.Elements) > 1) != multi {
+				continue
+			}
+			fmt.Fprintf(&w, "%-28s %-28s %v\n",
+				proj.ToPoint(pr.Junction1).String(),
+				proj.ToPoint(pr.Junction2).String(),
+				pr.Elements)
+			shown++
+			if shown >= 10 {
+				break
+			}
+		}
+		if shown >= 10 {
+			break
+		}
+	}
+	fmt.Fprintf(&w, "... (%d junction pairs total, %d junctions, %d edges)\n",
+		len(pairs), len(env.P.Graph.Junctions()), len(env.P.Graph.Edges))
+	return report("table1", "Table 1: junction pairs with merged traffic-element arrays", &w)
+}
+
+// Table2 prints the segmentation rules actually configured (paper
+// Table 2).
+func Table2() *Report {
+	r := segment.DefaultRules()
+	var w bytes.Buffer
+	fmt.Fprintf(&w, "1  no movement (< %.0f m) for >= %s is a stop\n", r.MoveEpsilonM, r.StillGap)
+	fmt.Fprintf(&w, "2  < %.0f km moved across a gap of more than %s is a stop\n", r.SlowDistM/1000, r.SlowGap)
+	fmt.Fprintf(&w, "3  implied speed below %.3f m/s is a stop\n", r.CrawlSpeedMS)
+	fmt.Fprintf(&w, "4  < %.0f km in more than %s (above crawl speed) is a stop\n", r.SlowDistM/1000, r.LongGap)
+	fmt.Fprintf(&w, "5  segments over %.0f km re-split with rule 1 at %s\n", r.ResplitLengthM/1000, r.ResplitGap)
+	fmt.Fprintf(&w, "post-filter: segments with < %d points or over %.0f km removed\n", r.MinPoints, r.MaxLengthM/1000)
+	return report("table2", "Table 2: segmentation rules", &w)
+}
+
+// Table3 prints the per-car selection funnel (paper Table 3).
+func Table3(env *Env) *Report {
+	var w bytes.Buffer
+	fmt.Fprintf(&w, "%-4s %12s %10s %12s %12s %14s\n",
+		"Car", "TripSegs", "Filtered", "Transitions", "WithinCentre", "PostFiltered")
+	var tot [5]int
+	for _, cr := range env.Res.Cars {
+		f := cr.Funnel
+		fmt.Fprintf(&w, "%-4d %12d %10d %12d %12d %14d\n",
+			f.Car, f.TripSegments, f.Filtered, f.Transitions, f.WithinCentre, f.PostFiltered)
+		tot[0] += f.TripSegments
+		tot[1] += f.Filtered
+		tot[2] += f.Transitions
+		tot[3] += f.WithinCentre
+		tot[4] += f.PostFiltered
+	}
+	fmt.Fprintf(&w, "%-4s %12d %10d %12d %12d %14d\n", "all",
+		tot[0], tot[1], tot[2], tot[3], tot[4])
+	return report("table3", "Table 3: map matching the trip segments (selection funnel)", &w)
+}
+
+// table4Metric extracts one Table 4 metric from a transition record.
+type table4Metric struct {
+	label  string
+	digits int
+	value  func(*core.TransitionRecord) float64
+}
+
+var table4Metrics = []table4Metric{
+	{"time(h)", 3, func(r *core.TransitionRecord) float64 { return r.RouteTimeH }},
+	{"dist(km)", 3, func(r *core.TransitionRecord) float64 { return r.RouteDistKm }},
+	{"low-spd(%)", 1, func(r *core.TransitionRecord) float64 { return r.LowSpeedPct }},
+	{"norm-spd(%)", 1, func(r *core.TransitionRecord) float64 { return r.NormalSpeedPct }},
+	{"lights", 0, func(r *core.TransitionRecord) float64 { return float64(r.Attrs.TrafficLights) }},
+	{"junctions", 0, func(r *core.TransitionRecord) float64 { return float64(r.Attrs.Junctions) }},
+	{"ped-cross", 0, func(r *core.TransitionRecord) float64 { return float64(r.Attrs.PedestrianCrossings) }},
+	{"fuel(ml)", 1, func(r *core.TransitionRecord) float64 { return r.FuelMl }},
+}
+
+// Table4Directions are the studied OD directions in paper order.
+var Table4Directions = []string{"T-S", "S-T", "T-L", "L-T"}
+
+// Table4 prints the six-number summaries of the selected features per
+// direction (paper Table 4).
+func Table4(env *Env) *Report {
+	byDir := map[string][]*core.TransitionRecord{}
+	for _, rec := range env.Res.Transitions() {
+		byDir[rec.Direction()] = append(byDir[rec.Direction()], rec)
+	}
+	var w bytes.Buffer
+	fmt.Fprintf(&w, "%-12s %-4s %8s %8s %8s %8s %8s %8s\n",
+		"metric", "dir", "min", "q1", "median", "mean", "q3", "max")
+	for _, m := range table4Metrics {
+		for _, dir := range Table4Directions {
+			recs := byDir[dir]
+			vals := make([]float64, len(recs))
+			for i, r := range recs {
+				vals[i] = m.value(r)
+			}
+			fmtSummaryRow(&w, m.label, dir, stats.Summarize(vals), m.digits)
+		}
+	}
+	for _, dir := range Table4Directions {
+		fmt.Fprintf(&w, "n(%s)=%d ", dir, len(byDir[dir]))
+	}
+	fmt.Fprintln(&w)
+	return report("table4", "Table 4: summary statistics of the selected features", &w)
+}
+
+// Table5 prints the effect of traffic lights and bus stops on cell
+// average speed (paper Table 5).
+func Table5(env *Env) *Report {
+	cells := env.Agg.Cells()
+	conds := []struct {
+		name string
+		pred func(grid.CellFeatures) bool
+	}{
+		{"lights=0", func(f grid.CellFeatures) bool { return f.TrafficLights == 0 }},
+		{"lights&stops=0", func(f grid.CellFeatures) bool { return f.TrafficLights == 0 && f.BusStops == 0 }},
+		{"lights&stops>0", func(f grid.CellFeatures) bool { return f.TrafficLights > 0 && f.BusStops > 0 }},
+		{"lights>0", func(f grid.CellFeatures) bool { return f.TrafficLights > 0 }},
+	}
+	var w bytes.Buffer
+	fmt.Fprintf(&w, "%-16s %8s %8s %8s %10s %6s\n", "condition", "min", "max", "mean", "var", "cells")
+	for _, c := range conds {
+		s := grid.ConditionalStats(cells, c.pred)
+		v := grid.VarianceOfMeans(cells, c.pred)
+		fmt.Fprintf(&w, "%-16s %8.2f %8.2f %8.2f %10.2f %6d\n",
+			c.name, s.Min, s.Max, s.Mean, v, s.N)
+	}
+	// Significance of the lights effect on cell means (Welch t-test).
+	var withL, withoutL []float64
+	for _, c := range cells {
+		if c.Features.TrafficLights > 0 {
+			withL = append(withL, c.Speed.Mean())
+		} else {
+			withoutL = append(withoutL, c.Speed.Mean())
+		}
+	}
+	if tt, err := stats.WelchT(withL, withoutL); err == nil {
+		fmt.Fprintf(&w, "lights effect on cell mean speed: t=%.2f (df=%.0f), p=%.4f\n",
+			tt.T, tt.DF, tt.P)
+	}
+	return report("table5", "Table 5: effect of traffic lights and bus stops on cell average speed", &w)
+}
+
+// SeasonalDeltas prints the seasonal mean point-speed deltas vs the
+// annual mean (paper §VI: winter -0.07, spring +0.46, summer +0.70,
+// autumn +1.38 km/h).
+func SeasonalDeltas(env *Env) *Report {
+	var all []float64
+	bySeason := map[string][]float64{}
+	for _, rec := range env.Res.Transitions() {
+		season := rec.Season.String()
+		for _, sp := range core.TransitionSpeedPoints(rec) {
+			all = append(all, sp.SpeedKmh)
+			bySeason[season] = append(bySeason[season], sp.SpeedKmh)
+		}
+	}
+	annual := stats.Mean(all)
+	var w bytes.Buffer
+	fmt.Fprintf(&w, "annual mean point speed: %.2f km/h over %d points\n", annual, len(all))
+	for _, season := range []string{"winter", "spring", "summer", "autumn"} {
+		vals := bySeason[season]
+		if len(vals) == 0 {
+			fmt.Fprintf(&w, "%-7s (no data)\n", season)
+			continue
+		}
+		fmt.Fprintf(&w, "%-7s mean %6.2f km/h, delta %+5.2f km/h (n=%d)\n",
+			season, stats.Mean(vals), stats.Mean(vals)-annual, len(vals))
+	}
+	return report("seasonal", "Seasonal mean-speed deltas (paper section VI)", &w)
+}
+
+// studyAreaTotals prints the paper's {67,48,293,271} feature totals.
+func studyAreaTotals(env *Env) string {
+	fc := env.P.City.DB.CountFeatures(env.P.City.StudyArea)
+	junctions := len(env.P.Graph.JunctionsIn(env.P.City.StudyArea))
+	return fmt.Sprintf("study-area features {lights, bus stops, pedestrian crossings, crossings} = {%d, %d, %d, %d} (paper: {67, 48, 293, 271})",
+		fc.TrafficLights, fc.BusStops, fc.PedestrianCrossings, junctions)
+}
+
+// FeatureAssociations fits the paper's model 2 — point speed on cell
+// map features with a per-cell random intercept — and prints the fixed
+// effects (the "associations between map features and driving speed"
+// of the contribution statement).
+func FeatureAssociations(env *Env) *Report {
+	fit, err := env.P.FeatureModel(env.Res.Transitions())
+	var w bytes.Buffer
+	if err != nil {
+		fmt.Fprintf(&w, "model could not be fitted: %v\n", err)
+		return report("features", "Model 2: map-feature effects on cell speed", &w)
+	}
+	fmt.Fprintf(&w, "%-22s %10s %9s %7s\n", "term", "estimate", "stderr", "t")
+	fmt.Fprintf(&w, "%-22s %10.3f %9.3f %7.2f\n", "(intercept)",
+		fit.Coef[0], fit.StdErr[0], fit.Coef[0]/fit.StdErr[0])
+	for i, name := range core.FeatureNames {
+		c, se := fit.Coef[i+1], fit.StdErr[i+1]
+		fmt.Fprintf(&w, "%-22s %10.3f %9.3f %7.2f\n", name, c, se, c/se)
+	}
+	fmt.Fprintf(&w, "sigma_a=%.2f km/h, sigma=%.2f km/h over %d observations\n",
+		math.Sqrt(fit.SigmaA2), math.Sqrt(fit.Sigma2), fit.NObs)
+	return report("features", "Model 2: map-feature effects on cell speed", &w)
+}
+
+// ODMatrix tallies every gate-to-gate transition (all six ordered
+// pairs), the wider picture from which the paper selects its four
+// studied directions.
+func ODMatrix(env *Env) *Report {
+	m := env.P.Selector.NewMatrix()
+	for _, seg := range env.Res.Segments() {
+		m.Add(env.P.Selector.Classify(seg))
+	}
+	var w bytes.Buffer
+	fmt.Fprint(&w, m.String())
+	fmt.Fprintf(&w, "total transitions: %d (the paper studies T-L, L-T, T-S, S-T)\n", m.Total())
+	return report("odmatrix", "Origin-destination transition matrix over all gates", &w)
+}

@@ -1,0 +1,76 @@
+package geo
+
+import "math"
+
+// DirectedHausdorff returns the directed Hausdorff distance from chain
+// a to chain b after resampling a at the given step: the largest
+// distance any sampled point of a must travel to reach b. step <= 0
+// compares only the original vertices.
+func DirectedHausdorff(a, b Polyline, step float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	pts := a
+	if step > 0 {
+		pts = a.Resample(step)
+	}
+	var worst float64
+	for _, p := range pts {
+		if d := b.DistanceTo(p); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Hausdorff returns the symmetric Hausdorff distance between two
+// chains, sampling both at step metres.
+func Hausdorff(a, b Polyline, step float64) float64 {
+	return math.Max(DirectedHausdorff(a, b, step), DirectedHausdorff(b, a, step))
+}
+
+// DiscreteFrechet returns the discrete Fréchet distance (the "dog
+// leash" distance) between two chains over their vertices. Resample
+// the inputs first for an upper bound on the continuous distance.
+func DiscreteFrechet(a, b Polyline) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	// Rolling dynamic program over the coupling matrix.
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	prev[0] = a[0].Dist(b[0])
+	for j := 1; j < m; j++ {
+		prev[j] = math.Max(prev[j-1], a[0].Dist(b[j]))
+	}
+	for i := 1; i < n; i++ {
+		cur[0] = math.Max(prev[0], a[i].Dist(b[0]))
+		for j := 1; j < m; j++ {
+			best := math.Min(prev[j], math.Min(prev[j-1], cur[j-1]))
+			cur[j] = math.Max(best, a[i].Dist(b[j]))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}
+
+// WithinHausdorff reports whether the symmetric vertex-to-chain
+// Hausdorff distance between two chains is at most bound, bailing out
+// at the first violating vertex. Use on pre-resampled chains for fast
+// clustering decisions.
+func WithinHausdorff(a, b Polyline, bound float64) bool {
+	return directedWithin(a, b, bound) && directedWithin(b, a, bound)
+}
+
+func directedWithin(a, b Polyline, bound float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	for _, p := range a {
+		if b.DistanceTo(p) > bound {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,107 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDirectedHausdorff(t *testing.T) {
+	a := Line(0, 0, 100, 0)
+	b := Line(0, 10, 100, 10)
+	if d := DirectedHausdorff(a, b, 5); !almostEqual(d, 10, 1e-9) {
+		t.Fatalf("parallel lines = %f, want 10", d)
+	}
+	// Asymmetry: a short stub vs a long line.
+	stub := Line(0, 0, 10, 0)
+	long := Line(0, 0, 1000, 0)
+	if d := DirectedHausdorff(stub, long, 5); d != 0 {
+		t.Fatalf("stub -> long = %f, want 0", d)
+	}
+	if d := DirectedHausdorff(long, stub, 5); !almostEqual(d, 990, 1e-9) {
+		t.Fatalf("long -> stub = %f, want 990", d)
+	}
+	if !math.IsInf(DirectedHausdorff(nil, long, 5), 1) {
+		t.Fatal("empty input must be +Inf")
+	}
+}
+
+func TestHausdorffSymmetric(t *testing.T) {
+	a := Line(0, 0, 100, 0, 100, 100)
+	b := Line(0, 5, 100, 5, 95, 100)
+	d1 := Hausdorff(a, b, 2)
+	d2 := Hausdorff(b, a, 2)
+	if !almostEqual(d1, d2, 1e-9) {
+		t.Fatalf("not symmetric: %f vs %f", d1, d2)
+	}
+	if d1 < 5 || d1 > 10 {
+		t.Fatalf("hausdorff = %f out of expected band", d1)
+	}
+}
+
+func TestHausdorffSamplingMatters(t *testing.T) {
+	// Two V shapes sharing vertices but diverging mid-segment.
+	a := Line(0, 0, 100, 100, 200, 0)
+	b := Line(0, 0, 100, -100, 200, 0)
+	coarse := Hausdorff(a, b, 0) // vertices only
+	fine := Hausdorff(a, b, 5)
+	// Resampling keeps the original vertices, so the sampled distance
+	// dominates the vertex-only one.
+	if fine+1e-9 < coarse {
+		t.Fatalf("sampled %f below vertex-only %f", fine, coarse)
+	}
+	if fine < 100 {
+		t.Fatalf("sampled distance %f too small for diverging Vs", fine)
+	}
+}
+
+func TestDiscreteFrechet(t *testing.T) {
+	a := Line(0, 0, 50, 0, 100, 0)
+	b := Line(0, 10, 50, 10, 100, 10)
+	if d := DiscreteFrechet(a, b); !almostEqual(d, 10, 1e-9) {
+		t.Fatalf("parallel = %f, want 10", d)
+	}
+	// Frechet respects ordering: a reversed chain is far.
+	if d := DiscreteFrechet(a, b.Reverse()); d < 90 {
+		t.Fatalf("reversed = %f, should be large", d)
+	}
+	// Identical chains: zero.
+	if d := DiscreteFrechet(a, a); d != 0 {
+		t.Fatalf("self distance = %f", d)
+	}
+	if !math.IsInf(DiscreteFrechet(nil, a), 1) {
+		t.Fatal("empty input must be +Inf")
+	}
+}
+
+func TestFrechetAtLeastHausdorff(t *testing.T) {
+	// Discrete Frechet over the same vertex sets dominates directed
+	// vertex Hausdorff.
+	a := Line(0, 0, 30, 40, 90, 10, 150, 60)
+	b := Line(5, 5, 40, 35, 80, 20, 140, 70)
+	f := DiscreteFrechet(a, b)
+	h := math.Max(DirectedHausdorff(a, b, 0), DirectedHausdorff(b, a, 0))
+	if f+1e-9 < h {
+		t.Fatalf("frechet %f below hausdorff %f", f, h)
+	}
+}
+
+func TestWithinHausdorff(t *testing.T) {
+	a := Line(0, 0, 100, 0)
+	b := Line(0, 10, 100, 10)
+	if !WithinHausdorff(a, b, 10) {
+		t.Fatal("10 m apart must be within 10")
+	}
+	if WithinHausdorff(a, b, 9) {
+		t.Fatal("10 m apart must not be within 9")
+	}
+	// Agreement with the full metric.
+	c := Line(0, 0, 50, 40, 100, 0)
+	d := Line(0, 5, 50, 30, 100, 5)
+	full := Hausdorff(c, d, 0)
+	if WithinHausdorff(c, d, full-0.5) || !WithinHausdorff(c, d, full+0.5) {
+		t.Fatalf("WithinHausdorff disagrees with Hausdorff (%f)", full)
+	}
+	if WithinHausdorff(nil, a, 100) {
+		t.Fatal("empty chain must not be within anything")
+	}
+}

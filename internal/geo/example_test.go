@@ -1,0 +1,52 @@
+package geo_test
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+func ExampleProjection() {
+	proj := geo.NewProjection(geo.Point{Lon: 25.47, Lat: 65.01})
+	xy := proj.ToXY(geo.Point{Lon: 25.48, Lat: 65.02})
+	fmt.Printf("%.0f m east, %.0f m north\n", xy.X, xy.Y)
+	back := proj.ToPoint(xy)
+	fmt.Printf("round trip: %s\n", back)
+	// Output:
+	// 470 m east, 1112 m north
+	// round trip: POINT(25.4800, 65.0200)
+}
+
+func ExamplePolyline_Project() {
+	street := geo.Line(0, 0, 100, 0, 100, 100)
+	gps := geo.V(52, 7) // a noisy point near the first leg
+	r := street.Project(gps)
+	fmt.Printf("snapped to (%.0f, %.0f), %.0f m off, %.0f m along\n",
+		r.Point.X, r.Point.Y, r.Distance, r.Along)
+	// Output:
+	// snapped to (52, 0), 7 m off, 52 m along
+}
+
+func ExampleThickLine() {
+	// The paper's "thick geometry": widen an OD road to catch routes
+	// that deviate from it.
+	road := geo.NewThickLine(geo.Line(0, 0, 0, 400), 150)
+	taxi := geo.Line(-60, -200, -20, 100, 150, 350)
+	crossings := road.Crossings(taxi)
+	fmt.Printf("%d crossing(s), angle %.0f degrees\n", len(crossings), crossings[0].Angle)
+	// Output:
+	// 1 crossing(s), angle 21 degrees
+}
+
+func ExampleBuildRTree() {
+	items := []geo.RTreeItem{
+		{Rect: geo.R(0, 0, 10, 10), ID: 1},
+		{Rect: geo.R(100, 100, 120, 120), ID: 2},
+		{Rect: geo.R(5, 5, 15, 15), ID: 3},
+	}
+	tree := geo.BuildRTree(items, 0)
+	hits := tree.Search(geo.R(8, 8, 12, 12), nil)
+	fmt.Println(len(hits), "items intersect the query")
+	// Output:
+	// 2 items intersect the query
+}

@@ -1,0 +1,192 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// ouluCenter is the approximate centre of the paper's study area.
+var ouluCenter = Point{Lon: 25.47, Lat: 65.01}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// One degree of latitude is ~111.2 km everywhere.
+	a := Point{Lon: 25.47, Lat: 65.0}
+	b := Point{Lon: 25.47, Lat: 66.0}
+	d := Haversine(a, b)
+	if !almostEqual(d, 111195, 100) {
+		t.Fatalf("1 degree latitude = %f m, want ~111195", d)
+	}
+}
+
+func TestHaversineZero(t *testing.T) {
+	if d := Haversine(ouluCenter, ouluCenter); d != 0 {
+		t.Fatalf("distance to self = %f, want 0", d)
+	}
+}
+
+func TestHaversineSymmetry(t *testing.T) {
+	f := func(lon1, lat1, lon2, lat2 float64) bool {
+		a := Point{Lon: math.Mod(lon1, 180), Lat: math.Mod(lat1, 89)}
+		b := Point{Lon: math.Mod(lon2, 180), Lat: math.Mod(lat2, 89)}
+		return almostEqual(Haversine(a, b), Haversine(b, a), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	pr := NewProjection(ouluCenter)
+	f := func(dLon, dLat float64) bool {
+		// Restrict to a plausible city-scale neighbourhood.
+		p := Point{
+			Lon: ouluCenter.Lon + math.Mod(dLon, 0.2),
+			Lat: ouluCenter.Lat + math.Mod(dLat, 0.1),
+		}
+		back := pr.ToPoint(pr.ToXY(p))
+		return almostEqual(back.Lon, p.Lon, 1e-9) && almostEqual(back.Lat, p.Lat, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectionMatchesHaversineAtCityScale(t *testing.T) {
+	pr := NewProjection(ouluCenter)
+	pts := []Point{
+		{25.47, 65.01},
+		{25.52, 65.02},
+		{25.40, 64.99},
+		{25.47, 65.06},
+	}
+	for i, a := range pts {
+		for j, b := range pts {
+			planar := pr.ToXY(a).Dist(pr.ToXY(b))
+			sphere := Haversine(a, b)
+			// At <10 km, the equirectangular error should stay below ~0.2 %.
+			if sphere > 0 && math.Abs(planar-sphere)/sphere > 0.002 {
+				t.Errorf("pts %d-%d: planar %.2f vs haversine %.2f", i, j, planar, sphere)
+			}
+		}
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{25.47, 65.01}, true},
+		{Point{-180, -90}, true},
+		{Point{181, 0}, false},
+		{Point{0, 91}, false},
+		{Point{math.NaN(), 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	got := Point{Lon: 25.5244, Lat: 65.0252}.String()
+	want := "POINT(25.5244, 65.0252)"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestBearingCardinals(t *testing.T) {
+	o := XY{0, 0}
+	cases := []struct {
+		to   XY
+		want float64
+	}{
+		{XY{0, 1}, 0},    // north
+		{XY{1, 0}, 90},   // east
+		{XY{0, -1}, 180}, // south
+		{XY{-1, 0}, 270}, // west
+		{XY{1, 1}, 45},
+	}
+	for _, c := range cases {
+		if got := Bearing(o, c.to); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Bearing to %v = %f, want %f", c.to, got, c.want)
+		}
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0},
+		{0, 180, 180},
+		{350, 10, 20},
+		{10, 350, 20},
+		{90, 270, 180},
+		{0, 540, 180},
+	}
+	for _, c := range cases {
+		if got := AngleDiff(c.a, c.b); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("AngleDiff(%f,%f) = %f, want %f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAcuteAngleDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 180, 0},  // opposite directions, same line
+		{0, 90, 90},  // perpendicular
+		{10, 190, 0}, // reversed
+		{45, 180, 45},
+	}
+	for _, c := range cases {
+		if got := AcuteAngleDiff(c.a, c.b); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("AcuteAngleDiff(%f,%f) = %f, want %f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAngleDiffRangeProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		// Bearings are physically bounded; exercise a generous range.
+		ba := float64(a) / 1000
+		bb := float64(b) / 1000
+		d := AngleDiff(ba, bb)
+		q := AcuteAngleDiff(ba, bb)
+		return d >= 0 && d <= 180 && q >= 0 && q <= 90
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXYVectorOps(t *testing.T) {
+	a, b := XY{3, 4}, XY{1, -2}
+	if got := a.Add(b); got != (XY{4, 2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (XY{2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (XY{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != -5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != -10 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := a.Dist(XY{0, 0}); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != (XY{2, 1}) {
+		t.Errorf("Lerp = %v", got)
+	}
+}

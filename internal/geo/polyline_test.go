@@ -1,0 +1,250 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func line(xy ...float64) Polyline {
+	pl := make(Polyline, 0, len(xy)/2)
+	for i := 0; i+1 < len(xy); i += 2 {
+		pl = append(pl, XY{xy[i], xy[i+1]})
+	}
+	return pl
+}
+
+func TestPolylineLength(t *testing.T) {
+	cases := []struct {
+		pl   Polyline
+		want float64
+	}{
+		{nil, 0},
+		{line(0, 0), 0},
+		{line(0, 0, 3, 4), 5},
+		{line(0, 0, 1, 0, 1, 1), 2},
+	}
+	for i, c := range cases {
+		if got := c.pl.Length(); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("case %d: Length = %f, want %f", i, got, c.want)
+		}
+	}
+}
+
+func TestPolylinePointAt(t *testing.T) {
+	pl := line(0, 0, 10, 0, 10, 10)
+	cases := []struct {
+		d    float64
+		want XY
+	}{
+		{-5, XY{0, 0}},
+		{0, XY{0, 0}},
+		{5, XY{5, 0}},
+		{10, XY{10, 0}},
+		{15, XY{10, 5}},
+		{20, XY{10, 10}},
+		{99, XY{10, 10}},
+	}
+	for _, c := range cases {
+		if got := pl.PointAt(c.d); got.Dist(c.want) > 1e-12 {
+			t.Errorf("PointAt(%f) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestPolylineProject(t *testing.T) {
+	pl := line(0, 0, 10, 0, 10, 10)
+	r := pl.Project(XY{5, 3})
+	if r.Point.Dist(XY{5, 0}) > 1e-12 || !almostEqual(r.Distance, 3, 1e-12) ||
+		!almostEqual(r.Along, 5, 1e-12) || r.Segment != 0 {
+		t.Fatalf("Project mid = %+v", r)
+	}
+	r = pl.Project(XY{12, 8})
+	if r.Point.Dist(XY{10, 8}) > 1e-12 || r.Segment != 1 || !almostEqual(r.Along, 18, 1e-12) {
+		t.Fatalf("Project side = %+v", r)
+	}
+	// Beyond the end projects onto the final vertex.
+	r = pl.Project(XY{10, 20})
+	if r.Point.Dist(XY{10, 10}) > 1e-12 || !almostEqual(r.Distance, 10, 1e-12) {
+		t.Fatalf("Project past end = %+v", r)
+	}
+}
+
+func TestProjectAlongMonotoneProperty(t *testing.T) {
+	// Walking along a polyline, the projection's Along must be
+	// (weakly) monotone for points generated on the line itself.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		pl := randomWalkPolyline(rng, 8)
+		total := pl.Length()
+		prev := -1.0
+		for f := 0.0; f <= 1.0; f += 0.05 {
+			p := pl.PointAt(f * total)
+			along := pl.Project(p).Along
+			// Self-intersecting walks can project to an earlier pass;
+			// only enforce when the projected point is (numerically) p.
+			if pl.Project(p).Distance < 1e-9 && along < prev-1e-6 {
+				// Along may legitimately jump backwards at a revisited
+				// location; require the projected point to still be p.
+				q := pl.PointAt(along)
+				if q.Dist(p) > 1e-6 {
+					t.Fatalf("trial %d: non-equivalent projection at f=%f", trial, f)
+				}
+			}
+			prev = along
+		}
+	}
+}
+
+func randomWalkPolyline(rng *rand.Rand, n int) Polyline {
+	pl := Polyline{{0, 0}}
+	for i := 1; i < n; i++ {
+		last := pl[len(pl)-1]
+		pl = append(pl, XY{last.X + rng.Float64()*100 - 20, last.Y + rng.Float64()*100 - 20})
+	}
+	return pl
+}
+
+func TestPolylineBearingAt(t *testing.T) {
+	pl := line(0, 0, 10, 0, 10, 10)
+	if b := pl.BearingAt(5); !almostEqual(b, 90, 1e-9) {
+		t.Errorf("BearingAt(5) = %f, want 90", b)
+	}
+	if b := pl.BearingAt(15); !almostEqual(b, 0, 1e-9) {
+		t.Errorf("BearingAt(15) = %f, want 0", b)
+	}
+	if b := pl.BearingAt(1000); !almostEqual(b, 0, 1e-9) {
+		t.Errorf("BearingAt(beyond) = %f, want 0", b)
+	}
+}
+
+func TestPolylineResample(t *testing.T) {
+	pl := line(0, 0, 10, 0)
+	rs := pl.Resample(3)
+	if !almostEqual(rs.Length(), pl.Length(), 1e-9) {
+		t.Fatalf("resample changed length: %f", rs.Length())
+	}
+	for i := 1; i < len(rs); i++ {
+		if d := rs[i-1].Dist(rs[i]); d > 3+1e-9 {
+			t.Fatalf("gap %d too wide: %f", i, d)
+		}
+	}
+	if rs[0] != pl[0] || rs[len(rs)-1] != pl[len(pl)-1] {
+		t.Fatal("resample must keep endpoints")
+	}
+}
+
+func TestPolylineSimplify(t *testing.T) {
+	// Collinear interior points are removed.
+	pl := line(0, 0, 1, 0.0001, 2, 0, 3, 0.0001, 4, 0)
+	s := pl.Simplify(0.01)
+	if len(s) != 2 {
+		t.Fatalf("Simplify kept %d points, want 2", len(s))
+	}
+	// A genuine corner survives.
+	pl = line(0, 0, 5, 0, 5, 5)
+	s = pl.Simplify(0.01)
+	if len(s) != 3 {
+		t.Fatalf("Simplify dropped a corner: %v", s)
+	}
+}
+
+func TestPolylineSlice(t *testing.T) {
+	pl := line(0, 0, 10, 0, 10, 10)
+	s := pl.Slice(5, 15)
+	if !almostEqual(s.Length(), 10, 1e-9) {
+		t.Fatalf("Slice length = %f, want 10", s.Length())
+	}
+	if s[0].Dist(XY{5, 0}) > 1e-9 || s[len(s)-1].Dist(XY{10, 5}) > 1e-9 {
+		t.Fatalf("Slice endpoints = %v", s)
+	}
+	// Degenerate slice returns a single point.
+	s = pl.Slice(7, 7)
+	if len(s) != 1 || s[0].Dist(XY{7, 0}) > 1e-9 {
+		t.Fatalf("degenerate Slice = %v", s)
+	}
+}
+
+func TestPolylineReverseClone(t *testing.T) {
+	pl := line(0, 0, 1, 1, 2, 0)
+	rv := pl.Reverse()
+	if rv[0] != pl[2] || rv[2] != pl[0] {
+		t.Fatalf("Reverse = %v", rv)
+	}
+	cl := pl.Clone()
+	cl[0] = XY{99, 99}
+	if pl[0] == cl[0] {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	p, ok := SegmentsIntersect(XY{0, 0}, XY{10, 10}, XY{0, 10}, XY{10, 0})
+	if !ok || p.Dist(XY{5, 5}) > 1e-12 {
+		t.Fatalf("crossing: %v %v", p, ok)
+	}
+	if _, ok := SegmentsIntersect(XY{0, 0}, XY{1, 0}, XY{0, 1}, XY{1, 1}); ok {
+		t.Fatal("parallel non-overlapping must not intersect")
+	}
+	if _, ok := SegmentsIntersect(XY{0, 0}, XY{1, 0}, XY{2, 0}, XY{3, 0}); ok {
+		t.Fatal("collinear disjoint must not intersect")
+	}
+	if _, ok := SegmentsIntersect(XY{0, 0}, XY{2, 0}, XY{1, 0}, XY{3, 0}); !ok {
+		t.Fatal("collinear overlapping must intersect")
+	}
+	if _, ok := SegmentsIntersect(XY{0, 0}, XY{1, 1}, XY{1, 1}, XY{2, 0}); !ok {
+		t.Fatal("shared endpoint must intersect")
+	}
+}
+
+func TestPolylinesIntersect(t *testing.T) {
+	a := line(0, 0, 10, 0)
+	b := line(5, -5, 5, 5)
+	if p, ok := PolylinesIntersect(a, b); !ok || p.Dist(XY{5, 0}) > 1e-12 {
+		t.Fatalf("PolylinesIntersect = %v %v", p, ok)
+	}
+	c := line(0, 5, 10, 5)
+	if _, ok := PolylinesIntersect(a, c); ok {
+		t.Fatal("disjoint polylines must not intersect")
+	}
+}
+
+func TestSliceWithinLengthProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(fa, fb uint8) bool {
+		pl := randomWalkPolyline(rng, 6)
+		total := pl.Length()
+		a := float64(fa) / 255 * total
+		b := float64(fb) / 255 * total
+		if a > b {
+			a, b = b, a
+		}
+		s := pl.Slice(a, b)
+		// The sliced chain can never be longer than the span it covers.
+		return s.Length() <= b-a+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectDistanceLowerBoundProperty(t *testing.T) {
+	// The projected distance is never larger than the distance to any
+	// vertex of the polyline.
+	rng := rand.New(rand.NewSource(13))
+	f := func(px, py int16) bool {
+		pl := randomWalkPolyline(rng, 7)
+		p := XY{float64(px) / 100, float64(py) / 100}
+		d := pl.Project(p).Distance
+		for _, v := range pl {
+			if d > v.Dist(p)+1e-9 {
+				return false
+			}
+		}
+		return !math.IsNaN(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

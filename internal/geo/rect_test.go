@@ -1,0 +1,99 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect must be empty")
+	}
+	if e.Width() != 0 || e.Height() != 0 || e.Area() != 0 {
+		t.Fatal("empty rect must have zero extent")
+	}
+	r := Rect{0, 0, 1, 1}
+	if got := e.Union(r); got != r {
+		t.Fatalf("empty ∪ r = %v, want %v", got, r)
+	}
+	if got := r.Union(e); got != r {
+		t.Fatalf("r ∪ empty = %v, want %v", got, r)
+	}
+	if e.Intersects(r) || r.Intersects(e) {
+		t.Fatal("empty rect must intersect nothing")
+	}
+	if !math.IsInf(e.DistanceTo(XY{0, 0}), 1) {
+		t.Fatal("distance to empty rect must be +Inf")
+	}
+	if e.Expand(5) != e {
+		t.Fatal("expanding an empty rect must stay empty")
+	}
+}
+
+func TestRectContainsIntersects(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	if !r.Contains(XY{5, 5}) || !r.Contains(XY{0, 0}) || !r.Contains(XY{10, 10}) {
+		t.Fatal("boundary and interior must be contained")
+	}
+	if r.Contains(XY{-0.1, 5}) || r.Contains(XY{5, 10.1}) {
+		t.Fatal("outside points must not be contained")
+	}
+	if !r.Intersects(Rect{5, 5, 15, 15}) {
+		t.Fatal("overlapping rects must intersect")
+	}
+	if !r.Intersects(Rect{10, 10, 20, 20}) {
+		t.Fatal("touching rects must intersect")
+	}
+	if r.Intersects(Rect{11, 11, 20, 20}) {
+		t.Fatal("disjoint rects must not intersect")
+	}
+	if !r.ContainsRect(Rect{1, 1, 9, 9}) || r.ContainsRect(Rect{1, 1, 11, 9}) {
+		t.Fatal("ContainsRect misbehaves")
+	}
+	if !r.ContainsRect(EmptyRect()) {
+		t.Fatal("every rect contains the empty rect")
+	}
+}
+
+func TestRectDistanceTo(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	cases := []struct {
+		p    XY
+		want float64
+	}{
+		{XY{5, 5}, 0},
+		{XY{-3, 5}, 3},
+		{XY{5, 14}, 4},
+		{XY{13, 14}, 5},
+	}
+	for _, c := range cases {
+		if got := r.DistanceTo(c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("DistanceTo(%v) = %f, want %f", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectUnionCommutativeProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		a := RectFromPoints(XY{ax, ay}, XY{bx, by})
+		b := RectFromPoints(XY{cx, cy}, XY{dx, dy})
+		u1, u2 := a.Union(b), b.Union(a)
+		return u1 == u2 && u1.ContainsRect(a) && u1.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectExpandCenter(t *testing.T) {
+	r := Rect{0, 0, 10, 20}
+	e := r.Expand(5)
+	if e != (Rect{-5, -5, 15, 25}) {
+		t.Fatalf("Expand = %v", e)
+	}
+	if c := r.Center(); c != (XY{5, 10}) {
+		t.Fatalf("Center = %v", c)
+	}
+}

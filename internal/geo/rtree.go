@@ -1,0 +1,213 @@
+package geo
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// RTree is a static STR-packed (Sort-Tile-Recursive) R-tree over
+// rectangles with integer payloads. It is built once from a full item
+// set and then queried; this matches the pipeline's use, where the road
+// network is loaded up front and probed millions of times during
+// map-matching.
+type RTree struct {
+	fanout int
+	root   *rtreeNode
+	size   int
+}
+
+// RTreeItem is one indexed rectangle and its payload identifier.
+type RTreeItem struct {
+	Rect Rect
+	ID   int
+}
+
+type rtreeNode struct {
+	rect     Rect
+	children []*rtreeNode // nil for leaves
+	items    []RTreeItem  // nil for internal nodes
+}
+
+const defaultRTreeFanout = 16
+
+// BuildRTree bulk-loads the items with STR packing. The item slice is
+// not retained. fanout <= 1 selects the default fanout.
+func BuildRTree(items []RTreeItem, fanout int) *RTree {
+	if fanout <= 1 {
+		fanout = defaultRTreeFanout
+	}
+	t := &RTree{fanout: fanout, size: len(items)}
+	if len(items) == 0 {
+		t.root = &rtreeNode{rect: EmptyRect()}
+		return t
+	}
+	leaves := packLeaves(items, fanout)
+	nodes := leaves
+	for len(nodes) > 1 {
+		nodes = packNodes(nodes, fanout)
+	}
+	t.root = nodes[0]
+	return t
+}
+
+// Len returns the number of indexed items.
+func (t *RTree) Len() int { return t.size }
+
+// Bounds returns the bounding box of all indexed items.
+func (t *RTree) Bounds() Rect { return t.root.rect }
+
+func packLeaves(items []RTreeItem, fanout int) []*rtreeNode {
+	sorted := make([]RTreeItem, len(items))
+	copy(sorted, items)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Rect.Center().X < sorted[j].Rect.Center().X
+	})
+
+	nLeaves := (len(sorted) + fanout - 1) / fanout
+	nSlices := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	sliceSize := nSlices * fanout
+
+	var leaves []*rtreeNode
+	for s := 0; s < len(sorted); s += sliceSize {
+		end := s + sliceSize
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		slice := sorted[s:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].Rect.Center().Y < slice[j].Rect.Center().Y
+		})
+		for i := 0; i < len(slice); i += fanout {
+			j := i + fanout
+			if j > len(slice) {
+				j = len(slice)
+			}
+			leaf := &rtreeNode{rect: EmptyRect(), items: append([]RTreeItem(nil), slice[i:j]...)}
+			for _, it := range leaf.items {
+				leaf.rect = leaf.rect.Union(it.Rect)
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func packNodes(nodes []*rtreeNode, fanout int) []*rtreeNode {
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].rect.Center().X < nodes[j].rect.Center().X
+	})
+	nParents := (len(nodes) + fanout - 1) / fanout
+	nSlices := int(math.Ceil(math.Sqrt(float64(nParents))))
+	sliceSize := nSlices * fanout
+
+	var parents []*rtreeNode
+	for s := 0; s < len(nodes); s += sliceSize {
+		end := s + sliceSize
+		if end > len(nodes) {
+			end = len(nodes)
+		}
+		slice := nodes[s:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].rect.Center().Y < slice[j].rect.Center().Y
+		})
+		for i := 0; i < len(slice); i += fanout {
+			j := i + fanout
+			if j > len(slice) {
+				j = len(slice)
+			}
+			parent := &rtreeNode{rect: EmptyRect(), children: append([]*rtreeNode(nil), slice[i:j]...)}
+			for _, c := range parent.children {
+				parent.rect = parent.rect.Union(c.rect)
+			}
+			parents = append(parents, parent)
+		}
+	}
+	return parents
+}
+
+// Search appends to dst the IDs of all items whose rectangle intersects
+// query and returns the extended slice.
+func (t *RTree) Search(query Rect, dst []int) []int {
+	return t.root.search(query, dst)
+}
+
+func (n *rtreeNode) search(query Rect, dst []int) []int {
+	if !n.rect.Intersects(query) {
+		return dst
+	}
+	if n.items != nil {
+		for _, it := range n.items {
+			if it.Rect.Intersects(query) {
+				dst = append(dst, it.ID)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = c.search(query, dst)
+	}
+	return dst
+}
+
+// NearestResult is one item returned by Nearest, with the distance from
+// the query point to the item's rectangle.
+type NearestResult struct {
+	ID       int
+	Distance float64
+}
+
+type nnEntry struct {
+	node *rtreeNode
+	item RTreeItem
+	dist float64
+	leaf bool
+}
+
+type nnHeap []nnEntry
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnEntry)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Nearest returns up to k items ordered by the distance from p to their
+// rectangles (best-first branch and bound). Items farther than maxDist
+// are excluded; pass a non-positive maxDist for no limit.
+func (t *RTree) Nearest(p XY, k int, maxDist float64) []NearestResult {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	if maxDist <= 0 {
+		maxDist = math.Inf(1)
+	}
+	h := &nnHeap{{node: t.root, dist: t.root.rect.DistanceTo(p)}}
+	var out []NearestResult
+	for h.Len() > 0 && len(out) < k {
+		e := heap.Pop(h).(nnEntry)
+		if e.dist > maxDist {
+			break
+		}
+		if e.leaf {
+			out = append(out, NearestResult{ID: e.item.ID, Distance: e.dist})
+			continue
+		}
+		if e.node.items != nil {
+			for _, it := range e.node.items {
+				heap.Push(h, nnEntry{item: it, dist: it.Rect.DistanceTo(p), leaf: true})
+			}
+			continue
+		}
+		for _, c := range e.node.children {
+			heap.Push(h, nnEntry{node: c, dist: c.rect.DistanceTo(p)})
+		}
+	}
+	return out
+}

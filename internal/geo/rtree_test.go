@@ -1,0 +1,184 @@
+package geo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randomItems(rng *rand.Rand, n int) []RTreeItem {
+	items := make([]RTreeItem, n)
+	for i := range items {
+		x := rng.Float64() * 10000
+		y := rng.Float64() * 10000
+		items[i] = RTreeItem{
+			Rect: Rect{x, y, x + rng.Float64()*50, y + rng.Float64()*50},
+			ID:   i,
+		}
+	}
+	return items
+}
+
+func linearSearch(items []RTreeItem, q Rect) []int {
+	var out []int
+	for _, it := range items {
+		if it.Rect.Intersects(q) {
+			out = append(out, it.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestRTreeSearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 5, 16, 17, 200, 1000} {
+		items := randomItems(rng, n)
+		tree := BuildRTree(items, 0)
+		if tree.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tree.Len())
+		}
+		for q := 0; q < 25; q++ {
+			x := rng.Float64() * 10000
+			y := rng.Float64() * 10000
+			query := Rect{x, y, x + rng.Float64()*500, y + rng.Float64()*500}
+			got := tree.Search(query, nil)
+			sort.Ints(got)
+			want := linearSearch(items, query)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d q=%d: got %d hits, want %d", n, q, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d q=%d: got %v, want %v", n, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRTreeNearestMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	items := randomItems(rng, 500)
+	tree := BuildRTree(items, 8)
+	for q := 0; q < 30; q++ {
+		p := XY{rng.Float64() * 10000, rng.Float64() * 10000}
+		got := tree.Nearest(p, 5, 0)
+		if len(got) != 5 {
+			t.Fatalf("Nearest returned %d, want 5", len(got))
+		}
+		// Distances must be sorted ascending.
+		for i := 1; i < len(got); i++ {
+			if got[i].Distance < got[i-1].Distance {
+				t.Fatalf("Nearest results unsorted: %v", got)
+			}
+		}
+		// Compare against exhaustive k-th distance.
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = it.Rect.DistanceTo(p)
+		}
+		sort.Float64s(dists)
+		if !almostEqual(got[4].Distance, dists[4], 1e-9) {
+			t.Fatalf("5th nearest = %f, want %f", got[4].Distance, dists[4])
+		}
+	}
+}
+
+func TestRTreeNearestMaxDist(t *testing.T) {
+	items := []RTreeItem{
+		{Rect: Rect{0, 0, 0, 0}, ID: 1},
+		{Rect: Rect{100, 0, 100, 0}, ID: 2},
+		{Rect: Rect{1000, 0, 1000, 0}, ID: 3},
+	}
+	tree := BuildRTree(items, 0)
+	got := tree.Nearest(XY{0, 0}, 10, 150)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("Nearest with maxDist = %v", got)
+	}
+}
+
+func TestRTreeEmpty(t *testing.T) {
+	tree := BuildRTree(nil, 0)
+	if got := tree.Search(Rect{-1e9, -1e9, 1e9, 1e9}, nil); len(got) != 0 {
+		t.Fatalf("empty tree search = %v", got)
+	}
+	if got := tree.Nearest(XY{0, 0}, 3, 0); got != nil {
+		t.Fatalf("empty tree nearest = %v", got)
+	}
+	if !tree.Bounds().IsEmpty() {
+		t.Fatal("empty tree bounds must be empty")
+	}
+}
+
+func TestRTreeNearestKZero(t *testing.T) {
+	tree := BuildRTree(randomItems(rand.New(rand.NewSource(1)), 10), 0)
+	if got := tree.Nearest(XY{0, 0}, 0, 0); got != nil {
+		t.Fatalf("k=0 must return nil, got %v", got)
+	}
+}
+
+func TestThickLineContains(t *testing.T) {
+	road := line(0, 0, 100, 0)
+	thick := NewThickLine(road, 20) // half-width 10
+	if !thick.Contains(XY{50, 9}) || !thick.Contains(XY{50, -10}) {
+		t.Fatal("points within the buffer must be contained")
+	}
+	if thick.Contains(XY{50, 11}) {
+		t.Fatal("points beyond the buffer must not be contained")
+	}
+	// End caps are round (distance to the end vertex).
+	if !thick.Contains(XY{-7, 7}) || thick.Contains(XY{-8, 8}) {
+		t.Fatal("round end cap misbehaves")
+	}
+}
+
+func TestThickLineCrossings(t *testing.T) {
+	road := line(0, 0, 100, 0)
+	thick := NewThickLine(road, 20)
+
+	// Perpendicular pass through the middle.
+	traj := line(50, -40, 50, -5, 50, 5, 50, 40)
+	cr := thick.Crossings(traj)
+	if len(cr) != 1 {
+		t.Fatalf("got %d crossings, want 1", len(cr))
+	}
+	if cr[0].EntryIndex != 1 || cr[0].ExitIndex != 2 {
+		t.Fatalf("crossing run = [%d,%d]", cr[0].EntryIndex, cr[0].ExitIndex)
+	}
+	if !almostEqual(cr[0].Angle, 90, 1) {
+		t.Fatalf("crossing angle = %f, want ~90", cr[0].Angle)
+	}
+
+	// Trajectory running parallel alongside the road inside the buffer:
+	// angle near zero.
+	traj = line(-30, 5, 20, 5, 80, 5, 130, 5)
+	cr = thick.Crossings(traj)
+	if len(cr) != 1 {
+		t.Fatalf("parallel: got %d crossings, want 1", len(cr))
+	}
+	if cr[0].Angle > 5 {
+		t.Fatalf("parallel angle = %f, want ~0", cr[0].Angle)
+	}
+
+	// Two separate passes produce two crossings.
+	traj = line(20, -30, 20, 0, 20, 30, 80, 30, 80, 0, 80, -30)
+	cr = thick.Crossings(traj)
+	if len(cr) != 2 {
+		t.Fatalf("two passes: got %d crossings, want 2", len(cr))
+	}
+
+	// No crossing when the trajectory stays away.
+	traj = line(0, 50, 100, 50)
+	if cr = thick.Crossings(traj); len(cr) != 0 {
+		t.Fatalf("distant trajectory: got %d crossings", len(cr))
+	}
+}
+
+func TestThickLineBounds(t *testing.T) {
+	thick := NewThickLine(line(0, 0, 100, 0), 20)
+	want := Rect{-10, -10, 110, 10}
+	if got := thick.Bounds(); got != want {
+		t.Fatalf("Bounds = %v, want %v", got, want)
+	}
+}

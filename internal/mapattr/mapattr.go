@@ -1,0 +1,67 @@
+// Package mapattr fetches digital-map attribute data along matched
+// routes (paper §IV-F): the number of traffic lights, bus stops,
+// pedestrian crossings and junctions a transition passes, which Table 4
+// summarises per Origin-Destination direction.
+package mapattr
+
+import (
+	"repro/internal/digiroad"
+	"repro/internal/geo"
+	"repro/internal/mapmatch"
+	"repro/internal/roadnet"
+)
+
+// RouteAttributes is the feature load of one route.
+type RouteAttributes struct {
+	TrafficLights       int
+	BusStops            int
+	PedestrianCrossings int
+	Junctions           int
+	LengthM             float64
+}
+
+// Fetcher counts features along route geometries.
+type Fetcher struct {
+	db    *digiroad.Database
+	graph *roadnet.Graph
+	// ProximityM is how close a point object must be to the route to
+	// count (default 20 m: the object sits on the traversed street).
+	ProximityM float64
+}
+
+// NewFetcher builds a fetcher. proximityM <= 0 selects 20 m.
+func NewFetcher(db *digiroad.Database, graph *roadnet.Graph, proximityM float64) *Fetcher {
+	if proximityM <= 0 {
+		proximityM = 20
+	}
+	return &Fetcher{db: db, graph: graph, ProximityM: proximityM}
+}
+
+// AlongGeometry counts the features within ProximityM of the route
+// chain and the junction nodes it passes.
+func (f *Fetcher) AlongGeometry(route geo.Polyline) RouteAttributes {
+	attrs := RouteAttributes{LengthM: route.Length()}
+	for _, o := range f.db.ObjectsNearLine(route, f.ProximityM, 0) {
+		switch o.Kind {
+		case digiroad.TrafficLight:
+			attrs.TrafficLights++
+		case digiroad.BusStop:
+			attrs.BusStops++
+		case digiroad.PedestrianCrossing:
+			attrs.PedestrianCrossings++
+		}
+	}
+	for _, n := range f.graph.JunctionsIn(route.Bounds().Expand(f.ProximityM)) {
+		if route.DistanceTo(n.Pos) <= f.ProximityM {
+			attrs.Junctions++
+		}
+	}
+	return attrs
+}
+
+// ForMatch counts features for a map-matching result, using its
+// connected route geometry (so gap-filled stretches contribute their
+// features too, exactly as the paper's element-wise fetch does).
+func (f *Fetcher) ForMatch(res *mapmatch.Result) RouteAttributes {
+	return f.AlongGeometry(res.Geometry)
+}

@@ -1,0 +1,104 @@
+package mapattr
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/digiroad"
+	"repro/internal/geo"
+	"repro/internal/mapmatch"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// corridor builds a 1 km straight street with a side street at x=500,
+// plus one of each feature on the corridor and decoys far away.
+func corridor(t *testing.T) (*digiroad.Database, *roadnet.Graph) {
+	t.Helper()
+	db := digiroad.NewDatabase(digiroad.OuluOrigin)
+	add := func(coords ...float64) {
+		if _, err := db.AddElement(digiroad.TrafficElement{
+			Geom: geo.Line(coords...), Class: digiroad.ClassLocal, SpeedLimitKmh: 40,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0, 0, 500, 0)
+	add(500, 0, 1000, 0)
+	add(500, 0, 500, 400) // side street, makes (500,0) a junction
+	db.AddObject(digiroad.PointObject{Kind: digiroad.TrafficLight, Pos: geo.V(500, 2)})
+	db.AddObject(digiroad.PointObject{Kind: digiroad.BusStop, Pos: geo.V(300, -3)})
+	db.AddObject(digiroad.PointObject{Kind: digiroad.PedestrianCrossing, Pos: geo.V(700, 1)})
+	// Decoys away from the corridor.
+	db.AddObject(digiroad.PointObject{Kind: digiroad.TrafficLight, Pos: geo.V(500, 300)})
+	db.AddObject(digiroad.PointObject{Kind: digiroad.BusStop, Pos: geo.V(500, 350)})
+	g, err := roadnet.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, g
+}
+
+func TestAlongGeometry(t *testing.T) {
+	db, g := corridor(t)
+	f := NewFetcher(db, g, 0)
+	route := geo.Line(0, 0, 1000, 0)
+	attrs := f.AlongGeometry(route)
+	if attrs.TrafficLights != 1 || attrs.BusStops != 1 || attrs.PedestrianCrossings != 1 {
+		t.Fatalf("attrs = %+v", attrs)
+	}
+	if attrs.Junctions != 1 {
+		t.Fatalf("junctions = %d, want 1", attrs.Junctions)
+	}
+	if attrs.LengthM != 1000 {
+		t.Fatalf("length = %f", attrs.LengthM)
+	}
+}
+
+func TestProximityBound(t *testing.T) {
+	db, g := corridor(t)
+	tight := NewFetcher(db, g, 1)
+	attrs := tight.AlongGeometry(geo.Line(0, 0, 1000, 0))
+	// Bus stop sits 3 m off the line: outside a 1 m bound.
+	if attrs.BusStops != 0 {
+		t.Fatalf("1 m fetcher found bus stop: %+v", attrs)
+	}
+	wide := NewFetcher(db, g, 500)
+	attrs = wide.AlongGeometry(geo.Line(0, 0, 1000, 0))
+	// A 500 m bound sweeps in the decoys too.
+	if attrs.TrafficLights != 2 || attrs.BusStops != 2 {
+		t.Fatalf("wide fetcher: %+v", attrs)
+	}
+}
+
+func TestForMatch(t *testing.T) {
+	db, g := corridor(t)
+	m := mapmatch.NewIncremental(g, mapmatch.DefaultConfig())
+	t0 := time.Date(2013, 2, 1, 9, 0, 0, 0, time.UTC)
+	var pts []trace.RoutePoint
+	for i := 0; i <= 10; i++ {
+		pts = append(pts, trace.RoutePoint{
+			PointID: i + 1, TripID: 1,
+			Pos:  geo.V(float64(i)*100, 3),
+			Time: t0.Add(time.Duration(i) * 15 * time.Second),
+		})
+	}
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFetcher(db, g, 0)
+	attrs := f.ForMatch(res)
+	if attrs.TrafficLights != 1 || attrs.BusStops != 1 || attrs.PedestrianCrossings != 1 || attrs.Junctions != 1 {
+		t.Fatalf("ForMatch attrs = %+v", attrs)
+	}
+}
+
+func TestEmptyRoute(t *testing.T) {
+	db, g := corridor(t)
+	f := NewFetcher(db, g, 0)
+	attrs := f.AlongGeometry(nil)
+	if attrs != (RouteAttributes{}) {
+		t.Fatalf("empty route attrs = %+v", attrs)
+	}
+}

@@ -1,0 +1,95 @@
+package mapmatch
+
+import (
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// Evaluation compares a matched route against a ground-truth edge
+// sequence (available for simulated drives).
+type Evaluation struct {
+	// Precision is the share of matched edges that are in the truth.
+	Precision float64
+	// Recall is the share of truth edges that were matched.
+	Recall float64
+	// F1 is the harmonic mean of precision and recall.
+	F1 float64
+	// LengthErrorM is |matched length − truth length| in metres.
+	LengthErrorM float64
+	// HausdorffM is the symmetric Hausdorff distance between the
+	// matched geometry and the truth geometry (20 m sampling).
+	HausdorffM float64
+}
+
+// Evaluate scores a match result against the true edge sequence.
+func Evaluate(g *roadnet.Graph, res *Result, truth []roadnet.EdgeID) Evaluation {
+	truthSet := make(map[roadnet.EdgeID]bool, len(truth))
+	var truthLen float64
+	for _, id := range truth {
+		if !truthSet[id] {
+			truthSet[id] = true
+			truthLen += g.Edges[id].Length
+		}
+	}
+	matchedSet := make(map[roadnet.EdgeID]bool, len(res.Route))
+	for _, id := range res.Route {
+		matchedSet[id] = true
+	}
+	var hit int
+	for id := range matchedSet {
+		if truthSet[id] {
+			hit++
+		}
+	}
+	ev := Evaluation{}
+	if len(matchedSet) > 0 {
+		ev.Precision = float64(hit) / float64(len(matchedSet))
+	}
+	if len(truthSet) > 0 {
+		ev.Recall = float64(hit) / float64(len(truthSet))
+	}
+	if ev.Precision+ev.Recall > 0 {
+		ev.F1 = 2 * ev.Precision * ev.Recall / (ev.Precision + ev.Recall)
+	}
+	d := res.Geometry.Length() - truthLen
+	if d < 0 {
+		d = -d
+	}
+	ev.LengthErrorM = d
+	if truthGeom := edgesGeometry(g, truth); len(truthGeom) > 0 && len(res.Geometry) > 0 {
+		ev.HausdorffM = geo.Hausdorff(res.Geometry, truthGeom, 20)
+	}
+	return ev
+}
+
+// edgesGeometry concatenates edge geometries for distance comparison;
+// orientation does not matter for the Hausdorff metric.
+func edgesGeometry(g *roadnet.Graph, edges []roadnet.EdgeID) geo.Polyline {
+	var out geo.Polyline
+	for _, id := range edges {
+		out = append(out, g.Edges[id].Geom...)
+	}
+	return out
+}
+
+// MeanEvaluation averages a batch of evaluations.
+func MeanEvaluation(evs []Evaluation) Evaluation {
+	if len(evs) == 0 {
+		return Evaluation{}
+	}
+	var out Evaluation
+	for _, e := range evs {
+		out.Precision += e.Precision
+		out.Recall += e.Recall
+		out.F1 += e.F1
+		out.LengthErrorM += e.LengthErrorM
+		out.HausdorffM += e.HausdorffM
+	}
+	n := float64(len(evs))
+	out.Precision /= n
+	out.Recall /= n
+	out.F1 /= n
+	out.LengthErrorM /= n
+	out.HausdorffM /= n
+	return out
+}

@@ -1,0 +1,218 @@
+package mapmatch
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/digiroad"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+func TestEvaluatePerfectMatch(t *testing.T) {
+	g := gridGraph(t, 5, -1)
+	rng := rand.New(rand.NewSource(1))
+	// Truth: a shortest path between two nodes.
+	from := g.NearestNode(geo.V(100, 100)).ID
+	to := g.NearestNode(geo.V(400, 300)).ID
+	path, err := g.ShortestPath(from, to, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := path.Edges()
+	pts := ptsAlong(rng, path.Geometry(), 50, 2)
+	m := NewIncremental(g, DefaultConfig())
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(g, res, truth)
+	if ev.Recall < 0.8 || ev.Precision < 0.8 || ev.F1 < 0.8 {
+		t.Fatalf("good trace evaluated poorly: %+v", ev)
+	}
+	if ev.LengthErrorM > 120 {
+		t.Fatalf("length error %f", ev.LengthErrorM)
+	}
+}
+
+func TestEvaluateWrongMatch(t *testing.T) {
+	g := gridGraph(t, 5, -1)
+	rng := rand.New(rand.NewSource(2))
+	// Match a trace on y=100 but claim the truth was y=400.
+	pts := ptsAlong(rng, geo.Line(100, 100, 400, 100), 50, 2)
+	m := NewIncremental(g, DefaultConfig())
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the wrong truth.
+	from := g.NearestNode(geo.V(100, 400)).ID
+	to := g.NearestNode(geo.V(400, 400)).ID
+	path, err := g.ShortestPath(from, to, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(g, res, path.Edges())
+	if ev.Precision > 0.3 || ev.Recall > 0.3 {
+		t.Fatalf("wrong truth evaluated well: %+v", ev)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	g := gridGraph(t, 2, -1)
+	ev := Evaluate(g, &Result{}, nil)
+	if ev.Precision != 0 || ev.Recall != 0 || ev.F1 != 0 {
+		t.Fatalf("empty evaluation = %+v", ev)
+	}
+}
+
+func TestMeanEvaluation(t *testing.T) {
+	evs := []Evaluation{
+		{Precision: 1, Recall: 0.5, F1: 2.0 / 3, LengthErrorM: 10},
+		{Precision: 0.5, Recall: 1, F1: 2.0 / 3, LengthErrorM: 30},
+	}
+	m := MeanEvaluation(evs)
+	if m.Precision != 0.75 || m.Recall != 0.75 || m.LengthErrorM != 20 {
+		t.Fatalf("mean = %+v", m)
+	}
+	if z := MeanEvaluation(nil); z != (Evaluation{}) {
+		t.Fatalf("empty mean = %+v", z)
+	}
+}
+
+// TestMatcherQualityComparison is the quantitative matcher comparison
+// behind the ablation: on synthetic-city drives, all matchers should be
+// accurate, and the direction-hinted incremental matcher must not lose
+// to the plain one.
+func TestMatcherQualityComparison(t *testing.T) {
+	city := digiroad.SynthesizeOulu(digiroad.SynthConfig{Seed: 5})
+	g, err := roadnet.Build(city.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	t0 := time.Date(2013, 2, 1, 9, 0, 0, 0, time.UTC)
+
+	type drive struct {
+		truth []roadnet.EdgeID
+		pts   []trace.RoutePoint
+	}
+	var drives []drive
+	for len(drives) < 12 {
+		from := roadnet.NodeID(rng.Intn(len(g.Nodes)))
+		to := roadnet.NodeID(rng.Intn(len(g.Nodes)))
+		path, err := g.ShortestPath(from, to, roadnet.TravelTimeWeight)
+		if err != nil || path.Length < 1200 || path.Length > 3500 {
+			continue
+		}
+		geom := path.Geometry()
+		var pts []trace.RoutePoint
+		i := 0
+		for d := 0.0; d <= geom.Length(); d += 70 {
+			p := geom.PointAt(d)
+			pts = append(pts, trace.RoutePoint{
+				PointID: i + 1, TripID: int64(len(drives) + 1),
+				Pos:  geo.V(p.X+rng.NormFloat64()*4, p.Y+rng.NormFloat64()*4),
+				Time: t0.Add(time.Duration(i) * 10 * time.Second),
+			})
+			i++
+		}
+		drives = append(drives, drive{truth: path.Edges(), pts: pts})
+	}
+
+	score := func(match func([]trace.RoutePoint) (*Result, error)) Evaluation {
+		var evs []Evaluation
+		for _, d := range drives {
+			res, err := match(d.pts)
+			if err != nil {
+				t.Fatalf("match failed: %v", err)
+			}
+			evs = append(evs, Evaluate(g, res, d.truth))
+		}
+		return MeanEvaluation(evs)
+	}
+
+	inc := NewIncremental(g, DefaultConfig())
+	plainCfg := DefaultConfig()
+	plainCfg.UseDirectionHints = false
+	plain := NewIncremental(g, plainCfg)
+	hmm := NewHMM(g, HMMConfig{})
+
+	evInc := score(inc.Match)
+	evPlain := score(plain.Match)
+	evHMM := score(hmm.Match)
+	t.Logf("incremental+hints: %+v", evInc)
+	t.Logf("incremental-plain: %+v", evPlain)
+	t.Logf("hmm:               %+v", evHMM)
+
+	for name, ev := range map[string]Evaluation{
+		"hints": evInc, "plain": evPlain, "hmm": evHMM,
+	} {
+		if ev.F1 < 0.7 {
+			t.Fatalf("%s matcher F1 %.2f too low", name, ev.F1)
+		}
+	}
+	if evInc.F1+0.03 < evPlain.F1 {
+		t.Fatalf("direction hints degraded matching: %.3f vs %.3f", evInc.F1, evPlain.F1)
+	}
+}
+
+func TestLookaheadDoesNotRegress(t *testing.T) {
+	// The look-ahead variant must match the greedy matcher's quality on
+	// clean traces (and may improve ambiguous ones).
+	city := digiroad.SynthesizeOulu(digiroad.SynthConfig{Seed: 8})
+	g, err := roadnet.Build(city.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	t0 := time.Date(2013, 2, 1, 9, 0, 0, 0, time.UTC)
+
+	greedy := NewIncremental(g, DefaultConfig())
+	lookCfg := DefaultConfig()
+	lookCfg.LookaheadDepth = 2
+	look := NewIncremental(g, lookCfg)
+
+	var evG, evL []Evaluation
+	for trial := 0; trial < 10; trial++ {
+		var path *roadnet.Path
+		for {
+			from := roadnet.NodeID(rng.Intn(len(g.Nodes)))
+			to := roadnet.NodeID(rng.Intn(len(g.Nodes)))
+			p, err := g.ShortestPath(from, to, roadnet.TravelTimeWeight)
+			if err == nil && p.Length > 1200 && p.Length < 3000 {
+				path = p
+				break
+			}
+		}
+		geom := path.Geometry()
+		var pts []trace.RoutePoint
+		i := 0
+		for d := 0.0; d <= geom.Length(); d += 80 {
+			p := geom.PointAt(d)
+			pts = append(pts, trace.RoutePoint{
+				PointID: i + 1, TripID: 1,
+				Pos:  geo.V(p.X+rng.NormFloat64()*6, p.Y+rng.NormFloat64()*6),
+				Time: t0.Add(time.Duration(i) * 10 * time.Second),
+			})
+			i++
+		}
+		rg, err := greedy.Match(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := look.Match(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evG = append(evG, Evaluate(g, rg, path.Edges()))
+		evL = append(evL, Evaluate(g, rl, path.Edges()))
+	}
+	mg, ml := MeanEvaluation(evG), MeanEvaluation(evL)
+	t.Logf("greedy F1 %.3f, lookahead F1 %.3f", mg.F1, ml.F1)
+	if ml.F1+0.02 < mg.F1 {
+		t.Fatalf("lookahead regressed: %.3f vs %.3f", ml.F1, mg.F1)
+	}
+}

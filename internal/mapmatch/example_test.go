@@ -1,0 +1,47 @@
+package mapmatch_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/digiroad"
+	"repro/internal/geo"
+	"repro/internal/mapmatch"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+func ExampleMatcher_Match() {
+	// A small grid; noisy points along the street y=0 snap onto it, and
+	// the gap between distant points is filled with a network shortest
+	// path.
+	db := digiroad.NewDatabase(digiroad.OuluOrigin)
+	for _, g := range []geo.Polyline{
+		geo.Line(0, 0, 200, 0),
+		geo.Line(200, 0, 400, 0),
+		geo.Line(200, 0, 200, 200),
+		geo.Line(0, 200, 200, 200),
+		geo.Line(200, 200, 400, 200),
+	} {
+		db.AddElement(digiroad.TrafficElement{Geom: g, Class: digiroad.ClassLocal, SpeedLimitKmh: 40})
+	}
+	graph, _ := roadnet.Build(db)
+	m := mapmatch.NewIncremental(graph, mapmatch.DefaultConfig())
+
+	t0 := time.Date(2013, 2, 1, 9, 0, 0, 0, time.UTC)
+	pts := []trace.RoutePoint{
+		{PointID: 1, TripID: 1, Pos: geo.V(10, 4), Time: t0},
+		{PointID: 2, TripID: 1, Pos: geo.V(150, -3), Time: t0.Add(15 * time.Second)},
+		// A long silent stretch: the next point is far along the grid.
+		{PointID: 3, TripID: 1, Pos: geo.V(390, 197), Time: t0.Add(60 * time.Second)},
+	}
+	res, err := m.Match(pts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("matched %.0f%% of points, %d gap(s) filled, route %.0f m\n",
+		100*res.MatchedFraction, res.GapsFilled, res.Geometry.Length())
+	// Output:
+	// matched 100% of points, 1 gap(s) filled, route 580 m
+}

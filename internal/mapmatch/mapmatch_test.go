@@ -1,0 +1,341 @@
+package mapmatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/digiroad"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+var t0 = time.Date(2012, 10, 1, 8, 0, 0, 0, time.UTC)
+
+// gridGraph builds an n x n block grid of two-way 100 m streets.
+func gridGraph(t *testing.T, n int, oneWayRow int) *roadnet.Graph {
+	t.Helper()
+	db := digiroad.NewDatabase(digiroad.OuluOrigin)
+	id := 1
+	add := func(flow digiroad.FlowDirection, coords ...float64) {
+		_, err := db.AddElement(digiroad.TrafficElement{
+			ID: id, Geom: geo.Line(coords...),
+			Class: digiroad.ClassLocal, Flow: flow, SpeedLimitKmh: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id++
+	}
+	for i := 0; i <= n; i++ {
+		for j := 0; j < n; j++ {
+			add(digiroad.FlowBoth, float64(i*100), float64(j*100), float64(i*100), float64(j*100+100))
+			flow := digiroad.FlowBoth
+			if i == oneWayRow {
+				flow = digiroad.FlowForward // eastbound only
+			}
+			add(flow, float64(j*100), float64(i*100), float64(j*100+100), float64(i*100))
+		}
+	}
+	g, err := roadnet.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// ptsAlong samples points along a polyline with the given spacing and
+// noise.
+func ptsAlong(rng *rand.Rand, pl geo.Polyline, spacing, noise float64) []trace.RoutePoint {
+	var out []trace.RoutePoint
+	total := pl.Length()
+	i := 0
+	for d := 0.0; d <= total; d += spacing {
+		p := pl.PointAt(d)
+		out = append(out, trace.RoutePoint{
+			PointID: i + 1, TripID: 1,
+			Pos: geo.XY{
+				X: p.X + rng.NormFloat64()*noise,
+				Y: p.Y + rng.NormFloat64()*noise,
+			},
+			Time: t0.Add(time.Duration(i) * 15 * time.Second),
+		})
+		i++
+	}
+	return out
+}
+
+func TestIncrementalMatchesStraightRoute(t *testing.T) {
+	g := gridGraph(t, 5, -1)
+	rng := rand.New(rand.NewSource(1))
+	truth := geo.Line(100, 100, 400, 100) // along y=100
+	pts := ptsAlong(rng, truth, 60, 3)
+	m := NewIncremental(g, DefaultConfig())
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if res.MatchedFraction != 1 {
+		t.Fatalf("matched fraction = %f", res.MatchedFraction)
+	}
+	// Every matched position must be on the y=100 street.
+	for _, mp := range res.Points {
+		if math.Abs(mp.Proj.Point.Y-100) > 1e-6 {
+			t.Fatalf("point %d matched off-street: %v", mp.Index, mp.Proj.Point)
+		}
+	}
+	// Route geometry length close to the truth.
+	if gl := res.Geometry.Length(); math.Abs(gl-truth.Length()) > 30 {
+		t.Fatalf("geometry length %f, want ~%f", gl, truth.Length())
+	}
+}
+
+func TestIncrementalTurnsCorner(t *testing.T) {
+	g := gridGraph(t, 5, -1)
+	rng := rand.New(rand.NewSource(2))
+	truth := geo.Line(100, 100, 300, 100, 300, 300)
+	pts := ptsAlong(rng, truth, 50, 3)
+	m := NewIncremental(g, DefaultConfig())
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Geometry.Length()-truth.Length()) > 50 {
+		t.Fatalf("geometry length %f, want ~%f", res.Geometry.Length(), truth.Length())
+	}
+	// The route must pass through the corner node area.
+	corner := geo.V(300, 100)
+	if res.Geometry.DistanceTo(corner) > 5 {
+		t.Fatalf("route misses the corner: %f m away", res.Geometry.DistanceTo(corner))
+	}
+}
+
+func TestGapFillingUsesShortestPath(t *testing.T) {
+	g := gridGraph(t, 5, -1)
+	// Two distant points only: the matcher must bridge 400 m of network
+	// with Dijkstra (the paper's pgRouting step).
+	pts := []trace.RoutePoint{
+		{PointID: 1, TripID: 1, Pos: geo.V(105, 98), Time: t0},
+		{PointID: 2, TripID: 1, Pos: geo.V(405, 305), Time: t0.Add(time.Minute)},
+	}
+	m := NewIncremental(g, DefaultConfig())
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GapsFilled == 0 {
+		t.Fatal("gap not filled")
+	}
+	want := 300.0 + 200 + 5 // manhattan between projections, roughly
+	if math.Abs(res.Geometry.Length()-want) > 40 {
+		t.Fatalf("filled geometry %f, want ~%f", res.Geometry.Length(), want)
+	}
+	// Route edges must be connected: each consecutive pair shares a node.
+	for i := 1; i < len(res.Route); i++ {
+		a, b := &g.Edges[res.Route[i-1]], &g.Edges[res.Route[i]]
+		if a.From != b.From && a.From != b.To && a.To != b.From && a.To != b.To {
+			t.Fatalf("route edges %d,%d not adjacent", res.Route[i-1], res.Route[i])
+		}
+	}
+}
+
+func TestDirectionHintsPreferLegalEdge(t *testing.T) {
+	// Row y=200 (i=2) is one-way eastbound. A westbound trace along
+	// y=205 should NOT match the one-way when hints are on; the
+	// parallel two-way street at y=300 or y=100 is legal.
+	g := gridGraph(t, 5, 2)
+	rng := rand.New(rand.NewSource(3))
+	truth := geo.Line(400, 220, 100, 220) // westbound, 20 m north of one-way
+	pts := ptsAlong(rng, truth, 60, 2)
+
+	with := NewIncremental(g, DefaultConfig())
+	resWith, err := with.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offCfg := DefaultConfig()
+	offCfg.UseDirectionHints = false
+	offCfg.HeadingWeight = 1e-9 // effectively zero, withDefaults keeps it
+	without := NewIncremental(g, offCfg)
+	resWithout, err := without.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without hints, pure proximity picks the one-way street (y=200).
+	onOneWay := func(res *Result) int {
+		n := 0
+		for _, mp := range res.Points {
+			if !mp.Skipped && math.Abs(mp.Proj.Point.Y-200) < 1 {
+				n++
+			}
+		}
+		return n
+	}
+	if got := onOneWay(resWithout); got == 0 {
+		t.Fatalf("sanity: hint-less matcher should sit on the one-way, got %d", got)
+	}
+	if got := onOneWay(resWith); got != 0 {
+		t.Fatalf("direction hints still matched %d points onto the illegal one-way", got)
+	}
+}
+
+func TestMatchSkipsFarPoints(t *testing.T) {
+	g := gridGraph(t, 3, -1)
+	pts := []trace.RoutePoint{
+		{PointID: 1, TripID: 1, Pos: geo.V(100, 102), Time: t0},
+		{PointID: 2, TripID: 1, Pos: geo.V(5000, 5000), Time: t0.Add(15 * time.Second)},
+		{PointID: 3, TripID: 1, Pos: geo.V(200, 102), Time: t0.Add(30 * time.Second)},
+	}
+	m := NewIncremental(g, DefaultConfig())
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Points[1].Skipped {
+		t.Fatal("far point not skipped")
+	}
+	if res.MatchedFraction < 0.6 || res.MatchedFraction > 0.7 {
+		t.Fatalf("matched fraction = %f, want 2/3", res.MatchedFraction)
+	}
+}
+
+func TestMatchAllFar(t *testing.T) {
+	g := gridGraph(t, 3, -1)
+	pts := []trace.RoutePoint{
+		{PointID: 1, TripID: 1, Pos: geo.V(9000, 9000), Time: t0},
+	}
+	m := NewIncremental(g, DefaultConfig())
+	if _, err := m.Match(pts); err == nil {
+		t.Fatal("unmatched trace must error")
+	}
+	if _, err := m.Match(nil); err == nil {
+		t.Fatal("empty trace must error")
+	}
+}
+
+func TestMatchElementsTraversed(t *testing.T) {
+	g := gridGraph(t, 5, -1)
+	rng := rand.New(rand.NewSource(4))
+	pts := ptsAlong(rng, geo.Line(100, 100, 400, 100), 50, 2)
+	m := NewIncremental(g, DefaultConfig())
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Elements) == 0 {
+		t.Fatal("no traversed elements reported")
+	}
+	seen := map[int]bool{}
+	for _, el := range res.Elements {
+		if seen[el] {
+			t.Fatalf("duplicate element %d", el)
+		}
+		seen[el] = true
+	}
+}
+
+func TestHMMMatchesStraightRoute(t *testing.T) {
+	g := gridGraph(t, 5, -1)
+	rng := rand.New(rand.NewSource(5))
+	truth := geo.Line(100, 100, 400, 100)
+	pts := ptsAlong(rng, truth, 60, 3)
+	m := NewHMM(g, HMMConfig{})
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mp := range res.Points {
+		if mp.Skipped {
+			continue
+		}
+		// Corner points may legitimately sit on an intersecting street;
+		// everything must stay within GPS range of the true route.
+		if truth.DistanceTo(mp.Proj.Point) > 12 {
+			t.Fatalf("HMM matched off-route: %v", mp.Proj.Point)
+		}
+	}
+	if math.Abs(res.Geometry.Length()-truth.Length()) > 30 {
+		t.Fatalf("HMM geometry length %f", res.Geometry.Length())
+	}
+}
+
+func TestHMMPrefersConnectedRouteOverNearest(t *testing.T) {
+	// A noisy point sits slightly nearer a parallel street; the HMM's
+	// transition model should keep the trajectory on the connected
+	// route.
+	g := gridGraph(t, 5, -1)
+	pts := []trace.RoutePoint{
+		{PointID: 1, TripID: 1, Pos: geo.V(110, 101), Time: t0},
+		{PointID: 2, TripID: 1, Pos: geo.V(170, 99), Time: t0.Add(10 * time.Second)},
+		// Drifted point: 30 m from the perpendicular street at x=200
+		// but 35 m from the true street; the transition model should
+		// still keep the trajectory on y=100.
+		{PointID: 3, TripID: 1, Pos: geo.V(230, 135), Time: t0.Add(20 * time.Second)},
+		{PointID: 4, TripID: 1, Pos: geo.V(290, 101), Time: t0.Add(30 * time.Second)},
+		{PointID: 5, TripID: 1, Pos: geo.V(350, 99), Time: t0.Add(40 * time.Second)},
+	}
+	m := NewHMM(g, HMMConfig{SigmaM: 25, BetaM: 20})
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No detour onto the perpendicular street: geometry stays ~240 m.
+	if res.Geometry.Length() > 300 {
+		t.Fatalf("HMM took a detour: %f m", res.Geometry.Length())
+	}
+}
+
+func TestHMMEmptyAndFar(t *testing.T) {
+	g := gridGraph(t, 3, -1)
+	m := NewHMM(g, HMMConfig{})
+	if _, err := m.Match(nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+	pts := []trace.RoutePoint{{PointID: 1, TripID: 1, Pos: geo.V(9000, 9000), Time: t0}}
+	if _, err := m.Match(pts); err == nil {
+		t.Fatal("all-far input must error")
+	}
+}
+
+func TestMatchersAgreeOnCleanTraces(t *testing.T) {
+	g := gridGraph(t, 6, -1)
+	rng := rand.New(rand.NewSource(6))
+	inc := NewIncremental(g, DefaultConfig())
+	hmm := NewHMM(g, HMMConfig{})
+	for trial := 0; trial < 10; trial++ {
+		// L-shaped truth with moderate noise.
+		x := float64(100 * (1 + rng.Intn(3)))
+		y := float64(100 * (1 + rng.Intn(3)))
+		truth := geo.Line(x, 100, x, y+100, x+200, y+100)
+		pts := ptsAlong(rng, truth, 55, 2.5)
+		a, errA := inc.Match(pts)
+		b, errB := hmm.Match(pts)
+		if errA != nil || errB != nil {
+			t.Fatalf("trial %d: %v / %v", trial, errA, errB)
+		}
+		da := math.Abs(a.Geometry.Length() - truth.Length())
+		db := math.Abs(b.Geometry.Length() - truth.Length())
+		if da > 60 || db > 60 {
+			t.Fatalf("trial %d: inc err %f, hmm err %f", trial, da, db)
+		}
+	}
+}
+
+func TestMatchedPositionsHelper(t *testing.T) {
+	g := gridGraph(t, 3, -1)
+	pts := []trace.RoutePoint{
+		{PointID: 1, TripID: 1, Pos: geo.V(100, 101), Time: t0},
+		{PointID: 2, TripID: 1, Pos: geo.V(9000, 9000), Time: t0.Add(time.Second)},
+		{PointID: 3, TripID: 1, Pos: geo.V(150, 99), Time: t0.Add(2 * time.Second)},
+	}
+	m := NewIncremental(g, DefaultConfig())
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := matchedPositions(res); len(got) != 2 {
+		t.Fatalf("matchedPositions = %d points", len(got))
+	}
+}

@@ -1,0 +1,47 @@
+package odselect_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/odselect"
+	"repro/internal/trace"
+)
+
+func ExampleSelector_Classify() {
+	// Two gate roads 2 km apart with thick geometry; a trip that enters
+	// along gate A, crosses the centre, and leaves along gate B is an
+	// accepted A-B transition.
+	sel, err := odselect.NewSelector([]odselect.Gate{
+		odselect.NewGate("A", geo.Line(0, 0, 0, 400), 150),
+		odselect.NewGate("B", geo.Line(2000, 0, 2000, 400), 150),
+	}, odselect.Config{
+		CentralArea:  geo.R(500, -200, 1500, 600),
+		StudiedPairs: []string{"A-B", "B-A"},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	t0 := time.Date(2012, 10, 1, 8, 0, 0, 0, time.UTC)
+	seg := &trace.Trip{ID: 9, CarID: 1}
+	for i, p := range geo.Line(
+		0, -250, // pickup on gate A's road
+		0, 100, 0, 300, // north along gate A
+		500, 300, 1000, 300, 1500, 300, // east through the centre
+		2000, 300, 2000, 100, // along gate B
+		2000, -200, // dropoff
+	) {
+		seg.Points = append(seg.Points, trace.RoutePoint{
+			PointID: i + 1, TripID: 9, Pos: p,
+			Time: t0.Add(time.Duration(i) * 30 * time.Second),
+		})
+	}
+
+	c := sel.Classify(seg)
+	fmt.Println(c.Stage, c.Transition.Direction)
+	// Output:
+	// accepted A-B
+}

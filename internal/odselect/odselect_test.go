@@ -1,0 +1,232 @@
+package odselect
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+var t0 = time.Date(2012, 10, 1, 8, 0, 0, 0, time.UTC)
+
+// Layout: gate A is a vertical road at x=0 (y in 0..400), gate B a
+// vertical road at x=2000. The central area sits between them.
+func testSelector(t *testing.T, cfg Config) *Selector {
+	t.Helper()
+	gates := []Gate{
+		NewGate("A", geo.Line(0, 0, 0, 400), 120),
+		NewGate("B", geo.Line(2000, 0, 2000, 400), 120),
+		NewGate("C", geo.Line(1000, 1500, 1000, 1900), 120),
+	}
+	if cfg.CentralArea.Area() == 0 {
+		cfg.CentralArea = geo.R(400, -200, 1600, 600)
+	}
+	if cfg.StudiedPairs == nil {
+		cfg.StudiedPairs = []string{"A-B", "B-A"}
+	}
+	s, err := NewSelector(gates, cfg)
+	if err != nil {
+		t.Fatalf("NewSelector: %v", err)
+	}
+	return s
+}
+
+// seg builds a trip segment from coordinates, 30 s per point.
+func seg(coords ...float64) *trace.Trip {
+	tr := &trace.Trip{ID: 1, CarID: 1}
+	pl := geo.Line(coords...)
+	for i, p := range pl {
+		tr.Points = append(tr.Points, trace.RoutePoint{
+			PointID: i + 1, TripID: 1, Pos: p,
+			Time: t0.Add(time.Duration(i) * 30 * time.Second),
+		})
+	}
+	return tr
+}
+
+// abSegment runs from on/near gate A through the centre to gate B,
+// entering along the gates' direction (south-north roads driven... the
+// trajectory moves eastward but passes *through* each thick gate area
+// travelling parallel enough by approaching along the road).
+func abSegment() *trace.Trip {
+	// Approach gate A along its road (northward), turn east through the
+	// central area, then arrive at gate B along its road.
+	return seg(
+		0, -300, // south of gate A, on its axis
+		0, 50, // inside gate A thick, moving north (angle ~0)
+		0, 200,
+		300, 200, // leaving east
+		800, 200, // central area
+		1200, 200,
+		1700, 200,
+		2000, 200, // inside gate B thick moving east.. angle vs road?
+		2000, 350, // turn north along gate B road
+		2000, 500,
+	)
+}
+
+func TestClassifyAccepted(t *testing.T) {
+	s := testSelector(t, Config{})
+	c := s.Classify(abSegment())
+	if c.Stage != StageAccepted {
+		t.Fatalf("stage = %v, want accepted", c.Stage)
+	}
+	if c.Transition.Direction != "A-B" || c.Transition.From != "A" || c.Transition.To != "B" {
+		t.Fatalf("transition = %+v", c.Transition)
+	}
+	if c.Transition.Key().TripID != 1 {
+		t.Fatal("transition key broken")
+	}
+}
+
+func TestClassifyNoGate(t *testing.T) {
+	s := testSelector(t, Config{})
+	c := s.Classify(seg(500, 1000, 600, 1000, 700, 1000))
+	if c.Stage != StageNoGate {
+		t.Fatalf("stage = %v, want no-gate", c.Stage)
+	}
+	// Degenerate segment.
+	c = s.Classify(&trace.Trip{ID: 2})
+	if c.Stage != StageNoGate {
+		t.Fatalf("empty stage = %v", c.Stage)
+	}
+}
+
+func TestPerpendicularCrossingRejectedByAngle(t *testing.T) {
+	s := testSelector(t, Config{})
+	// Drive straight east across gate A's road at y=200: angle ~90.
+	c := s.Classify(seg(-300, 200, -100, 200, 0, 200, 100, 200, 300, 200))
+	if c.Stage != StageNoGate {
+		t.Fatalf("perpendicular crossing advanced to %v", c.Stage)
+	}
+	// With a permissive angle config the same segment touches the gate.
+	s2 := testSelector(t, Config{MaxCrossingAngleDeg: 95})
+	c = s2.Classify(seg(-300, 200, -100, 200, 0, 200, 100, 200, 300, 200))
+	if c.Stage != StageGateTouched {
+		t.Fatalf("permissive angle stage = %v", c.Stage)
+	}
+}
+
+func TestSingleGateOnly(t *testing.T) {
+	s := testSelector(t, Config{})
+	// Up gate A's road and back, never reaching B or C.
+	c := s.Classify(seg(0, -300, 0, 0, 0, 200, 0, 400, 0, 100, 0, -250))
+	if c.Stage != StageGateTouched {
+		t.Fatalf("stage = %v, want gate-touched", c.Stage)
+	}
+}
+
+func TestTransitionOutsideCentre(t *testing.T) {
+	// Central area moved far away: the A->B run no longer passes it.
+	s := testSelector(t, Config{CentralArea: geo.R(5000, 5000, 6000, 6000)})
+	c := s.Classify(abSegment())
+	if c.Stage != StageTransition {
+		t.Fatalf("stage = %v, want transition (outside centre)", c.Stage)
+	}
+	if c.Transition == nil || c.Transition.Direction != "A-B" {
+		t.Fatal("transition metadata missing")
+	}
+}
+
+func TestUnstudiedPairStopsAtWithinCentre(t *testing.T) {
+	s := testSelector(t, Config{StudiedPairs: []string{"B-A"}})
+	c := s.Classify(abSegment())
+	if c.Stage != StageWithinCentre {
+		t.Fatalf("stage = %v, want within-centre for unstudied A-B", c.Stage)
+	}
+}
+
+func TestEndpointProximityPostFilter(t *testing.T) {
+	s := testSelector(t, Config{EndpointProximityM: 50})
+	// abSegment starts 300 m south of gate A: fails a 50 m post-filter.
+	c := s.Classify(abSegment())
+	if c.Stage != StageWithinCentre {
+		t.Fatalf("stage = %v, want within-centre (endpoint too far)", c.Stage)
+	}
+}
+
+func TestDirectionOrderMatters(t *testing.T) {
+	s := testSelector(t, Config{})
+	// Reverse the A->B run: becomes B-A.
+	fwd := abSegment()
+	rev := &trace.Trip{ID: 1, CarID: 1}
+	for i := len(fwd.Points) - 1; i >= 0; i-- {
+		p := fwd.Points[i]
+		p.PointID = len(rev.Points) + 1
+		p.Time = t0.Add(time.Duration(len(rev.Points)) * 30 * time.Second)
+		rev.Points = append(rev.Points, p)
+	}
+	c := s.Classify(rev)
+	if c.Stage != StageAccepted || c.Transition.Direction != "B-A" {
+		t.Fatalf("reverse = %v %+v", c.Stage, c.Transition)
+	}
+}
+
+func TestRunFunnelMonotone(t *testing.T) {
+	s := testSelector(t, Config{})
+	segs := []*trace.Trip{
+		abSegment(),
+		seg(500, 1000, 600, 1000, 700, 1000), // no gate
+		seg(0, -300, 0, 0, 0, 200, 0, 400, 0, 100, 0, -250), // one gate
+	}
+	f, accepted := s.Run(3, segs)
+	if f.Car != 3 || f.TripSegments != 3 {
+		t.Fatalf("funnel header: %+v", f)
+	}
+	if !(f.TripSegments >= f.Filtered && f.Filtered >= f.Transitions &&
+		f.Transitions >= f.WithinCentre && f.WithinCentre >= f.PostFiltered) {
+		t.Fatalf("funnel not monotone: %+v", f)
+	}
+	if f.PostFiltered != 1 || len(accepted) != 1 {
+		t.Fatalf("accepted = %d, funnel %+v", len(accepted), f)
+	}
+}
+
+func TestNewSelectorValidation(t *testing.T) {
+	g1 := NewGate("A", geo.Line(0, 0, 0, 100), 50)
+	g2 := NewGate("A", geo.Line(10, 0, 10, 100), 50)
+	if _, err := NewSelector([]Gate{g1, g2}, Config{}); err == nil {
+		t.Fatal("duplicate gate names accepted")
+	}
+	if _, err := NewSelector([]Gate{g1}, Config{}); err == nil {
+		t.Fatal("single gate accepted")
+	}
+	if _, err := NewSelector([]Gate{{Name: "", Thick: g1.Thick}, g1}, Config{}); err == nil {
+		t.Fatal("unnamed gate accepted")
+	}
+}
+
+func TestStageString(t *testing.T) {
+	names := map[Stage]string{
+		StageNoGate:       "no-gate",
+		StageGateTouched:  "gate-touched",
+		StageTransition:   "transition",
+		StageWithinCentre: "within-centre",
+		StageAccepted:     "accepted",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	s := testSelector(t, Config{})
+	m := s.NewMatrix()
+	m.Add(s.Classify(abSegment()))
+	m.Add(s.Classify(abSegment()))
+	m.Add(s.Classify(seg(500, 1000, 600, 1000))) // no gate: ignored
+	if m.Count("A", "B") != 2 || m.Count("B", "A") != 0 {
+		t.Fatalf("matrix counts: A-B=%d B-A=%d", m.Count("A", "B"), m.Count("B", "A"))
+	}
+	if m.Total() != 2 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	out := m.String()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "2") {
+		t.Fatalf("matrix render: %q", out)
+	}
+}

@@ -1,0 +1,363 @@
+// Package render writes the paper's map figures as standalone SVG
+// files: point-speed maps (Figs 3-5), cell choropleths with feature
+// overlays (Figs 6, 9), scatter plots (Fig 7), and interval plots
+// (Fig 8). It replaces the paper's Quantum GIS visualisation step.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// Canvas maps a projected-coordinate viewport onto an SVG pixel frame
+// and accumulates drawing commands.
+type Canvas struct {
+	view   geo.Rect
+	width  int
+	height int
+	body   []string
+	err    error
+}
+
+// NewCanvas creates a canvas showing view at the given pixel width;
+// height follows the aspect ratio.
+func NewCanvas(view geo.Rect, widthPx int) *Canvas {
+	if widthPx <= 0 {
+		widthPx = 800
+	}
+	h := int(float64(widthPx) * view.Height() / view.Width())
+	if h <= 0 {
+		h = widthPx
+	}
+	return &Canvas{view: view, width: widthPx, height: h}
+}
+
+// pt converts projected coordinates to pixels (SVG y grows downward).
+func (c *Canvas) pt(p geo.XY) (float64, float64) {
+	x := (p.X - c.view.MinX) / c.view.Width() * float64(c.width)
+	y := (c.view.MaxY - p.Y) / c.view.Height() * float64(c.height)
+	return x, y
+}
+
+// Rect draws a filled rectangle.
+func (c *Canvas) Rect(r geo.Rect, fill string, opacity float64) {
+	x0, y0 := c.pt(geo.XY{X: r.MinX, Y: r.MaxY})
+	x1, y1 := c.pt(geo.XY{X: r.MaxX, Y: r.MinY})
+	c.body = append(c.body, fmt.Sprintf(
+		`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="%.2f"/>`,
+		x0, y0, x1-x0, y1-y0, fill, opacity))
+}
+
+// Polyline draws a stroked chain.
+func (c *Canvas) Polyline(pl geo.Polyline, stroke string, width float64) {
+	if len(pl) < 2 {
+		return
+	}
+	pts := ""
+	for _, p := range pl {
+		x, y := c.pt(p)
+		pts += fmt.Sprintf("%.1f,%.1f ", x, y)
+	}
+	c.body = append(c.body, fmt.Sprintf(
+		`<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`,
+		pts, stroke, width))
+}
+
+// Circle draws a filled dot.
+func (c *Canvas) Circle(p geo.XY, radiusPx float64, fill string) {
+	x, y := c.pt(p)
+	c.body = append(c.body, fmt.Sprintf(
+		`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`, x, y, radiusPx, fill))
+}
+
+// Text writes a label.
+func (c *Canvas) Text(p geo.XY, s string, sizePx int, fill string) {
+	x, y := c.pt(p)
+	c.body = append(c.body, fmt.Sprintf(
+		`<text x="%.1f" y="%.1f" font-size="%d" fill="%s" font-family="sans-serif">%s</text>`,
+		x, y, sizePx, fill, xmlEscape(s)))
+}
+
+// WriteTo emits the complete SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(s string) error {
+		m, err := io.WriteString(w, s)
+		n += int64(m)
+		return err
+	}
+	if err := write(fmt.Sprintf(
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		c.width, c.height, c.width, c.height)); err != nil {
+		return n, err
+	}
+	if err := write(`<rect width="100%" height="100%" fill="white"/>` + "\n"); err != nil {
+		return n, err
+	}
+	for _, b := range c.body {
+		if err := write(b + "\n"); err != nil {
+			return n, err
+		}
+	}
+	return n, write("</svg>\n")
+}
+
+func xmlEscape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// SpeedColor maps a speed to the figure palette: red (slow) through
+// yellow to green (fast), saturating at maxKmh.
+func SpeedColor(speedKmh, maxKmh float64) string {
+	if maxKmh <= 0 {
+		maxKmh = 60
+	}
+	t := speedKmh / maxKmh
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	// 0 -> red (255,40,40); 0.5 -> yellow (250,220,60); 1 -> green (40,170,60).
+	var r, g, b float64
+	if t < 0.5 {
+		u := t * 2
+		r, g, b = 255+(250-255)*u, 40+(220-40)*u, 40+(60-40)*u
+	} else {
+		u := (t - 0.5) * 2
+		r, g, b = 250+(40-250)*u, 220+(170-220)*u, 60
+	}
+	return fmt.Sprintf("#%02x%02x%02x", int(r), int(g), int(b))
+}
+
+// DivergingColor maps v in [-max, +max] to blue-white-red (used for
+// the Fig 9 BLUP map: negative = slower than average = red).
+func DivergingColor(v, max float64) string {
+	if max <= 0 {
+		max = 1
+	}
+	t := v / max
+	if t < -1 {
+		t = -1
+	}
+	if t > 1 {
+		t = 1
+	}
+	var r, g, b float64
+	if t < 0 {
+		u := -t
+		r, g, b = 255, 255-185*u, 255-195*u // toward red
+	} else {
+		u := t
+		r, g, b = 255-205*u, 255-130*u, 255 // toward blue
+	}
+	return fmt.Sprintf("#%02x%02x%02x", int(r), int(g), int(b))
+}
+
+// XYChart is a minimal cartesian chart for the QQ and interval figures.
+type XYChart struct {
+	MinX, MaxX, MinY, MaxY float64
+	width, height          int
+	margin                 float64
+	body                   []string
+}
+
+// NewXYChart creates a chart with the given data ranges.
+func NewXYChart(minX, maxX, minY, maxY float64, widthPx, heightPx int) *XYChart {
+	if widthPx <= 0 {
+		widthPx = 700
+	}
+	if heightPx <= 0 {
+		heightPx = 500
+	}
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	return &XYChart{
+		MinX: minX, MaxX: maxX, MinY: minY, MaxY: maxY,
+		width: widthPx, height: heightPx, margin: 45,
+	}
+}
+
+func (c *XYChart) px(x, y float64) (float64, float64) {
+	w := float64(c.width) - 2*c.margin
+	h := float64(c.height) - 2*c.margin
+	return c.margin + (x-c.MinX)/(c.MaxX-c.MinX)*w,
+		float64(c.height) - c.margin - (y-c.MinY)/(c.MaxY-c.MinY)*h
+}
+
+// Point plots one dot.
+func (c *XYChart) Point(x, y, radiusPx float64, fill string) {
+	px, py := c.px(x, y)
+	c.body = append(c.body, fmt.Sprintf(
+		`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`, px, py, radiusPx, fill))
+}
+
+// VLineSegment draws a vertical interval at x from yLo to yHi
+// (Fig 8 confidence limits).
+func (c *XYChart) VLineSegment(x, yLo, yHi float64, stroke string) {
+	x0, y0 := c.px(x, yLo)
+	_, y1 := c.px(x, yHi)
+	c.body = append(c.body, fmt.Sprintf(
+		`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+		x0, y0, x0, y1, stroke))
+}
+
+// Line draws a straight reference line between data points.
+func (c *XYChart) Line(x0, y0, x1, y1 float64, stroke string) {
+	px0, py0 := c.px(x0, y0)
+	px1, py1 := c.px(x1, y1)
+	c.body = append(c.body, fmt.Sprintf(
+		`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.5"/>`,
+		px0, py0, px1, py1, stroke))
+}
+
+// Bar draws a vertical bar from the baseline (y=0 clipped to range).
+func (c *XYChart) Bar(x, y, widthData float64, fill string) {
+	base := math.Max(c.MinY, 0)
+	x0, y0 := c.px(x-widthData/2, base)
+	x1, y1 := c.px(x+widthData/2, y)
+	if y1 > y0 {
+		y0, y1 = y1, y0
+	}
+	c.body = append(c.body, fmt.Sprintf(
+		`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="black" stroke-width="0.5"/>`,
+		x0, y1, x1-x0, y0-y1, fill))
+}
+
+// Label writes a chart annotation at data coordinates.
+func (c *XYChart) Label(x, y float64, s string, sizePx int) {
+	px, py := c.px(x, y)
+	c.body = append(c.body, fmt.Sprintf(
+		`<text x="%.1f" y="%.1f" font-size="%d" fill="black" font-family="sans-serif">%s</text>`,
+		px, py, sizePx, xmlEscape(s)))
+}
+
+// WriteTo emits the chart with simple axes.
+func (c *XYChart) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(s string) error {
+		m, err := io.WriteString(w, s)
+		n += int64(m)
+		return err
+	}
+	if err := write(fmt.Sprintf(
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		c.width, c.height, c.width, c.height)); err != nil {
+		return n, err
+	}
+	if err := write(`<rect width="100%" height="100%" fill="white"/>` + "\n"); err != nil {
+		return n, err
+	}
+	// Axes.
+	x0, y0 := c.px(c.MinX, c.MinY)
+	x1, _ := c.px(c.MaxX, c.MinY)
+	_, y1 := c.px(c.MinX, c.MaxY)
+	axis := fmt.Sprintf(
+		`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n"+
+			`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		x0, y0, x1, y0, x0, y0, x0, y1)
+	if err := write(axis); err != nil {
+		return n, err
+	}
+	for _, b := range c.body {
+		if err := write(b + "\n"); err != nil {
+			return n, err
+		}
+	}
+	return n, write("</svg>\n")
+}
+
+// WidePolyline draws the chain as a translucent band widthM metres wide
+// in data units — the thick-geometry visualisation of the paper's
+// Fig 2.
+func (c *Canvas) WidePolyline(pl geo.Polyline, stroke string, widthM, opacity float64) {
+	if len(pl) < 2 {
+		return
+	}
+	pxPerM := float64(c.width) / c.view.Width()
+	pts := ""
+	for _, p := range pl {
+		x, y := c.pt(p)
+		pts += fmt.Sprintf("%.1f,%.1f ", x, y)
+	}
+	c.body = append(c.body, fmt.Sprintf(
+		`<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f" stroke-opacity="%.2f" stroke-linecap="round"/>`,
+		pts, stroke, widthM*pxPerM, opacity))
+}
+
+// RectOutline draws an unfilled rectangle.
+func (c *Canvas) RectOutline(r geo.Rect, stroke string, widthPx float64) {
+	x0, y0 := c.pt(geo.XY{X: r.MinX, Y: r.MaxY})
+	x1, y1 := c.pt(geo.XY{X: r.MaxX, Y: r.MinY})
+	c.body = append(c.body, fmt.Sprintf(
+		`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="%s" stroke-width="%.1f"/>`,
+		x0, y0, x1-x0, y1-y0, stroke, widthPx))
+}
+
+// SpeedLegend draws a horizontal speed-colour legend in the bottom-left
+// corner of the canvas (pixel space).
+func (c *Canvas) SpeedLegend(maxKmh float64) {
+	if maxKmh <= 0 {
+		maxKmh = 60
+	}
+	const (
+		x0, h, w = 15.0, 12.0, 180.0
+		steps    = 24
+	)
+	y0 := float64(c.height) - 30
+	for i := 0; i < steps; i++ {
+		v := float64(i) / (steps - 1) * maxKmh
+		c.body = append(c.body, fmt.Sprintf(
+			`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+			x0+float64(i)*w/steps, y0, w/steps+0.5, h, SpeedColor(v, maxKmh)))
+	}
+	c.body = append(c.body, fmt.Sprintf(
+		`<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif">0</text>`, x0, y0-3))
+	c.body = append(c.body, fmt.Sprintf(
+		`<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif">%.0f km/h</text>`,
+		x0+w-30, y0-3, maxKmh))
+}
+
+// DivergingLegend draws a +/- legend for BLUP maps.
+func (c *Canvas) DivergingLegend(maxAbs float64, unit string) {
+	if maxAbs <= 0 {
+		maxAbs = 1
+	}
+	const (
+		x0, h, w = 15.0, 12.0, 180.0
+		steps    = 24
+	)
+	y0 := float64(c.height) - 30
+	for i := 0; i < steps; i++ {
+		v := (2*float64(i)/(steps-1) - 1) * maxAbs
+		c.body = append(c.body, fmt.Sprintf(
+			`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+			x0+float64(i)*w/steps, y0, w/steps+0.5, h, DivergingColor(v, maxAbs)))
+	}
+	c.body = append(c.body, fmt.Sprintf(
+		`<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif">%+.0f %s</text>`, x0, y0-3, -maxAbs, unit))
+	c.body = append(c.body, fmt.Sprintf(
+		`<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif">%+.0f %s</text>`,
+		x0+w-45, y0-3, maxAbs, unit))
+}

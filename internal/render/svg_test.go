@@ -1,0 +1,175 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func renderCanvas(t *testing.T, f func(*Canvas)) string {
+	t.Helper()
+	c := NewCanvas(geo.R(0, 0, 1000, 500), 800)
+	f(c)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Fatalf("not a complete SVG: %q...", s[:40])
+	}
+	return s
+}
+
+func TestCanvasShapes(t *testing.T) {
+	s := renderCanvas(t, func(c *Canvas) {
+		c.Rect(geo.R(100, 100, 300, 200), "#ff0000", 0.5)
+		c.Polyline(geo.Line(0, 0, 500, 250, 1000, 0), "#00ff00", 2)
+		c.Circle(geo.V(500, 250), 4, "#0000ff")
+		c.Text(geo.V(10, 490), "A<&>B", 12, "#000000")
+	})
+	for _, frag := range []string{"<rect", "<polyline", "<circle", "<text", "A&lt;&amp;&gt;B"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("missing %q in output", frag)
+		}
+	}
+}
+
+func TestCanvasAspectRatio(t *testing.T) {
+	c := NewCanvas(geo.R(0, 0, 1000, 500), 800)
+	var buf bytes.Buffer
+	c.WriteTo(&buf)
+	if !strings.Contains(buf.String(), `width="800" height="400"`) {
+		t.Fatalf("aspect ratio not preserved: %s", buf.String()[:80])
+	}
+}
+
+func TestCanvasCoordinateMapping(t *testing.T) {
+	// The view's top-left corner must land at pixel (0,0) and the
+	// bottom-right at (width, height): y is flipped.
+	c := NewCanvas(geo.R(0, 0, 100, 100), 100)
+	c.Circle(geo.V(0, 100), 1, "#000") // top-left in data space
+	var buf bytes.Buffer
+	c.WriteTo(&buf)
+	if !strings.Contains(buf.String(), `cx="0.0" cy="0.0"`) {
+		t.Fatalf("top-left mapping wrong: %s", buf.String())
+	}
+}
+
+func TestCanvasSkipsDegeneratePolyline(t *testing.T) {
+	s := renderCanvas(t, func(c *Canvas) {
+		c.Polyline(geo.Polyline{geo.V(1, 1)}, "#000", 1)
+	})
+	if strings.Contains(s, "<polyline") {
+		t.Fatal("single-point polyline should be skipped")
+	}
+}
+
+func TestSpeedColor(t *testing.T) {
+	slow := SpeedColor(0, 60)
+	mid := SpeedColor(30, 60)
+	fast := SpeedColor(60, 60)
+	if slow == fast || slow == mid {
+		t.Fatalf("palette degenerate: %s %s %s", slow, mid, fast)
+	}
+	if slow != "#ff2828" {
+		t.Fatalf("slow colour = %s, want red", slow)
+	}
+	if fast != "#28aa3c" {
+		t.Fatalf("fast colour = %s, want green", fast)
+	}
+	// Clamping.
+	if SpeedColor(-10, 60) != slow || SpeedColor(500, 60) != fast {
+		t.Fatal("speeds must clamp to the palette ends")
+	}
+	if SpeedColor(30, 0) == "" {
+		t.Fatal("zero max must fall back to a default")
+	}
+}
+
+func TestDivergingColor(t *testing.T) {
+	neg := DivergingColor(-5, 5)
+	zero := DivergingColor(0, 5)
+	pos := DivergingColor(5, 5)
+	if zero != "#ffffff" {
+		t.Fatalf("zero must be white, got %s", zero)
+	}
+	if neg == pos || neg == zero {
+		t.Fatalf("diverging palette degenerate: %s %s %s", neg, zero, pos)
+	}
+	if DivergingColor(-99, 5) != neg || DivergingColor(99, 5) != pos {
+		t.Fatal("values must clamp")
+	}
+}
+
+func TestXYChart(t *testing.T) {
+	ch := NewXYChart(-3, 3, -10, 10, 700, 500)
+	ch.Point(0, 0, 2, "#123456")
+	ch.Line(-3, -9, 3, 9, "#888888")
+	ch.VLineSegment(1, -2, 2, "#999999")
+	ch.Bar(2, 5, 0.4, "#eeeeee")
+	ch.Label(-2.5, 8, "hello", 12)
+	var buf bytes.Buffer
+	if _, err := ch.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, frag := range []string{"<circle", "<line", "<rect", "hello", "</svg>"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("chart missing %q", frag)
+		}
+	}
+}
+
+func TestXYChartDegenerateRanges(t *testing.T) {
+	// Equal min/max must not divide by zero.
+	ch := NewXYChart(1, 1, 2, 2, 0, 0)
+	ch.Point(1, 2, 2, "#000")
+	var buf bytes.Buffer
+	if _, err := ch.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("degenerate ranges produced NaN coordinates")
+	}
+}
+
+func TestLegends(t *testing.T) {
+	c := NewCanvas(geo.R(0, 0, 1000, 500), 400)
+	c.SpeedLegend(60)
+	c.DivergingLegend(10, "km/h")
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "60 km/h") || !strings.Contains(s, "+10 km/h") || !strings.Contains(s, "-10 km/h") {
+		t.Fatalf("legend labels missing")
+	}
+}
+
+func TestWidePolylineAndRectOutline(t *testing.T) {
+	c := NewCanvas(geo.R(0, 0, 1000, 500), 500)
+	c.WidePolyline(geo.Line(0, 0, 500, 0), "#ff0000", 100, 0.4)
+	c.RectOutline(geo.R(100, 100, 300, 200), "#0000ff", 2)
+	var buf bytes.Buffer
+	c.WriteTo(&buf)
+	s := buf.String()
+	// 100 m at 0.5 px/m = 50 px stroke.
+	if !strings.Contains(s, `stroke-width="50.0"`) {
+		t.Fatalf("wide polyline stroke wrong: %s", s)
+	}
+	if !strings.Contains(s, `fill="none" stroke="#0000ff"`) {
+		t.Fatal("rect outline missing")
+	}
+	// Degenerate chain skipped.
+	c2 := NewCanvas(geo.R(0, 0, 10, 10), 100)
+	c2.WidePolyline(geo.Polyline{geo.V(1, 1)}, "#000", 10, 1)
+	var buf2 bytes.Buffer
+	c2.WriteTo(&buf2)
+	if strings.Contains(buf2.String(), "stroke-opacity") {
+		t.Fatal("degenerate wide polyline drawn")
+	}
+}

@@ -1,0 +1,65 @@
+package roadnet_test
+
+import (
+	"fmt"
+
+	"repro/internal/digiroad"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+func ExampleBuild() {
+	// Four traffic elements: a two-element chain east of a junction
+	// where two more arms meet. Map preparation merges the chain into a
+	// single edge (the paper's Table 1).
+	db := digiroad.NewDatabase(digiroad.OuluOrigin)
+	for _, g := range []geo.Polyline{
+		geo.Line(0, 0, 0, 100),  // north arm
+		geo.Line(0, 0, -100, 0), // west arm
+		geo.Line(0, 0, 60, 0),   // east chain part 1
+		geo.Line(60, 0, 120, 0), // east chain part 2
+	} {
+		if _, err := db.AddElement(digiroad.TrafficElement{
+			Geom: g, Class: digiroad.ClassLocal, SpeedLimitKmh: 40,
+		}); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	graph, err := roadnet.Build(db)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d nodes, %d edges, %d junction(s)\n",
+		len(graph.Nodes), len(graph.Edges), len(graph.Junctions()))
+	for _, pair := range graph.JunctionPairs() {
+		if len(pair.Elements) > 1 {
+			fmt.Printf("merged chain: elements %v\n", pair.Elements)
+		}
+	}
+	// Output:
+	// 4 nodes, 3 edges, 1 junction(s)
+	// merged chain: elements [3 4]
+}
+
+func ExampleGraph_ShortestPath() {
+	db := digiroad.NewDatabase(digiroad.OuluOrigin)
+	// A square block with one diagonal.
+	for _, g := range []geo.Polyline{
+		geo.Line(0, 0, 100, 0),
+		geo.Line(100, 0, 100, 100),
+		geo.Line(0, 0, 0, 100),
+		geo.Line(0, 100, 100, 100),
+		geo.Line(0, 0, 100, 100), // diagonal
+	} {
+		db.AddElement(digiroad.TrafficElement{Geom: g, Class: digiroad.ClassLocal, SpeedLimitKmh: 40})
+	}
+	graph, _ := roadnet.Build(db)
+	from := graph.NearestNode(geo.V(0, 0)).ID
+	to := graph.NearestNode(geo.V(100, 100)).ID
+	path, _ := graph.ShortestPath(from, to, roadnet.DistanceWeight)
+	fmt.Printf("%.0f m over %d edge(s)\n", path.Length, len(path.Steps))
+	// Output:
+	// 141 m over 1 edge(s)
+}

@@ -1,0 +1,400 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/digiroad"
+	"repro/internal/geo"
+)
+
+// buildDB constructs a database from raw element specs.
+func buildDB(t *testing.T, elems []digiroad.TrafficElement) *digiroad.Database {
+	t.Helper()
+	db := digiroad.NewDatabase(digiroad.OuluOrigin)
+	for _, e := range elems {
+		if _, err := db.AddElement(e); err != nil {
+			t.Fatalf("AddElement: %v", err)
+		}
+	}
+	return db
+}
+
+func el(id int, limit float64, flow digiroad.FlowDirection, coords ...float64) digiroad.TrafficElement {
+	return digiroad.TrafficElement{
+		ID:            id,
+		Geom:          geo.Line(coords...),
+		Class:         digiroad.ClassLocal,
+		Flow:          flow,
+		SpeedLimitKmh: limit,
+	}
+}
+
+// crossDB builds a plus-shaped network: four arms meeting at the origin,
+// with the east arm split into a two-element chain.
+func crossDB(t *testing.T) *digiroad.Database {
+	return buildDB(t, []digiroad.TrafficElement{
+		el(1, 40, digiroad.FlowBoth, 0, 0, 0, 100),  // north arm
+		el(2, 40, digiroad.FlowBoth, 0, 0, 0, -100), // south arm
+		el(3, 40, digiroad.FlowBoth, 0, 0, -100, 0), // west arm
+		el(4, 40, digiroad.FlowBoth, 0, 0, 60, 0),   // east arm part 1
+		el(5, 40, digiroad.FlowBoth, 60, 0, 120, 0), // east arm part 2
+	})
+}
+
+func TestBuildMergesChains(t *testing.T) {
+	g, err := Build(crossDB(t))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Nodes: the centre junction (degree 4) plus four arm ends.
+	if len(g.Nodes) != 5 {
+		t.Fatalf("got %d nodes, want 5", len(g.Nodes))
+	}
+	if len(g.Edges) != 4 {
+		t.Fatalf("got %d edges, want 4", len(g.Edges))
+	}
+	// The east arm must be one edge made of elements {4,5}.
+	var east *Edge
+	for i := range g.Edges {
+		if len(g.Edges[i].Elements) == 2 {
+			east = &g.Edges[i]
+		}
+	}
+	if east == nil {
+		t.Fatal("no merged chain edge found")
+	}
+	if east.Elements[0] != 4 || east.Elements[1] != 5 {
+		t.Fatalf("east chain elements = %v, want [4 5]", east.Elements)
+	}
+	if !almostEq(east.Length, 120, 1e-9) {
+		t.Fatalf("east chain length = %f, want 120", east.Length)
+	}
+	// Junction typing: centre has degree 4, arm ends degree 1.
+	junctions := g.Junctions()
+	if len(junctions) != 1 || junctions[0].Pos.Dist(geo.V(0, 0)) > 1e-9 {
+		t.Fatalf("junctions = %v", junctions)
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBuildSpeedLimitAndClassMerge(t *testing.T) {
+	db := buildDB(t, []digiroad.TrafficElement{
+		// A chain with mixed limits: merged edge takes the minimum.
+		el(1, 60, digiroad.FlowBoth, 0, 0, 50, 0),
+		el(2, 40, digiroad.FlowBoth, 50, 0, 100, 0),
+		// Branches to make the chain endpoints junction-free.
+	})
+	g, err := Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(g.Edges) != 1 {
+		t.Fatalf("edges = %d, want 1", len(g.Edges))
+	}
+	if g.Edges[0].SpeedLimitKmh != 40 {
+		t.Fatalf("merged limit = %f, want 40", g.Edges[0].SpeedLimitKmh)
+	}
+}
+
+func TestBuildOneWayChainOrientation(t *testing.T) {
+	// Two one-way elements digitised in opposite directions but forming
+	// a consistent one-way street west->east.
+	db := buildDB(t, []digiroad.TrafficElement{
+		el(1, 40, digiroad.FlowForward, 0, 0, 50, 0),    // digitised W->E, flow with
+		el(2, 40, digiroad.FlowBackward, 100, 0, 50, 0), // digitised E->W, flow against
+	})
+	g, err := Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(g.Edges) != 1 {
+		t.Fatalf("edges = %d, want 1", len(g.Edges))
+	}
+	e := &g.Edges[0]
+	// Whatever the stored orientation, traversal must only be possible
+	// in the west->east sense.
+	westToEast := g.Nodes[e.From].Pos.X < g.Nodes[e.To].Pos.X
+	if westToEast && e.Flow != digiroad.FlowForward {
+		t.Fatalf("flow = %v for W->E geometry, want forward", e.Flow)
+	}
+	if !westToEast && e.Flow != digiroad.FlowBackward {
+		t.Fatalf("flow = %v for E->W geometry, want backward", e.Flow)
+	}
+}
+
+func TestBuildConflictingOneWaysFallBackToBoth(t *testing.T) {
+	db := buildDB(t, []digiroad.TrafficElement{
+		el(1, 40, digiroad.FlowForward, 0, 0, 50, 0),
+		el(2, 40, digiroad.FlowForward, 100, 0, 50, 0), // points at each other
+	})
+	g, err := Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(g.Edges) != 1 || g.Edges[0].Flow != digiroad.FlowBoth {
+		t.Fatalf("conflicting chain flow = %v, want both", g.Edges[0].Flow)
+	}
+}
+
+func TestBuildPureCycle(t *testing.T) {
+	// A triangle of elements with every endpoint of degree 2: a pure
+	// cycle that must be broken at an arbitrary node rather than lost.
+	db := buildDB(t, []digiroad.TrafficElement{
+		el(1, 40, digiroad.FlowBoth, 0, 0, 100, 0),
+		el(2, 40, digiroad.FlowBoth, 100, 0, 50, 80),
+		el(3, 40, digiroad.FlowBoth, 50, 80, 0, 0),
+	})
+	g, err := Build(db)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	totalElems := 0
+	for i := range g.Edges {
+		totalElems += len(g.Edges[i].Elements)
+	}
+	if totalElems != 3 {
+		t.Fatalf("cycle lost elements: %d of 3 used", totalElems)
+	}
+}
+
+func TestBuildSkipsPedestrianAndEmpty(t *testing.T) {
+	db := digiroad.NewDatabase(digiroad.OuluOrigin)
+	if _, err := db.AddElement(digiroad.TrafficElement{
+		Geom:  geo.Line(0, 0, 10, 0),
+		Class: digiroad.ClassPedestrian,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(db); err == nil {
+		t.Fatal("pedestrian-only network must fail to build")
+	}
+	if _, err := Build(digiroad.NewDatabase(digiroad.OuluOrigin)); err == nil {
+		t.Fatal("empty database must fail to build")
+	}
+}
+
+func TestBuildDefaultSpeedLimit(t *testing.T) {
+	db := buildDB(t, []digiroad.TrafficElement{
+		el(1, 0, digiroad.FlowBoth, 0, 0, 100, 0), // no limit recorded
+	})
+	g, err := Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges[0].SpeedLimitKmh != 50 {
+		t.Fatalf("default limit = %f, want 50", g.Edges[0].SpeedLimitKmh)
+	}
+}
+
+func TestJunctionPairs(t *testing.T) {
+	g, err := Build(crossDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := g.JunctionPairs()
+	if len(pairs) != len(g.Edges) {
+		t.Fatalf("pairs = %d, want %d", len(pairs), len(g.Edges))
+	}
+	// Find the merged east edge row and check its element array.
+	found := false
+	for _, p := range pairs {
+		if len(p.Elements) == 2 {
+			found = true
+			if p.Elements[0] != 4 || p.Elements[1] != 5 {
+				t.Fatalf("pair elements = %v", p.Elements)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no multi-element junction pair row")
+	}
+}
+
+func TestEdgesNearAndNearestEdge(t *testing.T) {
+	g, err := Build(crossDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := g.EdgesNear(geo.V(30, 5), 10)
+	if len(cands) != 1 {
+		t.Fatalf("EdgesNear found %d, want 1", len(cands))
+	}
+	if cands[0].Distance > 5.01 || cands[0].Proj.Point.Dist(geo.V(30, 0)) > 1e-9 {
+		t.Fatalf("candidate = %+v", cands[0])
+	}
+	best, ok := g.NearestEdge(geo.V(30, 5), 100)
+	if !ok || best.Edge.ID != cands[0].Edge.ID {
+		t.Fatalf("NearestEdge = %+v, %v", best, ok)
+	}
+	if _, ok := g.NearestEdge(geo.V(5000, 5000), 100); ok {
+		t.Fatal("NearestEdge far away must fail")
+	}
+}
+
+func TestNearestNode(t *testing.T) {
+	g, err := Build(crossDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NearestNode(geo.V(2, 3))
+	if n == nil || n.Pos.Dist(geo.V(0, 0)) > 1e-9 {
+		t.Fatalf("NearestNode = %v", n)
+	}
+}
+
+func TestSynthCityGraphInvariants(t *testing.T) {
+	city := digiroad.SynthesizeOulu(digiroad.SynthConfig{Seed: 1})
+	g, err := Build(city.DB)
+	if err != nil {
+		t.Fatalf("Build synth city: %v", err)
+	}
+	if len(g.Junctions()) < 100 {
+		t.Fatalf("synthetic city has only %d junctions", len(g.Junctions()))
+	}
+	// Every drivable element is used by exactly one edge.
+	used := map[int]int{}
+	for i := range g.Edges {
+		for _, id := range g.Edges[i].Elements {
+			used[id]++
+		}
+	}
+	drivable := 0
+	for _, e := range city.DB.Elements() {
+		if e.Class == digiroad.ClassPedestrian {
+			continue
+		}
+		drivable++
+		if used[e.ID] != 1 {
+			t.Fatalf("element %d used %d times", e.ID, used[e.ID])
+		}
+	}
+	if len(used) != drivable {
+		t.Fatalf("used %d elements, want %d", len(used), drivable)
+	}
+	// Edge geometry endpoints must coincide with node positions.
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.Geom[0].Dist(g.Nodes[e.From].Pos) > 0.02 {
+			t.Fatalf("edge %d start detached from node", e.ID)
+		}
+		if e.Geom[len(e.Geom)-1].Dist(g.Nodes[e.To].Pos) > 0.02 {
+			t.Fatalf("edge %d end detached from node", e.ID)
+		}
+	}
+	// Every node's incident edge list is consistent.
+	for i := range g.Nodes {
+		for _, eid := range g.Nodes[i].Edges {
+			e := &g.Edges[eid]
+			if e.From != g.Nodes[i].ID && e.To != g.Nodes[i].ID {
+				t.Fatalf("node %d lists foreign edge %d", i, eid)
+			}
+		}
+	}
+}
+
+func TestBuildUsesSegmentedLimits(t *testing.T) {
+	db := buildDB(t, []digiroad.TrafficElement{
+		el(1, 60, digiroad.FlowBoth, 0, 0, 100, 0),
+	})
+	// A 30 km/h pocket in the middle of the element.
+	if err := db.SetSpeedLimits(1, []digiroad.SpeedLimitRange{
+		{FromM: 40, ToM: 60, Kmh: 30},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges[0].SpeedLimitKmh != 30 {
+		t.Fatalf("edge limit = %f, want 30 from the segmented attribute", g.Edges[0].SpeedLimitKmh)
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	g, err := Build(crossDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Stats()
+	if s.Nodes != 5 || s.Edges != 4 || s.Junctions != 1 || s.DeadEnds != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !almostEq(s.TotalLengthM, 420, 1e-9) {
+		t.Fatalf("total length = %f", s.TotalLengthM)
+	}
+	if s.Components != 1 || !almostEq(s.LargestCompPct, 100, 1e-9) {
+		t.Fatalf("components = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	db := buildDB(t, []digiroad.TrafficElement{
+		el(1, 40, digiroad.FlowBoth, 0, 0, 100, 0),
+		el(2, 40, digiroad.FlowBoth, 1000, 0, 1100, 0),
+		el(3, 40, digiroad.FlowBoth, 1100, 0, 1200, 50),
+	})
+	g, err := Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[0]) < len(comps[1]) {
+		t.Fatal("components not sorted largest first")
+	}
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+	}
+	if total != len(g.Nodes) {
+		t.Fatalf("components cover %d nodes of %d", total, len(g.Nodes))
+	}
+	s := g.Stats()
+	if s.Components != 2 {
+		t.Fatalf("stats components = %d", s.Components)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	g, err := Build(gridDB(t, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		a := NodeID(rng.Intn(len(g.Nodes)))
+		b := NodeID(rng.Intn(len(g.Nodes)))
+		c := NodeID(rng.Intn(len(g.Nodes)))
+		ab, e1 := g.ShortestPath(a, b, nil)
+		bc, e2 := g.ShortestPath(b, c, nil)
+		ac, e3 := g.ShortestPath(a, c, nil)
+		if e1 != nil || e2 != nil || e3 != nil {
+			continue
+		}
+		if ac.Cost > ab.Cost+bc.Cost+1e-9 {
+			t.Fatalf("triangle inequality violated: %f > %f + %f", ac.Cost, ab.Cost, bc.Cost)
+		}
+	}
+}
+
+func TestJunctionsIn(t *testing.T) {
+	g, err := Build(crossDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.JunctionsIn(geo.R(-10, -10, 10, 10))); got != 1 {
+		t.Fatalf("JunctionsIn centre = %d, want 1", got)
+	}
+	if got := len(g.JunctionsIn(geo.R(500, 500, 600, 600))); got != 0 {
+		t.Fatalf("JunctionsIn far = %d, want 0", got)
+	}
+}

@@ -1,0 +1,95 @@
+package roadnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/digiroad"
+)
+
+// NetworkStats summarises a built road graph, useful as a sanity
+// diagnostic before running the pipeline on a map (real Digiroad
+// extracts can contain disconnected islands from clipping).
+type NetworkStats struct {
+	Nodes          int
+	Edges          int
+	Junctions      int // degree >= 3
+	DeadEnds       int // degree 1
+	TotalLengthM   float64
+	LengthByClass  map[digiroad.FunctionalClass]float64
+	OneWayEdges    int
+	Components     int
+	LargestCompPct float64 // share of nodes in the largest component
+}
+
+// Stats computes the summary.
+func (g *Graph) Stats() NetworkStats {
+	s := NetworkStats{
+		Nodes:         len(g.Nodes),
+		Edges:         len(g.Edges),
+		LengthByClass: map[digiroad.FunctionalClass]float64{},
+	}
+	for i := range g.Nodes {
+		switch d := g.Nodes[i].Degree(); {
+		case d >= 3:
+			s.Junctions++
+		case d == 1:
+			s.DeadEnds++
+		}
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		s.TotalLengthM += e.Length
+		s.LengthByClass[e.Class] += e.Length
+		if e.Flow != digiroad.FlowBoth {
+			s.OneWayEdges++
+		}
+	}
+	comps := g.Components()
+	s.Components = len(comps)
+	if len(comps) > 0 && len(g.Nodes) > 0 {
+		s.LargestCompPct = 100 * float64(len(comps[0])) / float64(len(g.Nodes))
+	}
+	return s
+}
+
+// Components returns the connected components as node ID lists, largest
+// first (flow directions are ignored: a one-way street still connects
+// its endpoints).
+func (g *Graph) Components() [][]NodeID {
+	seen := make([]bool, len(g.Nodes))
+	var comps [][]NodeID
+	for start := range g.Nodes {
+		if seen[start] {
+			continue
+		}
+		var comp []NodeID
+		stack := []NodeID{NodeID(start)}
+		seen[start] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, eid := range g.Nodes[u].Edges {
+				v := g.Edges[eid].Other(u)
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	return comps
+}
+
+// String renders the stats compactly.
+func (s NetworkStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d nodes (%d junctions, %d dead ends), %d edges (%d one-way), %.1f km",
+		s.Nodes, s.Junctions, s.DeadEnds, s.Edges, s.OneWayEdges, s.TotalLengthM/1000)
+	fmt.Fprintf(&b, ", %d component(s), largest %.1f%%", s.Components, s.LargestCompPct)
+	return b.String()
+}

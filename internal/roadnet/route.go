@@ -1,0 +1,260 @@
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// WeightFunc scores one directed traversal of an edge. Returning +Inf
+// forbids the traversal; the function is never called for orientations
+// the edge's flow direction already forbids.
+type WeightFunc func(e *Edge, forward bool) float64
+
+// DistanceWeight routes by length.
+func DistanceWeight(e *Edge, forward bool) float64 { return e.Length }
+
+// TravelTimeWeight routes by free-flow travel time in seconds.
+func TravelTimeWeight(e *Edge, forward bool) float64 {
+	return e.Length / (e.SpeedLimitKmh / 3.6)
+}
+
+// PathStep is one directed edge traversal in a path.
+type PathStep struct {
+	Edge    *Edge
+	Forward bool // true when traversed From -> To
+}
+
+// Path is a routing result.
+type Path struct {
+	Steps  []PathStep
+	Nodes  []NodeID // visited nodes, len(Steps)+1
+	Cost   float64  // total weight
+	Length float64  // total metres
+}
+
+// Geometry concatenates the step geometries into one chain.
+func (p *Path) Geometry() geo.Polyline {
+	var out geo.Polyline
+	for _, s := range p.Steps {
+		g := s.Edge.Geom
+		if !s.Forward {
+			g = g.Reverse()
+		}
+		if len(out) > 0 && len(g) > 0 {
+			g = g[1:]
+		}
+		out = append(out, g...)
+	}
+	if len(out) == 0 && len(p.Nodes) > 0 {
+		return nil
+	}
+	return out
+}
+
+// Edges returns the traversed edge IDs in order.
+func (p *Path) Edges() []EdgeID {
+	out := make([]EdgeID, len(p.Steps))
+	for i, s := range p.Steps {
+		out[i] = s.Edge.ID
+	}
+	return out
+}
+
+// ErrNoPath is returned when the destination is unreachable.
+var ErrNoPath = fmt.Errorf("roadnet: no path")
+
+type pqItem struct {
+	node NodeID
+	cost float64
+}
+
+type priorityQueue []pqItem
+
+func (pq priorityQueue) Len() int            { return len(pq) }
+func (pq priorityQueue) Less(i, j int) bool  { return pq[i].cost < pq[j].cost }
+func (pq priorityQueue) Swap(i, j int)       { pq[i], pq[j] = pq[j], pq[i] }
+func (pq *priorityQueue) Push(x interface{}) { *pq = append(*pq, x.(pqItem)) }
+func (pq *priorityQueue) Pop() interface{} {
+	old := *pq
+	n := len(old)
+	it := old[n-1]
+	*pq = old[:n-1]
+	return it
+}
+
+// ShortestPath runs Dijkstra from one node to another under the given
+// weight (nil selects DistanceWeight). Flow directions are respected.
+func (g *Graph) ShortestPath(from, to NodeID, weight WeightFunc) (*Path, error) {
+	return g.shortest(from, to, weight, nil)
+}
+
+// ShortestPathAStar runs A* with an admissible straight-line heuristic
+// derived from the weight of a representative edge: for DistanceWeight
+// semantics use heuristicSpeed <= 1 (metres per cost unit); for
+// TravelTimeWeight pass the network's maximum speed in m/s.
+func (g *Graph) ShortestPathAStar(from, to NodeID, weight WeightFunc, heuristicSpeed float64) (*Path, error) {
+	if heuristicSpeed <= 0 {
+		heuristicSpeed = 1
+	}
+	target := g.Nodes[to].Pos
+	h := func(n NodeID) float64 {
+		return g.Nodes[n].Pos.Dist(target) / heuristicSpeed
+	}
+	return g.shortest(from, to, weight, h)
+}
+
+func (g *Graph) shortest(from, to NodeID, weight WeightFunc, h func(NodeID) float64) (*Path, error) {
+	if int(from) < 0 || int(from) >= len(g.Nodes) || int(to) < 0 || int(to) >= len(g.Nodes) {
+		return nil, fmt.Errorf("roadnet: node out of range (from=%d, to=%d, n=%d)", from, to, len(g.Nodes))
+	}
+	if weight == nil {
+		weight = DistanceWeight
+	}
+	dist := make(map[NodeID]float64, 64)
+	prevEdge := make(map[NodeID]EdgeID, 64)
+	prevNode := make(map[NodeID]NodeID, 64)
+	done := make(map[NodeID]bool, 64)
+	dist[from] = 0
+
+	pq := &priorityQueue{}
+	push := func(n NodeID, cost float64) {
+		est := cost
+		if h != nil {
+			est += h(n)
+		}
+		heap.Push(pq, pqItem{node: n, cost: est})
+	}
+	push(from, 0)
+
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == to {
+			break
+		}
+		du := dist[u]
+		for _, eid := range g.Nodes[u].Edges {
+			e := &g.Edges[eid]
+			forward := e.From == u
+			if e.From == e.To {
+				continue // self-loops never shorten a path
+			}
+			if !e.CanTraverse(forward) {
+				continue
+			}
+			w := weight(e, forward)
+			if math.IsInf(w, 1) || w < 0 {
+				continue
+			}
+			v := e.Other(u)
+			if dv, seen := dist[v]; !seen || du+w < dv {
+				dist[v] = du + w
+				prevEdge[v] = eid
+				prevNode[v] = u
+				push(v, du+w)
+			}
+		}
+	}
+	if !done[to] && from != to {
+		if _, seen := dist[to]; !seen {
+			return nil, ErrNoPath
+		}
+	}
+
+	// Reconstruct.
+	path := &Path{Cost: dist[to]}
+	at := to
+	for at != from {
+		eid := prevEdge[at]
+		e := &g.Edges[eid]
+		u := prevNode[at]
+		path.Steps = append(path.Steps, PathStep{Edge: e, Forward: e.From == u})
+		path.Length += e.Length
+		at = u
+	}
+	// Reverse steps into travel order.
+	for i, j := 0, len(path.Steps)-1; i < j; i, j = i+1, j-1 {
+		path.Steps[i], path.Steps[j] = path.Steps[j], path.Steps[i]
+	}
+	path.Nodes = make([]NodeID, 0, len(path.Steps)+1)
+	path.Nodes = append(path.Nodes, from)
+	cur := from
+	for _, s := range path.Steps {
+		cur = s.Edge.Other(cur)
+		path.Nodes = append(path.Nodes, cur)
+	}
+	return path, nil
+}
+
+// MaxSpeedKmh returns the highest speed limit in the network, used to
+// keep the A* travel-time heuristic admissible.
+func (g *Graph) MaxSpeedKmh() float64 {
+	max := 0.0
+	for i := range g.Edges {
+		if g.Edges[i].SpeedLimitKmh > max {
+			max = g.Edges[i].SpeedLimitKmh
+		}
+	}
+	return max
+}
+
+// ShortestDistances runs bounded Dijkstra from one node and returns the
+// cost to every node reachable within maxCost (inclusive). It is the
+// one-to-many primitive used by the HMM matcher's transition model,
+// where many candidate pairs share source nodes.
+func (g *Graph) ShortestDistances(from NodeID, weight WeightFunc, maxCost float64) map[NodeID]float64 {
+	if int(from) < 0 || int(from) >= len(g.Nodes) {
+		return nil
+	}
+	if weight == nil {
+		weight = DistanceWeight
+	}
+	if maxCost <= 0 {
+		maxCost = math.Inf(1)
+	}
+	dist := map[NodeID]float64{from: 0}
+	done := map[NodeID]bool{}
+	pq := &priorityQueue{{node: from, cost: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		du := dist[u]
+		if du > maxCost {
+			delete(dist, u)
+			continue
+		}
+		for _, eid := range g.Nodes[u].Edges {
+			e := &g.Edges[eid]
+			if e.From == e.To {
+				continue
+			}
+			forward := e.From == u
+			if !e.CanTraverse(forward) {
+				continue
+			}
+			w := weight(e, forward)
+			if math.IsInf(w, 1) || w < 0 {
+				continue
+			}
+			v := e.Other(u)
+			if nd := du + w; nd <= maxCost {
+				if dv, seen := dist[v]; !seen || nd < dv {
+					dist[v] = nd
+					heap.Push(pq, pqItem{node: v, cost: nd})
+				}
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,147 @@
+// Package routes groups trajectories that follow the same physical
+// route. The paper's OD analysis deliberately lets drivers choose
+// routes freely ("based on their own silent knowledge and intuition");
+// clustering the matched geometries per direction recovers the distinct
+// route variants actually driven, enabling the eco-routing comparison
+// of Minett et al. [24] and the route-frequency analysis of Li et al.
+// [18] that the paper builds on.
+package routes
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// Item is one trajectory to cluster, identified by the caller's index.
+type Item struct {
+	ID   int
+	Geom geo.Polyline
+}
+
+// Cluster is one recovered route variant.
+type Cluster struct {
+	// Rep is the representative geometry (the member closest to all
+	// others).
+	Rep geo.Polyline
+	// IDs are the member item IDs, in input order.
+	IDs []int
+}
+
+// Size returns the member count.
+func (c *Cluster) Size() int { return len(c.IDs) }
+
+// Config tunes clustering.
+type Config struct {
+	// ToleranceM is the symmetric Hausdorff distance within which two
+	// trajectories count as the same route (default 120 m, about one
+	// parallel block in the synthetic city).
+	ToleranceM float64
+	// SampleStepM is the resampling step for the distance computation
+	// (default 40 m).
+	SampleStepM float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ToleranceM <= 0 {
+		c.ToleranceM = 120
+	}
+	if c.SampleStepM <= 0 {
+		c.SampleStepM = 40
+	}
+	return c
+}
+
+// ClusterRoutes greedily assigns each trajectory to the first cluster
+// whose leader is within the tolerance, creating a new cluster
+// otherwise (leader clustering). Clusters are returned largest first;
+// each cluster's representative is re-picked as the member minimising
+// the summed distance to the other members.
+func ClusterRoutes(items []Item, cfg Config) ([]Cluster, error) {
+	cfg = cfg.withDefaults()
+	for _, it := range items {
+		if len(it.Geom) < 2 {
+			return nil, fmt.Errorf("routes: item %d has degenerate geometry", it.ID)
+		}
+	}
+	// Resample every geometry once; the Hausdorff comparisons then run
+	// vertex-to-chain without re-resampling per pair.
+	sampled := make([]geo.Polyline, len(items))
+	for i, it := range items {
+		sampled[i] = it.Geom.Resample(cfg.SampleStepM)
+	}
+
+	type cluster struct {
+		leader  int // index into items/sampled
+		members []int
+	}
+	var clusters []*cluster
+	for i := range items {
+		assigned := false
+		for _, c := range clusters {
+			// Cheap bounding-box reject before the early-exit Hausdorff.
+			if !sampled[i].Bounds().Expand(cfg.ToleranceM).Intersects(sampled[c.leader].Bounds()) {
+				continue
+			}
+			if geo.WithinHausdorff(sampled[i], sampled[c.leader], cfg.ToleranceM) {
+				c.members = append(c.members, i)
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			clusters = append(clusters, &cluster{leader: i, members: []int{i}})
+		}
+	}
+	sort.SliceStable(clusters, func(i, j int) bool {
+		return len(clusters[i].members) > len(clusters[j].members)
+	})
+
+	out := make([]Cluster, len(clusters))
+	for i, c := range clusters {
+		rep := medoid(c.members, sampled)
+		ids := make([]int, len(c.members))
+		for k, m := range c.members {
+			ids[k] = items[m].ID
+		}
+		out[i] = Cluster{Rep: items[rep].Geom, IDs: ids}
+	}
+	return out, nil
+}
+
+// medoid picks the member (by index into sampled) minimising the summed
+// Hausdorff distance to the other members. Quadratic in cluster size;
+// clusters here are tens of members, and the pairwise distances are
+// symmetric so each is computed once.
+func medoid(members []int, sampled []geo.Polyline) int {
+	if len(members) == 1 {
+		return members[0]
+	}
+	// Cap the quadratic work: for big clusters a strided subsample of
+	// members is representative enough to pick a central route.
+	const maxPairwise = 40
+	if len(members) > maxPairwise {
+		stride := len(members) / maxPairwise
+		sub := make([]int, 0, maxPairwise)
+		for i := 0; i < len(members); i += stride {
+			sub = append(sub, members[i])
+		}
+		members = sub
+	}
+	sums := make([]float64, len(members))
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			d := geo.Hausdorff(sampled[members[i]], sampled[members[j]], 0)
+			sums[i] += d
+			sums[j] += d
+		}
+	}
+	best := 0
+	for i := 1; i < len(sums); i++ {
+		if sums[i] < sums[best] {
+			best = i
+		}
+	}
+	return members[best]
+}

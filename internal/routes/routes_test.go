@@ -1,0 +1,122 @@
+package routes
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// jittered returns the base polyline with small per-vertex noise.
+func jittered(rng *rand.Rand, base geo.Polyline, sigma float64) geo.Polyline {
+	out := make(geo.Polyline, len(base))
+	for i, p := range base {
+		out[i] = geo.V(p.X+rng.NormFloat64()*sigma, p.Y+rng.NormFloat64()*sigma)
+	}
+	return out
+}
+
+func TestClusterRoutesSeparatesVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Two genuinely different routes between the same endpoints: via
+	// y=0 and via y=400.
+	routeA := geo.Line(0, 0, 500, 0, 1000, 0)
+	routeB := geo.Line(0, 0, 0, 400, 1000, 400, 1000, 0)
+	var items []Item
+	for i := 0; i < 6; i++ {
+		items = append(items, Item{ID: i, Geom: jittered(rng, routeA, 6)})
+	}
+	for i := 6; i < 10; i++ {
+		items = append(items, Item{ID: i, Geom: jittered(rng, routeB, 6)})
+	}
+	clusters, err := ClusterRoutes(items, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	// Largest first.
+	if clusters[0].Size() != 6 || clusters[1].Size() != 4 {
+		t.Fatalf("sizes = %d, %d", clusters[0].Size(), clusters[1].Size())
+	}
+	// Membership is by route, not interleaved.
+	for _, id := range clusters[0].IDs {
+		if id >= 6 {
+			t.Fatalf("route B item %d in cluster A", id)
+		}
+	}
+	// Representatives resemble their routes.
+	if geo.Hausdorff(clusters[0].Rep, routeA, 40) > 30 {
+		t.Fatal("cluster A representative far from route A")
+	}
+	if geo.Hausdorff(clusters[1].Rep, routeB, 40) > 30 {
+		t.Fatal("cluster B representative far from route B")
+	}
+}
+
+func TestClusterRoutesSingleVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := geo.Line(0, 0, 300, 0, 300, 300)
+	var items []Item
+	for i := 0; i < 8; i++ {
+		items = append(items, Item{ID: i, Geom: jittered(rng, base, 5)})
+	}
+	clusters, err := ClusterRoutes(items, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || clusters[0].Size() != 8 {
+		t.Fatalf("clusters = %+v", clusters)
+	}
+}
+
+func TestClusterRoutesToleranceControls(t *testing.T) {
+	// Two parallel routes 200 m apart: one cluster at 300 m tolerance,
+	// two at 100 m.
+	a := geo.Line(0, 0, 1000, 0)
+	b := geo.Line(0, 200, 1000, 200)
+	items := []Item{{ID: 0, Geom: a}, {ID: 1, Geom: b}}
+	wide, err := ClusterRoutes(items, Config{ToleranceM: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wide) != 1 {
+		t.Fatalf("wide tolerance clusters = %d", len(wide))
+	}
+	tight, err := ClusterRoutes(items, Config{ToleranceM: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight) != 2 {
+		t.Fatalf("tight tolerance clusters = %d", len(tight))
+	}
+}
+
+func TestClusterRoutesEmptyAndInvalid(t *testing.T) {
+	clusters, err := ClusterRoutes(nil, Config{})
+	if err != nil || len(clusters) != 0 {
+		t.Fatalf("empty input: %v %v", clusters, err)
+	}
+	_, err = ClusterRoutes([]Item{{ID: 0, Geom: geo.Polyline{geo.V(1, 1)}}}, Config{})
+	if err == nil {
+		t.Fatal("degenerate geometry accepted")
+	}
+}
+
+func TestMedoidPicksCentralMember(t *testing.T) {
+	// Three parallel lines; the middle one is the medoid.
+	items := []Item{
+		{ID: 0, Geom: geo.Line(0, 0, 100, 0)},
+		{ID: 1, Geom: geo.Line(0, 10, 100, 10)},
+		{ID: 2, Geom: geo.Line(0, 20, 100, 20)},
+	}
+	sampled := make([]geo.Polyline, len(items))
+	for i, it := range items {
+		sampled[i] = it.Geom.Resample(10)
+	}
+	rep := medoid([]int{0, 1, 2}, sampled)
+	if items[rep].Geom[0].Y != 10 {
+		t.Fatalf("medoid y = %f, want 10", items[rep].Geom[0].Y)
+	}
+}

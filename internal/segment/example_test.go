@@ -1,0 +1,45 @@
+package segment_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/segment"
+	"repro/internal/trace"
+)
+
+func ExampleSplit() {
+	// An engine-on trip: drive east, wait 5 minutes at a stand
+	// (heartbeat points), drive on — rule 1 splits it in two.
+	t0 := time.Date(2012, 10, 1, 8, 0, 0, 0, time.UTC)
+	tr := &trace.Trip{ID: 1, CarID: 1}
+	add := func(x float64, at time.Time) {
+		tr.Points = append(tr.Points, trace.RoutePoint{
+			PointID: len(tr.Points) + 1, TripID: 1,
+			Pos: geo.V(x, 0), Time: at,
+		})
+	}
+	at := t0
+	for i := 0; i < 6; i++ { // customer run 1
+		add(float64(i)*200, at)
+		at = at.Add(30 * time.Second)
+	}
+	for w := 0; w < 4; w++ { // stand: no movement for 5 minutes
+		at = at.Add(75 * time.Second)
+		add(1000, at)
+	}
+	for i := 0; i < 6; i++ { // customer run 2
+		add(1000+float64(i)*200, at)
+		at = at.Add(30 * time.Second)
+	}
+
+	segs := segment.Split(tr, segment.DefaultRules(), nil)
+	for i, s := range segs {
+		fmt.Printf("segment %d: %d points, %.1f km\n",
+			i+1, len(s.Points), trace.PathLength(s.Points)/1000)
+	}
+	// Output:
+	// segment 1: 6 points, 1.0 km
+	// segment 2: 6 points, 1.0 km
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson correlation coefficient of two paired
+// samples.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: paired samples differ in length: %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("stats: correlation needs at least 2 pairs")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: correlation undefined for a constant sample")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns the Spearman rank correlation coefficient, using
+// mid-ranks for ties.
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: paired samples differ in length: %d vs %d", len(x), len(y))
+	}
+	return Pearson(ranks(x), ranks(y))
+}
+
+// ranks assigns mid-ranks (1-based) to a sample.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	i := 0
+	for i < len(idx) {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// TTestResult is a two-sample Welch t-test outcome.
+type TTestResult struct {
+	T  float64 // test statistic
+	DF float64 // Welch-Satterthwaite degrees of freedom
+	// P is the two-sided p-value under the normal approximation to the
+	// t distribution (adequate for the df sizes in this repo).
+	P     float64
+	MeanA float64
+	MeanB float64
+}
+
+// WelchT runs a two-sample t-test without assuming equal variances.
+func WelchT(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, fmt.Errorf("stats: t-test needs >=2 observations per group (%d, %d)", len(a), len(b))
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	se := math.Sqrt(sa + sb)
+	if se == 0 {
+		return TTestResult{}, fmt.Errorf("stats: t-test undefined for zero-variance groups")
+	}
+	t := (ma - mb) / se
+	df := (sa + sb) * (sa + sb) / (sa*sa/(na-1) + sb*sb/(nb-1))
+	p := 2 * (1 - NormalCDF(math.Abs(t)))
+	return TTestResult{T: t, DF: df, P: p, MeanA: ma, MeanB: mb}, nil
+}

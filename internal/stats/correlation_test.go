@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPearsonKnown(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil || !feq(r, 1, 1e-12) {
+		t.Fatalf("perfect linear: r=%f err=%v", r, err)
+	}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, yNeg)
+	if !feq(r, -1, 1e-12) {
+		t.Fatalf("perfect negative: r=%f", r)
+	}
+	// Known value: r of (1,2,3) vs (1,3,2) = 0.5.
+	r, _ = Pearson([]float64{1, 2, 3}, []float64{1, 3, 2})
+	if !feq(r, 0.5, 1e-12) {
+		t.Fatalf("known r = %f, want 0.5", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single pair accepted")
+	}
+	if _, err := Pearson([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("constant sample accepted")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// A monotone nonlinear relation: Spearman 1, Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v)
+	}
+	rs, err := Spearman(x, y)
+	if err != nil || !feq(rs, 1, 1e-12) {
+		t.Fatalf("spearman = %f err=%v, want 1", rs, err)
+	}
+	rp, _ := Pearson(x, y)
+	if rp >= 1-1e-9 {
+		t.Fatalf("pearson %f should be below 1 for a convex relation", rp)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// Mid-rank handling: ties must not panic and must stay in [-1, 1].
+	x := []float64{1, 1, 2, 2, 3}
+	y := []float64{1, 2, 2, 3, 3}
+	r, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.5 || r > 1 {
+		t.Fatalf("tied spearman = %f", r)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := ranks([]float64{30, 10, 20, 10})
+	want := []float64{4, 1.5, 3, 1.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWelchTSeparatesGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := make([]float64, 200)
+	b := make([]float64, 150)
+	for i := range a {
+		a[i] = 20 + rng.NormFloat64()*4
+	}
+	for i := range b {
+		b[i] = 25 + rng.NormFloat64()*6
+	}
+	res, err := WelchT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T >= 0 {
+		t.Fatalf("t = %f, group A is smaller so t must be negative", res.T)
+	}
+	if res.P > 1e-6 {
+		t.Fatalf("p = %g, a 5-unit gap must be overwhelming", res.P)
+	}
+	if res.DF < 100 {
+		t.Fatalf("df = %f implausible", res.DF)
+	}
+}
+
+func TestWelchTNull(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	rejections := 0
+	for trial := 0; trial < 100; trial++ {
+		a := make([]float64, 50)
+		b := make([]float64, 50)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		res, err := WelchT(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejections++
+		}
+	}
+	// Under the null, ~5 % false rejections; allow generous slack.
+	if rejections > 15 {
+		t.Fatalf("%d/100 null rejections", rejections)
+	}
+}
+
+func TestWelchTErrors(t *testing.T) {
+	if _, err := WelchT([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("tiny group accepted")
+	}
+	if _, err := WelchT([]float64{2, 2}, []float64{2, 2}); err == nil {
+		t.Fatal("zero-variance groups accepted")
+	}
+}

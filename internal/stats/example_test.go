@@ -1,0 +1,60 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+func ExampleSummarize() {
+	// A Table 4 style six-number summary.
+	s := stats.Summarize([]float64{0.058, 0.089, 0.120, 0.153, 0.188, 0.458})
+	fmt.Printf("min=%.3f median=%.3f mean=%.3f max=%.3f\n", s.Min, s.Median, s.Mean, s.Max)
+	// Output:
+	// min=0.058 median=0.137 mean=0.178 max=0.458
+}
+
+func ExampleFitLMM() {
+	// Three grid cells with point speeds: the mixed model shrinks each
+	// cell's deviation toward the grand mean, more for sparse cells.
+	cells := []*stats.Group{{Name: "fast"}, {Name: "slow"}, {Name: "sparse"}}
+	for _, v := range []float64{38, 41, 39, 42, 40} {
+		cells[0].AddObs(v)
+	}
+	for _, v := range []float64{18, 21, 19, 22, 20} {
+		cells[1].AddObs(v)
+	}
+	for _, v := range []float64{50, 52} {
+		cells[2].AddObs(v)
+	}
+	fit, err := stats.FitLMM(cells)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, g := range fit.Groups {
+		raw := g.Mean - fit.Mu
+		fmt.Printf("%-6s n=%d raw %+6.2f -> BLUP %+6.2f\n", g.Name, g.N, raw, g.BLUP)
+	}
+	// Output:
+	// fast   n=5 raw  +3.01 -> BLUP  +3.01
+	// slow   n=5 raw -16.99 -> BLUP -16.95
+	// sparse n=2 raw +14.01 -> BLUP +13.94
+}
+
+func ExampleOLS() {
+	// Fit y = 3 + 2x.
+	x := []float64{0, 1, 2, 3}
+	y := []float64{3, 5, 7, 9}
+	design, _ := stats.Design(x)
+	fit, _ := stats.OLS(design, y)
+	fmt.Printf("intercept %.1f, slope %.1f, R2 %.2f\n", fit.Coef[0], fit.Coef[1], fit.R2)
+	// Output:
+	// intercept 3.0, slope 2.0, R2 1.00
+}
+
+func ExampleNormalQuantile() {
+	fmt.Printf("%.2f\n", stats.NormalQuantile(0.975))
+	// Output:
+	// 1.96
+}

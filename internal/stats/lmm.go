@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Group is one random-effect group (a 200 m grid cell in the paper):
+// its observations' sufficient statistics.
+type Group struct {
+	Name  string
+	N     int
+	Sum   float64
+	SumSq float64
+}
+
+// AddObs folds one observation into the group.
+func (g *Group) AddObs(y float64) {
+	g.N++
+	g.Sum += y
+	g.SumSq += y * y
+}
+
+// Mean returns the group mean.
+func (g *Group) Mean() float64 { return g.Sum / float64(g.N) }
+
+// withinSS returns the within-group sum of squares.
+func (g *Group) withinSS() float64 {
+	return g.SumSq - g.Sum*g.Sum/float64(g.N)
+}
+
+// LMMResult is a fitted one-way random-intercept linear mixed model
+//
+//	y_ij = mu + a_i + e_ij,  a_i ~ N(0, sigmaA2),  e_ij ~ N(0, sigma2)
+//
+// with variance components estimated by REML (the paper's model 3).
+type LMMResult struct {
+	Mu      float64 // GLS grand mean
+	Sigma2  float64 // residual variance
+	SigmaA2 float64 // random-intercept variance
+	Lambda  float64 // sigmaA2 / sigma2
+	REML    float64 // -2 * restricted log-likelihood (up to a constant)
+	Groups  []GroupEffect
+	NObs    int
+}
+
+// GroupEffect is one group's BLUP prediction (Fig 8).
+type GroupEffect struct {
+	Name string
+	N    int
+	Mean float64 // raw group mean
+	BLUP float64 // predicted random intercept a_i
+	// SE is the prediction standard error sqrt(var(a_i | y)); the Fig 8
+	// confidence limits are BLUP +/- 1.96 SE.
+	SE float64
+}
+
+// FitLMM estimates the model from group sufficient statistics.
+func FitLMM(groups []*Group) (*LMMResult, error) {
+	var clean []*Group
+	for _, g := range groups {
+		if g.N > 0 {
+			clean = append(clean, g)
+		}
+	}
+	if len(clean) < 2 {
+		return nil, fmt.Errorf("stats: LMM needs at least two non-empty groups, got %d", len(clean))
+	}
+	nTotal := 0
+	sse := 0.0
+	for _, g := range clean {
+		nTotal += g.N
+		sse += g.withinSS()
+	}
+	if nTotal <= len(clean) {
+		// All groups singleton: variance components are confounded.
+		return nil, fmt.Errorf("stats: LMM needs replicated groups (N=%d, groups=%d)", nTotal, len(clean))
+	}
+
+	crit := func(lambda float64) (float64, float64, float64) {
+		// Returns (-2 REML ll up to constant, mu, sigma2) for lambda.
+		var wSum, wySum float64
+		for _, g := range clean {
+			w := float64(g.N) / (1 + float64(g.N)*lambda)
+			wSum += w
+			wySum += w * g.Mean()
+		}
+		mu := wySum / wSum
+		q := sse
+		logTerms := 0.0
+		for _, g := range clean {
+			d := g.Mean() - mu
+			q += float64(g.N) * d * d / (1 + float64(g.N)*lambda)
+			logTerms += math.Log(1 + float64(g.N)*lambda)
+		}
+		sigma2 := q / float64(nTotal-1)
+		ll := float64(nTotal-1)*math.Log(sigma2) + logTerms + math.Log(wSum)
+		return ll, mu, sigma2
+	}
+
+	// Golden-section search over log(lambda), bracketing [1e-8, 1e4],
+	// plus the boundary lambda = 0.
+	lo, hi := math.Log(1e-8), math.Log(1e4)
+	phi := (math.Sqrt(5) - 1) / 2
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, _, _ := crit(math.Exp(c))
+	fd, _, _ := crit(math.Exp(d))
+	for it := 0; it < 200 && b-a > 1e-10; it++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc, _, _ = crit(math.Exp(c))
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd, _, _ = crit(math.Exp(d))
+		}
+	}
+	lambda := math.Exp((a + b) / 2)
+	best, mu, sigma2 := crit(lambda)
+	if zero, muZ, s2Z := crit(0); zero < best {
+		best, mu, sigma2, lambda = zero, muZ, s2Z, 0
+	}
+
+	res := &LMMResult{
+		Mu:      mu,
+		Sigma2:  sigma2,
+		SigmaA2: lambda * sigma2,
+		Lambda:  lambda,
+		REML:    best,
+		NObs:    nTotal,
+	}
+	for _, g := range clean {
+		shrink := float64(g.N) * lambda / (1 + float64(g.N)*lambda)
+		blup := shrink * (g.Mean() - mu)
+		// Conditional variance of a_i given the data:
+		// (1/sigmaA2 + n_i/sigma2)^-1 = sigma2*lambda / (1+n_i*lambda).
+		var se float64
+		if lambda > 0 {
+			se = math.Sqrt(sigma2 * lambda / (1 + float64(g.N)*lambda))
+		}
+		res.Groups = append(res.Groups, GroupEffect{
+			Name: g.Name,
+			N:    g.N,
+			Mean: g.Mean(),
+			BLUP: blup,
+			SE:   se,
+		})
+	}
+	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Name < res.Groups[j].Name })
+	return res, nil
+}
+
+// BLUPs returns the predicted intercepts in group order.
+func (r *LMMResult) BLUPs() []float64 {
+	out := make([]float64, len(r.Groups))
+	for i, g := range r.Groups {
+		out[i] = g.BLUP
+	}
+	return out
+}
+
+// GroupsFromObservations builds groups from labelled observations.
+func GroupsFromObservations(labels []string, ys []float64) ([]*Group, error) {
+	if len(labels) != len(ys) {
+		return nil, fmt.Errorf("stats: %d labels vs %d observations", len(labels), len(ys))
+	}
+	byName := map[string]*Group{}
+	var order []string
+	for i, l := range labels {
+		g := byName[l]
+		if g == nil {
+			g = &Group{Name: l}
+			byName[l] = g
+			order = append(order, l)
+		}
+		g.AddObs(ys[i])
+	}
+	out := make([]*Group, len(order))
+	for i, l := range order {
+		out[i] = byName[l]
+	}
+	return out, nil
+}

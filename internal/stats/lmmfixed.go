@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// GroupX is a random-effect group with group-level covariates (the
+// paper's model 2: besides the intercept, X may include map features
+// such as the number of traffic lights, bus stops, pedestrian crossings
+// or crossings for the cell — all constant within a cell).
+type GroupX struct {
+	Group
+	// Covariates are the group-level fixed-effect values, excluding the
+	// intercept (added automatically). All groups must have the same
+	// number of covariates.
+	Covariates []float64
+}
+
+// LMMFixedResult is a fitted mixed model with fixed effects and a
+// per-group random intercept:
+//
+//	y_ij = x_i' b + a_i + e_ij,  a_i ~ N(0, sigmaA2),  e_ij ~ N(0, sigma2)
+//
+// estimated by REML with the variance ratio profiled out.
+type LMMFixedResult struct {
+	// Coef holds the fixed effects: Coef[0] is the intercept, then one
+	// entry per covariate.
+	Coef []float64
+	// StdErr are the GLS standard errors of Coef.
+	StdErr  []float64
+	Sigma2  float64
+	SigmaA2 float64
+	Lambda  float64
+	REML    float64
+	Groups  []GroupEffect
+	NObs    int
+}
+
+// FitLMMFixed estimates the model from group sufficient statistics and
+// group-level covariates.
+func FitLMMFixed(groups []*GroupX) (*LMMFixedResult, error) {
+	var clean []*GroupX
+	nCov := -1
+	for _, g := range groups {
+		if g.N == 0 {
+			continue
+		}
+		if nCov < 0 {
+			nCov = len(g.Covariates)
+		} else if len(g.Covariates) != nCov {
+			return nil, fmt.Errorf("stats: group %q has %d covariates, want %d",
+				g.Name, len(g.Covariates), nCov)
+		}
+		clean = append(clean, g)
+	}
+	p := nCov + 1 // intercept
+	if len(clean) < p+1 {
+		return nil, fmt.Errorf("stats: LMM needs more groups (%d) than fixed effects (%d)",
+			len(clean), p)
+	}
+	nTotal := 0
+	sse := 0.0
+	for _, g := range clean {
+		nTotal += g.N
+		sse += g.withinSS()
+	}
+	if nTotal <= len(clean) {
+		return nil, fmt.Errorf("stats: LMM needs replicated groups (N=%d, groups=%d)", nTotal, len(clean))
+	}
+
+	xrow := func(g *GroupX) []float64 {
+		row := make([]float64, p)
+		row[0] = 1
+		copy(row[1:], g.Covariates)
+		return row
+	}
+
+	// crit evaluates the profiled -2 REML criterion at lambda and
+	// returns it with the GLS beta and sigma2.
+	crit := func(lambda float64) (float64, []float64, float64, *Cholesky, error) {
+		xtx := NewMatrix(p, p)
+		xty := make([]float64, p)
+		for _, g := range clean {
+			w := float64(g.N) / (1 + float64(g.N)*lambda)
+			row := xrow(g)
+			for a := 0; a < p; a++ {
+				for bIdx := 0; bIdx < p; bIdx++ {
+					xtx.Add(a, bIdx, w*row[a]*row[bIdx])
+				}
+				xty[a] += w * row[a] * g.Mean()
+			}
+		}
+		chol, err := NewCholesky(xtx)
+		if err != nil {
+			return math.Inf(1), nil, 0, nil, err
+		}
+		beta := chol.Solve(xty)
+
+		q := sse
+		logTerms := 0.0
+		for _, g := range clean {
+			row := xrow(g)
+			var fitted float64
+			for a := 0; a < p; a++ {
+				fitted += row[a] * beta[a]
+			}
+			d := g.Mean() - fitted
+			q += float64(g.N) * d * d / (1 + float64(g.N)*lambda)
+			logTerms += math.Log(1 + float64(g.N)*lambda)
+		}
+		sigma2 := q / float64(nTotal-p)
+		ll := float64(nTotal-p)*math.Log(sigma2) + logTerms + chol.LogDet()
+		return ll, beta, sigma2, chol, nil
+	}
+
+	// Golden-section over log(lambda) plus the lambda = 0 boundary.
+	lo, hi := math.Log(1e-8), math.Log(1e4)
+	phi := (math.Sqrt(5) - 1) / 2
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, _, _, _, errC := crit(math.Exp(c))
+	fd, _, _, _, errD := crit(math.Exp(d))
+	if errC != nil || errD != nil {
+		return nil, fmt.Errorf("stats: fixed-effect design is rank deficient")
+	}
+	for it := 0; it < 200 && b-a > 1e-10; it++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc, _, _, _, _ = crit(math.Exp(c))
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd, _, _, _, _ = crit(math.Exp(d))
+		}
+	}
+	lambda := math.Exp((a + b) / 2)
+	best, beta, sigma2, chol, err := crit(lambda)
+	if err != nil {
+		return nil, err
+	}
+	if zero, betaZ, s2Z, cholZ, errZ := crit(0); errZ == nil && zero < best {
+		best, beta, sigma2, chol, lambda = zero, betaZ, s2Z, cholZ, 0
+	}
+
+	res := &LMMFixedResult{
+		Coef:    beta,
+		Sigma2:  sigma2,
+		SigmaA2: lambda * sigma2,
+		Lambda:  lambda,
+		REML:    best,
+		NObs:    nTotal,
+	}
+	// GLS standard errors: cov(beta) = sigma2 (X'WX)^-1 with the W used
+	// above (which already folds sigma2 scaling consistently).
+	inv := chol.Inverse()
+	res.StdErr = make([]float64, p)
+	for j := 0; j < p; j++ {
+		res.StdErr[j] = math.Sqrt(sigma2 * inv.At(j, j))
+	}
+	for _, g := range clean {
+		row := xrow(g)
+		var fitted float64
+		for j := 0; j < p; j++ {
+			fitted += row[j] * beta[j]
+		}
+		shrink := float64(g.N) * lambda / (1 + float64(g.N)*lambda)
+		var se float64
+		if lambda > 0 {
+			se = math.Sqrt(sigma2 * lambda / (1 + float64(g.N)*lambda))
+		}
+		res.Groups = append(res.Groups, GroupEffect{
+			Name: g.Name,
+			N:    g.N,
+			Mean: g.Mean(),
+			BLUP: shrink * (g.Mean() - fitted),
+			SE:   se,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fixedLMMData simulates groups whose mean depends linearly on two
+// group-level covariates plus a random intercept.
+func fixedLMMData(rng *rand.Rand, nGroups, groupSize int, beta []float64, sigA, sig float64) []*GroupX {
+	out := make([]*GroupX, nGroups)
+	for i := range out {
+		x1 := rng.Float64() * 5
+		x2 := rng.Float64() * 3
+		g := &GroupX{Covariates: []float64{x1, x2}}
+		g.Name = groupName(i)
+		a := rng.NormFloat64() * sigA
+		mean := beta[0] + beta[1]*x1 + beta[2]*x2
+		for j := 0; j < groupSize; j++ {
+			g.AddObs(mean + a + rng.NormFloat64()*sig)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+func TestFitLMMFixedRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	truth := []float64{30, -2, 1.5}
+	groups := fixedLMMData(rng, 120, 20, truth, 2, 5)
+	fit, err := FitLMMFixed(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range truth {
+		// Within four standard errors of the truth.
+		if !feq(fit.Coef[j], want, 4*fit.StdErr[j]) {
+			t.Fatalf("coef[%d] = %f, want ~%f (se %f)", j, fit.Coef[j], want, fit.StdErr[j])
+		}
+		if fit.StdErr[j] <= 0 {
+			t.Fatalf("stderr[%d] = %f", j, fit.StdErr[j])
+		}
+	}
+	if !feq(math.Sqrt(fit.SigmaA2), 2, 0.8) {
+		t.Fatalf("sigmaA = %f, want ~2", math.Sqrt(fit.SigmaA2))
+	}
+	if !feq(math.Sqrt(fit.Sigma2), 5, 0.4) {
+		t.Fatalf("sigma = %f, want ~5", math.Sqrt(fit.Sigma2))
+	}
+}
+
+func TestFitLMMFixedReducesToRandomInterceptModel(t *testing.T) {
+	// With no covariates, FitLMMFixed must agree with FitLMM.
+	rng := rand.New(rand.NewSource(22))
+	plain := balancedLMMData(rng, 40, 10, 20, 3, 2)
+	var withX []*GroupX
+	for _, g := range plain {
+		withX = append(withX, &GroupX{Group: *g})
+	}
+	a, err := FitLMM(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitLMMFixed(withX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(a.Mu, b.Coef[0], 1e-6) {
+		t.Fatalf("mu %f vs intercept %f", a.Mu, b.Coef[0])
+	}
+	if !feq(a.Sigma2, b.Sigma2, 1e-4*a.Sigma2) || !feq(a.SigmaA2, b.SigmaA2, 1e-3*a.SigmaA2+1e-9) {
+		t.Fatalf("variances differ: (%f,%f) vs (%f,%f)", a.Sigma2, a.SigmaA2, b.Sigma2, b.SigmaA2)
+	}
+}
+
+func TestFitLMMFixedBLUPsCenterOnResiduals(t *testing.T) {
+	// When the covariates explain all between-group structure, the
+	// random-intercept variance should collapse toward zero.
+	rng := rand.New(rand.NewSource(23))
+	groups := fixedLMMData(rng, 80, 25, []float64{10, 3, -1}, 0, 2)
+	fit, err := FitLMMFixed(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.SigmaA2 > 0.3 {
+		t.Fatalf("sigmaA2 = %f, want ~0 when covariates explain the groups", fit.SigmaA2)
+	}
+	for _, e := range fit.Groups {
+		if math.Abs(e.BLUP) > 1 {
+			t.Fatalf("BLUP %f should be near zero", e.BLUP)
+		}
+	}
+}
+
+func TestFitLMMFixedErrors(t *testing.T) {
+	if _, err := FitLMMFixed(nil); err == nil {
+		t.Fatal("no groups accepted")
+	}
+	// Ragged covariates.
+	g1 := &GroupX{Covariates: []float64{1}}
+	g1.Name = "a"
+	g1.AddObs(1)
+	g1.AddObs(2)
+	g2 := &GroupX{Covariates: []float64{1, 2}}
+	g2.Name = "b"
+	g2.AddObs(3)
+	g2.AddObs(4)
+	if _, err := FitLMMFixed([]*GroupX{g1, g2}); err == nil {
+		t.Fatal("ragged covariates accepted")
+	}
+	// Too few groups for the number of fixed effects.
+	g3 := &GroupX{Covariates: []float64{1, 2}}
+	g3.Name = "c"
+	g3.AddObs(1)
+	g3.AddObs(2)
+	if _, err := FitLMMFixed([]*GroupX{g2, g3}); err == nil {
+		t.Fatal("p+1 > groups accepted")
+	}
+	// Collinear covariates: x2 = 2*x1 for every group.
+	rng := rand.New(rand.NewSource(24))
+	var col []*GroupX
+	for i := 0; i < 20; i++ {
+		x := rng.Float64()
+		g := &GroupX{Covariates: []float64{x, 2 * x}}
+		g.Name = groupName(i)
+		for j := 0; j < 5; j++ {
+			g.AddObs(10 + x + rng.NormFloat64())
+		}
+		col = append(col, g)
+	}
+	if _, err := FitLMMFixed(col); err == nil {
+		t.Fatal("collinear design accepted")
+	}
+}
+
+func TestFitLMMFixedSingleCovariateEffect(t *testing.T) {
+	// A negative traffic-light coefficient like the paper expects:
+	// groups with more lights are slower.
+	rng := rand.New(rand.NewSource(25))
+	var groups []*GroupX
+	for i := 0; i < 60; i++ {
+		lights := float64(i % 5)
+		g := &GroupX{Covariates: []float64{lights}}
+		g.Name = groupName(i)
+		a := rng.NormFloat64() * 1.5
+		for j := 0; j < 30; j++ {
+			g.AddObs(35 - 2.5*lights + a + rng.NormFloat64()*6)
+		}
+		groups = append(groups, g)
+	}
+	fit, err := FitLMMFixed(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(fit.Coef[1], -2.5, 0.6) {
+		t.Fatalf("light effect = %f, want ~-2.5", fit.Coef[1])
+	}
+	// The effect is clearly significant: |t| > 3.
+	if math.Abs(fit.Coef[1]/fit.StdErr[1]) < 3 {
+		t.Fatalf("t-statistic %f too small", fit.Coef[1]/fit.StdErr[1])
+	}
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("stats: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.Cols+j] }
+
+// Set writes element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.Cols+j] = v }
+
+// Add increments element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.Cols+j] += v }
+
+// MulVec returns m * x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("stats: MulVec shape mismatch %d vs %d", len(x), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TransposeMul returns mᵀ * m (the Gram matrix), which is symmetric
+// positive semi-definite.
+func (m *Matrix) TransposeMul() *Matrix {
+	out := NewMatrix(m.Cols, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.data[i*m.Cols : (i+1)*m.Cols]
+		for a := 0; a < m.Cols; a++ {
+			if row[a] == 0 {
+				continue
+			}
+			for b := a; b < m.Cols; b++ {
+				out.data[a*m.Cols+b] += row[a] * row[b]
+			}
+		}
+	}
+	for a := 0; a < m.Cols; a++ {
+		for b := 0; b < a; b++ {
+			out.data[a*m.Cols+b] = out.data[b*m.Cols+a]
+		}
+	}
+	return out
+}
+
+// TransposeMulVec returns mᵀ * y.
+func (m *Matrix) TransposeMulVec(y []float64) []float64 {
+	if len(y) != m.Rows {
+		panic(fmt.Sprintf("stats: TransposeMulVec shape mismatch %d vs %d", len(y), m.Rows))
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			out[j] += v * y[i]
+		}
+	}
+	return out
+}
+
+// Cholesky is the lower-triangular factor of a symmetric
+// positive-definite matrix.
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle (full storage)
+}
+
+// NewCholesky factors a (assumed symmetric) into L Lᵀ. It fails when a
+// is not positive definite.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("stats: cholesky needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, fmt.Errorf("stats: matrix not positive definite (pivot %d = %g)", i, sum)
+				}
+				l[i*n+i] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve returns x with (L Lᵀ) x = b.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("stats: Solve shape mismatch %d vs %d", len(b), c.n))
+	}
+	n := c.n
+	// Forward substitution: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l[i*n+k] * y[k]
+		}
+		y[i] = s / c.l[i*n+i]
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l[k*n+i] * x[k]
+		}
+		x[i] = s / c.l[i*n+i]
+	}
+	return x
+}
+
+// Inverse returns (L Lᵀ)⁻¹ by solving against the identity columns.
+func (c *Cholesky) Inverse() *Matrix {
+	out := NewMatrix(c.n, c.n)
+	e := make([]float64, c.n)
+	for j := 0; j < c.n; j++ {
+		e[j] = 1
+		col := c.Solve(e)
+		for i := 0; i < c.n; i++ {
+			out.Set(i, j, col[i])
+		}
+		e[j] = 0
+	}
+	return out
+}
+
+// LogDet returns log det(L Lᵀ).
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l[i*c.n+i])
+	}
+	return 2 * s
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// OLSResult is a fitted linear regression Y = X b + e (paper model 1).
+type OLSResult struct {
+	Coef    []float64 // estimated b, first entry the intercept when fitted via OLS
+	StdErr  []float64 // coefficient standard errors
+	Sigma2  float64   // residual variance estimate
+	R2      float64   // coefficient of determination
+	Resid   []float64
+	N, P    int
+	LogLik  float64 // Gaussian log-likelihood at the MLE variance
+	XtXChol *Cholesky
+}
+
+// OLS fits y on the design matrix x (one row per observation; include
+// a column of ones for the intercept).
+func OLS(x *Matrix, y []float64) (*OLSResult, error) {
+	n, p := x.Rows, x.Cols
+	if n != len(y) {
+		return nil, fmt.Errorf("stats: OLS needs len(y)=%d rows, got %d", n, len(y))
+	}
+	if n <= p {
+		return nil, fmt.Errorf("stats: OLS needs more observations (%d) than parameters (%d)", n, p)
+	}
+	xtx := x.TransposeMul()
+	chol, err := NewCholesky(xtx)
+	if err != nil {
+		return nil, fmt.Errorf("stats: OLS design is rank deficient: %w", err)
+	}
+	xty := x.TransposeMulVec(y)
+	coef := chol.Solve(xty)
+
+	fitted := x.MulVec(coef)
+	resid := make([]float64, n)
+	var sse, sst float64
+	ybar := Mean(y)
+	for i := range y {
+		resid[i] = y[i] - fitted[i]
+		sse += resid[i] * resid[i]
+		d := y[i] - ybar
+		sst += d * d
+	}
+	sigma2 := sse / float64(n-p)
+	inv := chol.Inverse()
+	se := make([]float64, p)
+	for j := 0; j < p; j++ {
+		se[j] = math.Sqrt(sigma2 * inv.At(j, j))
+	}
+	r2 := 0.0
+	if sst > 0 {
+		r2 = 1 - sse/sst
+	}
+	mlVar := sse / float64(n)
+	loglik := -0.5 * float64(n) * (math.Log(2*math.Pi*mlVar) + 1)
+	return &OLSResult{
+		Coef: coef, StdErr: se, Sigma2: sigma2, R2: r2,
+		Resid: resid, N: n, P: p, LogLik: loglik, XtXChol: chol,
+	}, nil
+}
+
+// Design builds a design matrix with an intercept column followed by
+// the given predictor columns.
+func Design(cols ...[]float64) (*Matrix, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("stats: Design needs at least one column")
+	}
+	n := len(cols[0])
+	for i, c := range cols {
+		if len(c) != n {
+			return nil, fmt.Errorf("stats: Design column %d has %d rows, want %d", i, len(c), n)
+		}
+	}
+	m := NewMatrix(n, len(cols)+1)
+	for i := 0; i < n; i++ {
+		m.Set(i, 0, 1)
+		for j, c := range cols {
+			m.Set(i, j+1, c[i])
+		}
+	}
+	return m, nil
+}

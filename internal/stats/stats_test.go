@@ -1,0 +1,518 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func feq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeKnown(t *testing.T) {
+	// R: summary(c(1,2,3,4,5,6,7,8,9,10))
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("extremes: %+v", s)
+	}
+	if !feq(s.Q1, 3.25, 1e-12) || !feq(s.Median, 5.5, 1e-12) || !feq(s.Q3, 7.75, 1e-12) {
+		t.Fatalf("quartiles (R type 7): %+v", s)
+	}
+	if !feq(s.Mean, 5.5, 1e-12) {
+		t.Fatalf("mean: %+v", s)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty: %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Q1 != 7 || s.Median != 7 || s.Mean != 7 || s.Q3 != 7 || s.Max != 7 {
+		t.Fatalf("single: %+v", s)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 3 {
+		t.Fatal("p=0/1 must be extremes")
+	}
+	if !feq(Quantile(xs, 0.5), 2, 1e-12) {
+		t.Fatal("median")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile must be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Fatal("Quantile sorted its input")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !feq(Variance(xs), 4.571428571428571, 1e-12) {
+		t.Fatalf("variance = %f", Variance(xs))
+	}
+	if !feq(StdDev(xs), math.Sqrt(4.571428571428571), 1e-12) {
+		t.Fatal("stddev")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("variance of one value must be NaN")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var w Welford
+	var xs []float64
+	for i := 0; i < 500; i++ {
+		v := rng.NormFloat64()*3 + 10
+		w.Add(v)
+		xs = append(xs, v)
+	}
+	if !feq(w.Mean(), Mean(xs), 1e-9) || !feq(w.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("welford %f/%f vs batch %f/%f", w.Mean(), w.Variance(), Mean(xs), Variance(xs))
+	}
+	mn, mx := MinMax(xs)
+	if w.Min() != mn || w.Max() != mx || w.N() != 500 {
+		t.Fatal("welford extremes")
+	}
+	var empty Welford
+	if !math.IsNaN(empty.Mean()) || !math.IsNaN(empty.Min()) || !math.IsNaN(empty.Max()) {
+		t.Fatal("empty welford must be NaN")
+	}
+}
+
+func TestNormalQuantileKnown(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.84134474606854293, 1},
+		{0.0013498980316300933, -3},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); !feq(got, c.want, 1e-8) {
+			t.Errorf("NormalQuantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("boundary quantiles must be infinite")
+	}
+}
+
+func TestNormalQuantileCDFRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := (float64(raw) + 1) / 65538 // (0, 1)
+		return feq(NormalCDF(NormalQuantile(p)), p, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalQQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	qq := NormalQQ(xs)
+	if len(qq) != 200 {
+		t.Fatalf("len = %d", len(qq))
+	}
+	for i := 1; i < len(qq); i++ {
+		if qq[i].Theoretical < qq[i-1].Theoretical || qq[i].Sample < qq[i-1].Sample {
+			t.Fatal("QQ points must be monotone")
+		}
+	}
+	// For a genuine normal sample, the central points hug the diagonal.
+	mid := qq[100]
+	if math.Abs(mid.Sample-mid.Theoretical) > 0.3 {
+		t.Fatalf("central QQ point far off diagonal: %+v", mid)
+	}
+	if NormalQQ(nil) != nil {
+		t.Fatal("empty QQ must be nil")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [1, 2] -> x = [-1/8, 3/4].
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ch.Solve([]float64{1, 2})
+	if !feq(x[0], -0.125, 1e-12) || !feq(x[1], 0.75, 1e-12) {
+		t.Fatalf("solve = %v", x)
+	}
+	if !feq(ch.LogDet(), math.Log(8), 1e-12) {
+		t.Fatalf("logdet = %f, want log 8", ch.LogDet())
+	}
+	inv := ch.Inverse()
+	// A * A^-1 = I.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var s float64
+			for k := 0; k < 2; k++ {
+				s += a.At(i, k) * inv.At(k, j)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !feq(s, want, 1e-12) {
+				t.Fatalf("inverse check (%d,%d) = %f", i, j, s)
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsNonPD(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 1) // eigenvalues 3, -1
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("non-PD accepted")
+	}
+	b := NewMatrix(2, 3)
+	if _, err := NewCholesky(b); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestMatrixOps(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(i*3+j+1)) // [[1,2,3],[4,5,6]]
+		}
+	}
+	v := m.MulVec([]float64{1, 1, 1})
+	if v[0] != 6 || v[1] != 15 {
+		t.Fatalf("MulVec = %v", v)
+	}
+	g := m.TransposeMul() // 3x3
+	if g.At(0, 0) != 17 || g.At(0, 1) != 22 || g.At(2, 2) != 45 || g.At(1, 0) != g.At(0, 1) {
+		t.Fatalf("Gram = %+v", g)
+	}
+	tv := m.TransposeMulVec([]float64{1, 2})
+	if tv[0] != 9 || tv[1] != 12 || tv[2] != 15 {
+		t.Fatalf("TransposeMulVec = %v", tv)
+	}
+	m.Add(0, 0, 5)
+	if m.At(0, 0) != 6 {
+		t.Fatal("Add broken")
+	}
+}
+
+func TestOLSExactFit(t *testing.T) {
+	// y = 2 + 3x exactly.
+	x := []float64{0, 1, 2, 3, 4, 5}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 2 + 3*x[i]
+	}
+	design, err := Design(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := OLS(design, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(fit.Coef[0], 2, 1e-9) || !feq(fit.Coef[1], 3, 1e-9) {
+		t.Fatalf("coef = %v", fit.Coef)
+	}
+	if !feq(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %f", fit.R2)
+	}
+}
+
+func TestOLSNoisyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1[i] = rng.Float64() * 10
+		x2[i] = rng.NormFloat64()
+		y[i] = 1.5 - 2*x1[i] + 0.5*x2[i] + rng.NormFloat64()*0.8
+	}
+	design, err := Design(x1, x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := OLS(design, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, -2, 0.5}
+	for j, w := range want {
+		if !feq(fit.Coef[j], w, 0.1) {
+			t.Fatalf("coef[%d] = %f, want ~%f", j, fit.Coef[j], w)
+		}
+		if fit.StdErr[j] <= 0 || fit.StdErr[j] > 0.1 {
+			t.Fatalf("stderr[%d] = %f implausible", j, fit.StdErr[j])
+		}
+	}
+	if !feq(fit.Sigma2, 0.64, 0.07) {
+		t.Fatalf("sigma2 = %f, want ~0.64", fit.Sigma2)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	design, _ := Design([]float64{1, 2, 3})
+	if _, err := OLS(design, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	// Collinear design: x and 2x.
+	x := []float64{1, 2, 3, 4}
+	x2 := []float64{2, 4, 6, 8}
+	d2, _ := Design(x, x2)
+	if _, err := OLS(d2, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("rank-deficient design accepted")
+	}
+	if _, err := Design(); err == nil {
+		t.Fatal("empty design accepted")
+	}
+	if _, err := Design([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged design accepted")
+	}
+}
+
+// balancedLMMData simulates g groups of size n with the given variance
+// components.
+func balancedLMMData(rng *rand.Rand, g, n int, mu, sigA, sig float64) []*Group {
+	groups := make([]*Group, g)
+	for i := range groups {
+		groups[i] = &Group{Name: groupName(i)}
+		a := rng.NormFloat64() * sigA
+		for j := 0; j < n; j++ {
+			groups[i].AddObs(mu + a + rng.NormFloat64()*sig)
+		}
+	}
+	return groups
+}
+
+func groupName(i int) string {
+	return string(rune('A'+i/26)) + string(rune('a'+i%26))
+}
+
+func TestLMMMatchesBalancedANOVAREML(t *testing.T) {
+	// For balanced one-way data, REML variance components have the
+	// closed form sigma2 = MSE, sigmaA2 = (MSB - MSE)/n.
+	rng := rand.New(rand.NewSource(4))
+	g, n := 30, 8
+	groups := balancedLMMData(rng, g, n, 20, 3, 2)
+
+	fit, err := FitLMM(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed form.
+	var grand, total float64
+	for _, gr := range groups {
+		grand += gr.Sum
+		total += float64(gr.N)
+	}
+	grand /= total
+	var ssb, ssw float64
+	for _, gr := range groups {
+		d := gr.Mean() - grand
+		ssb += float64(gr.N) * d * d
+		ssw += gr.withinSS()
+	}
+	mse := ssw / (total - float64(g))
+	msb := ssb / float64(g-1)
+	wantS2 := mse
+	wantA2 := (msb - mse) / float64(n)
+
+	if !feq(fit.Sigma2, wantS2, 0.05*wantS2+1e-6) {
+		t.Fatalf("sigma2 = %f, closed form %f", fit.Sigma2, wantS2)
+	}
+	if !feq(fit.SigmaA2, wantA2, 0.08*wantA2+0.05) {
+		t.Fatalf("sigmaA2 = %f, closed form %f", fit.SigmaA2, wantA2)
+	}
+	if !feq(fit.Mu, grand, 1e-6) {
+		t.Fatalf("balanced mu = %f, grand mean %f", fit.Mu, grand)
+	}
+}
+
+func TestLMMRecoversVarianceComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	groups := balancedLMMData(rng, 80, 25, 25, 4, 6)
+	fit, err := FitLMM(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(fit.Mu, 25, 1.5) {
+		t.Fatalf("mu = %f", fit.Mu)
+	}
+	if !feq(math.Sqrt(fit.SigmaA2), 4, 1.0) {
+		t.Fatalf("sigmaA = %f, want ~4", math.Sqrt(fit.SigmaA2))
+	}
+	if !feq(math.Sqrt(fit.Sigma2), 6, 0.5) {
+		t.Fatalf("sigma = %f, want ~6", math.Sqrt(fit.Sigma2))
+	}
+	if fit.NObs != 80*25 {
+		t.Fatalf("NObs = %d", fit.NObs)
+	}
+}
+
+func TestLMMShrinkage(t *testing.T) {
+	// BLUPs shrink raw deviations toward zero; sparse groups shrink
+	// more. This is the paper's motivation for mixed modelling.
+	rng := rand.New(rand.NewSource(6))
+	groups := []*Group{}
+	for i := 0; i < 40; i++ {
+		g := &Group{Name: groupName(i)}
+		a := rng.NormFloat64() * 5
+		n := 2
+		if i%2 == 0 {
+			n = 60
+		}
+		for j := 0; j < n; j++ {
+			g.AddObs(20 + a + rng.NormFloat64()*4)
+		}
+		groups = append(groups, g)
+	}
+	fit, err := FitLMM(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shrinkSmall, shrinkBig []float64
+	for _, ge := range fit.Groups {
+		raw := ge.Mean - fit.Mu
+		if math.Abs(raw) < 1e-9 {
+			continue
+		}
+		ratio := ge.BLUP / raw
+		if ratio < -1e-9 || ratio > 1+1e-9 {
+			t.Fatalf("BLUP not a shrinkage of the raw deviation: %+v (mu=%f)", ge, fit.Mu)
+		}
+		if ge.N == 2 {
+			shrinkSmall = append(shrinkSmall, ratio)
+		} else {
+			shrinkBig = append(shrinkBig, ratio)
+		}
+	}
+	if Mean(shrinkSmall) >= Mean(shrinkBig) {
+		t.Fatalf("small groups must shrink more: %f vs %f", Mean(shrinkSmall), Mean(shrinkBig))
+	}
+	// SE is larger for sparse groups.
+	var seSmall, seBig float64
+	for _, ge := range fit.Groups {
+		if ge.N == 2 {
+			seSmall += ge.SE
+		} else {
+			seBig += ge.SE
+		}
+	}
+	if seSmall <= seBig {
+		t.Fatalf("sparse-group SE must exceed dense-group SE: %f vs %f", seSmall, seBig)
+	}
+}
+
+func TestLMMZeroGroupVariance(t *testing.T) {
+	// No between-group signal: lambda should collapse to ~0 and BLUPs
+	// to ~0.
+	rng := rand.New(rand.NewSource(7))
+	groups := balancedLMMData(rng, 40, 20, 10, 0, 3)
+	fit, err := FitLMM(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.SigmaA2 > 0.4 {
+		t.Fatalf("sigmaA2 = %f, want ~0", fit.SigmaA2)
+	}
+	for _, ge := range fit.Groups {
+		if math.Abs(ge.BLUP) > 1 {
+			t.Fatalf("BLUP %f should be shrunk to ~0", ge.BLUP)
+		}
+	}
+}
+
+func TestLMMErrors(t *testing.T) {
+	if _, err := FitLMM(nil); err == nil {
+		t.Fatal("no groups accepted")
+	}
+	g1 := &Group{Name: "a"}
+	g1.AddObs(1)
+	if _, err := FitLMM([]*Group{g1}); err == nil {
+		t.Fatal("single group accepted")
+	}
+	g2 := &Group{Name: "b"}
+	g2.AddObs(2)
+	if _, err := FitLMM([]*Group{g1, g2}); err == nil {
+		t.Fatal("all-singleton groups accepted")
+	}
+}
+
+func TestGroupsFromObservations(t *testing.T) {
+	labels := []string{"a", "b", "a", "c", "b", "a"}
+	ys := []float64{1, 2, 3, 4, 5, 6}
+	groups, err := GroupsFromObservations(labels, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].Name != "a" || groups[0].N != 3 || !feq(groups[0].Mean(), 10.0/3, 1e-12) {
+		t.Fatalf("group a = %+v", groups[0])
+	}
+	if _, err := GroupsFromObservations([]string{"a"}, nil); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestLMMBLUPsOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	groups := balancedLMMData(rng, 10, 5, 0, 2, 1)
+	fit, err := FitLMM(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blups := fit.BLUPs()
+	if len(blups) != len(fit.Groups) {
+		t.Fatal("BLUPs length mismatch")
+	}
+	for i := range blups {
+		if blups[i] != fit.Groups[i].BLUP {
+			t.Fatal("BLUPs order mismatch")
+		}
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	out := s.String()
+	if out == "" || !feq(s.Mean, 2, 1e-12) {
+		t.Fatalf("Summary.String = %q", out)
+	}
+	for _, frag := range []string{"min=", "med=", "mean=", "n=3"} {
+		if !containsStr(out, frag) {
+			t.Fatalf("String missing %q: %q", frag, out)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

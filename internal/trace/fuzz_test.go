@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// FuzzReadCSV: the trace parser must reject arbitrary input with an
+// error, never a panic. The seed corpus covers the header, valid rows,
+// and assorted malformations.
+func FuzzReadCSV(f *testing.F) {
+	header := "car_id,trip_id,point_id,unix_ms,lon,lat,speed_kmh,fuel_ml,dist_m\n"
+	f.Add(header)
+	f.Add(header + "1,1,1,1349078400000,25.4700000,65.0100000,30.00,10.0,100.0\n")
+	f.Add(header + "1,1,1,notanumber,25.47,65.01,30,10,100\n")
+	f.Add(header + "1,1\n")
+	f.Add("garbage")
+	f.Add(header + strings.Repeat("1,1,1,0,25.47,65.01,0,0,0\n", 3))
+	f.Add(header + "1,1,1,0,1e309,65.01,0,0,0\n")
+
+	proj := geo.NewProjection(geo.Point{Lon: 25.47, Lat: 65.01})
+	f.Fuzz(func(t *testing.T, in string) {
+		trips, err := ReadCSV(strings.NewReader(in), proj)
+		if err != nil {
+			return
+		}
+		// On success every trip must be internally consistent.
+		for _, tr := range trips {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("accepted inconsistent trip: %v", err)
+			}
+		}
+	})
+}

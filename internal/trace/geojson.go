@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// WriteGeoJSON serialises trips as a GeoJSON FeatureCollection of WGS84
+// LineStrings in the trips' current point order, one feature per trip,
+// for inspection in QGIS or a web map.
+func WriteGeoJSON(w io.Writer, trips []*Trip, proj *geo.Projection) error {
+	type geom struct {
+		Type        string       `json:"type"`
+		Coordinates [][2]float64 `json:"coordinates"`
+	}
+	type feature struct {
+		Type       string         `json:"type"`
+		Geometry   geom           `json:"geometry"`
+		Properties map[string]any `json:"properties"`
+	}
+	type collection struct {
+		Type     string    `json:"type"`
+		Features []feature `json:"features"`
+	}
+	fc := collection{Type: "FeatureCollection"}
+	for _, t := range trips {
+		coords := make([][2]float64, len(t.Points))
+		for i := range t.Points {
+			p := proj.ToPoint(t.Points[i].Pos)
+			coords[i] = [2]float64{p.Lon, p.Lat}
+		}
+		fc.Features = append(fc.Features, feature{
+			Type:     "Feature",
+			Geometry: geom{Type: "LineString", Coordinates: coords},
+			Properties: map[string]any{
+				"trip_id": t.ID,
+				"car_id":  t.CarID,
+				"points":  len(t.Points),
+				"start":   t.StartTime().Format(time.RFC3339),
+			},
+		})
+	}
+	return json.NewEncoder(w).Encode(fc)
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats are derived per-trip statistics computed from the route points
+// in their current order (clean the trip first).
+type Stats struct {
+	Points     int
+	Duration   time.Duration
+	PathM      float64 // geometry length over the points
+	OdometerM  float64 // device cumulative distance (last - first)
+	FuelMl     float64 // device cumulative fuel (last - first)
+	MovingTime time.Duration
+	IdleTime   time.Duration // intervals at < 1 km/h
+	Stops      int           // maximal idle runs
+	MeanKmh    float64       // time-weighted mean of point speeds
+	MaxKmh     float64
+	// OdometerGapM is |odometer - geometry| — large values indicate GPS
+	// loss or heavy noise (the odometer integrates wheel rotation and
+	// is robust to both).
+	OdometerGapM float64
+}
+
+// ComputeStats derives the statistics. Trips with fewer than two
+// points yield a zero-valued Stats with Points set.
+func ComputeStats(t *Trip) Stats {
+	s := Stats{Points: len(t.Points)}
+	if len(t.Points) < 2 {
+		return s
+	}
+	pts := t.Points
+	s.Duration = pts[len(pts)-1].Time.Sub(pts[0].Time)
+	s.PathM = PathLength(pts)
+	s.OdometerM = pts[len(pts)-1].DistM - pts[0].DistM
+	s.FuelMl = pts[len(pts)-1].FuelMl - pts[0].FuelMl
+	if d := s.OdometerM - s.PathM; d >= 0 {
+		s.OdometerGapM = d
+	} else {
+		s.OdometerGapM = -d
+	}
+
+	var speedTime float64
+	inIdle := false
+	for i := 0; i < len(pts); i++ {
+		if pts[i].SpeedKmh > s.MaxKmh {
+			s.MaxKmh = pts[i].SpeedKmh
+		}
+		if i == len(pts)-1 {
+			break
+		}
+		dt := pts[i+1].Time.Sub(pts[i].Time)
+		if dt <= 0 {
+			continue
+		}
+		if pts[i].SpeedKmh < 1 {
+			s.IdleTime += dt
+			if !inIdle {
+				s.Stops++
+				inIdle = true
+			}
+		} else {
+			s.MovingTime += dt
+			inIdle = false
+		}
+		speedTime += pts[i].SpeedKmh * dt.Seconds()
+	}
+	if total := (s.MovingTime + s.IdleTime).Seconds(); total > 0 {
+		s.MeanKmh = speedTime / total
+	}
+	return s
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d pts, %.2f km in %s (mean %.1f km/h, max %.1f), %d stops, idle %s, fuel %.0f ml",
+		s.Points, s.PathM/1000, s.Duration.Round(time.Second),
+		s.MeanKmh, s.MaxKmh, s.Stops, s.IdleTime.Round(time.Second), s.FuelMl)
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// statsTrip builds: drive 3 points (30 km/h), stand 2 points, drive 2.
+func statsTrip() *Trip {
+	tr := &Trip{ID: 1, CarID: 1}
+	add := func(x, speed, fuel, dist float64, at time.Time) {
+		tr.Points = append(tr.Points, RoutePoint{
+			PointID: len(tr.Points) + 1, TripID: 1,
+			Pos: geo.V(x, 0), Time: at,
+			SpeedKmh: speed, FuelMl: fuel, DistM: dist,
+		})
+	}
+	at := t0
+	// Moving at 30 km/h, 250 m / 30 s apart.
+	add(0, 30, 0, 0, at)
+	at = at.Add(30 * time.Second)
+	add(250, 30, 20, 250, at)
+	at = at.Add(30 * time.Second)
+	add(500, 30, 40, 500, at)
+	// Stand for 2 intervals of 40 s.
+	at = at.Add(40 * time.Second)
+	add(500, 0, 50, 500, at)
+	at = at.Add(40 * time.Second)
+	add(500, 0, 60, 500, at)
+	// Move again.
+	at = at.Add(30 * time.Second)
+	add(750, 30, 80, 750, at)
+	return tr
+}
+
+func TestComputeStats(t *testing.T) {
+	s := ComputeStats(statsTrip())
+	if s.Points != 6 {
+		t.Fatalf("points = %d", s.Points)
+	}
+	if s.PathM != 750 || s.OdometerM != 750 || s.OdometerGapM != 0 {
+		t.Fatalf("distances: %+v", s)
+	}
+	if s.FuelMl != 80 {
+		t.Fatalf("fuel = %f", s.FuelMl)
+	}
+	if s.Stops != 1 {
+		t.Fatalf("stops = %d, want 1 (one maximal idle run)", s.Stops)
+	}
+	// Idle: the stand point intervals. The 3rd point (moving) covers the
+	// 40 s until the first stand point, so idle = 40+30? No: idle counts
+	// intervals whose *starting* point stands: points 4 and 5 -> 40+30 s.
+	if s.IdleTime != 70*time.Second {
+		t.Fatalf("idle = %s", s.IdleTime)
+	}
+	if s.MovingTime != s.Duration-s.IdleTime {
+		t.Fatalf("moving %s + idle %s != duration %s", s.MovingTime, s.IdleTime, s.Duration)
+	}
+	if s.MaxKmh != 30 {
+		t.Fatalf("max = %f", s.MaxKmh)
+	}
+	// Time-weighted mean: 30 km/h for 100 s of the 170 s total.
+	want := 30 * 100.0 / 170.0
+	if math.Abs(s.MeanKmh-want) > 1e-9 {
+		t.Fatalf("mean = %f, want %f", s.MeanKmh, want)
+	}
+	if !strings.Contains(s.String(), "stops") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestComputeStatsOdometerGap(t *testing.T) {
+	tr := statsTrip()
+	// The odometer saw 300 m more than the geometry (GPS outage).
+	tr.Points[len(tr.Points)-1].DistM += 300
+	s := ComputeStats(tr)
+	if math.Abs(s.OdometerGapM-300) > 1e-9 {
+		t.Fatalf("gap = %f, want 300", s.OdometerGapM)
+	}
+}
+
+func TestComputeStatsDegenerate(t *testing.T) {
+	s := ComputeStats(&Trip{ID: 1})
+	if s.Points != 0 || s.PathM != 0 || s.Stops != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+	one := &Trip{ID: 1, Points: []RoutePoint{{PointID: 1, TripID: 1, Time: t0}}}
+	s = ComputeStats(one)
+	if s.Points != 1 || s.Duration != 0 {
+		t.Fatalf("single stats = %+v", s)
+	}
+}

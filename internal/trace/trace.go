@@ -1,0 +1,136 @@
+// Package trace defines the taxi-trace data model: trips made of route
+// points carrying GPS positions and OBD-style measurements, in the
+// shape produced by the paper's Driveco on-board devices. A trip is one
+// run between two consecutive engine-off events; route points are
+// emitted on significant driving-behaviour changes rather than at a
+// fixed rate.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// RoutePoint is one measurement record. Points carry both a device
+// sequence number (PointID) and a timestamp; transmission latency can
+// deliver them out of order, and either field may be corrupted, which
+// package clean repairs.
+type RoutePoint struct {
+	PointID  int       // device-assigned sequence number within the trip
+	TripID   int64     // owning trip
+	Pos      geo.XY    // projected position, metres
+	Time     time.Time // device timestamp
+	SpeedKmh float64   // instantaneous speed from OBD
+	FuelMl   float64   // cumulative fuel used since trip start, millilitres
+	DistM    float64   // cumulative odometer distance since trip start, metres
+}
+
+// Trip is a run between two consecutive engine-off events, with its
+// route points in *arrival order* (which may differ from true order
+// until cleaned).
+type Trip struct {
+	ID     int64
+	CarID  int
+	Points []RoutePoint
+
+	// Recorded trip-level measurements from the device.
+	RecordedStart    time.Time
+	RecordedEnd      time.Time
+	RecordedDistM    float64
+	RecordedFuelMl   float64
+	RecordedDuration time.Duration
+}
+
+// Validate checks basic trip integrity (non-empty, consistent trip IDs).
+func (t *Trip) Validate() error {
+	if len(t.Points) == 0 {
+		return fmt.Errorf("trace: trip %d has no route points", t.ID)
+	}
+	for i := range t.Points {
+		if t.Points[i].TripID != t.ID {
+			return fmt.Errorf("trace: trip %d contains point of trip %d", t.ID, t.Points[i].TripID)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the trip.
+func (t *Trip) Clone() *Trip {
+	out := *t
+	out.Points = append([]RoutePoint(nil), t.Points...)
+	return &out
+}
+
+// Geometry returns the point positions as a polyline, in the current
+// point order.
+func (t *Trip) Geometry() geo.Polyline {
+	pl := make(geo.Polyline, len(t.Points))
+	for i := range t.Points {
+		pl[i] = t.Points[i].Pos
+	}
+	return pl
+}
+
+// PathLength returns the sum of distances between consecutive points in
+// the given order.
+func PathLength(points []RoutePoint) float64 {
+	var total float64
+	for i := 1; i < len(points); i++ {
+		total += points[i-1].Pos.Dist(points[i].Pos)
+	}
+	return total
+}
+
+// Duration returns the span between the first and last point
+// timestamps in the current order (zero for trips with <2 points).
+func (t *Trip) Duration() time.Duration {
+	if len(t.Points) < 2 {
+		return 0
+	}
+	return t.Points[len(t.Points)-1].Time.Sub(t.Points[0].Time)
+}
+
+// StartTime returns the earliest point timestamp.
+func (t *Trip) StartTime() time.Time {
+	if len(t.Points) == 0 {
+		return time.Time{}
+	}
+	min := t.Points[0].Time
+	for _, p := range t.Points[1:] {
+		if p.Time.Before(min) {
+			min = p.Time
+		}
+	}
+	return min
+}
+
+// EndTime returns the latest point timestamp.
+func (t *Trip) EndTime() time.Time {
+	if len(t.Points) == 0 {
+		return time.Time{}
+	}
+	max := t.Points[0].Time
+	for _, p := range t.Points[1:] {
+		if p.Time.After(max) {
+			max = p.Time
+		}
+	}
+	return max
+}
+
+// Key uniquely identifies a trip segment or transition: the paper uses
+// trip id together with the segment start time.
+type Key struct {
+	TripID int64
+	Start  time.Time
+}
+
+// Key returns the trip's identification key.
+func (t *Trip) Key() Key { return Key{TripID: t.ID, Start: t.StartTime()} }
+
+// String renders the key compactly.
+func (k Key) String() string {
+	return fmt.Sprintf("trip %d @ %s", k.TripID, k.Start.Format(time.RFC3339))
+}

@@ -1,0 +1,97 @@
+package tracegen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// corrupt injects the transmission-error modes the paper's cleaning
+// stage (§IV-B) must repair:
+//
+//   - arrival-order shuffling: latency reorders records on the wire, so
+//     the stored point slice is no longer in true order (ids and
+//     timestamps remain correct);
+//
+//   - id glitches: the device sequence counter mislabels adjacent
+//     points (timestamps remain correct);
+//
+//   - timestamp jitter: adjacent points carry swapped timestamps (ids
+//     remain correct).
+//
+//   - GPS spikes: occasional positions thrown kilometres off by
+//     multipath or a cold receiver, which the cleaning stage's
+//     implied-speed filter must drop.
+//
+// In the two metadata-corruption modes exactly one of the two sort keys
+// reconstructs the true path; the paper's min-total-distance rule picks
+// it.
+func (g *Generator) corrupt(rng *rand.Rand, t *trace.Trip) {
+	if len(t.Points) < 4 {
+		return
+	}
+	if rng.Float64() < g.cfg.SpikeRate {
+		n := 1 + rng.Intn(2)
+		for k := 0; k < n; k++ {
+			i := rng.Intn(len(t.Points))
+			ang := rng.Float64() * 2 * math.Pi
+			r := 2000 + rng.Float64()*8000
+			t.Points[i].Pos.X += r * math.Cos(ang)
+			t.Points[i].Pos.Y += r * math.Sin(ang)
+		}
+	}
+	// Latency shuffling affects most trips lightly.
+	if rng.Float64() < 0.6 {
+		shuffleWindows(rng, t.Points, 1+rng.Intn(3))
+	}
+	if rng.Float64() >= g.cfg.CorruptionRate {
+		return
+	}
+	n := 1 + rng.Intn(2) // corrupted pairs
+	if rng.Float64() < 0.5 {
+		for k := 0; k < n; k++ {
+			i := 1 + rng.Intn(len(t.Points)-2)
+			a, b := findByID(t.Points, i), findByID(t.Points, i+1)
+			if a >= 0 && b >= 0 {
+				t.Points[a].PointID, t.Points[b].PointID = t.Points[b].PointID, t.Points[a].PointID
+			}
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			i := 1 + rng.Intn(len(t.Points)-2)
+			a, b := findByID(t.Points, i), findByID(t.Points, i+1)
+			if a >= 0 && b >= 0 {
+				t.Points[a].Time, t.Points[b].Time = t.Points[b].Time, t.Points[a].Time
+			}
+		}
+	}
+}
+
+// shuffleWindows permutes small windows of the slice in place,
+// simulating out-of-order arrival.
+func shuffleWindows(rng *rand.Rand, pts []trace.RoutePoint, windows int) {
+	for w := 0; w < windows; w++ {
+		if len(pts) < 3 {
+			return
+		}
+		start := rng.Intn(len(pts) - 2)
+		size := 2 + rng.Intn(2)
+		if start+size > len(pts) {
+			size = len(pts) - start
+		}
+		window := pts[start : start+size]
+		rng.Shuffle(len(window), func(i, j int) {
+			window[i], window[j] = window[j], window[i]
+		})
+	}
+}
+
+func findByID(pts []trace.RoutePoint, id int) int {
+	for i := range pts {
+		if pts[i].PointID == id {
+			return i
+		}
+	}
+	return -1
+}

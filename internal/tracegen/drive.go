@@ -1,0 +1,238 @@
+package tracegen
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// runPlan is everything the kinematic simulation needs for one customer
+// run.
+type runPlan struct {
+	geom  geo.Polyline
+	start time.Time
+	noise float64
+
+	limits      []limitSpan // speed limits by along-distance, m/s
+	stops       []stopMark  // forced stops (red lights), ascending along
+	slows       []slowMark  // local slowdowns (crossings, turns, stops)
+	speedOffset float64     // seasonal target-speed offset, m/s
+	congestion  float64     // rush-hour multiplier on limits (0 = off)
+	style       float64     // driver target-speed factor (0 = neutral)
+}
+
+type limitSpan struct {
+	from, to float64
+	limit    float64 // m/s
+}
+
+type stopMark struct {
+	along float64
+	wait  float64 // seconds standing
+}
+
+type slowMark struct {
+	along  float64
+	radius float64
+	factor float64 // multiplier on the local limit
+}
+
+// emittedPoint is one event-triggered device record in true order.
+type emittedPoint struct {
+	pos      geo.XY
+	t        time.Time
+	speedKmh float64
+	fuelMl   float64 // cumulative within the run
+	distM    float64 // cumulative within the run
+}
+
+type runResult struct {
+	points   []emittedPoint
+	distM    float64
+	fuelMl   float64
+	duration time.Duration
+}
+
+// limitAt returns the speed limit (m/s) at the along-position.
+func (p *runPlan) limitAt(s float64) float64 {
+	for _, span := range p.limits {
+		if s >= span.from && s < span.to {
+			return span.limit
+		}
+	}
+	if n := len(p.limits); n > 0 {
+		return p.limits[n-1].limit
+	}
+	return 40 / 3.6
+}
+
+// targetAt returns the desired speed (m/s) at the along-position,
+// after slowdown marks and the seasonal offset.
+func (p *runPlan) targetAt(s float64) float64 {
+	v := p.limitAt(s)
+	if p.congestion > 0 {
+		v *= p.congestion
+	}
+	if p.style > 0 {
+		v *= p.style
+	}
+	for _, sl := range p.slows {
+		if math.Abs(s-sl.along) <= sl.radius {
+			if f := p.limitAt(s) * sl.factor; f < v {
+				v = f
+			}
+		}
+	}
+	v += p.speedOffset
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Kinematic constants.
+const (
+	simDT      = 1.0 // s
+	maxAccel   = 1.8 // m/s^2
+	maxBrake   = 3.0 // m/s^2
+	idleBurn   = 0.28
+	perMBurn   = 0.055
+	accelBurn  = 1.1
+	lowSpdBurn = 0.12 // extra ml/s below 10 km/h while moving
+)
+
+// Emission thresholds: a route point is generated when driving
+// behaviour changes significantly (paper §III) or as a slow heartbeat.
+const (
+	emitHeadingDeg = 18.0
+	emitSpeedKmh   = 8.0
+	emitMaxGap     = 45.0 // s
+)
+
+// simulateRun integrates the run at 1 Hz and emits event-triggered
+// route points. Returned cumulative fuel/dist are within-run.
+func simulateRun(rng *rand.Rand, plan runPlan) runResult {
+	total := plan.geom.Length()
+	if total <= 0 || len(plan.geom) < 2 {
+		return runResult{}
+	}
+
+	var (
+		s, v       float64 // along-position m, speed m/s
+		fuel, tSec float64
+		nextStop   = 0 // index into plan.stops
+		out        []emittedPoint
+	)
+
+	lastEmitT := math.Inf(-1)
+	lastEmitV := 0.0
+	lastHeading := plan.geom.BearingAt(0)
+
+	emit := func() {
+		out = append(out, emittedPoint{
+			pos:      plan.geom.PointAt(s),
+			t:        plan.start.Add(time.Duration(tSec * float64(time.Second))),
+			speedKmh: v * 3.6,
+			fuelMl:   fuel,
+			distM:    s,
+		})
+		lastEmitT = tSec
+		lastEmitV = v
+		lastHeading = plan.geom.BearingAt(s)
+	}
+	emit() // departure point
+
+	standing := 0.0 // remaining stand-still seconds
+	for s < total-0.5 {
+		if tSec > 4*3600 {
+			break // safety valve; runs are minutes long
+		}
+		target := plan.targetAt(s)
+
+		// Approach control for the next forced stop.
+		for nextStop < len(plan.stops) && plan.stops[nextStop].along < s-1 {
+			nextStop++
+		}
+		if standing <= 0 && nextStop < len(plan.stops) {
+			dStop := plan.stops[nextStop].along - s
+			if dStop <= 3 {
+				// Arrived at the stop line: stand for the wait time.
+				s = plan.stops[nextStop].along
+				v = 0
+				standing = plan.stops[nextStop].wait
+				nextStop++
+			} else {
+				// Comfortable braking envelope: v^2 = 2 a (d-2).
+				if vb := math.Sqrt(2 * 1.5 * (dStop - 2)); vb < target {
+					target = vb
+				}
+			}
+		}
+
+		var a float64
+		if standing > 0 {
+			standing -= simDT
+			v = 0
+		} else {
+			a = (target - v) / 1.5
+			if a > maxAccel {
+				a = maxAccel
+			}
+			if a < -maxBrake {
+				a = -maxBrake
+			}
+			v += a * simDT
+			if v < 0 {
+				v = 0
+			}
+		}
+		step := v * simDT
+		s += step
+		if s > total {
+			step -= s - total
+			s = total
+		}
+		tSec += simDT
+
+		// Fuel.
+		burn := idleBurn
+		if v > 0.5 {
+			burn += perMBurn * step / simDT
+			if a > 0 {
+				burn += accelBurn * a
+			}
+			if v < 10/3.6 {
+				burn += lowSpdBurn
+			}
+		}
+		fuel += burn * simDT
+
+		// Emission decision.
+		heading := lastHeading
+		if step > 0.5 {
+			heading = plan.geom.BearingAt(s)
+		}
+		switch {
+		case geo.AngleDiff(heading, lastHeading) > emitHeadingDeg && step > 0.5:
+			emit()
+		case math.Abs(v-lastEmitV)*3.6 > emitSpeedKmh:
+			emit()
+		case tSec-lastEmitT >= emitMaxGap:
+			emit()
+		}
+	}
+	// Arrival point: come to rest.
+	v = 0
+	if len(out) == 0 || out[len(out)-1].distM < total-0.1 || out[len(out)-1].speedKmh > 0.1 {
+		emit()
+	}
+
+	return runResult{
+		points:   out,
+		distM:    total,
+		fuelMl:   fuel,
+		duration: time.Duration(tSec * float64(time.Second)),
+	}
+}

@@ -1,0 +1,28 @@
+package weather_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/weather"
+)
+
+func ExampleSeasonOf() {
+	d := time.Date(2013, time.January, 20, 12, 0, 0, 0, time.UTC)
+	fmt.Println(weather.SeasonOf(d))
+	fmt.Println(weather.SeasonOf(d.AddDate(0, 6, 0)))
+	// Output:
+	// winter
+	// summer
+}
+
+func ExampleClassifyTemperature() {
+	for _, c := range []float64{-15, -3, 4, 18} {
+		fmt.Println(weather.ClassifyTemperature(c))
+	}
+	// Output:
+	// <-10C
+	// -10..0C
+	// 0..10C
+	// >10C
+}

@@ -1,0 +1,144 @@
+// Package weather provides the seasonal and road-weather substrate the
+// paper sources from the FMI road weather model: season classification
+// for northern Finland and a deterministic daily temperature model used
+// to assign the temperature classes of Fig 10.
+package weather
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Season is a meteorological season.
+type Season int
+
+// Seasons (meteorological: winter is Dec-Feb, and so on).
+const (
+	Winter Season = iota
+	Spring
+	Summer
+	Autumn
+)
+
+// String returns the season name.
+func (s Season) String() string {
+	switch s {
+	case Winter:
+		return "winter"
+	case Spring:
+		return "spring"
+	case Summer:
+		return "summer"
+	case Autumn:
+		return "autumn"
+	default:
+		return fmt.Sprintf("Season(%d)", int(s))
+	}
+}
+
+// SeasonOf classifies a timestamp into a meteorological season.
+func SeasonOf(t time.Time) Season {
+	switch t.Month() {
+	case time.December, time.January, time.February:
+		return Winter
+	case time.March, time.April, time.May:
+		return Spring
+	case time.June, time.July, time.August:
+		return Summer
+	default:
+		return Autumn
+	}
+}
+
+// TemperatureClass buckets air temperature the way Fig 10 does.
+type TemperatureClass int
+
+// Temperature classes, coldest first.
+const (
+	ClassBelowMinus10 TemperatureClass = iota
+	ClassMinus10To0
+	Class0To10
+	ClassAbove10
+)
+
+// NumTemperatureClasses is the number of buckets.
+const NumTemperatureClasses = 4
+
+// String returns the bucket label as printed in the Fig 10 harness.
+func (c TemperatureClass) String() string {
+	switch c {
+	case ClassBelowMinus10:
+		return "<-10C"
+	case ClassMinus10To0:
+		return "-10..0C"
+	case Class0To10:
+		return "0..10C"
+	case ClassAbove10:
+		return ">10C"
+	default:
+		return fmt.Sprintf("TemperatureClass(%d)", int(c))
+	}
+}
+
+// ClassifyTemperature buckets a Celsius temperature.
+func ClassifyTemperature(celsius float64) TemperatureClass {
+	switch {
+	case celsius < -10:
+		return ClassBelowMinus10
+	case celsius < 0:
+		return ClassMinus10To0
+	case celsius < 10:
+		return Class0To10
+	default:
+		return ClassAbove10
+	}
+}
+
+// Model is a deterministic daily temperature model for 65°N: an annual
+// sinusoid with day-specific pseudo-random deviation. It stands in for
+// the FMI road weather model feed.
+type Model struct {
+	// MeanAnnualC is the annual mean temperature (Oulu: ~2.7 °C).
+	MeanAnnualC float64
+	// AmplitudeC is the summer-winter half swing (Oulu: ~14 °C).
+	AmplitudeC float64
+	// NoiseC scales day-to-day deviation (typically 4-6 °C).
+	NoiseC float64
+	// Seed decorrelates instances.
+	Seed int64
+}
+
+// DefaultModel returns a model tuned to Oulu's climate.
+func DefaultModel(seed int64) *Model {
+	return &Model{MeanAnnualC: 2.7, AmplitudeC: 14, NoiseC: 5, Seed: seed}
+}
+
+// TemperatureAt returns the modelled air temperature for the given
+// time. Deterministic: the same time always yields the same value.
+func (m *Model) TemperatureAt(t time.Time) float64 {
+	doy := float64(t.YearDay())
+	// Coldest around late January (day ~25), warmest late July.
+	seasonal := m.MeanAnnualC - m.AmplitudeC*math.Cos(2*math.Pi*(doy-25)/365.25)
+	// Deterministic per-day deviation from a hash of the date.
+	h := dateHash(t, m.Seed)
+	dev := (float64(h%2000)/1000 - 1) * m.NoiseC
+	return seasonal + dev
+}
+
+// ClassAt returns the temperature class for the given time.
+func (m *Model) ClassAt(t time.Time) TemperatureClass {
+	return ClassifyTemperature(m.TemperatureAt(t))
+}
+
+// dateHash mixes the date and seed with a splitmix64-style finaliser.
+func dateHash(t time.Time, seed int64) uint64 {
+	y, mo, d := t.Date()
+	x := uint64(y)*10000 + uint64(mo)*100 + uint64(d) + uint64(seed)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,116 @@
+package weather
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSeasonOf(t *testing.T) {
+	cases := []struct {
+		m    time.Month
+		want Season
+	}{
+		{time.January, Winter}, {time.February, Winter}, {time.December, Winter},
+		{time.March, Spring}, {time.May, Spring},
+		{time.June, Summer}, {time.August, Summer},
+		{time.September, Autumn}, {time.November, Autumn},
+	}
+	for _, c := range cases {
+		d := time.Date(2013, c.m, 15, 12, 0, 0, 0, time.UTC)
+		if got := SeasonOf(d); got != c.want {
+			t.Errorf("SeasonOf(%v) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestSeasonStrings(t *testing.T) {
+	if Winter.String() != "winter" || Spring.String() != "spring" ||
+		Summer.String() != "summer" || Autumn.String() != "autumn" {
+		t.Fatal("Season.String broken")
+	}
+	if Season(99).String() == "" {
+		t.Fatal("unknown season must stringify")
+	}
+}
+
+func TestClassifyTemperature(t *testing.T) {
+	cases := []struct {
+		c    float64
+		want TemperatureClass
+	}{
+		{-25, ClassBelowMinus10}, {-10.001, ClassBelowMinus10},
+		{-10, ClassMinus10To0}, {-0.5, ClassMinus10To0},
+		{0, Class0To10}, {9.9, Class0To10},
+		{10, ClassAbove10}, {25, ClassAbove10},
+	}
+	for _, c := range cases {
+		if got := ClassifyTemperature(c.c); got != c.want {
+			t.Errorf("ClassifyTemperature(%f) = %v, want %v", c.c, got, c.want)
+		}
+	}
+	if ClassBelowMinus10.String() != "<-10C" || ClassAbove10.String() != ">10C" {
+		t.Fatal("TemperatureClass.String broken")
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	m := DefaultModel(1)
+	d := time.Date(2013, 1, 20, 8, 0, 0, 0, time.UTC)
+	if m.TemperatureAt(d) != m.TemperatureAt(d) {
+		t.Fatal("model not deterministic")
+	}
+	m2 := DefaultModel(2)
+	diff := 0
+	for day := 0; day < 60; day++ {
+		dd := d.AddDate(0, 0, day)
+		if m.TemperatureAt(dd) != m2.TemperatureAt(dd) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds give identical series")
+	}
+}
+
+func TestModelSeasonalShape(t *testing.T) {
+	m := DefaultModel(3)
+	var winterSum, summerSum float64
+	n := 0
+	for day := 0; day < 28; day++ {
+		winterSum += m.TemperatureAt(time.Date(2013, 1, 1+day, 12, 0, 0, 0, time.UTC))
+		summerSum += m.TemperatureAt(time.Date(2013, 7, 1+day, 12, 0, 0, 0, time.UTC))
+		n++
+	}
+	winter := winterSum / float64(n)
+	summer := summerSum / float64(n)
+	if winter > -3 || summer < 10 {
+		t.Fatalf("implausible Oulu climate: winter %f, summer %f", winter, summer)
+	}
+	if summer-winter < 15 {
+		t.Fatalf("seasonal swing too small: %f", summer-winter)
+	}
+}
+
+func TestModelClassCoverage(t *testing.T) {
+	// Across a year, all four temperature classes should occur at 65N.
+	m := DefaultModel(4)
+	seen := map[TemperatureClass]bool{}
+	start := time.Date(2012, 10, 1, 12, 0, 0, 0, time.UTC)
+	for day := 0; day < 365; day++ {
+		seen[m.ClassAt(start.AddDate(0, 0, day))] = true
+	}
+	for c := TemperatureClass(0); c < NumTemperatureClasses; c++ {
+		if !seen[c] {
+			t.Fatalf("class %v never occurs", c)
+		}
+	}
+}
+
+func TestTemperatureClassStrings(t *testing.T) {
+	if ClassMinus10To0.String() != "-10..0C" || Class0To10.String() != "0..10C" {
+		t.Fatal("mid-class strings broken")
+	}
+	if TemperatureClass(99).String() == "" || Season(99).String() == "" {
+		t.Fatal("unknown values must stringify")
+	}
+}

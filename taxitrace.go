@@ -1,0 +1,86 @@
+// Package taxitrace reproduces "Revealing reliable information from
+// taxi traces: from raw data to information discovery" (Keskinarkaus et
+// al.): an end-to-end pipeline that turns raw taxi GPS/OBD traces into
+// reliable, map-referenced information about city traffic.
+//
+// The pipeline stages, in paper order:
+//
+//  1. Map preparation: a road-network graph is reconstructed from
+//     Digiroad-style traffic elements; endpoints shared by three or
+//     more elements become junctions, and chains between junctions are
+//     merged into single edges (Table 1).
+//  2. Data cleaning: route-point ordering corrupted in transit is
+//     repaired by sorting on both candidate keys (device id and
+//     timestamp) and keeping the ordering with the smaller total trip
+//     distance; all properties are realigned monotonically.
+//  3. Trip segmentation: day-long engine-on trips are split into
+//     customer runs with five time-based stop rules (Table 2).
+//  4. Origin-Destination selection: segments are matched against
+//     thick-geometry gate roads (T, S, L), filtered by crossing angle
+//     and the central area, and classified into transitions (Table 3).
+//  5. Map-matching: the incremental algorithm with digital-map driving
+//     direction hints, with Dijkstra shortest-path gap filling.
+//  6. Attribute fetching: traffic lights, junctions, bus stops and
+//     pedestrian crossings are counted along each matched route
+//     (Table 4).
+//  7. Analysis: 200 m grid aggregation (Table 5, Figs 3-6) and a
+//     per-cell random-intercept linear mixed model estimated by REML
+//     with BLUP predictions (Figs 7-9), plus weather joins (Fig 10).
+//
+// The proprietary inputs of the paper (Driveco taxi traces, the
+// Digiroad national road database, the FMI road weather feed) are
+// replaced by deterministic synthetic substrates that exercise the
+// same code paths; see DESIGN.md for the substitution arguments.
+//
+// Quick start:
+//
+//	p, err := taxitrace.New(taxitrace.Config{CitySeed: 42})
+//	if err != nil { ... }
+//	res, err := p.Run()
+//	recs := res.Transitions()
+//	agg, lmm, err := p.GridAnalysis(recs)
+//
+// The experiments subpackage (internal/experiments) regenerates every
+// table and figure of the paper; cmd/experiments writes them to disk.
+package taxitrace
+
+import (
+	"repro/internal/core"
+)
+
+// Config assembles one pipeline; the zero value selects the paper's
+// settings with a default synthetic city and fleet.
+type Config = core.Config
+
+// Pipeline is a ready-to-run reproduction pipeline.
+type Pipeline = core.Pipeline
+
+// Result is the full fleet output of Pipeline.Run.
+type Result = core.Result
+
+// CarResult is one car's pipeline output (one Table 3 row).
+type CarResult = core.CarResult
+
+// TransitionRecord is one accepted OD transition with its matched
+// route, fetched attributes, and Table 4 metrics.
+type TransitionRecord = core.TransitionRecord
+
+// SpeedPoint pairs a position with a measured speed.
+type SpeedPoint = core.SpeedPoint
+
+// LowSpeedKmh is the paper's low-speed threshold (10 km/h).
+const LowSpeedKmh = core.LowSpeedKmh
+
+// New builds the synthetic city, road graph, fleet generator and all
+// processing stages.
+func New(cfg Config) (*Pipeline, error) { return core.NewPipeline(cfg) }
+
+// PointSpeeds extracts every measured point speed from the given
+// transitions.
+func PointSpeeds(recs []*TransitionRecord) []float64 { return core.PointSpeeds(recs) }
+
+// TransitionSpeedPoints extracts the positioned speeds of one
+// transition for map figures.
+func TransitionSpeedPoints(rec *TransitionRecord) []SpeedPoint {
+	return core.TransitionSpeedPoints(rec)
+}

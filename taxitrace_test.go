@@ -1,0 +1,46 @@
+package taxitrace
+
+import (
+	"testing"
+
+	"repro/internal/tracegen"
+)
+
+// TestPublicAPIQuickstart exercises the facade exactly the way the
+// package documentation shows.
+func TestPublicAPIQuickstart(t *testing.T) {
+	p, err := New(Config{
+		CitySeed: 42,
+		Fleet:    tracegen.Config{Seed: 42, Cars: 1, TripsPerCar: 8, GateRunFraction: 0.5},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	recs := res.Transitions()
+	if len(recs) == 0 {
+		t.Fatal("no transitions from the quickstart configuration")
+	}
+	speeds := PointSpeeds(recs)
+	if len(speeds) == 0 {
+		t.Fatal("no point speeds")
+	}
+	low := 0
+	for _, s := range speeds {
+		if s < LowSpeedKmh {
+			low++
+		}
+	}
+	if low == 0 {
+		t.Fatal("city driving should include low-speed points")
+	}
+	if sp := TransitionSpeedPoints(recs[0]); len(sp) < 2 {
+		t.Fatalf("TransitionSpeedPoints = %d", len(sp))
+	}
+	if _, _, err := p.GridAnalysis(recs); err != nil {
+		t.Fatalf("GridAnalysis: %v", err)
+	}
+}
