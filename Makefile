@@ -2,9 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench results examples clean
+.PHONY: all build test vet bench race results examples clean help
 
 all: build vet test
+
+help:
+	@echo "Targets:"
+	@echo "  all      build + vet + test (default)"
+	@echo "  build    go build ./..."
+	@echo "  vet      go vet ./..."
+	@echo "  test     go test ./..."
+	@echo "  race     go vet + go test -race ./... (concurrency gate for the"
+	@echo "           shared Router: pooled scratch, sharded path cache and"
+	@echo "           parallel per-car workers all run under the race detector)"
+	@echo "  bench    run every benchmark with -benchmem"
+	@echo "  results  regenerate all paper tables/figures into results/"
+	@echo "  examples run every example program"
+	@echo "  clean    remove scratch output"
 
 build:
 	$(GO) build ./...
@@ -14,6 +28,13 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector gate: the pipeline shares one Router (scratch pools,
+# path cache) across per-car goroutines, so -race is part of tier-1
+# hygiene, not an optional extra.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 # One bench per paper table/figure plus the ablations.
 bench:

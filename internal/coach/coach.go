@@ -42,11 +42,18 @@ type TripReport struct {
 // Coach analyses transitions over one road network.
 type Coach struct {
 	graph *roadnet.Graph
+	rt    *roadnet.Router
 }
 
-// New builds a coach for the pipeline's network.
+// New builds a coach over the network's shared routing engine.
 func New(graph *roadnet.Graph) *Coach {
-	return &Coach{graph: graph}
+	return NewWithRouter(graph.Router())
+}
+
+// NewWithRouter builds a coach over an explicit routing engine, so the
+// reference-route queries share the pipeline's path cache.
+func NewWithRouter(rt *roadnet.Router) *Coach {
+	return &Coach{graph: rt.Graph(), rt: rt}
 }
 
 // Analyze scores one transition.
@@ -107,7 +114,7 @@ func (c *Coach) detourFactor(rec *core.TransitionRecord) float64 {
 	if from == nil || to == nil {
 		return 1
 	}
-	path, err := c.graph.ShortestPath(from.ID, to.ID, roadnet.DistanceWeight)
+	path, err := c.rt.ShortestPath(from.ID, to.ID, roadnet.DistanceWeight)
 	if err != nil || path.Length < 100 {
 		return 1
 	}

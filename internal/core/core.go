@@ -49,6 +49,10 @@ type Config struct {
 	Match      mapmatch.Config
 	GateWidthM float64 // thick-geometry width (default 150)
 	GridCellM  float64 // analysis cell size (default 200)
+	// RouterCachePaths caps the shared routing engine's path cache
+	// (total memoised paths across shards). 0 selects the router
+	// default; negative disables caching.
+	RouterCachePaths int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,9 +74,13 @@ func (c Config) withDefaults() Config {
 // Pipeline is a ready-to-run reproduction pipeline over one synthetic
 // city and fleet.
 type Pipeline struct {
-	Config   Config
-	City     *digiroad.City
-	Graph    *roadnet.Graph
+	Config Config
+	City   *digiroad.City
+	Graph  *roadnet.Graph
+	// Router is the pipeline's shared routing engine: one scratch/heap
+	// pool and one path cache serving the fleet simulator, both
+	// map-matchers and the coach across all per-car workers.
+	Router   *roadnet.Router
 	Gen      *tracegen.Generator
 	Selector *odselect.Selector
 	Matcher  *mapmatch.Matcher
@@ -97,7 +105,8 @@ func NewPipelineWithCity(city *digiroad.City, cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: build road graph: %w", err)
 	}
-	gen, err := tracegen.New(city, graph, cfg.Fleet)
+	router := roadnet.NewRouter(graph, roadnet.RouterOptions{PathCachePaths: cfg.RouterCachePaths})
+	gen, err := tracegen.NewWithRouter(city, router, cfg.Fleet)
 	if err != nil {
 		return nil, fmt.Errorf("core: build fleet generator: %w", err)
 	}
@@ -121,9 +130,10 @@ func NewPipelineWithCity(city *digiroad.City, cfg Config) (*Pipeline, error) {
 		Config:   cfg,
 		City:     city,
 		Graph:    graph,
+		Router:   router,
 		Gen:      gen,
 		Selector: sel,
-		Matcher:  mapmatch.NewIncremental(graph, cfg.Match),
+		Matcher:  mapmatch.NewIncrementalRouter(router, cfg.Match),
 		Fetcher:  mapattr.NewFetcher(city.DB, graph, 0),
 		Weather:  wm,
 		Rules:    cfg.Segment,
@@ -179,7 +189,11 @@ type Result struct {
 
 // Transitions flattens all accepted transitions.
 func (r *Result) Transitions() []*TransitionRecord {
-	var out []*TransitionRecord
+	n := 0
+	for i := range r.Cars {
+		n += len(r.Cars[i].Transitions)
+	}
+	out := make([]*TransitionRecord, 0, n)
 	for i := range r.Cars {
 		out = append(out, r.Cars[i].Transitions...)
 	}
@@ -188,7 +202,11 @@ func (r *Result) Transitions() []*TransitionRecord {
 
 // Segments flattens all kept trip segments.
 func (r *Result) Segments() []*trace.Trip {
-	var out []*trace.Trip
+	n := 0
+	for i := range r.Cars {
+		n += len(r.Cars[i].Segments)
+	}
+	out := make([]*trace.Trip, 0, n)
 	for i := range r.Cars {
 		out = append(out, r.Cars[i].Segments...)
 	}

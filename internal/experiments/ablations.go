@@ -38,13 +38,14 @@ func Ablations(env *Env) []*Report {
 func syntheticDrives(env *Env, n int, seed int64) ([][]roadnet.EdgeID, [][]trace.RoutePoint) {
 	rng := rand.New(rand.NewSource(seed))
 	g := env.P.Graph
+	rt := env.P.Router
 	t0 := time.Date(2013, 2, 1, 9, 0, 0, 0, time.UTC)
 	var truths [][]roadnet.EdgeID
 	var traces [][]trace.RoutePoint
 	for len(truths) < n {
 		from := roadnet.NodeID(rng.Intn(len(g.Nodes)))
 		to := roadnet.NodeID(rng.Intn(len(g.Nodes)))
-		path, err := g.ShortestPath(from, to, roadnet.TravelTimeWeight)
+		path, err := rt.ShortestPath(from, to, roadnet.TravelTimeWeight)
 		if err != nil || path.Length < 1200 || path.Length > 3500 {
 			continue
 		}
@@ -87,10 +88,10 @@ func AblationMatchers(env *Env) *Report {
 		name  string
 		match func([]trace.RoutePoint) (*mapmatch.Result, error)
 	}{
-		{"incremental+hints", mapmatch.NewIncremental(env.P.Graph, mapmatch.DefaultConfig()).Match},
-		{"incremental-plain", mapmatch.NewIncremental(env.P.Graph, plainCfg).Match},
-		{"incremental-look2", mapmatch.NewIncremental(env.P.Graph, lookCfg).Match},
-		{"hmm-viterbi", mapmatch.NewHMM(env.P.Graph, mapmatch.HMMConfig{}).Match},
+		{"incremental+hints", mapmatch.NewIncrementalRouter(env.P.Router, mapmatch.DefaultConfig()).Match},
+		{"incremental-plain", mapmatch.NewIncrementalRouter(env.P.Router, plainCfg).Match},
+		{"incremental-look2", mapmatch.NewIncrementalRouter(env.P.Router, lookCfg).Match},
+		{"hmm-viterbi", mapmatch.NewHMMRouter(env.P.Router, mapmatch.HMMConfig{}).Match},
 	}
 
 	var w bytes.Buffer
@@ -217,7 +218,7 @@ func Extensions(env *Env) []*Report {
 func EcoRoutes(env *Env) *Report {
 	recs := env.Res.Transitions()
 	var w bytes.Buffer
-	c := coach.New(env.P.Graph)
+	c := coach.NewWithRouter(env.P.Router)
 	var scores []float64
 	for _, rec := range recs {
 		scores = append(scores, c.Analyze(rec).EcoScore)

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"math"
 	"sort"
+	"sync"
 )
 
 // RTree is a static STR-packed (Sort-Tile-Recursive) R-tree over
@@ -178,6 +179,11 @@ func (h *nnHeap) Pop() interface{} {
 	return e
 }
 
+// nnHeapPool recycles neighbour-search heaps between Nearest calls;
+// the matcher's candidate probes run millions of nearest-neighbour
+// queries and would otherwise allocate a fresh heap each time.
+var nnHeapPool = sync.Pool{New: func() interface{} { return new(nnHeap) }}
+
 // Nearest returns up to k items ordered by the distance from p to their
 // rectangles (best-first branch and bound). Items farther than maxDist
 // are excluded; pass a non-positive maxDist for no limit.
@@ -188,7 +194,17 @@ func (t *RTree) Nearest(p XY, k int, maxDist float64) []NearestResult {
 	if maxDist <= 0 {
 		maxDist = math.Inf(1)
 	}
-	h := &nnHeap{{node: t.root, dist: t.root.rect.DistanceTo(p)}}
+	h := nnHeapPool.Get().(*nnHeap)
+	defer func() {
+		// Drop entry payloads before pooling so the heap does not pin
+		// tree nodes of a discarded index.
+		for i := range *h {
+			(*h)[i] = nnEntry{}
+		}
+		*h = (*h)[:0]
+		nnHeapPool.Put(h)
+	}()
+	*h = append((*h)[:0], nnEntry{node: t.root, dist: t.root.rect.DistanceTo(p)})
 	var out []NearestResult
 	for h.Len() > 0 && len(out) < k {
 		e := heap.Pop(h).(nnEntry)

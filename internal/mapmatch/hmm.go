@@ -43,16 +43,25 @@ func (c HMMConfig) withDefaults() HMMConfig {
 // paper's incremental algorithm.
 type HMMMatcher struct {
 	g   *roadnet.Graph
+	rt  *roadnet.Router
 	cfg HMMConfig
 	inc *Matcher // reused for route assembly
 }
 
-// NewHMM builds the baseline matcher.
+// NewHMM builds the baseline matcher over the graph's shared routing
+// engine.
 func NewHMM(g *roadnet.Graph, cfg HMMConfig) *HMMMatcher {
+	return NewHMMRouter(g.Router(), cfg)
+}
+
+// NewHMMRouter builds the baseline matcher over an explicit routing
+// engine shared with the rest of a pipeline.
+func NewHMMRouter(rt *roadnet.Router, cfg HMMConfig) *HMMMatcher {
 	return &HMMMatcher{
-		g:   g,
+		g:   rt.Graph(),
+		rt:  rt,
 		cfg: cfg.withDefaults(),
-		inc: NewIncremental(g, DefaultConfig()),
+		inc: NewIncrementalRouter(rt, DefaultConfig()),
 	}
 }
 
@@ -94,20 +103,19 @@ func (m *HMMMatcher) Match(points []trace.RoutePoint) (*Result, error) {
 	}
 	// Forward pass. Route distances are batched: one bounded Dijkstra
 	// per distinct endpoint node of the previous layer's candidates,
-	// instead of a point query per candidate pair.
+	// instead of a point query per candidate pair. The batch runs
+	// through the router's pooled search scratch and compact sorted
+	// entries, so no per-layer maps are allocated.
 	for l := 1; l < len(layers); l++ {
 		straight := points[layerIdx[l-1]].Pos.Dist(points[layerIdx[l]].Pos)
 		// Routes longer than this contribute a negligible transition
 		// probability, so the trees can safely stop there.
 		bound := straight + 12*m.cfg.BetaM + 600
-		trees := map[roadnet.NodeID]map[roadnet.NodeID]float64{}
+		batch := m.rt.NewDistanceBatch(roadnet.DistanceWeight, bound)
 		for p := range layers[l-1] {
 			e := layers[l-1][p].cand.Edge
-			for _, n := range [2]roadnet.NodeID{e.From, e.To} {
-				if _, ok := trees[n]; !ok {
-					trees[n] = m.g.ShortestDistances(n, roadnet.DistanceWeight, bound)
-				}
-			}
+			batch.AddSource(e.From)
+			batch.AddSource(e.To)
 		}
 		for c := range layers[l] {
 			cur := &layers[l][c]
@@ -117,7 +125,7 @@ func (m *HMMMatcher) Match(points []trace.RoutePoint) (*Result, error) {
 				if math.IsInf(prev.logp, -1) {
 					continue
 				}
-				tr := m.transition(trees, prev.cand, cur.cand, straight)
+				tr := m.transition(batch, prev.cand, cur.cand, straight)
 				if lp := prev.logp + tr + em; lp > cur.logp {
 					cur.logp = lp
 					cur.prev = p
@@ -129,6 +137,7 @@ func (m *HMMMatcher) Match(points []trace.RoutePoint) (*Result, error) {
 				cur.logp = em - 1e3
 			}
 		}
+		batch.Release()
 	}
 	// Backtrack.
 	bestC := 0
@@ -170,9 +179,9 @@ func (m *HMMMatcher) emission(dist float64) float64 {
 
 // transition scores moving between two candidates given the straight
 // line distance between the observations, reading network distances
-// from the precomputed per-layer trees.
-func (m *HMMMatcher) transition(trees map[roadnet.NodeID]map[roadnet.NodeID]float64, a, b roadnet.EdgeCandidate, straight float64) float64 {
-	route := m.routeDistance(trees, a, b)
+// from the precomputed per-layer distance batch.
+func (m *HMMMatcher) transition(batch *roadnet.DistanceBatch, a, b roadnet.EdgeCandidate, straight float64) float64 {
+	route := m.routeDistance(batch, a, b)
 	if math.IsInf(route, 1) {
 		return math.Inf(-1)
 	}
@@ -180,8 +189,8 @@ func (m *HMMMatcher) transition(trees map[roadnet.NodeID]map[roadnet.NodeID]floa
 }
 
 // routeDistance approximates the network distance between two candidate
-// positions using the source node distance trees.
-func (m *HMMMatcher) routeDistance(trees map[roadnet.NodeID]map[roadnet.NodeID]float64, a, b roadnet.EdgeCandidate) float64 {
+// positions using the batched source-node distance trees.
+func (m *HMMMatcher) routeDistance(batch *roadnet.DistanceBatch, a, b roadnet.EdgeCandidate) float64 {
 	if a.Edge.ID == b.Edge.ID {
 		return math.Abs(a.Proj.Along - b.Proj.Along)
 	}
@@ -191,13 +200,12 @@ func (m *HMMMatcher) routeDistance(trees map[roadnet.NodeID]map[roadnet.NodeID]f
 		if exitTo {
 			exitNode, costA = a.Edge.To, a.Edge.Length-a.Proj.Along
 		}
-		tree := trees[exitNode]
 		for _, enterFrom := range [2]bool{true, false} {
 			enterNode, costB := b.Edge.From, b.Proj.Along
 			if !enterFrom {
 				enterNode, costB = b.Edge.To, b.Edge.Length-b.Proj.Along
 			}
-			mid, ok := tree[enterNode]
+			mid, ok := batch.Dist(exitNode, enterNode)
 			if !ok {
 				continue // beyond the tree bound: negligible probability
 			}

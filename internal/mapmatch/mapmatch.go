@@ -103,15 +103,26 @@ type Result struct {
 	GapsFilled int
 }
 
-// Matcher is a reusable incremental map-matcher over one graph.
+// Matcher is a reusable incremental map-matcher over one graph. It is
+// safe for concurrent use: all per-match state lives on the stack and
+// the shared Router is itself concurrency-safe.
 type Matcher struct {
 	g   *roadnet.Graph
+	rt  *roadnet.Router
 	cfg Config
 }
 
-// NewIncremental builds a matcher.
+// NewIncremental builds a matcher over the graph's shared routing
+// engine.
 func NewIncremental(g *roadnet.Graph, cfg Config) *Matcher {
-	return &Matcher{g: g, cfg: cfg.withDefaults()}
+	return NewIncrementalRouter(g.Router(), cfg)
+}
+
+// NewIncrementalRouter builds a matcher over an explicit routing
+// engine, so a pipeline can share one Router (scratch pools and path
+// cache) across all of its stages and workers.
+func NewIncrementalRouter(rt *roadnet.Router, cfg Config) *Matcher {
+	return &Matcher{g: rt.Graph(), rt: rt, cfg: cfg.withDefaults()}
 }
 
 // ErrNoMatch is returned when no input point is near the network.
@@ -399,7 +410,7 @@ func (m *Matcher) connect(ea roadnet.EdgeID, alongA float64, eb roadnet.EdgeID, 
 				gB = B.Geom.Slice(alongB, B.Length).Reverse()
 				costB = B.Length - alongB
 			}
-			path, err := m.g.ShortestPath(exitNode, enterNode, roadnet.DistanceWeight)
+			path, err := m.rt.ShortestPath(exitNode, enterNode, roadnet.DistanceWeight)
 			if err != nil {
 				continue
 			}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/digiroad"
 	"repro/internal/geo"
@@ -71,6 +72,10 @@ type Graph struct {
 
 	edgeIndex *geo.RTree
 	nodeIndex *geo.RTree
+
+	// Shared default routing engine, built lazily by Router().
+	routerOnce sync.Once
+	router     *Router
 }
 
 // quant quantises a coordinate to centimetres so that endpoints that

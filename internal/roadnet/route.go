@@ -1,9 +1,7 @@
 package roadnet
 
 import (
-	"container/heap"
 	"fmt"
-	"math"
 
 	"repro/internal/geo"
 )
@@ -85,112 +83,32 @@ func (pq *priorityQueue) Pop() interface{} {
 	return it
 }
 
-// ShortestPath runs Dijkstra from one node to another under the given
-// weight (nil selects DistanceWeight). Flow directions are respected.
+// Router returns the graph's shared routing engine, built lazily on
+// first use. Code assembling a pipeline should construct its own
+// engine with NewRouter (to control cache sizing) and pass it down;
+// this accessor backs the compatibility wrappers below and standalone
+// use.
+func (g *Graph) Router() *Router {
+	g.routerOnce.Do(func() {
+		g.router = NewRouter(g, RouterOptions{})
+	})
+	return g.router
+}
+
+// ShortestPath routes from one node to another under the given weight
+// (nil selects DistanceWeight). Flow directions are respected. Thin
+// compatibility wrapper over the shared Router.
 func (g *Graph) ShortestPath(from, to NodeID, weight WeightFunc) (*Path, error) {
-	return g.shortest(from, to, weight, nil)
+	return g.Router().ShortestPath(from, to, weight)
 }
 
 // ShortestPathAStar runs A* with an admissible straight-line heuristic
 // derived from the weight of a representative edge: for DistanceWeight
 // semantics use heuristicSpeed <= 1 (metres per cost unit); for
-// TravelTimeWeight pass the network's maximum speed in m/s.
+// TravelTimeWeight pass the network's maximum speed in m/s. Thin
+// compatibility wrapper over the shared Router.
 func (g *Graph) ShortestPathAStar(from, to NodeID, weight WeightFunc, heuristicSpeed float64) (*Path, error) {
-	if heuristicSpeed <= 0 {
-		heuristicSpeed = 1
-	}
-	target := g.Nodes[to].Pos
-	h := func(n NodeID) float64 {
-		return g.Nodes[n].Pos.Dist(target) / heuristicSpeed
-	}
-	return g.shortest(from, to, weight, h)
-}
-
-func (g *Graph) shortest(from, to NodeID, weight WeightFunc, h func(NodeID) float64) (*Path, error) {
-	if int(from) < 0 || int(from) >= len(g.Nodes) || int(to) < 0 || int(to) >= len(g.Nodes) {
-		return nil, fmt.Errorf("roadnet: node out of range (from=%d, to=%d, n=%d)", from, to, len(g.Nodes))
-	}
-	if weight == nil {
-		weight = DistanceWeight
-	}
-	dist := make(map[NodeID]float64, 64)
-	prevEdge := make(map[NodeID]EdgeID, 64)
-	prevNode := make(map[NodeID]NodeID, 64)
-	done := make(map[NodeID]bool, 64)
-	dist[from] = 0
-
-	pq := &priorityQueue{}
-	push := func(n NodeID, cost float64) {
-		est := cost
-		if h != nil {
-			est += h(n)
-		}
-		heap.Push(pq, pqItem{node: n, cost: est})
-	}
-	push(from, 0)
-
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(pqItem)
-		u := it.node
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		if u == to {
-			break
-		}
-		du := dist[u]
-		for _, eid := range g.Nodes[u].Edges {
-			e := &g.Edges[eid]
-			forward := e.From == u
-			if e.From == e.To {
-				continue // self-loops never shorten a path
-			}
-			if !e.CanTraverse(forward) {
-				continue
-			}
-			w := weight(e, forward)
-			if math.IsInf(w, 1) || w < 0 {
-				continue
-			}
-			v := e.Other(u)
-			if dv, seen := dist[v]; !seen || du+w < dv {
-				dist[v] = du + w
-				prevEdge[v] = eid
-				prevNode[v] = u
-				push(v, du+w)
-			}
-		}
-	}
-	if !done[to] && from != to {
-		if _, seen := dist[to]; !seen {
-			return nil, ErrNoPath
-		}
-	}
-
-	// Reconstruct.
-	path := &Path{Cost: dist[to]}
-	at := to
-	for at != from {
-		eid := prevEdge[at]
-		e := &g.Edges[eid]
-		u := prevNode[at]
-		path.Steps = append(path.Steps, PathStep{Edge: e, Forward: e.From == u})
-		path.Length += e.Length
-		at = u
-	}
-	// Reverse steps into travel order.
-	for i, j := 0, len(path.Steps)-1; i < j; i, j = i+1, j-1 {
-		path.Steps[i], path.Steps[j] = path.Steps[j], path.Steps[i]
-	}
-	path.Nodes = make([]NodeID, 0, len(path.Steps)+1)
-	path.Nodes = append(path.Nodes, from)
-	cur := from
-	for _, s := range path.Steps {
-		cur = s.Edge.Other(cur)
-		path.Nodes = append(path.Nodes, cur)
-	}
-	return path, nil
+	return g.Router().ShortestPathAStar(from, to, weight, heuristicSpeed)
 }
 
 // MaxSpeedKmh returns the highest speed limit in the network, used to
@@ -207,54 +125,10 @@ func (g *Graph) MaxSpeedKmh() float64 {
 
 // ShortestDistances runs bounded Dijkstra from one node and returns the
 // cost to every node reachable within maxCost (inclusive). It is the
-// one-to-many primitive used by the HMM matcher's transition model,
-// where many candidate pairs share source nodes.
+// one-to-many primitive used by the HMM matcher's transition model;
+// hot callers should prefer Router.NewDistanceBatch, which reuses the
+// search scratch and avoids the per-call map. Thin compatibility
+// wrapper over the shared Router.
 func (g *Graph) ShortestDistances(from NodeID, weight WeightFunc, maxCost float64) map[NodeID]float64 {
-	if int(from) < 0 || int(from) >= len(g.Nodes) {
-		return nil
-	}
-	if weight == nil {
-		weight = DistanceWeight
-	}
-	if maxCost <= 0 {
-		maxCost = math.Inf(1)
-	}
-	dist := map[NodeID]float64{from: 0}
-	done := map[NodeID]bool{}
-	pq := &priorityQueue{{node: from, cost: 0}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(pqItem)
-		u := it.node
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		du := dist[u]
-		if du > maxCost {
-			delete(dist, u)
-			continue
-		}
-		for _, eid := range g.Nodes[u].Edges {
-			e := &g.Edges[eid]
-			if e.From == e.To {
-				continue
-			}
-			forward := e.From == u
-			if !e.CanTraverse(forward) {
-				continue
-			}
-			w := weight(e, forward)
-			if math.IsInf(w, 1) || w < 0 {
-				continue
-			}
-			v := e.Other(u)
-			if nd := du + w; nd <= maxCost {
-				if dv, seen := dist[v]; !seen || nd < dv {
-					dist[v] = nd
-					heap.Push(pq, pqItem{node: v, cost: nd})
-				}
-			}
-		}
-	}
-	return dist
+	return g.Router().ShortestDistances(from, weight, maxCost)
 }

@@ -88,14 +88,22 @@ type Generator struct {
 	cfg   Config
 	city  *digiroad.City
 	graph *roadnet.Graph
+	rt    *roadnet.Router
 
 	gateNodes map[string]roadnet.NodeID // outer end node of each gate arterial
 }
 
-// New prepares a generator. The graph must have been built from
-// city.DB.
+// New prepares a generator over the graph's shared routing engine. The
+// graph must have been built from city.DB.
 func New(city *digiroad.City, graph *roadnet.Graph, cfg Config) (*Generator, error) {
-	g := &Generator{cfg: cfg.withDefaults(), city: city, graph: graph}
+	return NewWithRouter(city, graph.Router(), cfg)
+}
+
+// NewWithRouter prepares a generator over an explicit routing engine,
+// so a pipeline can share one Router across all of its stages.
+func NewWithRouter(city *digiroad.City, rt *roadnet.Router, cfg Config) (*Generator, error) {
+	graph := rt.Graph()
+	g := &Generator{cfg: cfg.withDefaults(), city: city, graph: graph, rt: rt}
 	g.gateNodes = map[string]roadnet.NodeID{}
 	for _, name := range []string{"T", "S", "L"} {
 		gate := city.Gate(name)
@@ -305,7 +313,10 @@ func (g *Generator) route(rng *rand.Rand, from, to roadnet.NodeID) *roadnet.Path
 		}
 		return roadnet.TravelTimeWeight(e, forward) * f
 	}
-	path, err := g.graph.ShortestPath(from, to, weight)
+	// Per-call preference noise makes the weight a custom closure, so
+	// the router runs it uncached on pooled scratch — deterministic and
+	// allocation-light, but never memoised across drivers.
+	path, err := g.rt.ShortestPath(from, to, weight)
 	if err != nil || len(path.Steps) == 0 {
 		return nil
 	}
