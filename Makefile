@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench race results examples clean help
+.PHONY: all build test vet bench race ci profile results examples clean help
 
 all: build vet test
 
@@ -15,7 +15,10 @@ help:
 	@echo "  race     go vet + go test -race ./... (concurrency gate for the"
 	@echo "           shared Router: pooled scratch, sharded path cache and"
 	@echo "           parallel per-car workers all run under the race detector)"
+	@echo "  ci       the full gate CI runs: build + vet + test + race"
 	@echo "  bench    run every benchmark with -benchmem"
+	@echo "  profile  run a large taxiflow workload with -debug-addr and"
+	@echo "           capture a 10 s CPU profile into cpu.pprof"
 	@echo "  results  regenerate all paper tables/figures into results/"
 	@echo "  examples run every example program"
 	@echo "  clean    remove scratch output"
@@ -36,6 +39,26 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# The full gate: what .github/workflows/ci.yml runs on every push/PR.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./...
+
+# Live profiling demo: run a large pipeline workload with the obs debug
+# server up and pull a 10 s CPU profile from /debug/pprof/profile while
+# it works. Inspect with `go tool pprof cpu.pprof`. The same recipe
+# profiles a `make results` run: add -debug-addr to cmd/experiments.
+PROFILE_ADDR ?= localhost:6464
+profile:
+	$(GO) build -o /tmp/taxiflow-profile ./cmd/taxiflow
+	/tmp/taxiflow-profile -cars 12 -trips 800 -gatefrac 0.3 -debug-addr $(PROFILE_ADDR) & \
+	sleep 2; \
+	$(GO) tool pprof -proto -output cpu.pprof "http://$(PROFILE_ADDR)/debug/pprof/profile?seconds=10"; \
+	wait
+	@echo "wrote cpu.pprof — inspect with: go tool pprof cpu.pprof"
+
 # One bench per paper table/figure plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem -run xxx ./...
@@ -54,3 +77,4 @@ examples:
 
 clean:
 	rm -rf experiments-out
+	rm -f cpu.pprof

@@ -8,6 +8,7 @@ package taxitrace
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/geo"
 	"repro/internal/mapmatch"
+	"repro/internal/obs"
 	"repro/internal/odselect"
 	"repro/internal/roadnet"
 	"repro/internal/routes"
@@ -186,6 +188,37 @@ func BenchmarkPipelinePerCar(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPipelinePerCarObsOverhead is the observability overhead
+// gate: the BenchmarkPipelinePerCar workload run twice under identical
+// conditions — once with a nil registry (every metric operation a no-op
+// branch) and once with a live obs.Registry recording stage spans,
+// kept/dropped counters and router-cache gauges. Each variant builds
+// its own environment so cache warmth and heap footprint match; the
+// instrumented run must stay within ~2 % of the no-op one.
+// results/BENCH_pipeline.json tracks the pair.
+func BenchmarkPipelinePerCarObsOverhead(b *testing.B) {
+	run := func(b *testing.B, reg *obs.Registry) {
+		env, err := experiments.NewEnv(experiments.EnvConfig{
+			Seed: 42, Cars: 4, TripsPerCar: 60, GateRunFraction: 0.25,
+			Metrics: reg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw := env.P.Gen.CarTrips(2)
+		runtime.GC()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := env.P.Process(2, raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("noop", func(b *testing.B) { run(b, nil) })
+	b.Run("instrumented", func(b *testing.B) { run(b, obs.NewRegistry()) })
 }
 
 func BenchmarkGridAnalysisLMM(b *testing.B) {

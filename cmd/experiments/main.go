@@ -6,6 +6,12 @@
 // Usage:
 //
 //	experiments [-out DIR] [-scale small|medium|paper] [-seed N]
+//	            [-metrics out.json] [-debug-addr :6060]
+//
+// -debug-addr serves /metrics (Prometheus), /debug/vars (JSON snapshot)
+// and /debug/pprof/ for the duration of the run, so paper-scale
+// regenerations can be profiled live; -metrics writes the final JSON
+// metrics snapshot.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,7 +35,19 @@ func main() {
 	scale := flag.String("scale", "medium", "data volume: small, medium or paper")
 	seed := flag.Int64("seed", 42, "master random seed")
 	ablations := flag.Bool("ablations", false, "also run the ablation studies and the eco-routing/hotspot extensions")
+	metricsOut := flag.String("metrics", "", "optional JSON metrics snapshot written at exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("debug server: http://%s/metrics /debug/vars /debug/pprof/", srv.Addr)
+	}
 
 	var cfg experiments.EnvConfig
 	switch *scale {
@@ -42,6 +61,7 @@ func main() {
 		log.Fatalf("unknown scale %q (want small, medium or paper)", *scale)
 	}
 	cfg.Seed = *seed
+	cfg.Metrics = reg
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
@@ -75,6 +95,20 @@ func main() {
 	}
 	if err := os.WriteFile(filepath.Join(*out, "index.html"), indexHTML(reports), 0o644); err != nil {
 		log.Fatal(err)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote metrics snapshot to %s", *metricsOut)
 	}
 	log.Printf("wrote results to %s in %s", *out, time.Since(start).Round(time.Millisecond))
 }

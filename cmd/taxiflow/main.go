@@ -6,6 +6,13 @@
 // Usage:
 //
 //	taxiflow [-cars N] [-trips N] [-seed N] [-gatefrac F] [-v]
+//	         [-metrics out.json] [-debug-addr :6060]
+//
+// Every run is instrumented through internal/obs: per-stage timing and
+// kept/dropped counters are printed in the end-of-run summary, -metrics
+// writes the full JSON snapshot, and -debug-addr serves /metrics
+// (Prometheus text format), /debug/vars (JSON) and /debug/pprof/ (live
+// profiling) for the duration of the run.
 package main
 
 import (
@@ -19,6 +26,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -33,8 +42,20 @@ func main() {
 	gateFrac := flag.Float64("gatefrac", 0.25, "share of runs between OD gates")
 	tracesIn := flag.String("traces", "", "optional route-point CSV (from cmd/tracegen) to process instead of simulating; must match -seed")
 	svgOut := flag.String("svg", "", "optional SVG output: the accepted transitions' speed map")
+	metricsOut := flag.String("metrics", "", "optional JSON metrics snapshot written at exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060, :0 for ephemeral)")
 	verbose := flag.Bool("v", false, "print per-transition details")
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server: http://%s/metrics /debug/vars /debug/pprof/\n", srv.Addr)
+	}
 
 	start := time.Now()
 	p, err := taxitrace.New(taxitrace.Config{
@@ -45,6 +66,7 @@ func main() {
 			TripsPerCar:     *trips,
 			GateRunFraction: *gateFrac,
 		},
+		Metrics: reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -112,7 +134,98 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *svgOut)
 	}
+
+	printStageTable(reg.Snapshot())
+	printCacheStats(p)
+
+	if *metricsOut != "" {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
+	}
 	fmt.Printf("\ndone in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// stageAccounting maps each instrumented stage onto the counters shown
+// as kept/dropped in the summary table (counter names from
+// internal/core's pipelineMetrics).
+var stageAccounting = map[string]struct{ kept, dropped []string }{
+	"simulate": {kept: []string{"pipeline_simulate_trips"}},
+	"clean":    {kept: []string{"pipeline_clean_trips"}, dropped: []string{"pipeline_clean_points_dropped"}},
+	"segment": {
+		kept:    []string{"pipeline_segment_kept"},
+		dropped: []string{"pipeline_segment_dropped_short", "pipeline_segment_dropped_long"},
+	},
+	"odselect": {kept: []string{"pipeline_odselect_accepted"}, dropped: []string{"pipeline_odselect_rejected"}},
+	"mapmatch": {kept: []string{"pipeline_mapmatch_matched"}, dropped: []string{"pipeline_mapmatch_dropped"}},
+	"mapattr":  {kept: []string{"pipeline_mapattr_routes"}},
+	"grid":     {kept: []string{"pipeline_grid_points"}},
+	"lmm":      {},
+}
+
+// printStageTable renders the per-stage timing and kept/dropped account
+// of the run from the metrics snapshot.
+func printStageTable(snap obs.Snapshot) {
+	fmt.Printf("\nstage timings (per-stage spans across all cars):\n")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "stage\tcalls\ttotal\tp50\tp99\tkept\tdropped")
+	stages := append(append([]string{}, core.StageNames...), "lmm")
+	for _, stage := range stages {
+		h, ok := snap.Histograms["pipeline_"+stage+"_duration_seconds"]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		acct := stageAccounting[stage]
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			stage, h.Count,
+			fmtSeconds(h.Sum), fmtSeconds(h.P50), fmtSeconds(h.P99),
+			sumCounters(snap, acct.kept), sumCounters(snap, acct.dropped))
+	}
+	if h, ok := snap.Histograms["pipeline_car_duration_seconds"]; ok && h.Count > 0 {
+		fmt.Fprintf(w, "per car\t%d\t%s\t%s\t%s\t\t\n",
+			h.Count, fmtSeconds(h.Sum), fmtSeconds(h.P50), fmtSeconds(h.P99))
+	}
+	w.Flush()
+}
+
+// printCacheStats surfaces the shared routing engine's path-cache
+// counters in the end-of-run summary.
+func printCacheStats(p *taxitrace.Pipeline) {
+	s := p.Router.CacheStats()
+	fmt.Printf("router cache: %d hits / %d misses (%.1f%% hit rate), %d paths cached, %d evictions\n",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Entries, s.Evictions)
+}
+
+// sumCounters totals the named counters; "" when the stage has no such
+// account.
+func sumCounters(snap obs.Snapshot, names []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var total uint64
+	for _, n := range names {
+		total += snap.Counters[n]
+	}
+	return fmt.Sprintf("%d", total)
+}
+
+// fmtSeconds renders a duration measured in seconds at ms resolution.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// writeMetrics dumps the registry's JSON snapshot to path.
+func writeMetrics(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeSpeedMap renders the accepted transitions' point speeds over the

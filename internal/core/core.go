@@ -20,6 +20,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/mapattr"
 	"repro/internal/mapmatch"
+	"repro/internal/obs"
 	"repro/internal/odselect"
 	"repro/internal/roadnet"
 	"repro/internal/segment"
@@ -53,6 +54,15 @@ type Config struct {
 	// (total memoised paths across shards). 0 selects the router
 	// default; negative disables caching.
 	RouterCachePaths int
+	// Metrics receives the pipeline's instrumentation: per-stage spans
+	// (duration histograms + active gauges), kept/dropped counters for
+	// every lossy stage, per-car worker timing, and the router
+	// path-cache stats re-exported as gauges. Nil disables
+	// instrumentation entirely — every metric operation degrades to a
+	// no-op. Metrics never influence results: the pipeline's output is
+	// byte-identical with instrumentation on and off (see the
+	// determinism test).
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +97,10 @@ type Pipeline struct {
 	Fetcher  *mapattr.Fetcher
 	Weather  *weather.Model
 	Rules    segment.Rules
+	// Metrics is the registry instrumentation reports to (nil when
+	// disabled); met holds the pre-resolved handles.
+	Metrics *obs.Registry
+	met     *pipelineMetrics
 }
 
 // NewPipeline builds the city, road graph and processing stages.
@@ -126,6 +140,7 @@ func NewPipelineWithCity(city *digiroad.City, cfg Config) (*Pipeline, error) {
 	if wm == nil {
 		wm = weather.DefaultModel(cfg.Fleet.Seed)
 	}
+	registerRouterGauges(cfg.Metrics, router)
 	return &Pipeline{
 		Config:   cfg,
 		City:     city,
@@ -137,6 +152,8 @@ func NewPipelineWithCity(city *digiroad.City, cfg Config) (*Pipeline, error) {
 		Fetcher:  mapattr.NewFetcher(city.DB, graph, 0),
 		Weather:  wm,
 		Rules:    cfg.Segment,
+		Metrics:  cfg.Metrics,
+		met:      newPipelineMetrics(cfg.Metrics),
 	}, nil
 }
 
@@ -243,17 +260,27 @@ func (p *Pipeline) Run() (*Result, error) {
 
 // RunCar executes the pipeline for one car.
 func (p *Pipeline) RunCar(car int) (CarResult, error) {
+	sp := p.met.simulate.Start()
 	raw := p.Gen.CarTrips(car)
+	sp.End()
+	p.met.simTrips.Add(uint64(len(raw)))
 	return p.Process(car, raw)
 }
 
 // Process runs the cleaning → segmentation → selection → matching →
 // attribute stages over raw trips (however they were obtained).
 func (p *Pipeline) Process(car int, raw []*trace.Trip) (CarResult, error) {
+	carSpan := p.met.car.Start()
+	defer func() {
+		carSpan.End()
+		p.met.cars.Inc()
+	}()
 	cr := CarResult{Car: car, RawTrips: len(raw)}
 
 	// Cleaning (§IV-B).
+	sp := p.met.clean.Start()
 	results := clean.RepairAll(raw, p.Config.Clean)
+	sp.End()
 	cr.CleanStats.Trips = len(results)
 	for _, r := range results {
 		if r.Reordered {
@@ -264,13 +291,20 @@ func (p *Pipeline) Process(car int, raw []*trace.Trip) (CarResult, error) {
 		}
 		cr.CleanStats.DroppedPoints += r.Dropped
 	}
+	p.met.recordCleanStats(cr.CleanStats)
 
 	// Segmentation (Table 2).
+	sp = p.met.segment.Start()
 	cr.Segments = segment.SplitAll(clean.Trips(results), p.Rules, &cr.SegStats)
+	sp.End()
+	p.met.recordSegStats(cr.SegStats)
 
 	// OD selection (Table 3) and per-transition analysis.
+	sp = p.met.odselect.Start()
 	funnel, accepted := p.Selector.Run(car, cr.Segments)
+	sp.End()
 	cr.Funnel = funnel
+	p.met.recordFunnel(funnel)
 	for _, tr := range accepted {
 		rec, err := p.analyseTransition(car, tr)
 		if err != nil {
@@ -278,6 +312,7 @@ func (p *Pipeline) Process(car int, raw []*trace.Trip) (CarResult, error) {
 			// analysis but stays in the funnel count, mirroring the
 			// paper's "only cleared and filtered transitions ... are
 			// map-matched".
+			p.met.matchDropped.Inc()
 			continue
 		}
 		cr.Transitions = append(cr.Transitions, rec)
@@ -298,11 +333,17 @@ func (p *Pipeline) analyseTransition(car int, tr *odselect.Transition) (*Transit
 	if len(span) < 2 {
 		return nil, fmt.Errorf("core: degenerate transition span")
 	}
+	sp := p.met.mapmatch.Start()
 	match, err := p.Matcher.Match(span)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	p.met.matchMatched.Inc()
+	sp = p.met.mapattr.Start()
 	attrs := p.Fetcher.ForMatch(match)
+	sp.End()
+	p.met.attrRoutes.Inc()
 
 	rec := &TransitionRecord{
 		Car:        car,
@@ -353,11 +394,14 @@ func (p *Pipeline) limitAtMatch(match *mapmatch.Result, i int) (float64, bool) {
 // grid over the study area, attaches per-cell features, and fits the
 // per-cell random-intercept mixed model (paper model 3).
 func (p *Pipeline) GridAnalysis(recs []*TransitionRecord) (*grid.Aggregator, *stats.LMMResult, error) {
+	sp := p.met.grid.Start()
 	g, err := grid.New(p.City.StudyArea, p.Config.GridCellM)
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
 	agg := grid.NewAggregator(g)
+	points := 0
 	for _, rec := range recs {
 		pts := rec.Transition.Seg.Points
 		lo, hi := rec.Transition.FromCross.EntryIndex, rec.Transition.ToCross.ExitIndex
@@ -367,13 +411,20 @@ func (p *Pipeline) GridAnalysis(recs []*TransitionRecord) (*grid.Aggregator, *st
 		for _, pt := range pts[lo : hi+1] {
 			agg.Add(pt.Pos, pt.SpeedKmh)
 		}
+		points += hi - lo + 1
 	}
 	agg.AttachFeatures(p.City.DB, p.Graph)
+	sp.End()
+	p.met.gridPoints.Add(uint64(points))
+	p.met.gridCells.Set(int64(agg.NumNonEmpty()))
 
+	sp = p.met.lmm.Start()
 	lmm, err := stats.FitLMM(agg.LMMGroups())
+	sp.End()
 	if err != nil {
 		return agg, nil, err
 	}
+	p.met.lmmObs.Set(int64(lmm.NObs))
 	return agg, lmm, nil
 }
 

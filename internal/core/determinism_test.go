@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/tracegen"
 )
 
@@ -84,5 +85,40 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	}
 	if s := parallel.Router.CacheStats(); s.Hits == 0 {
 		t.Fatalf("expected path-cache hits on the warmed re-run, got %+v", s)
+	}
+
+	// Instrumentation must not perturb determinism: a pipeline with a
+	// live metrics registry produces byte-identical output.
+	cfg := determinismConfig()
+	cfg.Metrics = obs.NewRegistry()
+	instrumented, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insRes, err := instrumented.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	insJSON, err := json.Marshal(insRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parJSON, insJSON) {
+		t.Fatal("enabling metrics changed the pipeline output")
+	}
+	if _, _, err := instrumented.GridAnalysis(insRes.Transitions()); err != nil {
+		t.Fatal(err)
+	}
+	snap := cfg.Metrics.Snapshot()
+	if got := snap.Counters["pipeline_cars_processed"]; got != 3 {
+		t.Fatalf("pipeline_cars_processed = %d, want 3", got)
+	}
+	for _, stage := range StageNames {
+		if h := snap.Histograms["pipeline_"+stage+"_duration_seconds"]; h.Count == 0 {
+			t.Errorf("stage %s recorded no spans", stage)
+		}
+		if g := snap.Gauges["pipeline_"+stage+"_active"]; g != 0 {
+			t.Errorf("stage %s active gauge did not return to 0: %v", stage, g)
+		}
 	}
 }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/tracegen"
+)
+
+// TestPipelineMetrics runs a small instrumented fleet and checks that
+// every stage reported consistent counters: the funnel numbers the
+// registry accumulates must equal the sums of the per-car results, and
+// the router cache gauges must reconcile with Router.CacheStats.
+func TestPipelineMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	p, err := NewPipeline(Config{
+		CitySeed: 42,
+		Fleet: tracegen.Config{
+			Seed: 42, Cars: 2, TripsPerCar: 8, GateRunFraction: 0.35,
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.GridAnalysis(res.Transitions()); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+
+	var wantTrips, wantKeptSegs, wantAccepted, wantMatched uint64
+	for _, cr := range res.Cars {
+		wantTrips += uint64(cr.CleanStats.Trips)
+		wantKeptSegs += uint64(cr.SegStats.KeptSegments)
+		wantAccepted += uint64(cr.Funnel.PostFiltered)
+		wantMatched += uint64(len(cr.Transitions))
+	}
+	checks := map[string]uint64{
+		"pipeline_cars_processed":    uint64(len(res.Cars)),
+		"pipeline_clean_trips":       wantTrips,
+		"pipeline_segment_kept":      wantKeptSegs,
+		"pipeline_odselect_accepted": wantAccepted,
+		"pipeline_mapmatch_matched":  wantMatched,
+		"pipeline_mapattr_routes":    wantMatched,
+	}
+	for name, want := range checks {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got, want := snap.Counters["pipeline_mapmatch_matched"]+snap.Counters["pipeline_mapmatch_dropped"],
+		wantAccepted; got != want {
+		t.Errorf("matched+dropped = %d, want accepted transitions %d", got, want)
+	}
+
+	// Router cache gauges mirror CacheStats.
+	cs := p.Router.CacheStats()
+	if got := snap.Gauges["router_cache_hits"]; got != float64(cs.Hits) {
+		t.Errorf("router_cache_hits gauge = %v, CacheStats.Hits = %d", got, cs.Hits)
+	}
+	if got := snap.Gauges["router_cache_entries"]; got != float64(cs.Entries) {
+		t.Errorf("router_cache_entries gauge = %v, CacheStats.Entries = %d", got, cs.Entries)
+	}
+
+	// Every instrumented stage must appear in the Prometheus export.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, stage := range StageNames {
+		if !strings.Contains(text, "pipeline_"+stage+"_duration_seconds_count") {
+			t.Errorf("/metrics output misses stage %s", stage)
+		}
+	}
+	if !strings.Contains(text, "router_cache_hit_rate") {
+		t.Error("/metrics output misses router cache stats")
+	}
+}

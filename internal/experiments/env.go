@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/tracegen"
 )
@@ -24,6 +25,9 @@ type EnvConfig struct {
 	// segments, which the default 0.10 run share roughly yields after
 	// filtering.
 	GateRunFraction float64
+	// Metrics, when non-nil, instruments the pipeline run (stage spans,
+	// kept/dropped counters, router cache stats).
+	Metrics *obs.Registry
 }
 
 // SmallScale is a quick configuration for tests and benchmarks.
@@ -58,6 +62,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 			TripsPerCar:     cfg.TripsPerCar,
 			GateRunFraction: cfg.GateRunFraction,
 		},
+		Metrics: cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"testing"
+)
+
+// The no-op variants benchmark the handles a nil registry returns —
+// the exact cost instrumented code pays when observability is off.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterAddNoop(b *testing.B) {
+	var reg *Registry
+	c := reg.Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00123)
+	}
+}
+
+func BenchmarkHistogramObserveNoop(b *testing.B) {
+	var reg *Registry
+	h := reg.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00123)
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	t := NewRegistry().SpanTimer("stage")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Start().End()
+	}
+}
+
+func BenchmarkSpanStartEndNoop(b *testing.B) {
+	var reg *Registry
+	t := reg.SpanTimer("stage")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Start().End()
+	}
+}
+
+// BenchmarkHistogramObserveParallel measures contention: every worker
+// hammers the same histogram, the worst case for the CAS-accumulated
+// sum.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("h")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.00123)
+		}
+	})
+}

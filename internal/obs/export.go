@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered by name. Counters
+// and gauges map directly; histograms are written as summaries
+// (quantile series plus _sum and _count) with an extra _max gauge.
+// Metric names are sanitised to the Prometheus charset.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	bw := bufio.NewWriter(w)
+
+	for _, name := range sortedKeys(s.Counters) {
+		n := sanitizeMetricName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := sanitizeMetricName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		n := sanitizeMetricName(name)
+		fmt.Fprintf(bw, "# TYPE %s summary\n", n)
+		fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %s\n", n, formatFloat(h.P50))
+		fmt.Fprintf(bw, "%s{quantile=\"0.9\"} %s\n", n, formatFloat(h.P90))
+		fmt.Fprintf(bw, "%s{quantile=\"0.99\"} %s\n", n, formatFloat(h.P99))
+		fmt.Fprintf(bw, "%s_sum %s\n", n, formatFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", n, h.Count)
+		fmt.Fprintf(bw, "# TYPE %s_max gauge\n%s_max %s\n", n, n, formatFloat(h.Max))
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes an indented JSON snapshot of every metric.
+// encoding/json sorts map keys, so the output is deterministic for a
+// fixed registry state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric
+// name charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	ok := true
+	for i := 0; i < len(name); i++ {
+		if !validMetricByte(name[i], i == 0) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return name
+	}
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		if validMetricByte(name[i], i == 0) {
+			out[i] = name[i]
+		} else {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+func validMetricByte(b byte, first bool) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':':
+		return true
+	case b >= '0' && b <= '9':
+		return !first
+	default:
+		return false
+	}
+}

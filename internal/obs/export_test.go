@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite exporter golden files")
+
+// goldenRegistry builds a registry with fixed, fully deterministic
+// contents covering every metric kind and the name sanitiser.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("pipeline_clean_trips").Add(120)
+	reg.Counter("pipeline_segment_kept").Add(98)
+	reg.Gauge("pipeline_car_active").Set(4)
+	reg.Gauge("pipeline_grid_cells_nonempty").Set(210)
+	reg.GaugeFunc("router_cache_hit_rate", func() float64 { return 0.8125 })
+	reg.GaugeFunc("bad name!", func() float64 { return 1 }) // exercises sanitising
+
+	h := reg.Histogram("pipeline_mapmatch_duration_seconds")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.001) // 1ms .. 100ms
+	}
+	return reg
+}
+
+// TestExporterGoldenFiles compares both exporters byte-for-byte against
+// the checked-in golden files. Regenerate with:
+//
+//	go test ./internal/obs -run Golden -update
+func TestExporterGoldenFiles(t *testing.T) {
+	reg := goldenRegistry()
+	for _, tc := range []struct {
+		file  string
+		write func(*Registry, *bytes.Buffer) error
+	}{
+		{"metrics.prom", func(r *Registry, b *bytes.Buffer) error { return r.WritePrometheus(b) }},
+		{"metrics.json", func(r *Registry, b *bytes.Buffer) error { return r.WriteJSON(b) }},
+	} {
+		var buf bytes.Buffer
+		if err := tc.write(reg, &buf); err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		path := filepath.Join("testdata", tc.file)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s (run with -update to regenerate): %v", path, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s drifted from golden file (run with -update to regenerate):\n--- got ---\n%s\n--- want ---\n%s",
+				tc.file, buf.Bytes(), want)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram layout: log-linear buckets covering 2^histMinExp ..
+// 2^histMaxExp with histSub sub-buckets per power of two. With
+// histSub = 16 the bucket width is a factor of 2^(1/16) ≈ 1.044, so a
+// quantile estimate (the log-space midpoint of its bucket) is within
+// ~2.2 % of the true value — far below the run-to-run noise of any
+// timing this package records. The span covers sub-nanosecond to
+// multi-year durations in seconds, and equally serves unit-less values.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // sub-buckets per power of two
+	histMinExp  = -30              // 2^-30 ≈ 0.93e-9
+	histMaxExp  = 30               // 2^30 ≈ 1.07e9
+	histBuckets = (histMaxExp - histMinExp) * histSub
+)
+
+// Histogram is a fixed-footprint streaming histogram recording
+// non-negative float64 observations (typically durations in seconds).
+// Observe is lock-free: a handful of atomic operations, no allocation.
+// All methods are nil-receiver safe. A Histogram must not be copied.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, CAS-accumulated
+	max     atomic.Uint64 // float64 bits
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a value to its bucket. Values at or below zero (and
+// below the representable minimum) clamp to bucket 0; values beyond the
+// maximum clamp to the last bucket.
+func bucketIndex(v float64) int {
+	if !(v > 0) { // also catches NaN
+		return 0
+	}
+	idx := int((math.Log2(v) - histMinExp) * histSub)
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue is the representative (log-space midpoint) value of a
+// bucket.
+func bucketValue(i int) float64 {
+	return math.Pow(2, histMinExp+(float64(i)+0.5)/histSub)
+}
+
+// Observe records one value. Negative and NaN values count as zero.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if !(v >= 0) {
+		v = 0
+	}
+	h.count.Add(1)
+	addFloat(&h.sum, v)
+	maxFloat(&h.max, v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running total of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Max returns the largest observation seen (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
+// counts: the representative value of the bucket holding the ceil(q*n)
+// ranked observation. Under concurrent writes the estimate remains
+// well-defined (each bucket read is atomic) but may mix in observations
+// arriving during the scan. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketValue(i)
+		}
+	}
+	// Writers may have bumped count between our loads; fall back to the
+	// highest non-empty bucket.
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.buckets[i].Load() > 0 {
+			return bucketValue(i)
+		}
+	}
+	return 0
+}
+
+// HistogramSnapshot is a point-in-time summary of one histogram.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarises the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// addFloat atomically adds delta to a float64 stored as uint64 bits.
+func addFloat(a *atomic.Uint64, delta float64) {
+	for {
+		old := a.Load()
+		if a.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// maxFloat atomically raises a float64 stored as uint64 bits to v if v
+// is larger. Values are non-negative, so the bit patterns order like
+// the floats themselves.
+func maxFloat(a *atomic.Uint64, v float64) {
+	bits := math.Float64bits(v)
+	for {
+		old := a.Load()
+		if bits <= old {
+			return
+		}
+		if a.CompareAndSwap(old, bits) {
+			return
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MetricsHandler serves the Prometheus text exposition of the registry.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// VarsHandler serves the JSON snapshot of the registry (an
+// expvar-style /debug/vars).
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w)
+	})
+}
+
+// DebugMux returns the full debug surface over one registry:
+//
+//	/metrics        Prometheus text format
+//	/debug/vars     JSON metrics snapshot
+//	/debug/pprof/*  live profiling (CPU, heap, goroutine, trace, ...)
+func (r *Registry) DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/debug/vars", r.VarsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "taxitrace debug server\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP server; close it when the run
+// ends.
+type DebugServer struct {
+	// Addr is the bound address ("127.0.0.1:41327"), resolved even when
+	// the requested port was 0.
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug binds addr (e.g. ":6060" or ":0" for an ephemeral port)
+// and serves the registry's DebugMux in a background goroutine. The
+// caller owns the returned server and should Close it on shutdown.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.DebugMux(), ReadHeaderTimeout: 5 * time.Second}
+	ds := &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go srv.Serve(ln)
+	return ds, nil
+}
+
+// Close shuts the server down immediately.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,62 @@
+package obs
+
+import "time"
+
+// SpanTimer is a pre-resolved pair of metrics describing one recurring
+// operation ("stage"): a duration histogram <name>_duration_seconds and
+// an active-count gauge <name>_active. Resolve it once at construction
+// (Registry.SpanTimer) and call Start on the hot path — starting and
+// ending a span costs two atomic ops and two clock reads, nothing more.
+// A nil *SpanTimer (from a nil registry) starts no-op spans.
+type SpanTimer struct {
+	dur    *Histogram
+	active *Gauge
+}
+
+// SpanTimer returns the pre-resolved timer for the named stage,
+// registering <name>_duration_seconds and <name>_active. Returns nil on
+// a nil registry.
+func (r *Registry) SpanTimer(name string) *SpanTimer {
+	if r == nil {
+		return nil
+	}
+	return &SpanTimer{
+		dur:    r.Histogram(name + "_duration_seconds"),
+		active: r.Gauge(name + "_active"),
+	}
+}
+
+// Start opens a span: the active gauge rises immediately, the duration
+// is recorded by End. Spans nest freely — each Start/End pair is
+// independent, so an enclosing stage span can cover several child
+// stage spans.
+func (t *SpanTimer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	t.active.Add(1)
+	return Span{t: t, start: time.Now()}
+}
+
+// StartSpan opens a span for the named stage, resolving the timer on
+// the fly (one registry lookup). Prefer SpanTimer + Start on hot paths.
+func (r *Registry) StartSpan(name string) Span { return r.SpanTimer(name).Start() }
+
+// Span is one in-flight timed operation. The zero Span (from a nil
+// timer) is a valid no-op; End may be called exactly once.
+type Span struct {
+	t     *SpanTimer
+	start time.Time
+}
+
+// End closes the span, dropping the active gauge and recording the
+// elapsed duration. It returns the duration (0 for no-op spans).
+func (s Span) End() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.t.active.Add(-1)
+	s.t.dur.Observe(d.Seconds())
+	return d
+}

@@ -69,18 +69,38 @@ func NewRouter(g *Graph, opt RouterOptions) *Router {
 // Graph returns the graph the router routes over.
 func (r *Router) Graph() *Graph { return r.g }
 
-// CacheStats reports the path-cache hit/miss counters and current size.
+// CacheStats reports the path-cache hit/miss/eviction counters and the
+// current occupancy, total and per shard. The per-shard numbers exist
+// to make Config.RouterCachePaths tuning observable: a full cache shows
+// every shard pinned at its per-shard cap, while a skewed hash would
+// show hot shards evicting with cold shards half-empty.
 type CacheStats struct {
-	Hits    uint64
-	Misses  uint64
-	Entries int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	// ShardEntries is the live entry count of each cache shard (nil when
+	// caching is disabled).
+	ShardEntries []int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
 // CacheStats returns a snapshot of the path-cache counters.
 func (r *Router) CacheStats() CacheStats {
 	s := CacheStats{Hits: r.hits.Load(), Misses: r.misses.Load()}
 	if r.cache != nil {
-		s.Entries = r.cache.len()
+		s.Evictions = r.cache.evictions.Load()
+		s.ShardEntries = r.cache.shardLens()
+		for _, n := range s.ShardEntries {
+			s.Entries += n
+		}
 	}
 	return s
 }
@@ -680,7 +700,8 @@ type pathKey struct {
 // value records a proven "no path" so unreachable pairs are not
 // re-searched.
 type pathCache struct {
-	shards [pathCacheShards]cacheShard
+	shards    [pathCacheShards]cacheShard
+	evictions atomic.Uint64
 }
 
 type cacheShard struct {
@@ -744,6 +765,7 @@ func (c *pathCache) put(k pathKey, p *Path) {
 		lru := s.tail
 		s.unlink(lru)
 		delete(s.entries, lru.key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -755,6 +777,17 @@ func (c *pathCache) len() int {
 		c.shards[i].mu.Unlock()
 	}
 	return n
+}
+
+// shardLens snapshots the live entry count of each shard.
+func (c *pathCache) shardLens() []int {
+	out := make([]int, pathCacheShards)
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		out[i] = len(c.shards[i].entries)
+		c.shards[i].mu.Unlock()
+	}
+	return out
 }
 
 func (s *cacheShard) pushFront(e *cacheEntry) {

@@ -172,8 +172,31 @@ func TestRouterCacheEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if s := r.CacheStats(); s.Entries > 16 {
+	s := r.CacheStats()
+	if s.Entries > 16 {
 		t.Fatalf("cache exceeded its capacity: %+v", s)
+	}
+	// With 500 random pairs through a 16-path cache, evictions must have
+	// happened, and the counter must reconcile with what is left:
+	// insertions (= misses) minus evictions equals live entries.
+	if s.Evictions == 0 {
+		t.Fatalf("expected evictions on an overflowing cache: %+v", s)
+	}
+	if got := s.Misses - s.Evictions; got != uint64(s.Entries) {
+		t.Fatalf("misses(%d) - evictions(%d) = %d, want Entries = %d",
+			s.Misses, s.Evictions, got, s.Entries)
+	}
+	// Per-shard occupancy must sum to the total and respect the
+	// per-shard cap (16 paths over 16 shards = 1 each).
+	sum := 0
+	for i, n := range s.ShardEntries {
+		sum += n
+		if n > 1 {
+			t.Fatalf("shard %d holds %d entries, per-shard cap is 1", i, n)
+		}
+	}
+	if sum != s.Entries {
+		t.Fatalf("shard occupancy sums to %d, Entries = %d", sum, s.Entries)
 	}
 }
 
