@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench race ci profile results examples clean help
+.PHONY: all build test vet bench bench-runner race ci profile results examples clean help
 
 all: build vet test
 
@@ -17,6 +17,8 @@ help:
 	@echo "           parallel per-car workers all run under the race detector)"
 	@echo "  ci       the full gate CI runs: build + vet + test + race"
 	@echo "  bench    run every benchmark with -benchmem"
+	@echo "  bench-runner  snapshot fleet-runner perf (batch vs stream at"
+	@echo "           1/4/GOMAXPROCS workers) into results/BENCH_runner.json"
 	@echo "  profile  run a large taxiflow workload with -debug-addr and"
 	@echo "           capture a 10 s CPU profile into cpu.pprof"
 	@echo "  results  regenerate all paper tables/figures into results/"
@@ -62,6 +64,19 @@ profile:
 # One bench per paper table/figure plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem -run xxx ./...
+
+# Fleet-runner perf trajectory: whole-fleet batch vs stream at 1, 4 and
+# GOMAXPROCS workers, medians over 5 repetitions, snapshotted into
+# results/BENCH_runner.json via cmd/benchfmt.
+bench-runner:
+	$(GO) test -run xxx -bench 'BenchmarkFleetRunner' -benchmem -count=5 . \
+		| tee /tmp/bench_runner.txt
+	$(GO) run ./cmd/benchfmt \
+		-snapshot "$$(date +%Y-%m-%d)" \
+		-command "go test -run xxx -bench 'BenchmarkFleetRunner' -benchmem -count=5 ." \
+		-notes "8-car fleet x 30 trips/car, seed 42, warm router cache" \
+		< /tmp/bench_runner.txt > results/BENCH_runner.json
+	@echo "wrote results/BENCH_runner.json"
 
 # Regenerate every paper table and figure (plus ablations) into results/.
 results:

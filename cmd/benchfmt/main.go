@@ -1,0 +1,154 @@
+// Command benchfmt converts `go test -bench` output on stdin into the
+// JSON snapshot schema used under results/ (see BENCH_pipeline.json):
+// one entry per benchmark with the median ns/op across -count
+// repetitions plus median B/op and allocs/op.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem -count=5 . | \
+//	    benchfmt -snapshot 2026-08-06 -command "..." > results/BENCH_x.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type entry struct {
+	Name          string  `json:"name"`
+	NsPerOpMedian float64 `json:"ns_per_op_median"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	Notes         string  `json:"notes"`
+}
+
+type snapshot struct {
+	Snapshot   string  `json:"snapshot"`
+	Command    string  `json:"command"`
+	Goos       string  `json:"goos"`
+	Goarch     string  `json:"goarch"`
+	CPU        string  `json:"cpu"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+// procSuffix is the trailing -GOMAXPROCS go test appends to benchmark
+// names; stripped so snapshots diff cleanly across machines.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+type samples struct {
+	ns     []float64
+	bytes  []float64
+	allocs []float64
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchfmt: ")
+	snapDate := flag.String("snapshot", "", "snapshot date (YYYY-MM-DD)")
+	command := flag.String("command", "", "command line that produced the input")
+	notes := flag.String("notes", "", "notes attached to every benchmark entry")
+	flag.Parse()
+
+	out := snapshot{Snapshot: *snapDate, Command: *command}
+	byName := map[string]*samples{}
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			name, vals, err := parseBenchLine(line)
+			if err != nil {
+				log.Fatalf("%v: %s", err, line)
+			}
+			s := byName[name]
+			if s == nil {
+				s = &samples{}
+				byName[name] = s
+				order = append(order, name)
+			}
+			s.ns = append(s.ns, vals["ns/op"])
+			s.bytes = append(s.bytes, vals["B/op"])
+			s.allocs = append(s.allocs, vals["allocs/op"])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(order) == 0 {
+		log.Fatal("no benchmark lines on stdin")
+	}
+
+	for _, name := range order {
+		s := byName[name]
+		note := *notes
+		if note != "" {
+			note = fmt.Sprintf("%s; median of %d runs", note, len(s.ns))
+		} else {
+			note = fmt.Sprintf("median of %d runs", len(s.ns))
+		}
+		out.Benchmarks = append(out.Benchmarks, entry{
+			Name:          name,
+			NsPerOpMedian: median(s.ns),
+			BytesPerOp:    int64(median(s.bytes)),
+			AllocsPerOp:   int64(median(s.allocs)),
+			Notes:         note,
+		})
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseBenchLine splits one result line into the benchmark name (minus
+// the -GOMAXPROCS suffix) and its value-per-unit pairs, e.g.
+//
+//	BenchmarkX/sub-16  3  41234567 ns/op  1024 B/op  12 allocs/op
+func parseBenchLine(line string) (string, map[string]float64, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return "", nil, fmt.Errorf("malformed benchmark line")
+	}
+	name := procSuffix.ReplaceAllString(f[0], "")
+	vals := map[string]float64{}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("bad value %q", f[i])
+		}
+		vals[f[i+1]] = v
+	}
+	return name, vals, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}

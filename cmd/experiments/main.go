@@ -35,6 +35,8 @@ func main() {
 	scale := flag.String("scale", "medium", "data volume: small, medium or paper")
 	seed := flag.Int64("seed", 42, "master random seed")
 	ablations := flag.Bool("ablations", false, "also run the ablation studies and the eco-routing/hotspot extensions")
+	workers := flag.Int("workers", 0, "fleet runner worker pool size (0 = GOMAXPROCS)")
+	maxFailures := flag.Int("max-failures", -1, "error budget before the fleet run aborts (-1 = abort on first failure; experiments need the full fleet)")
 	metricsOut := flag.String("metrics", "", "optional JSON metrics snapshot written at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
@@ -62,6 +64,8 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Metrics = reg
+	cfg.Workers = *workers
+	cfg.MaxFailures = *maxFailures
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)

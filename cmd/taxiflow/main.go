@@ -6,7 +6,14 @@
 // Usage:
 //
 //	taxiflow [-cars N] [-trips N] [-seed N] [-gatefrac F] [-v]
+//	         [-workers N] [-max-failures N] [-retries N]
 //	         [-metrics out.json] [-debug-addr :6060]
+//
+// The fleet runs on the fault-tolerant runner: per-car failures are
+// isolated and summarised in a failed-car table instead of aborting
+// the run, -max-failures bounds the error budget, -workers bounds the
+// worker pool, and Ctrl-C cancels the run promptly while keeping the
+// results already computed.
 //
 // Every run is instrumented through internal/obs: per-stage timing and
 // kept/dropped counters are printed in the end-of-run summary, -metrics
@@ -16,12 +23,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -40,12 +51,18 @@ func main() {
 	trips := flag.Int("trips", 60, "engine-on trips per taxi")
 	seed := flag.Int64("seed", 42, "master random seed")
 	gateFrac := flag.Float64("gatefrac", 0.25, "share of runs between OD gates")
+	workers := flag.Int("workers", 0, "fleet runner worker pool size (0 = GOMAXPROCS)")
+	maxFailures := flag.Int("max-failures", 0, "error budget: failed cars tolerated before aborting (0 = unlimited, -1 = abort on first)")
+	retries := flag.Int("retries", 1, "per-car attempts for retryable errors")
 	tracesIn := flag.String("traces", "", "optional route-point CSV (from cmd/tracegen) to process instead of simulating; must match -seed")
 	svgOut := flag.String("svg", "", "optional SVG output: the accepted transitions' speed map")
 	metricsOut := flag.String("metrics", "", "optional JSON metrics snapshot written at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060, :0 for ephemeral)")
 	verbose := flag.Bool("v", false, "print per-transition details")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	reg := obs.NewRegistry()
 	if *debugAddr != "" {
@@ -66,7 +83,10 @@ func main() {
 			TripsPerCar:     *trips,
 			GateRunFraction: *gateFrac,
 		},
-		Metrics: reg,
+		Workers:     *workers,
+		MaxFailures: *maxFailures,
+		MaxAttempts: *retries,
+		Metrics:     reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -77,12 +97,16 @@ func main() {
 
 	var res *taxitrace.Result
 	if *tracesIn != "" {
-		res, err = processCSV(p, *tracesIn)
+		res, err = processCSV(ctx, p, *tracesIn)
 	} else {
-		res, err = p.Run()
+		res, err = p.RunContext(ctx)
 	}
 	if err != nil {
-		log.Fatal(err)
+		printFailedCars(err)
+		if len(res.Cars) == 0 {
+			log.Fatal(err)
+		}
+		log.Printf("continuing with partial results: %d/%d cars", len(res.Cars), *cars)
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -135,8 +159,10 @@ func main() {
 		fmt.Printf("wrote %s\n", *svgOut)
 	}
 
-	printStageTable(reg.Snapshot())
+	snap := reg.Snapshot()
+	printStageTable(snap)
 	printCacheStats(p)
+	printRunnerStats(snap)
 
 	if *metricsOut != "" {
 		if err := writeMetrics(reg, *metricsOut); err != nil {
@@ -189,12 +215,49 @@ func printStageTable(snap obs.Snapshot) {
 	w.Flush()
 }
 
+// printFailedCars renders the per-car failure table from a RunContext
+// error, plus the run-level condition (budget abort, cancellation).
+func printFailedCars(err error) {
+	failed := taxitrace.FailedCars(err)
+	if len(failed) > 0 {
+		fmt.Printf("\nfailed cars (%d):\n", len(failed))
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "car\tstage\tattempts\terror")
+		for _, ce := range failed {
+			stage := ce.Stage
+			if stage == "" {
+				stage = "-"
+			}
+			fmt.Fprintf(w, "%d\t%s\t%d\t%v\n", ce.Car, stage, ce.Attempts, ce.Err)
+		}
+		w.Flush()
+	}
+	switch {
+	case errors.Is(err, taxitrace.ErrBudgetExceeded):
+		log.Printf("run aborted early: failure budget exceeded (see -max-failures)")
+	case errors.Is(err, context.Canceled):
+		log.Printf("run cancelled")
+	}
+}
+
 // printCacheStats surfaces the shared routing engine's path-cache
 // counters in the end-of-run summary.
 func printCacheStats(p *taxitrace.Pipeline) {
 	s := p.Router.CacheStats()
 	fmt.Printf("router cache: %d hits / %d misses (%.1f%% hit rate), %d paths cached, %d evictions\n",
 		s.Hits, s.Misses, 100*s.HitRate(), s.Entries, s.Evictions)
+}
+
+// printRunnerStats surfaces the fleet runner's outcome counters (the
+// CSV path bypasses the runner, so the line is omitted when idle).
+func printRunnerStats(snap obs.Snapshot) {
+	ok := snap.Counters["runner_cars_ok"]
+	failed := snap.Counters["runner_cars_failed"]
+	if ok == 0 && failed == 0 {
+		return
+	}
+	fmt.Printf("fleet runner: %d cars ok, %d failed, %d retries, %d skipped\n",
+		ok, failed, snap.Counters["runner_cars_retried"], snap.Counters["runner_cars_skipped"])
 }
 
 // sumCounters totals the named counters; "" when the stage has no such
@@ -254,16 +317,19 @@ func writeSpeedMap(p *taxitrace.Pipeline, recs []*taxitrace.TransitionRecord, pa
 
 // processCSV loads externally recorded trips (e.g. written by
 // cmd/tracegen against the same city seed) and runs the processing
-// stages over them, grouped by car.
-func processCSV(p *taxitrace.Pipeline, path string) (*taxitrace.Result, error) {
+// stages over them, grouped by car. Like RunContext, a bad car is
+// isolated: its error is joined into the returned error while the
+// remaining cars' results are kept.
+func processCSV(ctx context.Context, p *taxitrace.Pipeline, path string) (*taxitrace.Result, error) {
+	res := &taxitrace.Result{}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	defer f.Close()
 	trips, err := trace.ReadCSV(f, p.City.DB.Proj)
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	byCar := map[int][]*trace.Trip{}
 	for _, t := range trips {
@@ -274,13 +340,18 @@ func processCSV(p *taxitrace.Pipeline, path string) (*taxitrace.Result, error) {
 		cars = append(cars, car)
 	}
 	sort.Ints(cars)
-	res := &taxitrace.Result{}
+	var errs []error
 	for _, car := range cars {
-		cr, err := p.Process(car, byCar[car])
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			break
+		}
+		cr, err := p.ProcessContext(ctx, car, byCar[car])
 		if err != nil {
-			return nil, err
+			errs = append(errs, &taxitrace.CarError{Car: car, Attempts: 1, Err: err})
+			continue
 		}
 		res.Cars = append(res.Cars, cr)
 	}
-	return res, nil
+	return res, errors.Join(errs...)
 }

@@ -10,9 +10,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
-	"sync"
+	"sort"
+	"time"
 
 	"repro/internal/clean"
 	"repro/internal/digiroad"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/odselect"
 	"repro/internal/roadnet"
+	"repro/internal/runner"
 	"repro/internal/segment"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -54,6 +57,26 @@ type Config struct {
 	// (total memoised paths across shards). 0 selects the router
 	// default; negative disables caching.
 	RouterCachePaths int
+	// Workers bounds the fleet runner's concurrency (default
+	// GOMAXPROCS). The runner owns exactly this many worker
+	// goroutines regardless of fleet size.
+	Workers int
+	// MaxFailures is the fleet error budget as a count: up to this
+	// many cars may fail (each isolated and reported as a CarError)
+	// before the run aborts early. 0 tolerates any number of
+	// failures; negative aborts on the first one.
+	MaxFailures int
+	// MaxFailureFrac expresses the budget as a fleet fraction (0
+	// disables); the stricter of the two budgets wins.
+	MaxFailureFrac float64
+	// MaxAttempts bounds per-car attempts for errors marked
+	// runner.Transient (default 1 = no retries); RetryBackoff is the
+	// deterministic base delay before attempt 2, doubling per attempt.
+	MaxAttempts  int
+	RetryBackoff time.Duration
+	// Faults injects per-stage failures, panics or stalls into car
+	// processing — the test/chaos hook. Nil in production runs.
+	Faults runner.FaultInjector
 	// Metrics receives the pipeline's instrumentation: per-stage spans
 	// (duration histograms + active gauges), kept/dropped counters for
 	// every lossy stage, per-car worker timing, and the router
@@ -230,46 +253,136 @@ func (r *Result) Segments() []*trace.Trip {
 	return out
 }
 
-// Run executes the pipeline for the whole fleet, processing cars
-// concurrently. Each car's simulation and processing are independent
-// and deterministic, so the result is identical to a serial run.
-func (p *Pipeline) Run() (*Result, error) {
-	n := p.Gen.Cars()
-	results := make([]CarResult, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for car := 1; car <= n; car++ {
-		wg.Add(1)
-		go func(car int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[car-1], errs[car-1] = p.RunCar(car)
-		}(car)
+// CarError is the typed per-car failure record the fleet runner
+// reports: car, stage, attempts and cause, with errors.Is/As support.
+type CarError = runner.CarError
+
+// FleetStream is the live per-car outcome stream returned by
+// Pipeline.Stream.
+type FleetStream = runner.Stream[CarResult]
+
+// CarEvent is one streamed per-car outcome.
+type CarEvent = runner.Event[CarResult]
+
+// ErrBudgetExceeded re-exports the runner's abort sentinel: test the
+// error of RunContext with errors.Is against it to distinguish an
+// error-budget abort from isolated car failures.
+var ErrBudgetExceeded = runner.ErrBudgetExceeded
+
+// ErrDegenerateSpan marks a transition whose origin→destination span
+// has fewer than two points, so no route can be matched for it.
+var ErrDegenerateSpan = errors.New("core: degenerate transition span")
+
+// FailedCars extracts the per-car failures from an error returned by
+// RunContext/Run (an errors.Join of CarErrors plus any run-level
+// error), sorted by car number.
+func FailedCars(err error) []*CarError { return runner.CarErrors(err) }
+
+// runnerConfig maps the pipeline configuration onto the fleet runner.
+func (p *Pipeline) runnerConfig() runner.Config {
+	return runner.Config{
+		Workers:        p.Config.Workers,
+		MaxFailures:    p.Config.MaxFailures,
+		MaxFailureFrac: p.Config.MaxFailureFrac,
+		MaxAttempts:    p.Config.MaxAttempts,
+		Backoff:        p.Config.RetryBackoff,
+		Metrics:        p.Metrics,
 	}
-	wg.Wait()
-	res := &Result{Cars: results}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
 }
 
-// RunCar executes the pipeline for one car.
-func (p *Pipeline) RunCar(car int) (CarResult, error) {
+// Stream starts the fleet run and returns the live stream of per-car
+// outcomes as cars complete (completion order). This is the primary
+// execution API: results arrive incrementally under a bounded worker
+// pool, failed cars arrive as typed *CarError events instead of
+// aborting the run, and cancelling ctx drains the pool promptly.
+// Consumers must drain Events until it closes; RunContext does exactly
+// that and rebuilds the batch Result.
+func (p *Pipeline) Stream(ctx context.Context) *FleetStream {
+	return runner.Run(ctx, p.runnerConfig(), p.Gen.Cars(), p.RunCarContext)
+}
+
+// RunContext executes the pipeline for the whole fleet under ctx and
+// collects the stream into the batch shape. Each car's simulation and
+// processing are independent and deterministic, so the result is
+// identical to a serial run regardless of worker count.
+//
+// Unlike the historical fail-fast Run, per-car failures do not discard
+// the fleet: the returned Result carries every successful car (sorted
+// by car number) and the error is an errors.Join of the per-car
+// *CarErrors — plus runner.ErrBudgetExceeded when the failure budget
+// aborted the run early, or the context error after cancellation. Use
+// FailedCars to recover the typed failures.
+func (p *Pipeline) RunContext(ctx context.Context) (*Result, error) {
+	st := p.Stream(ctx)
+	cars := make([]CarResult, 0, p.Gen.Cars())
+	var carErrs []*CarError
+	for ev := range st.Events() {
+		if ev.Err != nil {
+			carErrs = append(carErrs, ev.Err)
+			continue
+		}
+		cars = append(cars, ev.Result)
+	}
+	sort.Slice(cars, func(i, j int) bool { return cars[i].Car < cars[j].Car })
+	sort.Slice(carErrs, func(i, j int) bool { return carErrs[i].Car < carErrs[j].Car })
+	errs := make([]error, 0, len(carErrs)+1)
+	for _, ce := range carErrs {
+		errs = append(errs, ce)
+	}
+	if err := st.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return &Result{Cars: cars}, errors.Join(errs...)
+}
+
+// Run executes the fleet with a background context.
+//
+// Deprecated: use RunContext (or Stream for incremental consumption),
+// which add cancellation, per-car fault isolation and partial results.
+// Note the error contract changed with the fault-tolerant runner: Run
+// now returns the partial Result alongside the joined error instead of
+// a nil Result on the first per-car failure.
+func (p *Pipeline) Run() (*Result, error) { return p.RunContext(context.Background()) }
+
+// RunCarContext executes the pipeline for one car under ctx.
+func (p *Pipeline) RunCarContext(ctx context.Context, car int) (CarResult, error) {
+	if err := p.stageGate(ctx, car, "simulate"); err != nil {
+		return CarResult{Car: car}, err
+	}
 	sp := p.met.simulate.Start()
 	raw := p.Gen.CarTrips(car)
 	sp.End()
 	p.met.simTrips.Add(uint64(len(raw)))
-	return p.Process(car, raw)
+	return p.ProcessContext(ctx, car, raw)
 }
 
-// Process runs the cleaning → segmentation → selection → matching →
-// attribute stages over raw trips (however they were obtained).
-func (p *Pipeline) Process(car int, raw []*trace.Trip) (CarResult, error) {
+// RunCar executes the pipeline for one car.
+//
+// Deprecated: use RunCarContext.
+func (p *Pipeline) RunCar(car int) (CarResult, error) {
+	return p.RunCarContext(context.Background(), car)
+}
+
+// stageGate is the per-stage entry check: it propagates cancellation
+// and gives the configured fault injector its shot at the stage. An
+// injected error is attributed to the stage via runner.StageError so
+// the CarError built from it can name where the car went bad.
+func (p *Pipeline) stageGate(ctx context.Context, car int, stage string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := runner.Inject(p.Config.Faults, car, stage); err != nil {
+		return &runner.StageError{Stage: stage, Err: err}
+	}
+	return nil
+}
+
+// ProcessContext runs the cleaning → segmentation → selection →
+// matching → attribute stages over raw trips (however they were
+// obtained) under ctx. Cancellation is honored between stages and
+// between transitions; on error the partial CarResult built so far is
+// returned alongside it.
+func (p *Pipeline) ProcessContext(ctx context.Context, car int, raw []*trace.Trip) (CarResult, error) {
 	carSpan := p.met.car.Start()
 	defer func() {
 		carSpan.End()
@@ -278,6 +391,9 @@ func (p *Pipeline) Process(car int, raw []*trace.Trip) (CarResult, error) {
 	cr := CarResult{Car: car, RawTrips: len(raw)}
 
 	// Cleaning (§IV-B).
+	if err := p.stageGate(ctx, car, "clean"); err != nil {
+		return cr, err
+	}
 	sp := p.met.clean.Start()
 	results := clean.RepairAll(raw, p.Config.Clean)
 	sp.End()
@@ -294,18 +410,38 @@ func (p *Pipeline) Process(car int, raw []*trace.Trip) (CarResult, error) {
 	p.met.recordCleanStats(cr.CleanStats)
 
 	// Segmentation (Table 2).
+	if err := p.stageGate(ctx, car, "segment"); err != nil {
+		return cr, err
+	}
 	sp = p.met.segment.Start()
 	cr.Segments = segment.SplitAll(clean.Trips(results), p.Rules, &cr.SegStats)
 	sp.End()
 	p.met.recordSegStats(cr.SegStats)
 
 	// OD selection (Table 3) and per-transition analysis.
+	if err := p.stageGate(ctx, car, "odselect"); err != nil {
+		return cr, err
+	}
 	sp = p.met.odselect.Start()
 	funnel, accepted := p.Selector.Run(car, cr.Segments)
 	sp.End()
 	cr.Funnel = funnel
 	p.met.recordFunnel(funnel)
+	// Matching and attribute fetching run per transition; their fault
+	// gates sit at stage entry so an injected failure is attributed to
+	// the right stage.
+	if err := p.stageGate(ctx, car, "mapmatch"); err != nil {
+		return cr, err
+	}
+	if err := p.stageGate(ctx, car, "mapattr"); err != nil {
+		return cr, err
+	}
 	for _, tr := range accepted {
+		// Honor cancellation between transitions: a car with hundreds
+		// of accepted transitions must not stall a drain.
+		if err := ctx.Err(); err != nil {
+			return cr, err
+		}
 		rec, err := p.analyseTransition(car, tr)
 		if err != nil {
 			// A transition that cannot be matched is dropped from the
@@ -320,6 +456,13 @@ func (p *Pipeline) Process(car int, raw []*trace.Trip) (CarResult, error) {
 	return cr, nil
 }
 
+// Process runs the processing stages with a background context.
+//
+// Deprecated: use ProcessContext.
+func (p *Pipeline) Process(car int, raw []*trace.Trip) (CarResult, error) {
+	return p.ProcessContext(context.Background(), car, raw)
+}
+
 // analyseTransition map-matches one transition and derives the Table 4
 // metrics.
 func (p *Pipeline) analyseTransition(car int, tr *odselect.Transition) (*TransitionRecord, error) {
@@ -331,7 +474,7 @@ func (p *Pipeline) analyseTransition(car int, tr *odselect.Transition) (*Transit
 	}
 	span := pts[lo : hi+1]
 	if len(span) < 2 {
-		return nil, fmt.Errorf("core: degenerate transition span")
+		return nil, ErrDegenerateSpan
 	}
 	sp := p.met.mapmatch.Start()
 	match, err := p.Matcher.Match(span)

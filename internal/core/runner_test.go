@@ -1,0 +1,319 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// faultConfig returns the determinism fleet with a fault injector and
+// runner knobs applied on top.
+func faultConfig(mut func(*Config)) Config {
+	cfg := determinismConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	return cfg
+}
+
+// runClean produces the reference no-fault result for comparison.
+func runClean(t *testing.T) *Result {
+	t.Helper()
+	p, err := NewPipeline(determinismConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFaultIsolation is the acceptance test for per-car isolation:
+// with one car forced to fail permanently at the mapmatch stage, the
+// run returns N−1 CarResults — byte-identical to the same cars from a
+// clean run — plus a CarError identifying car and stage.
+func TestFaultIsolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := faultConfig(func(c *Config) {
+		c.Metrics = reg
+		c.Faults = runner.FaultFunc(func(car int, stage string) error {
+			if car == 2 && stage == "mapmatch" {
+				return errors.New("injected: poisoned car")
+			}
+			return nil
+		})
+	})
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunContext(context.Background())
+	if err == nil {
+		t.Fatal("expected a joined error naming the poisoned car")
+	}
+	if len(res.Cars) != 2 {
+		t.Fatalf("want N-1 = 2 CarResults, got %d", len(res.Cars))
+	}
+	failed := FailedCars(err)
+	if len(failed) != 1 {
+		t.Fatalf("FailedCars = %+v, want exactly one", failed)
+	}
+	if failed[0].Car != 2 || failed[0].Stage != "mapmatch" {
+		t.Fatalf("CarError = car %d stage %q, want car 2 stage mapmatch", failed[0].Car, failed[0].Stage)
+	}
+	// A run-level error must NOT be present: one isolated failure is
+	// within the (unlimited) default budget.
+	if errors.Is(err, ErrBudgetExceeded) {
+		t.Fatal("isolated failure misreported as budget abort")
+	}
+
+	// The surviving cars are byte-identical to the clean run's.
+	clean := runClean(t)
+	for _, cr := range res.Cars {
+		want, got := clean.Cars[cr.Car-1], cr
+		wj, _ := json.Marshal(want)
+		gj, _ := json.Marshal(got)
+		if !bytes.Equal(wj, gj) {
+			t.Fatalf("car %d diverged from the clean run", cr.Car)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["runner_cars_failed"]; got != 1 {
+		t.Fatalf("runner_cars_failed = %d, want 1", got)
+	}
+	if got := snap.Counters["runner_cars_ok"]; got != 2 {
+		t.Fatalf("runner_cars_ok = %d, want 2", got)
+	}
+}
+
+// TestFaultPanicIsolation proves a panicking car is captured as a
+// CarError instead of crashing the process.
+func TestFaultPanicIsolation(t *testing.T) {
+	cfg := faultConfig(func(c *Config) {
+		c.Faults = runner.FaultFunc(func(car int, stage string) error {
+			if car == 1 && stage == "segment" {
+				panic("injected panic")
+			}
+			return nil
+		})
+	})
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunContext(context.Background())
+	if len(res.Cars) != 2 {
+		t.Fatalf("want 2 survivors, got %d", len(res.Cars))
+	}
+	failed := FailedCars(err)
+	if len(failed) != 1 || failed[0].Car != 1 {
+		t.Fatalf("FailedCars = %+v", failed)
+	}
+	var pe *runner.PanicError
+	if !errors.As(failed[0], &pe) {
+		t.Fatalf("want PanicError in the chain, got %v", failed[0])
+	}
+}
+
+// TestFaultRetryRecovers proves a transiently failing car is retried
+// with deterministic backoff and contributes its full result.
+func TestFaultRetryRecovers(t *testing.T) {
+	reg := obs.NewRegistry()
+	remaining := 2 // first two attempts at car 3's clean stage fail
+	cfg := faultConfig(func(c *Config) {
+		c.Metrics = reg
+		c.MaxAttempts = 3
+		c.Workers = 1 // serialise so the injector needs no locking
+		c.Faults = runner.FaultFunc(func(car int, stage string) error {
+			if car == 3 && stage == "clean" && remaining > 0 {
+				remaining--
+				return runner.Transient(errors.New("injected: flaky ingest"))
+			}
+			return nil
+		})
+	})
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunContext(context.Background())
+	if err != nil {
+		t.Fatalf("retries should have recovered the car: %v", err)
+	}
+	if len(res.Cars) != 3 {
+		t.Fatalf("want full fleet, got %d cars", len(res.Cars))
+	}
+	clean := runClean(t)
+	wj, _ := json.Marshal(clean)
+	gj, _ := json.Marshal(res)
+	if !bytes.Equal(wj, gj) {
+		t.Fatal("retried run diverged from the clean run")
+	}
+	if got := reg.Snapshot().Counters["runner_cars_retried"]; got != 2 {
+		t.Fatalf("runner_cars_retried = %d, want 2", got)
+	}
+}
+
+// TestBudgetAbortReturnsPartialResults is the acceptance test for the
+// error budget: with more failures than MaxFailures allows, the run
+// aborts early and still returns the partial results.
+func TestBudgetAbortReturnsPartialResults(t *testing.T) {
+	cfg := faultConfig(func(c *Config) {
+		c.Workers = 1
+		c.MaxFailures = 1
+		c.Faults = runner.FaultFunc(func(car int, stage string) error {
+			if stage == "clean" && car >= 2 {
+				return fmt.Errorf("injected: car %d bad", car)
+			}
+			return nil
+		})
+	})
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunContext(context.Background())
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded in the chain", err)
+	}
+	if len(res.Cars) != 1 || res.Cars[0].Car != 1 {
+		t.Fatalf("partial results lost: %d cars", len(res.Cars))
+	}
+	if failed := FailedCars(err); len(failed) != 2 {
+		t.Fatalf("FailedCars = %+v, want cars 2 and 3", failed)
+	}
+}
+
+// TestStreamMatchesBatch asserts streaming order-independence: the
+// events collected from Stream, re-assembled in car order, are
+// byte-identical to the batch RunContext result.
+func TestStreamMatchesBatch(t *testing.T) {
+	p, err := NewPipeline(determinismConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stream(context.Background())
+	byCar := map[int]CarResult{}
+	for ev := range st.Events() {
+		if ev.Err != nil {
+			t.Fatalf("car %d: %v", ev.Car, ev.Err)
+		}
+		byCar[ev.Car] = ev.Result
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	streamed := &Result{}
+	for car := 1; car <= p.Gen.Cars(); car++ {
+		cr, ok := byCar[car]
+		if !ok {
+			t.Fatalf("car %d missing from the stream", car)
+		}
+		streamed.Cars = append(streamed.Cars, cr)
+	}
+	clean := runClean(t)
+	wj, _ := json.Marshal(clean)
+	gj, _ := json.Marshal(streamed)
+	if !bytes.Equal(wj, gj) {
+		t.Fatal("streamed result diverged from the batch result")
+	}
+}
+
+// TestCancellationPromptAndLeakFree cancels a run stalled inside a
+// slow car and asserts the batch call returns well within one
+// task latency, reports the context error, and leaks no goroutines.
+func TestCancellationPromptAndLeakFree(t *testing.T) {
+	const stall = 5 * time.Second
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	entered := make(chan struct{}, 8)
+	cfg := faultConfig(func(c *Config) {
+		c.Workers = 2
+		c.Faults = runner.FaultFunc(func(car int, stage string) error {
+			if stage == "simulate" {
+				entered <- struct{}{}
+				// A slow car: stall until the run is cancelled.
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(stall):
+					return nil
+				}
+			}
+			return nil
+		})
+	})
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var res *Result
+	var runErr error
+	go func() {
+		res, runErr = p.RunContext(ctx)
+		close(done)
+	}()
+	<-entered // a car is stalled inside its stage
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(stall / 2):
+		t.Fatal("cancellation did not drain the run promptly")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", runErr)
+	}
+	if len(res.Cars) != 0 {
+		t.Fatalf("no car should have completed, got %d", len(res.Cars))
+	}
+	// Cancellation must not masquerade as car faults.
+	if failed := FailedCars(runErr); len(failed) != 0 {
+		t.Fatalf("cancelled cars misreported as failures: %+v", failed)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, g)
+	}
+}
+
+// TestProcessContextHonorsCancellationBetweenTransitions feeds a
+// pre-cancelled context into ProcessContext and asserts it refuses to
+// start (the per-transition loop's check is exercised by the prompt-
+// cancellation test above at fleet level).
+func TestProcessContextHonorsCancellation(t *testing.T) {
+	p, err := NewPipeline(determinismConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = p.RunCarContext(ctx, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestTypedStageErrors pins the errors.Is contracts the runner's
+// retry/report classification relies on.
+func TestTypedStageErrors(t *testing.T) {
+	if !errors.Is(fmt.Errorf("wrap: %w", ErrDegenerateSpan), ErrDegenerateSpan) {
+		t.Fatal("ErrDegenerateSpan lost through wrapping")
+	}
+	if runner.IsRetryable(ErrDegenerateSpan) {
+		t.Fatal("pipeline stage errors must be permanent by default")
+	}
+}

@@ -28,6 +28,13 @@ type EnvConfig struct {
 	// Metrics, when non-nil, instruments the pipeline run (stage spans,
 	// kept/dropped counters, router cache stats).
 	Metrics *obs.Registry
+	// Workers bounds the fleet runner's worker pool (0 = GOMAXPROCS);
+	// MaxFailures is its error budget (0 = unlimited, negative =
+	// abort on first failure). Experiments need the complete fleet, so
+	// any car failure fails NewEnv — but with the budget the caller
+	// controls how fast a doomed paper-scale regeneration gives up.
+	Workers     int
+	MaxFailures int
 }
 
 // SmallScale is a quick configuration for tests and benchmarks.
@@ -62,14 +69,19 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 			TripsPerCar:     cfg.TripsPerCar,
 			GateRunFraction: cfg.GateRunFraction,
 		},
-		Metrics: cfg.Metrics,
+		Workers:     cfg.Workers,
+		MaxFailures: cfg.MaxFailures,
+		Metrics:     cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
 	res, err := p.Run()
 	if err != nil {
-		return nil, err
+		// The tables and figures quote fleet-wide numbers; a partial
+		// fleet would silently skew them, so any car failure fails the
+		// environment build.
+		return nil, fmt.Errorf("experiments: fleet run: %w", err)
 	}
 	env := &Env{Cfg: cfg, P: p, Res: res}
 	agg, lmm, err := p.GridAnalysis(res.Transitions())

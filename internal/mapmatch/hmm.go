@@ -68,7 +68,7 @@ func NewHMMRouter(rt *roadnet.Router, cfg HMMConfig) *HMMMatcher {
 // Match aligns the points with Viterbi decoding over edge candidates.
 func (m *HMMMatcher) Match(points []trace.RoutePoint) (*Result, error) {
 	if len(points) == 0 {
-		return nil, ErrNoMatch
+		return nil, ErrEmptyInput
 	}
 	type state struct {
 		cand roadnet.EdgeCandidate
@@ -94,7 +94,7 @@ func (m *HMMMatcher) Match(points []trace.RoutePoint) (*Result, error) {
 		layerIdx = append(layerIdx, i)
 	}
 	if len(layers) == 0 {
-		return nil, ErrNoMatch
+		return nil, ErrNoCandidate
 	}
 
 	// Initial layer: emission only.

@@ -14,7 +14,7 @@
 package mapmatch
 
 import (
-	"fmt"
+	"errors"
 	"math"
 
 	"repro/internal/geo"
@@ -125,13 +125,24 @@ func NewIncrementalRouter(rt *roadnet.Router, cfg Config) *Matcher {
 	return &Matcher{g: rt.Graph(), rt: rt, cfg: cfg.withDefaults()}
 }
 
-// ErrNoMatch is returned when no input point is near the network.
-var ErrNoMatch = fmt.Errorf("mapmatch: no point matched the network")
+// ErrNoCandidate is returned when no input point has any candidate
+// edge within range — the trace is nowhere near the network. It is a
+// permanent (non-retryable) condition: the same trace re-matched
+// against the same map fails the same way.
+var ErrNoCandidate = errors.New("mapmatch: no point matched the network")
+
+// ErrNoMatch is the historical name of ErrNoCandidate.
+//
+// Deprecated: test with errors.Is(err, ErrNoCandidate).
+var ErrNoMatch = ErrNoCandidate
+
+// ErrEmptyInput is returned for a zero-point input. Permanent.
+var ErrEmptyInput = errors.New("mapmatch: empty input")
 
 // Match aligns the points (in true order) onto the network.
 func (m *Matcher) Match(points []trace.RoutePoint) (*Result, error) {
 	if len(points) == 0 {
-		return nil, fmt.Errorf("mapmatch: empty input")
+		return nil, ErrEmptyInput
 	}
 	res := &Result{}
 	matched := 0
@@ -150,7 +161,7 @@ func (m *Matcher) Match(points []trace.RoutePoint) (*Result, error) {
 	}
 	res.MatchedFraction = float64(matched) / float64(len(points))
 	if matched == 0 {
-		return nil, ErrNoMatch
+		return nil, ErrNoCandidate
 	}
 	m.assembleRoute(res)
 	return res, nil

@@ -9,6 +9,7 @@
 package odselect
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -123,20 +124,32 @@ type Selector struct {
 	cfg   Config
 }
 
+// Typed constructor errors, all permanent: a selector that cannot be
+// built from its gates will never build from the same gates.
+var (
+	// ErrBadGate marks a gate missing its name or thick geometry.
+	ErrBadGate = errors.New("odselect: gate missing name or geometry")
+	// ErrDuplicateGate marks two gates sharing a name.
+	ErrDuplicateGate = errors.New("odselect: duplicate gate")
+	// ErrTooFewGates marks a gate set with fewer than two gates — no
+	// transition can exist between fewer than two.
+	ErrTooFewGates = errors.New("odselect: need at least two gates")
+)
+
 // NewSelector builds a selector; gates must have distinct names.
 func NewSelector(gates []Gate, cfg Config) (*Selector, error) {
 	seen := map[string]bool{}
 	for _, g := range gates {
 		if g.Name == "" || g.Thick == nil {
-			return nil, fmt.Errorf("odselect: gate missing name or geometry")
+			return nil, ErrBadGate
 		}
 		if seen[g.Name] {
-			return nil, fmt.Errorf("odselect: duplicate gate %q", g.Name)
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateGate, g.Name)
 		}
 		seen[g.Name] = true
 	}
 	if len(gates) < 2 {
-		return nil, fmt.Errorf("odselect: need at least two gates")
+		return nil, ErrTooFewGates
 	}
 	return &Selector{gates: gates, cfg: cfg.withDefaults()}, nil
 }

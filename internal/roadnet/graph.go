@@ -10,7 +10,6 @@
 package roadnet
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -100,7 +99,7 @@ func Build(db *digiroad.Database) (*Graph, error) {
 		elements = append(elements, e)
 	}
 	if len(elements) == 0 {
-		return nil, fmt.Errorf("roadnet: no drivable traffic elements")
+		return nil, ErrNoDrivableElements
 	}
 
 	// 1. Classify endpoints by how many elements touch them.

@@ -1,7 +1,7 @@
 package roadnet
 
 import (
-	"fmt"
+	"errors"
 
 	"repro/internal/geo"
 )
@@ -61,8 +61,19 @@ func (p *Path) Edges() []EdgeID {
 	return out
 }
 
-// ErrNoPath is returned when the destination is unreachable.
-var ErrNoPath = fmt.Errorf("roadnet: no path")
+// ErrNoPath is returned when the destination is unreachable. It is a
+// permanent condition for a given graph: retrying the same query
+// cannot succeed.
+var ErrNoPath = errors.New("roadnet: no path")
+
+// ErrNoDrivableElements is returned by Build when the database holds
+// no drivable traffic elements to reconstruct a graph from. Permanent.
+var ErrNoDrivableElements = errors.New("roadnet: no drivable traffic elements")
+
+// ErrNodeOutOfRange marks a routing query naming a node id outside the
+// graph; callers passing computed ids test for it with errors.Is.
+// Permanent.
+var ErrNodeOutOfRange = errors.New("roadnet: node out of range")
 
 type pqItem struct {
 	node NodeID

@@ -300,7 +300,7 @@ func (r *Router) ShortestDistances(from NodeID, weight WeightFunc, maxCost float
 
 func (r *Router) checkNodes(from, to NodeID) error {
 	if int(from) < 0 || int(from) >= len(r.g.Nodes) || int(to) < 0 || int(to) >= len(r.g.Nodes) {
-		return fmt.Errorf("roadnet: node out of range (from=%d, to=%d, n=%d)", from, to, len(r.g.Nodes))
+		return fmt.Errorf("%w (from=%d, to=%d, n=%d)", ErrNodeOutOfRange, from, to, len(r.g.Nodes))
 	}
 	return nil
 }

@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrBudgetExceeded is reported by Stream.Err when more cars failed
+// than the configured error budget allows; the run aborts early but
+// every CarResult produced before the abort is still delivered.
+var ErrBudgetExceeded = errors.New("runner: failure budget exceeded")
+
+// CarError is the typed per-car failure record: which car failed, at
+// which pipeline stage (when the task reported one via StageError),
+// after how many attempts, and the underlying cause. It supports
+// errors.Is/As against the wrapped cause.
+type CarError struct {
+	Car      int
+	Stage    string // "" when the failing task did not name a stage
+	Attempts int
+	Err      error
+}
+
+// Error renders "runner: car 7 failed at mapmatch after 3 attempts: …".
+func (e *CarError) Error() string {
+	stage := ""
+	if e.Stage != "" {
+		stage = " at " + e.Stage
+	}
+	attempts := ""
+	if e.Attempts > 1 {
+		attempts = fmt.Sprintf(" after %d attempts", e.Attempts)
+	}
+	return fmt.Sprintf("runner: car %d failed%s%s: %v", e.Car, stage, attempts, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *CarError) Unwrap() error { return e.Err }
+
+// StageError attributes a failure to a named pipeline stage. Tasks wrap
+// their stage-level errors in it so the runner (and the CarError it
+// builds) can report where in the funnel a car went bad.
+type StageError struct {
+	Stage string
+	Err   error
+}
+
+func (e *StageError) Error() string { return e.Stage + ": " + e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// PanicError captures a panic raised by a car task. The runner turns
+// panics into ordinary permanent failures so one poisoned car cannot
+// take down the whole fleet run.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: task panicked: %v", e.Value)
+}
+
+// transientError marks its cause as retryable.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string   { return t.err.Error() }
+func (t *transientError) Unwrap() error   { return t.err }
+func (t *transientError) Retryable() bool { return true }
+
+// Transient marks err as retryable: the runner will re-run the car
+// (up to Config.MaxAttempts, with deterministic backoff) instead of
+// failing it outright. Pipeline stage errors are permanent unless
+// marked — a deterministic pipeline reproduces the same failure on
+// every attempt, so only genuinely transient causes (flaky ingest I/O,
+// injected faults) should carry the mark.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsRetryable reports whether any error in err's tree implements
+// `Retryable() bool` and returns true. Context cancellation and
+// deadline errors are never retryable.
+func IsRetryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if r, ok := err.(interface{ Retryable() bool }); ok {
+		return r.Retryable()
+	}
+	switch x := err.(type) {
+	case interface{ Unwrap() error }:
+		return IsRetryable(x.Unwrap())
+	case interface{ Unwrap() []error }:
+		for _, e := range x.Unwrap() {
+			if IsRetryable(e) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CarErrors collects every *CarError in err's tree (err is typically
+// the errors.Join-ed value returned by a batch collector), sorted by
+// car number so reports are deterministic.
+func CarErrors(err error) []*CarError {
+	var out []*CarError
+	collectCarErrors(err, &out)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Car > out[j].Car; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func collectCarErrors(err error, out *[]*CarError) {
+	if err == nil {
+		return
+	}
+	if ce, ok := err.(*CarError); ok {
+		*out = append(*out, ce)
+		return
+	}
+	switch x := err.(type) {
+	case interface{ Unwrap() error }:
+		collectCarErrors(x.Unwrap(), out)
+	case interface{ Unwrap() []error }:
+		for _, e := range x.Unwrap() {
+			collectCarErrors(e, out)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package runner
+
+import "repro/internal/obs"
+
+// metrics holds the runner's pre-resolved obs handles. All handles are
+// nil (no-ops) when the run is not instrumented.
+type metrics struct {
+	// runner_cars_ok / runner_cars_failed count terminal per-car
+	// outcomes; runner_cars_retried counts retry attempts (a car that
+	// succeeds on attempt 3 contributes 2).
+	ok, failed, retried *obs.Counter
+	// runner_cars_skipped counts cars abandoned by an abort or
+	// cancellation before they produced any outcome.
+	skipped *obs.Counter
+	// runner_inflight is the number of cars being worked on right now.
+	inflight *obs.Gauge
+	// runner_drain_seconds measures cancellation responsiveness: the
+	// time from the run's context being cancelled (or the budget abort)
+	// to the last worker going idle.
+	drain *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		ok:       reg.Counter("runner_cars_ok"),
+		failed:   reg.Counter("runner_cars_failed"),
+		retried:  reg.Counter("runner_cars_retried"),
+		skipped:  reg.Counter("runner_cars_skipped"),
+		inflight: reg.Gauge("runner_inflight"),
+		drain:    reg.Histogram("runner_drain_seconds"),
+	}
+}

@@ -1,0 +1,346 @@
+// Package runner is the fault-tolerant fleet execution engine: a
+// bounded worker pool that runs one task per car and streams results
+// back as cars complete, instead of buffering the whole fleet and
+// aborting on the first bad vehicle.
+//
+// The paper's premise is extracting reliable information from
+// unreliable per-vehicle data, and real floating-car feeds routinely
+// contain vehicles that produce garbage. The runner therefore treats
+// per-car failure as data, not as a run-level event:
+//
+//   - a failed (or panicking) car is captured as a typed *CarError —
+//     car, stage, attempts, cause — and reported alongside the other
+//     cars' results instead of poisoning the run;
+//   - errors marked Transient are retried up to Config.MaxAttempts
+//     with deterministic backoff;
+//   - a configurable error budget (Config.MaxFailures, count or
+//     fraction) bounds how much failure is tolerable before the run
+//     aborts early — still delivering every result produced so far;
+//   - cancelling the context drains the pool promptly: queued cars are
+//     abandoned, in-flight cars see the cancelled context, and the
+//     drain time is recorded in runner_drain_seconds.
+//
+// Typical streaming use:
+//
+//	st := runner.Run(ctx, cfg, fleet.Cars(), task)
+//	for ev := range st.Events() {
+//	    if ev.Err != nil { … } else { use(ev.Result) }
+//	}
+//	err := st.Err() // nil, ErrBudgetExceeded, or ctx error
+//
+// Consumers must drain Events until it closes; Collect does the loop
+// for callers that want the batch shape back.
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Task executes one car and returns its result. The context is the
+// run's context: tasks that can block should honor its cancellation.
+type Task[T any] func(ctx context.Context, car int) (T, error)
+
+// Config tunes a fleet run. The zero value selects the defaults: one
+// worker per CPU, no retries, unlimited failure budget, no
+// instrumentation.
+type Config struct {
+	// Workers bounds the number of cars processed concurrently
+	// (default GOMAXPROCS). The pool owns exactly this many goroutines;
+	// a 10k-car fleet never spawns 10k goroutines.
+	Workers int
+
+	// MaxFailures is the error budget as an absolute count: the run
+	// tolerates up to MaxFailures failed cars and aborts when one more
+	// fails. 0 means unlimited (every failure is isolated and
+	// reported); negative means zero tolerance (abort on the first
+	// failure).
+	MaxFailures int
+
+	// MaxFailureFrac expresses the budget as a fraction of the fleet
+	// (0 disables): a run over n cars tolerates floor(frac*n) failures.
+	// When both MaxFailures and MaxFailureFrac are set the stricter
+	// budget wins.
+	MaxFailureFrac float64
+
+	// MaxAttempts is the per-car attempt limit for errors marked
+	// Transient (default 1, i.e. no retries). Permanent errors are
+	// never retried.
+	MaxAttempts int
+
+	// Backoff is the base delay before attempt 2; subsequent attempts
+	// double it (deterministic exponential backoff, no jitter — runs
+	// must be reproducible). Default 0: immediate retry.
+	Backoff time.Duration
+
+	// Metrics instruments the run (runner_cars_ok/failed/retried/
+	// skipped, runner_inflight, runner_drain_seconds); nil disables.
+	Metrics *obs.Registry
+
+	// Sleep implements the retry backoff wait; tests inject a recorder
+	// here. Nil selects a timer-based wait that honors ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 1
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
+	return c
+}
+
+// budget resolves the effective failure budget for an n-car fleet:
+// the number of failures tolerated before abort, or -1 for unlimited.
+func (c Config) budget(n int) int {
+	b := -1
+	if c.MaxFailures > 0 {
+		b = c.MaxFailures
+	} else if c.MaxFailures < 0 {
+		b = 0
+	}
+	if c.MaxFailureFrac > 0 {
+		fb := int(c.MaxFailureFrac * float64(n))
+		if b < 0 || fb < b {
+			b = fb
+		}
+	}
+	return b
+}
+
+// sleepCtx waits d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Event is one car's terminal outcome. Exactly one of Result (Err ==
+// nil) or Err is meaningful.
+type Event[T any] struct {
+	Car      int
+	Attempts int
+	Result   T
+	Err      *CarError
+}
+
+// Stream is a live fleet run. Events delivers per-car outcomes as cars
+// complete (order is completion order, not car order); it closes when
+// the run ends. Consumers must drain it.
+type Stream[T any] struct {
+	events chan Event[T]
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error // set before done closes
+}
+
+// Events returns the outcome channel. It closes after the last worker
+// exits; Err is valid from then on.
+func (s *Stream[T]) Events() <-chan Event[T] { return s.events }
+
+// Err blocks until the run ends and returns the run-level error: nil
+// on a completed run (even one with isolated car failures — those
+// arrive as events), ErrBudgetExceeded after an abort, or the
+// context's error after cancellation.
+func (s *Stream[T]) Err() error {
+	<-s.done
+	return s.err
+}
+
+// Cancel aborts the run: queued cars are abandoned and in-flight cars
+// see a cancelled context. Events already produced remain deliverable;
+// the stream still closes normally.
+func (s *Stream[T]) Cancel() { s.cancel() }
+
+// Collect drains the stream into the batch shape: all events in
+// completion order plus the run-level error.
+func Collect[T any](s *Stream[T]) ([]Event[T], error) {
+	var out []Event[T]
+	for ev := range s.Events() {
+		out = append(out, ev)
+	}
+	return out, s.Err()
+}
+
+// Run starts a fleet run over cars 1..n and returns immediately with
+// the live stream. Workers acquire cars from a queue (never more than
+// Config.Workers goroutines), run each with retry/panic isolation, and
+// stream outcomes as they complete.
+func Run[T any](ctx context.Context, cfg Config, n int, task Task[T]) *Stream[T] {
+	cfg = cfg.withDefaults()
+	met := newMetrics(cfg.Metrics)
+	runCtx, cancel := context.WithCancel(ctx)
+	s := &Stream[T]{
+		events: make(chan Event[T]),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	budget := cfg.budget(n)
+
+	var (
+		okCount     atomic.Int64
+		failCount   atomic.Int64
+		budgetBlown atomic.Bool
+		cancelledAt atomic.Int64 // unix nanos of the first cancellation, for the drain histogram
+	)
+	markCancelled := func() {
+		cancelledAt.CompareAndSwap(0, time.Now().UnixNano())
+	}
+	go func() {
+		<-runCtx.Done()
+		markCancelled()
+	}()
+
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for car := 1; car <= n; car++ {
+			select {
+			case jobs <- car:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for car := range jobs {
+				if runCtx.Err() != nil {
+					return
+				}
+				met.inflight.Add(1)
+				ev := runCar(runCtx, cfg, met, car, task)
+				met.inflight.Add(-1)
+				if ev.Err != nil && runCtx.Err() != nil && contextual(ev.Err.Err) {
+					// The run was cancelled out from under this car; its
+					// context error is abandonment, not a car fault.
+					continue
+				}
+				if ev.Err != nil {
+					if n := failCount.Add(1); budget >= 0 && n > int64(budget) {
+						budgetBlown.Store(true)
+						markCancelled()
+						cancel()
+					}
+					met.failed.Inc()
+				} else {
+					okCount.Add(1)
+					met.ok.Inc()
+				}
+				// Delivery is blocking by contract: consumers drain Events
+				// until close, even after cancelling, which is exactly what
+				// keeps the stream's memory bounded at Workers in-flight
+				// events with no timer games on the drain path.
+				s.events <- ev
+			}
+		}()
+	}
+
+	go func() {
+		wg.Wait()
+		if t0 := cancelledAt.Load(); t0 != 0 {
+			met.drain.Observe(time.Since(time.Unix(0, t0)).Seconds())
+		}
+		if skipped := int64(n) - okCount.Load() - failCount.Load(); skipped > 0 {
+			met.skipped.Add(uint64(skipped))
+		}
+		switch {
+		case budgetBlown.Load():
+			s.err = ErrBudgetExceeded
+		case ctx.Err() != nil:
+			s.err = ctx.Err()
+		}
+		close(s.events)
+		close(s.done)
+		cancel()
+	}()
+	return s
+}
+
+// runCar executes one car with panic isolation and Transient retries.
+func runCar[T any](ctx context.Context, cfg Config, met metrics, car int, task Task[T]) Event[T] {
+	var lastErr error
+	attempts := 0
+	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			met.retried.Inc()
+			if err := cfg.Sleep(ctx, backoff(cfg.Backoff, attempt)); err != nil {
+				lastErr = err
+				attempts = attempt - 1
+				break
+			}
+		}
+		attempts = attempt
+		res, err := runAttempt(ctx, car, task)
+		if err == nil {
+			return Event[T]{Car: car, Attempts: attempts, Result: res}
+		}
+		lastErr = err
+		if !IsRetryable(err) || ctx.Err() != nil {
+			break
+		}
+	}
+	return Event[T]{Car: car, Attempts: attempts, Err: newCarError(car, attempts, lastErr)}
+}
+
+// runAttempt runs the task once, converting a panic into a permanent
+// PanicError.
+func runAttempt[T any](ctx context.Context, car int, task Task[T]) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return task(ctx, car)
+}
+
+// backoff is the deterministic pre-attempt delay: base before attempt
+// 2, doubling each further attempt. No jitter — retried runs must be
+// reproducible.
+func backoff(base time.Duration, attempt int) time.Duration {
+	if base <= 0 || attempt < 2 {
+		return 0
+	}
+	return base << (attempt - 2)
+}
+
+// newCarError builds the typed failure record, lifting the stage name
+// out of a StageError when the task attributed one.
+func newCarError(car, attempts int, err error) *CarError {
+	ce := &CarError{Car: car, Attempts: attempts, Err: err}
+	var se *StageError
+	if errors.As(err, &se) {
+		ce.Stage = se.Stage
+	}
+	return ce
+}
+
+// contextual reports whether err is (or wraps) a context cancellation
+// or deadline error.
+func contextual(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

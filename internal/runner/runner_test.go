@@ -1,0 +1,302 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// collectCars drains a stream and splits outcomes into successful car
+// ids and failures.
+func collectCars[T any](s *Stream[T]) (ok []int, failed []*CarError, err error) {
+	for ev := range s.Events() {
+		if ev.Err != nil {
+			failed = append(failed, ev.Err)
+		} else {
+			ok = append(ok, ev.Car)
+		}
+	}
+	return ok, failed, s.Err()
+}
+
+func TestRunAllSucceed(t *testing.T) {
+	const n = 25
+	var inflight, peak atomic.Int64
+	cfg := Config{Workers: 4}
+	st := Run(context.Background(), cfg, n, func(ctx context.Context, car int) (int, error) {
+		cur := inflight.Add(1)
+		defer inflight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		return car * car, nil
+	})
+	var cars []int
+	for ev := range st.Events() {
+		if ev.Err != nil {
+			t.Fatalf("unexpected failure: %v", ev.Err)
+		}
+		if ev.Result != ev.Car*ev.Car {
+			t.Fatalf("car %d: result %d", ev.Car, ev.Result)
+		}
+		cars = append(cars, ev.Car)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("Err() = %v", err)
+	}
+	sort.Ints(cars)
+	if len(cars) != n || cars[0] != 1 || cars[n-1] != n {
+		t.Fatalf("got %d cars %v", len(cars), cars)
+	}
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("worker bound violated: peak inflight %d > 4", p)
+	}
+}
+
+func TestTransientRetriesWithDeterministicBackoff(t *testing.T) {
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	var slept []time.Duration
+	cfg := Config{
+		Workers:     1,
+		MaxAttempts: 4,
+		Backoff:     10 * time.Millisecond,
+		Metrics:     reg,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+			return nil
+		},
+	}
+	fails := map[int]int{1: 2} // car 1 fails twice, then succeeds
+	st := Run(context.Background(), cfg, 2, func(ctx context.Context, car int) (string, error) {
+		if fails[car] > 0 {
+			fails[car]--
+			return "", Transient(fmt.Errorf("flaky ingest for car %d", car))
+		}
+		return "ok", nil
+	})
+	ok, failed, err := collectCars(st)
+	if err != nil || len(failed) != 0 || len(ok) != 2 {
+		t.Fatalf("ok=%v failed=%v err=%v", ok, failed, err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["runner_cars_retried"]; got != 2 {
+		t.Fatalf("runner_cars_retried = %d, want 2", got)
+	}
+	if got := snap.Counters["runner_cars_ok"]; got != 2 {
+		t.Fatalf("runner_cars_ok = %d, want 2", got)
+	}
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	var attempts atomic.Int64
+	cfg := Config{Workers: 2, MaxAttempts: 5}
+	st := Run(context.Background(), cfg, 1, func(ctx context.Context, car int) (int, error) {
+		attempts.Add(1)
+		return 0, &StageError{Stage: "mapmatch", Err: errors.New("boom")}
+	})
+	_, failed, err := collectCars(st)
+	if err != nil {
+		t.Fatalf("Err() = %v (isolated failures must not fail the run)", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("permanent error retried: %d attempts", attempts.Load())
+	}
+	if len(failed) != 1 || failed[0].Car != 1 || failed[0].Stage != "mapmatch" {
+		t.Fatalf("failed = %+v", failed)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	cfg := Config{Workers: 2}
+	st := Run(context.Background(), cfg, 5, func(ctx context.Context, car int) (int, error) {
+		if car == 3 {
+			panic("poisoned trace for car 3")
+		}
+		return car, nil
+	})
+	ok, failed, err := collectCars(st)
+	if err != nil {
+		t.Fatalf("Err() = %v", err)
+	}
+	if len(ok) != 4 {
+		t.Fatalf("want 4 survivors, got %v", ok)
+	}
+	if len(failed) != 1 || failed[0].Car != 3 {
+		t.Fatalf("failed = %+v", failed)
+	}
+	var pe *PanicError
+	if !errors.As(failed[0], &pe) {
+		t.Fatalf("want PanicError, got %v", failed[0])
+	}
+	if IsRetryable(failed[0]) {
+		t.Fatal("panics must be permanent")
+	}
+}
+
+func TestBudgetAbortKeepsPartialResults(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := Config{Workers: 1, MaxFailures: 2, Metrics: reg}
+	const n = 50
+	st := Run(context.Background(), cfg, n, func(ctx context.Context, car int) (int, error) {
+		if car%2 == 0 {
+			return 0, errors.New("bad car")
+		}
+		return car, nil
+	})
+	ok, failed, err := collectCars(st)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Err() = %v, want ErrBudgetExceeded", err)
+	}
+	if len(failed) != 3 { // budget 2 tolerated + the one that blew it
+		t.Fatalf("failed = %d, want 3", len(failed))
+	}
+	if len(ok) == 0 || len(ok)+len(failed) >= n {
+		t.Fatalf("abort was not early: ok=%d failed=%d", len(ok), len(failed))
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["runner_cars_skipped"]; got == 0 {
+		t.Fatal("expected skipped cars after the abort")
+	}
+	if got := snap.Counters["runner_cars_failed"]; got != 3 {
+		t.Fatalf("runner_cars_failed = %d, want 3", got)
+	}
+}
+
+func TestZeroToleranceBudget(t *testing.T) {
+	cfg := Config{Workers: 1, MaxFailures: -1}
+	st := Run(context.Background(), cfg, 10, func(ctx context.Context, car int) (int, error) {
+		if car == 2 {
+			return 0, errors.New("bad")
+		}
+		return car, nil
+	})
+	_, failed, err := collectCars(st)
+	if !errors.Is(err, ErrBudgetExceeded) || len(failed) != 1 {
+		t.Fatalf("err=%v failed=%d", err, len(failed))
+	}
+}
+
+func TestFractionBudget(t *testing.T) {
+	if got := (Config{MaxFailureFrac: 0.25}).budget(40); got != 10 {
+		t.Fatalf("frac budget = %d, want 10", got)
+	}
+	if got := (Config{MaxFailures: 3, MaxFailureFrac: 0.5}).budget(40); got != 3 {
+		t.Fatalf("stricter-wins budget = %d, want 3", got)
+	}
+	if got := (Config{}).budget(40); got != -1 {
+		t.Fatalf("default budget = %d, want unlimited (-1)", got)
+	}
+}
+
+// TestCancelDrainsPromptly cancels mid-run and asserts the stream
+// closes within a fraction of one task latency, queued cars are
+// abandoned, and no worker goroutines are left behind.
+func TestCancelDrainsPromptly(t *testing.T) {
+	reg := obs.NewRegistry()
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan int, 64)
+	const taskLatency = 200 * time.Millisecond
+	cfg := Config{Workers: 2, Metrics: reg}
+	st := Run(ctx, cfg, 40, func(ctx context.Context, car int) (int, error) {
+		started <- car
+		select {
+		case <-time.After(taskLatency):
+			return car, nil
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	})
+	<-started // at least one car is in flight
+	cancel()
+	t0 := time.Now()
+	ok, failed, err := collectCars(st)
+	drained := time.Since(t0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+	if drained > taskLatency {
+		t.Fatalf("drain took %v, want < one task latency (%v)", drained, taskLatency)
+	}
+	// Cancellation-abandoned cars are neither results nor car faults.
+	if len(failed) != 0 {
+		t.Fatalf("cancelled cars reported as failures: %+v", failed)
+	}
+	if len(ok) >= 40 {
+		t.Fatalf("cancellation did not abandon queued cars: %d results", len(ok))
+	}
+	// goleak-style check: all runner goroutines must exit.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutine leak: %d before, %d after drain", before, g)
+	}
+	snap := reg.Snapshot()
+	if h := snap.Histograms["runner_drain_seconds"]; h.Count != 1 {
+		t.Fatalf("runner_drain_seconds count = %d, want 1", h.Count)
+	}
+	if g := snap.Gauges["runner_inflight"]; g != 0 {
+		t.Fatalf("runner_inflight = %v after drain", g)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	base := errors.New("x")
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{base, false},
+		{Transient(base), true},
+		{fmt.Errorf("wrap: %w", Transient(base)), true},
+		{&StageError{Stage: "clean", Err: Transient(base)}, true},
+		{&CarError{Car: 1, Err: Transient(base)}, true},
+		{Transient(context.Canceled), false},
+		{context.DeadlineExceeded, false},
+		{&PanicError{Value: "v"}, false},
+	}
+	for i, c := range cases {
+		if got := IsRetryable(c.err); got != c.want {
+			t.Errorf("case %d (%v): IsRetryable = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}
+
+func TestCarErrorsCollection(t *testing.T) {
+	e1 := &CarError{Car: 3, Stage: "segment", Err: errors.New("a")}
+	e2 := &CarError{Car: 1, Stage: "clean", Err: errors.New("b")}
+	joined := errors.Join(e1, e2, fmt.Errorf("run aborted: %w", ErrBudgetExceeded))
+	got := CarErrors(joined)
+	if len(got) != 2 || got[0].Car != 1 || got[1].Car != 3 {
+		t.Fatalf("CarErrors = %+v", got)
+	}
+	if !errors.Is(joined, ErrBudgetExceeded) {
+		t.Fatal("joined error lost the sentinel")
+	}
+}

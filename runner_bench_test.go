@@ -1,0 +1,83 @@
+package taxitrace
+
+// Fleet-runner benchmarks: whole-fleet wall time under 1, 4 and
+// GOMAXPROCS workers, consumed both as the batch Result and as the
+// event stream. `make bench-runner` runs these and snapshots the
+// medians into results/BENCH_runner.json via cmd/benchfmt.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tracegen"
+)
+
+// benchFleetPipeline builds one pipeline per worker setting; iterations
+// share it, so the router cache is warm for all but the first pass —
+// matching how a long-lived service would run repeated fleets.
+func benchFleetPipeline(b *testing.B, workers int) *core.Pipeline {
+	b.Helper()
+	p, err := core.NewPipeline(core.Config{
+		CitySeed: 42,
+		Fleet: tracegen.Config{
+			Seed:            42,
+			Cars:            8,
+			TripsPerCar:     30,
+			GateRunFraction: 0.25,
+		},
+		Workers: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkFleetRunner(b *testing.B) {
+	seen := map[int]bool{}
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		if seen[w] {
+			continue // GOMAXPROCS may coincide with a fixed size
+		}
+		seen[w] = true
+		w := w
+		b.Run(fmt.Sprintf("workers=%d/batch", w), func(b *testing.B) {
+			p := benchFleetPipeline(b, w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := p.RunContext(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Cars) != 8 {
+					b.Fatalf("incomplete fleet: %d cars", len(res.Cars))
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("workers=%d/stream", w), func(b *testing.B) {
+			p := benchFleetPipeline(b, w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := p.Stream(context.Background())
+				cars := 0
+				for ev := range st.Events() {
+					if ev.Err != nil {
+						b.Fatal(ev.Err)
+					}
+					cars++
+				}
+				if err := st.Err(); err != nil {
+					b.Fatal(err)
+				}
+				if cars != 8 {
+					b.Fatalf("incomplete fleet: %d cars", cars)
+				}
+			}
+		})
+	}
+}

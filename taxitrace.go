@@ -36,9 +36,17 @@
 //
 //	p, err := taxitrace.New(taxitrace.Config{CitySeed: 42})
 //	if err != nil { ... }
-//	res, err := p.Run()
+//	res, err := p.RunContext(ctx) // partial results + joined CarErrors on failure
 //	recs := res.Transitions()
 //	agg, lmm, err := p.GridAnalysis(recs)
+//
+// Fleet execution is fault tolerant: a car that fails (or panics) is
+// isolated as a typed CarError and reported alongside the other cars'
+// results; Config.MaxFailures bounds how much failure the run
+// tolerates before aborting, and Pipeline.Stream exposes the per-car
+// results incrementally as they complete. The ctx-free Run/RunCar/
+// Process methods remain as thin wrappers over the context-taking
+// variants.
 //
 // The experiments subpackage (internal/experiments) regenerates every
 // table and figure of the paper; cmd/experiments writes them to disk.
@@ -61,6 +69,23 @@ type Result = core.Result
 // CarResult is one car's pipeline output (one Table 3 row).
 type CarResult = core.CarResult
 
+// CarError is the typed per-car failure record: which car failed, at
+// which stage, after how many attempts, and why.
+type CarError = core.CarError
+
+// FleetStream is the live stream of per-car outcomes returned by
+// Pipeline.Stream: results arrive as cars complete, failures as typed
+// CarError events.
+type FleetStream = core.FleetStream
+
+// CarEvent is one streamed per-car outcome.
+type CarEvent = core.CarEvent
+
+// ErrBudgetExceeded is reported when more cars failed than
+// Config.MaxFailures/MaxFailureFrac allow and the run aborted early
+// (the partial Result is still returned).
+var ErrBudgetExceeded = core.ErrBudgetExceeded
+
 // TransitionRecord is one accepted OD transition with its matched
 // route, fetched attributes, and Table 4 metrics.
 type TransitionRecord = core.TransitionRecord
@@ -78,6 +103,10 @@ func New(cfg Config) (*Pipeline, error) { return core.NewPipeline(cfg) }
 // PointSpeeds extracts every measured point speed from the given
 // transitions.
 func PointSpeeds(recs []*TransitionRecord) []float64 { return core.PointSpeeds(recs) }
+
+// FailedCars extracts the typed per-car failures from an error
+// returned by Pipeline.RunContext/Run, sorted by car number.
+func FailedCars(err error) []*CarError { return core.FailedCars(err) }
 
 // TransitionSpeedPoints extracts the positioned speeds of one
 // transition for map figures.
