@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-runner race ci profile results examples clean help
+.PHONY: all build test vet bench bench-runner bench-serve race ci profile results examples clean help
 
 all: build vet test
 
@@ -19,6 +19,9 @@ help:
 	@echo "  bench    run every benchmark with -benchmem"
 	@echo "  bench-runner  snapshot fleet-runner perf (batch vs stream at"
 	@echo "           1/4/GOMAXPROCS workers) into results/BENCH_runner.json"
+	@echo "  bench-serve   snapshot serving-layer perf (sink ingest/merge"
+	@echo "           throughput, query latency incl. p50/p99 under"
+	@echo "           concurrent load) into results/BENCH_serve.json"
 	@echo "  profile  run a large taxiflow workload with -debug-addr and"
 	@echo "           capture a 10 s CPU profile into cpu.pprof"
 	@echo "  results  regenerate all paper tables/figures into results/"
@@ -77,6 +80,20 @@ bench-runner:
 		-notes "8-car fleet x 30 trips/car, seed 42, warm router cache" \
 		< /tmp/bench_runner.txt > results/BENCH_runner.json
 	@echo "wrote results/BENCH_runner.json"
+
+# Serving-layer perf trajectory: sink ingest-merge throughput (single
+# and contended writers, publish/merge cost) and query latency per
+# endpoint plus p50/p99 under concurrent read+ingest load, medians over
+# 5 repetitions, snapshotted into results/BENCH_serve.json.
+bench-serve:
+	$(GO) test -run xxx -bench 'BenchmarkSink|BenchmarkServe' -benchmem -count=5 \
+		./internal/sink/ ./internal/serve/ | tee /tmp/bench_serve.txt
+	$(GO) run ./cmd/benchfmt \
+		-snapshot "$$(date +%Y-%m-%d)" \
+		-command "go test -run xxx -bench 'BenchmarkSink|BenchmarkServe' -benchmem -count=5 ./internal/sink/ ./internal/serve/" \
+		-notes "512-car snapshot, 8-point transitions, 4 ingest shards" \
+		< /tmp/bench_serve.txt > results/BENCH_serve.json
+	@echo "wrote results/BENCH_serve.json"
 
 # Regenerate every paper table and figure (plus ablations) into results/.
 results:

@@ -27,7 +27,11 @@ type entry struct {
 	NsPerOpMedian float64 `json:"ns_per_op_median"`
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
-	Notes         string  `json:"notes"`
+	// Extra holds medians of any custom b.ReportMetric units beyond the
+	// standard three (e.g. the serve benches' p50-ns / p99-ns latency
+	// quantiles under concurrent load).
+	Extra map[string]float64 `json:"extra,omitempty"`
+	Notes string             `json:"notes"`
 }
 
 type snapshot struct {
@@ -47,6 +51,7 @@ type samples struct {
 	ns     []float64
 	bytes  []float64
 	allocs []float64
+	extra  map[string][]float64
 }
 
 func main() {
@@ -86,6 +91,16 @@ func main() {
 			s.ns = append(s.ns, vals["ns/op"])
 			s.bytes = append(s.bytes, vals["B/op"])
 			s.allocs = append(s.allocs, vals["allocs/op"])
+			for unit, v := range vals {
+				switch unit {
+				case "ns/op", "B/op", "allocs/op":
+				default:
+					if s.extra == nil {
+						s.extra = map[string][]float64{}
+					}
+					s.extra[unit] = append(s.extra[unit], v)
+				}
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -103,13 +118,20 @@ func main() {
 		} else {
 			note = fmt.Sprintf("median of %d runs", len(s.ns))
 		}
-		out.Benchmarks = append(out.Benchmarks, entry{
+		e := entry{
 			Name:          name,
 			NsPerOpMedian: median(s.ns),
 			BytesPerOp:    int64(median(s.bytes)),
 			AllocsPerOp:   int64(median(s.allocs)),
 			Notes:         note,
-		})
+		}
+		for unit, vs := range s.extra {
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[unit] = median(vs)
+		}
+		out.Benchmarks = append(out.Benchmarks, e)
 	}
 
 	enc := json.NewEncoder(os.Stdout)

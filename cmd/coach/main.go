@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -44,11 +45,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	var res *taxitrace.Result
 	if *tracesIn != "" {
-		res, err = processCSV(p, *tracesIn)
+		res, err = processCSV(ctx, p, *tracesIn)
 	} else {
-		res, err = p.Run()
+		res, err = p.RunContext(ctx)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -107,7 +109,7 @@ func main() {
 }
 
 // processCSV loads recorded trips and runs them through the pipeline.
-func processCSV(p *taxitrace.Pipeline, path string) (*taxitrace.Result, error) {
+func processCSV(ctx context.Context, p *taxitrace.Pipeline, path string) (*taxitrace.Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -128,7 +130,7 @@ func processCSV(p *taxitrace.Pipeline, path string) (*taxitrace.Result, error) {
 	sort.Ints(carIDs)
 	res := &taxitrace.Result{}
 	for _, car := range carIDs {
-		cr, err := p.Process(car, byCar[car])
+		cr, err := p.ProcessContext(ctx, car, byCar[car])
 		if err != nil {
 			return nil, err
 		}

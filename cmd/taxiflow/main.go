@@ -7,7 +7,7 @@
 //
 //	taxiflow [-cars N] [-trips N] [-seed N] [-gatefrac F] [-v]
 //	         [-workers N] [-max-failures N] [-retries N]
-//	         [-metrics out.json] [-debug-addr :6060]
+//	         [-metrics out.json] [-debug-addr :6060] [-serve-addr :8080]
 //
 // The fleet runs on the fault-tolerant runner: per-car failures are
 // isolated and summarised in a failed-car table instead of aborting
@@ -20,6 +20,14 @@
 // writes the full JSON snapshot, and -debug-addr serves /metrics
 // (Prometheus text format), /debug/vars (JSON) and /debug/pprof/ (live
 // profiling) for the duration of the run.
+//
+// -serve-addr additionally mounts the serving layer (internal/sink +
+// internal/serve): cars stream into an incremental aggregation as they
+// complete, and GET /v1/snapshot, /v1/grid, /v1/cells/{id}, /v1/od and
+// /v1/od/{from}-{to} answer with epoch-consistent JSON — during the
+// run (partial fleet) and after it (sealed final snapshot, identical
+// to the batch aggregation). With -serve-addr the process keeps
+// serving after the summary until interrupted.
 package main
 
 import (
@@ -40,6 +48,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/render"
+	"repro/internal/serve"
+	"repro/internal/sink"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 )
@@ -58,6 +68,7 @@ func main() {
 	svgOut := flag.String("svg", "", "optional SVG output: the accepted transitions' speed map")
 	metricsOut := flag.String("metrics", "", "optional JSON metrics snapshot written at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060, :0 for ephemeral)")
+	serveAddr := flag.String("serve-addr", "", "serve the /v1 query API (plus the debug surface) on this address and keep serving after the run until interrupted")
 	verbose := flag.Bool("v", false, "print per-transition details")
 	flag.Parse()
 
@@ -95,11 +106,45 @@ func main() {
 		p.City.DB.NumElements(), p.City.DB.NumObjects())
 	fmt.Printf("network: %s\n", p.Graph.Stats())
 
+	// With -serve-addr, completed cars stream into the incremental
+	// aggregation sink and the query API answers on the same listener
+	// as the debug surface — mid-run snapshots are partial but always
+	// epoch-consistent.
+	var snk *sink.Sink
+	var apiSrv *obs.DebugServer
+	if *serveAddr != "" {
+		g, err := sink.GridForPipeline(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if snk, err = sink.New(sink.Config{Grid: g, Metrics: reg}); err != nil {
+			log.Fatal(err)
+		}
+		mux := reg.DebugMux()
+		serve.Mount(mux, serve.NewAPI(snk, reg))
+		if apiSrv, err = obs.Serve(*serveAddr, mux); err != nil {
+			log.Fatal(err)
+		}
+		defer apiSrv.Close()
+		fmt.Printf("query API: http://%s/v1/snapshot /v1/grid /v1/od (+debug surface)\n", apiSrv.Addr)
+	}
+
 	var res *taxitrace.Result
-	if *tracesIn != "" {
+	switch {
+	case *tracesIn != "":
 		res, err = processCSV(ctx, p, *tracesIn)
-	} else {
+		if snk != nil && res != nil {
+			snk.AbsorbResult(res)
+		}
+	case snk != nil:
+		res, err = p.RunObserved(ctx, snk.AbsorbEvent)
+	default:
 		res, err = p.RunContext(ctx)
+	}
+	if snk != nil {
+		final := snk.Seal()
+		fmt.Printf("serving sealed snapshot: epoch %d, %d cars, %d cells, %d directions\n",
+			final.Epoch, final.CarsIngested, len(final.Cells), len(final.OD))
 	}
 	if err != nil {
 		printFailedCars(err)
@@ -171,6 +216,11 @@ func main() {
 		fmt.Printf("wrote %s\n", *metricsOut)
 	}
 	fmt.Printf("\ndone in %s\n", time.Since(start).Round(time.Millisecond))
+
+	if apiSrv != nil && ctx.Err() == nil {
+		fmt.Printf("query API still serving on http://%s/v1/ — Ctrl-C to exit\n", apiSrv.Addr)
+		<-ctx.Done()
+	}
 }
 
 // stageAccounting maps each instrumented stage onto the counters shown

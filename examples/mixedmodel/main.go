@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -30,7 +31,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := p.Run()
+	res, err := p.RunContext(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

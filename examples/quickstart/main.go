@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := p.Run()
+	res, err := p.RunContext(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

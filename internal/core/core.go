@@ -313,7 +313,21 @@ func (p *Pipeline) Stream(ctx context.Context) *FleetStream {
 // aborted the run early, or the context error after cancellation. Use
 // FailedCars to recover the typed failures.
 func (p *Pipeline) RunContext(ctx context.Context) (*Result, error) {
+	return p.RunObserved(ctx, nil)
+}
+
+// RunObserved runs the fleet like RunContext while teeing every per-car
+// outcome to observe as it happens — the subscription point for live
+// consumers such as the serving layer's aggregation sink, which needs
+// results mid-run without disturbing the batch collection. observe (may
+// be nil) runs on the stream's forwarding goroutine: events are
+// observed in completion order, exactly once, before being folded into
+// the returned Result.
+func (p *Pipeline) RunObserved(ctx context.Context, observe func(CarEvent)) (*Result, error) {
 	st := p.Stream(ctx)
+	if observe != nil {
+		st = runner.Tee(st, observe)
+	}
 	cars := make([]CarResult, 0, p.Gen.Cars())
 	var carErrs []*CarError
 	for ev := range st.Events() {

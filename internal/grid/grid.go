@@ -7,6 +7,8 @@ package grid
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/digiroad"
 	"repro/internal/geo"
@@ -48,6 +50,32 @@ type CellID struct {
 // String renders the cell as "cI.J", the group label used by the mixed
 // model.
 func (c CellID) String() string { return fmt.Sprintf("c%03d.%03d", c.I, c.J) }
+
+// ParseCellID parses the String form back into a CellID, so the label
+// doubles as a stable external key (mixed-model group names, serving
+// API paths). It accepts any non-negative digit runs, zero-padded or
+// not: ParseCellID("c7.12") == ParseCellID("c007.012").
+func ParseCellID(s string) (CellID, error) {
+	bad := func() (CellID, error) {
+		return CellID{}, fmt.Errorf("grid: bad cell id %q (want cI.J)", s)
+	}
+	if len(s) < 4 || s[0] != 'c' {
+		return bad()
+	}
+	dot := strings.IndexByte(s, '.')
+	if dot < 2 || dot == len(s)-1 {
+		return bad()
+	}
+	i, err := strconv.Atoi(s[1:dot])
+	if err != nil || i < 0 {
+		return bad()
+	}
+	j, err := strconv.Atoi(s[dot+1:])
+	if err != nil || j < 0 {
+		return bad()
+	}
+	return CellID{I: i, J: j}, nil
+}
 
 // NumCells returns the total cell count of the grid frame.
 func (g *Grid) NumCells() int { return g.nx * g.ny }
@@ -120,6 +148,30 @@ func (a *Aggregator) Add(p geo.XY, speedKmh float64) bool {
 	}
 	c.Speed.Add(speedKmh)
 	return true
+}
+
+// Merge folds another aggregation over the same grid frame into a:
+// per-cell speed moments combine via Welford merge and feature counts
+// are taken from whichever side has them attached. This is what makes
+// the aggregation shardable — per-worker (or per-epoch) aggregators
+// merge into the same totals a single sequential pass produces, up to
+// float rounding in the moments.
+func (a *Aggregator) Merge(src *Aggregator) {
+	if src == nil {
+		return
+	}
+	for id, sc := range src.cells {
+		c := a.cells[id]
+		if c == nil {
+			cp := *sc
+			a.cells[id] = &cp
+			continue
+		}
+		c.Speed.Merge(sc.Speed)
+		if c.Features == (CellFeatures{}) {
+			c.Features = sc.Features
+		}
+	}
 }
 
 // Cell returns the aggregated cell, or nil when it has no data.

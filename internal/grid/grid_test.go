@@ -197,6 +197,133 @@ func TestNumCells(t *testing.T) {
 	}
 }
 
+// TestCellOfMaxEdges pins the boundary contract: points exactly on the
+// area's max edges are inside (Rect.Contains is closed) and clamp into
+// the last cell of their row/column, never out of frame.
+func TestCellOfMaxEdges(t *testing.T) {
+	g := testGrid(t) // area (0,0)-(1000,600), nx=6, ny=4
+	cases := []struct {
+		p    geo.XY
+		want CellID
+	}{
+		{geo.V(1000, 300), CellID{5, 1}}, // max-X edge
+		{geo.V(500, 600), CellID{2, 3}},  // max-Y edge
+		{geo.V(1000, 600), CellID{5, 3}}, // max corner
+		{geo.V(1000, 0), CellID{5, 0}},
+		{geo.V(0, 600), CellID{0, 3}},
+	}
+	for _, c := range cases {
+		got, ok := g.CellOf(c.p)
+		if !ok {
+			t.Errorf("CellOf(%v) rejected a boundary point", c.p)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("CellOf(%v) = %v, want %v", c.p, got, c.want)
+		}
+		if got.I >= g.nx || got.J >= g.ny {
+			t.Errorf("CellOf(%v) = %v escapes the %dx%d frame", c.p, got, g.nx, g.ny)
+		}
+	}
+}
+
+// TestCellOfNumCellsConsistency: for areas that are not a multiple of
+// the cell size, every in-area point (including all four edges) must
+// land in a cell whose index is within the NumCells frame, and CellRect
+// must contain the point.
+func TestCellOfNumCellsConsistency(t *testing.T) {
+	for _, dims := range [][2]float64{{1000, 600}, {1010, 590}, {333, 667}, {199, 201}} {
+		g, err := New(geo.R(0, 0, dims[0], dims[1]), 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumCells() != g.nx*g.ny {
+			t.Fatalf("area %v: NumCells = %d, want nx*ny = %d", dims, g.NumCells(), g.nx*g.ny)
+		}
+		probe := []geo.XY{
+			geo.V(0, 0), geo.V(dims[0], 0), geo.V(0, dims[1]), geo.V(dims[0], dims[1]),
+			geo.V(dims[0]/2, dims[1]/2), geo.V(dims[0]-1e-9, dims[1]-1e-9),
+		}
+		for _, p := range probe {
+			id, ok := g.CellOf(p)
+			if !ok {
+				t.Fatalf("area %v: CellOf(%v) rejected in-area point", dims, p)
+			}
+			if id.I < 0 || id.J < 0 || id.I >= g.nx || id.J >= g.ny {
+				t.Fatalf("area %v: CellOf(%v) = %v outside %dx%d frame", dims, p, id, g.nx, g.ny)
+			}
+			// The frame always extends to cover clamped edge points, so a
+			// point's cell rectangle must contain it.
+			if r := g.CellRect(id); !r.Contains(p) {
+				t.Fatalf("area %v: point %v not in its cell rect %v", dims, p, r)
+			}
+		}
+	}
+}
+
+func TestParseCellIDRoundTrip(t *testing.T) {
+	ids := []CellID{{0, 0}, {3, 12}, {123, 7}, {1234, 5678}}
+	for _, id := range ids {
+		got, err := ParseCellID(id.String())
+		if err != nil || got != id {
+			t.Errorf("ParseCellID(%q) = %v, %v", id.String(), got, err)
+		}
+	}
+	// Unpadded forms parse to the same cell as padded ones.
+	if got, err := ParseCellID("c7.12"); err != nil || got != (CellID{7, 12}) {
+		t.Errorf("ParseCellID(c7.12) = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "c", "c1", "c1.", "c.2", "1.2", "c-1.2", "c1.-2", "cx.y", "c1.2.3", "c1.2x"} {
+		if _, err := ParseCellID(bad); err == nil {
+			t.Errorf("ParseCellID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestAggregatorMerge(t *testing.T) {
+	g := testGrid(t)
+	speeds := []struct {
+		p geo.XY
+		v float64
+	}{
+		{geo.V(50, 50), 10}, {geo.V(60, 60), 20}, {geo.V(70, 70), 30},
+		{geo.V(500, 500), 25}, {geo.V(510, 510), 35}, {geo.V(900, 100), 50},
+	}
+	// Reference: one sequential aggregation.
+	want := NewAggregator(g)
+	for _, s := range speeds {
+		want.Add(s.p, s.v)
+	}
+	// Sharded: alternate points across two aggregators, then merge.
+	a, b := NewAggregator(g), NewAggregator(g)
+	for i, s := range speeds {
+		if i%2 == 0 {
+			a.Add(s.p, s.v)
+		} else {
+			b.Add(s.p, s.v)
+		}
+	}
+	a.Merge(b)
+	if a.NumNonEmpty() != want.NumNonEmpty() {
+		t.Fatalf("merged cells = %d, want %d", a.NumNonEmpty(), want.NumNonEmpty())
+	}
+	for _, wc := range want.Cells() {
+		mc := a.Cell(wc.ID)
+		if mc == nil || mc.Speed.N() != wc.Speed.N() {
+			t.Fatalf("cell %v: merged %+v, want %+v", wc.ID, mc, wc)
+		}
+		if math.Abs(mc.Speed.Mean()-wc.Speed.Mean()) > 1e-9 {
+			t.Fatalf("cell %v: merged mean %f, want %f", wc.ID, mc.Speed.Mean(), wc.Speed.Mean())
+		}
+		if mc.Speed.N() >= 2 && math.Abs(mc.Speed.Variance()-wc.Speed.Variance()) > 1e-9 {
+			t.Fatalf("cell %v: merged var %f, want %f", wc.ID, mc.Speed.Variance(), wc.Speed.Variance())
+		}
+		if mc.Speed.Min() != wc.Speed.Min() || mc.Speed.Max() != wc.Speed.Max() {
+			t.Fatalf("cell %v: merged extrema differ", wc.ID)
+		}
+	}
+}
+
 func TestLMMGroupsWithFeatures(t *testing.T) {
 	g := testGrid(t)
 	a := NewAggregator(g)

@@ -132,6 +132,144 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return 0
 }
 
+// Merge folds every observation of src into h by adding bucket counts
+// (and count/sum/max). Because bucket counts are integers, merging
+// shard-local histograms yields exactly the histogram a single
+// accumulator would have produced over the union of observations —
+// the property the serving layer's epoch snapshots rely on.
+func (h *Histogram) Merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	h.count.Add(src.count.Load())
+	addFloat(&h.sum, math.Float64frombits(src.sum.Load()))
+	maxFloat(&h.max, math.Float64frombits(src.max.Load()))
+	for i := range src.buckets {
+		if n := src.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
+// FrozenHistogram is an immutable point-in-time copy of a histogram:
+// sparse bucket counts plus the running count/sum/max. Safe to share
+// between any number of readers; arbitrary quantiles stay computable
+// after the source histogram has moved on.
+type FrozenHistogram struct {
+	count   uint64
+	sum     float64
+	max     float64
+	idx     []int32  // non-empty bucket indexes, ascending
+	bucketN []uint64 // counts parallel to idx
+}
+
+// Freeze copies the histogram's current state. Under concurrent writes
+// the copy is a consistent-enough mixture (each bucket read is atomic);
+// freeze quiescent histograms when exactness matters.
+func (h *Histogram) Freeze() *FrozenHistogram {
+	f := &FrozenHistogram{}
+	if h == nil {
+		return f
+	}
+	f.count = h.count.Load()
+	f.sum = math.Float64frombits(h.sum.Load())
+	f.max = math.Float64frombits(h.max.Load())
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n != 0 {
+			f.idx = append(f.idx, int32(i))
+			f.bucketN = append(f.bucketN, n)
+		}
+	}
+	return f
+}
+
+// Count returns the number of observations frozen in.
+func (f *FrozenHistogram) Count() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.count
+}
+
+// Sum returns the frozen total of all observations.
+func (f *FrozenHistogram) Sum() float64 {
+	if f == nil {
+		return 0
+	}
+	return f.sum
+}
+
+// Max returns the largest frozen observation (0 when empty).
+func (f *FrozenHistogram) Max() float64 {
+	if f == nil {
+		return 0
+	}
+	return f.max
+}
+
+// Mean returns the frozen mean (0 when empty).
+func (f *FrozenHistogram) Mean() float64 {
+	if f == nil || f.count == 0 {
+		return 0
+	}
+	return f.sum / float64(f.count)
+}
+
+// Quantile estimates the q-quantile from the frozen bucket counts, with
+// the same bucket-midpoint semantics as Histogram.Quantile.
+func (f *FrozenHistogram) Quantile(q float64) float64 {
+	if f == nil || f.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(f.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range f.bucketN {
+		cum += n
+		if cum >= rank {
+			return bucketValue(int(f.idx[i]))
+		}
+	}
+	if len(f.idx) > 0 {
+		return bucketValue(int(f.idx[len(f.idx)-1]))
+	}
+	return 0
+}
+
+// Equal reports whether two frozen histograms carry identical bucket
+// counts, observation counts and maxima — the exactness check behind
+// the sink's final-snapshot-vs-batch verification. The running sum is
+// compared to within float rounding (1e-9 relative), since its value
+// depends on accumulation order.
+func (f *FrozenHistogram) Equal(o *FrozenHistogram) bool {
+	if f.Count() != o.Count() || f.Max() != o.Max() {
+		return false
+	}
+	if d := math.Abs(f.Sum() - o.Sum()); d > 1e-9*math.Max(1, math.Abs(f.Sum())) {
+		return false
+	}
+	if f == nil || o == nil {
+		return f.Count() == o.Count()
+	}
+	if len(f.idx) != len(o.idx) {
+		return false
+	}
+	for i := range f.idx {
+		if f.idx[i] != o.idx[i] || f.bucketN[i] != o.bucketN[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // HistogramSnapshot is a point-in-time summary of one histogram.
 type HistogramSnapshot struct {
 	Count uint64  `json:"count"`

@@ -56,18 +56,25 @@ type DebugServer struct {
 	ln  net.Listener
 }
 
-// ServeDebug binds addr (e.g. ":6060" or ":0" for an ephemeral port)
-// and serves the registry's DebugMux in a background goroutine. The
+// Serve binds addr (e.g. ":6060" or ":0" for an ephemeral port) and
+// serves mux in a background goroutine. Use it when extra handlers are
+// mounted on a DebugMux (e.g. the serving layer's query API); the
 // caller owns the returned server and should Close it on shutdown.
-func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+func Serve(addr string, mux *http.ServeMux) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: r.DebugMux(), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	ds := &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}
 	go srv.Serve(ln)
 	return ds, nil
+}
+
+// ServeDebug binds addr and serves the registry's DebugMux in a
+// background goroutine.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	return Serve(addr, r.DebugMux())
 }
 
 // Close shuts the server down immediately.

@@ -74,6 +74,66 @@ func TestHistogramEdgeCases(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeFreeze: merging shard histograms must produce
+// exactly the histogram a single accumulator sees (bucket counts are
+// integers), and a frozen copy must answer the same quantiles while
+// remaining immutable as the source moves on.
+func TestHistogramMergeFreeze(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	whole := &Histogram{}
+	shards := []*Histogram{{}, {}, {}}
+	for i := 0; i < 5000; i++ {
+		v := rng.ExpFloat64() * 120
+		whole.Observe(v)
+		shards[i%len(shards)].Observe(v)
+	}
+	merged := &Histogram{}
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != whole.Count() || merged.Max() != whole.Max() {
+		t.Fatalf("merged count/max = %d/%g, want %d/%g",
+			merged.Count(), merged.Max(), whole.Count(), whole.Max())
+	}
+	if math.Abs(merged.Sum()-whole.Sum()) > 1e-9*whole.Sum() {
+		t.Fatalf("merged sum = %g, want %g", merged.Sum(), whole.Sum())
+	}
+	if !merged.Freeze().Equal(whole.Freeze()) {
+		t.Fatal("merged shard histograms differ from the sequential histogram")
+	}
+
+	f := merged.Freeze()
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if f.Quantile(q) != merged.Quantile(q) {
+			t.Fatalf("frozen p%g = %g, live %g", q*100, f.Quantile(q), merged.Quantile(q))
+		}
+	}
+	if f.Mean() != merged.Sum()/float64(merged.Count()) {
+		t.Fatalf("frozen mean = %g", f.Mean())
+	}
+	// Immutability: the frozen copy must not see later observations.
+	before := f.Count()
+	merged.Observe(1e6)
+	if f.Count() != before || f.Max() == 1e6 {
+		t.Fatal("frozen histogram observed a post-freeze value")
+	}
+	if f.Equal(merged.Freeze()) {
+		t.Fatal("Equal must detect the extra observation")
+	}
+
+	// Nil safety.
+	var nilH *Histogram
+	nilH.Merge(whole)
+	merged.Merge(nil)
+	nf := nilH.Freeze()
+	if nf.Count() != 0 || nf.Quantile(0.5) != 0 || nf.Mean() != 0 {
+		t.Fatal("nil-histogram freeze must be empty")
+	}
+	if !nf.Equal((&Histogram{}).Freeze()) {
+		t.Fatal("empty frozen histograms must be equal")
+	}
+}
+
 // TestRegistryRaces hammers every metric kind from many goroutines;
 // run under -race this is the registry's concurrency gate. Totals must
 // still reconcile exactly (counters, histogram count/sum) afterwards.

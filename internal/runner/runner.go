@@ -172,6 +172,31 @@ func (s *Stream[T]) Err() error {
 // the stream still closes normally.
 func (s *Stream[T]) Cancel() { s.cancel() }
 
+// Tee subscribes fn to a stream: the returned stream delivers exactly
+// the events of s, after fn has seen each one. This is the hook live
+// consumers (e.g. an aggregation sink feeding a query API) use to
+// observe per-car outcomes without taking over the batch collection
+// path — fn runs on the tee's forwarding goroutine, so a slow fn
+// backpressures the stream instead of racing it. Err and Cancel proxy
+// to the source run.
+func Tee[T any](s *Stream[T], fn func(Event[T])) *Stream[T] {
+	out := &Stream[T]{
+		events: make(chan Event[T]),
+		cancel: s.cancel,
+		done:   make(chan struct{}),
+	}
+	go func() {
+		for ev := range s.events {
+			fn(ev)
+			out.events <- ev
+		}
+		out.err = s.Err() // s.done is closed once s.events closes
+		close(out.events)
+		close(out.done)
+	}()
+	return out
+}
+
 // Collect drains the stream into the batch shape: all events in
 // completion order plus the run-level error.
 func Collect[T any](s *Stream[T]) ([]Event[T], error) {

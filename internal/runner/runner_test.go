@@ -300,3 +300,51 @@ func TestCarErrorsCollection(t *testing.T) {
 		t.Fatal("joined error lost the sentinel")
 	}
 }
+
+func TestTeeObservesEveryEventBeforeDelivery(t *testing.T) {
+	const n = 20
+	bad := errors.New("bad car")
+	st := Run(context.Background(), Config{Workers: 4}, n, func(ctx context.Context, car int) (int, error) {
+		if car%5 == 0 {
+			return 0, bad
+		}
+		return car * 10, nil
+	})
+	var seen []int
+	teed := Tee(st, func(ev Event[int]) { seen = append(seen, ev.Car) })
+	ok, failed, err := collectCars(teed)
+	if err != nil {
+		t.Fatalf("run error: %v", err)
+	}
+	if len(ok) != 16 || len(failed) != 4 {
+		t.Fatalf("ok/failed = %d/%d", len(ok), len(failed))
+	}
+	// fn runs on the forwarding goroutine, strictly before delivery, so
+	// by the time the stream closes it has seen every event exactly once.
+	if len(seen) != n {
+		t.Fatalf("observer saw %d events, want %d", len(seen), n)
+	}
+	counts := map[int]int{}
+	for _, car := range seen {
+		counts[car]++
+	}
+	for car := 1; car <= n; car++ {
+		if counts[car] != 1 {
+			t.Fatalf("car %d observed %d times", car, counts[car])
+		}
+	}
+}
+
+func TestTeePropagatesRunError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st := Run(ctx, Config{Workers: 2}, 10, func(ctx context.Context, car int) (int, error) {
+		return car, nil
+	})
+	teed := Tee(st, func(Event[int]) {})
+	for range teed.Events() {
+	}
+	if !errors.Is(teed.Err(), context.Canceled) {
+		t.Fatalf("teed Err = %v, want context.Canceled", teed.Err())
+	}
+}

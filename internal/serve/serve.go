@@ -1,0 +1,382 @@
+// Package serve is the serving layer's query side: an http.Handler
+// answering grid, OD and travel-time queries over the sink's current
+// snapshot. Every request is answered from one immutable epoch — the
+// handler loads the snapshot pointer once and never touches shared
+// mutable state, so readers scale with no locks and ingest is never
+// blocked by queries. Responses carry the epoch both in the JSON body
+// and as a strong ETag, so If-None-Match turns unchanged polls into
+// 304s and a client can detect a torn multi-request view by comparing
+// epochs.
+//
+// Endpoints (all GET, JSON):
+//
+//	/v1/snapshot           epoch, cars ingested/failed, complete flag
+//	/v1/grid               per-cell speed stats; ?bbox=, ?min-points=
+//	/v1/cells/{id}         one cell by its "cI.J" key
+//	/v1/od                 the OD matrix (all directions)
+//	/v1/od/{from}-{to}     one direction: travel-time quantiles + metrics
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/sink"
+)
+
+// Source yields the current immutable snapshot; *sink.Sink implements
+// it, and tests may substitute a fixed snapshot.
+type Source interface {
+	Snapshot() *sink.Snapshot
+}
+
+// API is the query handler. Construct with NewAPI; it is an
+// http.Handler and may be mounted anywhere (the taxiflow binary mounts
+// it under /v1/ next to the obs debug endpoints).
+type API struct {
+	src Source
+	mux *http.ServeMux
+	met apiMetrics
+}
+
+type apiMetrics struct {
+	requests    map[string]*obs.Counter // per endpoint
+	notModified *obs.Counter
+	badRequest  *obs.Counter
+	notFound    *obs.Counter
+	latency     *obs.Histogram
+}
+
+// NewAPI builds the handler over src and registers its metrics
+// (serve_*) with reg; nil reg disables instrumentation.
+func NewAPI(src Source, reg *obs.Registry) *API {
+	a := &API{
+		src: src,
+		mux: http.NewServeMux(),
+		met: apiMetrics{
+			requests: map[string]*obs.Counter{
+				"snapshot": reg.Counter("serve_requests_snapshot"),
+				"grid":     reg.Counter("serve_requests_grid"),
+				"cell":     reg.Counter("serve_requests_cell"),
+				"od":       reg.Counter("serve_requests_od"),
+				"odpair":   reg.Counter("serve_requests_odpair"),
+			},
+			notModified: reg.Counter("serve_responses_not_modified"),
+			badRequest:  reg.Counter("serve_responses_bad_request"),
+			notFound:    reg.Counter("serve_responses_not_found"),
+			latency:     reg.Histogram("serve_request_seconds"),
+		},
+	}
+	reg.GaugeFunc("serve_snapshot_epoch", func() float64 {
+		return float64(src.Snapshot().Epoch)
+	})
+	reg.GaugeFunc("serve_snapshot_age_seconds", func() float64 {
+		return time.Since(src.Snapshot().PublishedAt).Seconds()
+	})
+	reg.GaugeFunc("serve_snapshot_cars", func() float64 {
+		return float64(src.Snapshot().CarsIngested)
+	})
+	a.mux.HandleFunc("GET /v1/snapshot", a.wrap("snapshot", a.handleSnapshot))
+	a.mux.HandleFunc("GET /v1/grid", a.wrap("grid", a.handleGrid))
+	a.mux.HandleFunc("GET /v1/cells/{id}", a.wrap("cell", a.handleCell))
+	a.mux.HandleFunc("GET /v1/od", a.wrap("od", a.handleOD))
+	a.mux.HandleFunc("GET /v1/od/{pair}", a.wrap("odpair", a.handleODPair))
+	return a
+}
+
+// ServeHTTP dispatches to the API's endpoints.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+// handlerFunc answers one request against the snapshot it was handed —
+// the single epoch the whole response is built from.
+type handlerFunc func(w http.ResponseWriter, r *http.Request, snap *sink.Snapshot)
+
+// wrap applies the per-request envelope: metrics, the one atomic
+// snapshot load, and the epoch ETag (If-None-Match short-circuits to
+// 304 before any marshalling work).
+func (a *API) wrap(name string, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		a.met.requests[name].Inc()
+		defer func() { a.met.latency.Observe(time.Since(start).Seconds()) }()
+
+		snap := a.src.Snapshot()
+		etag := fmt.Sprintf("\"v%d\"", snap.Epoch)
+		w.Header().Set("ETag", etag)
+		if match := r.Header.Get("If-None-Match"); match != "" && ifNoneMatch(match, etag) {
+			a.met.notModified.Inc()
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		h(w, r, snap)
+	}
+}
+
+// ifNoneMatch implements the header's list form ("v1", "v2", or *).
+func ifNoneMatch(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *API) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func (a *API) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	switch code {
+	case http.StatusBadRequest:
+		a.met.badRequest.Inc()
+	case http.StatusNotFound:
+		a.met.notFound.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// --- /v1/snapshot -----------------------------------------------------------
+
+type snapshotResponse struct {
+	Epoch        uint64  `json:"epoch"`
+	Complete     bool    `json:"complete"`
+	CarsIngested int     `json:"cars_ingested"`
+	CarsFailed   int     `json:"cars_failed"`
+	Points       int     `json:"points"`
+	Cells        int     `json:"cells"`
+	Directions   int     `json:"directions"`
+	PublishedAt  string  `json:"published_at"`
+	AgeSeconds   float64 `json:"age_seconds"`
+}
+
+func (a *API) handleSnapshot(w http.ResponseWriter, _ *http.Request, snap *sink.Snapshot) {
+	a.writeJSON(w, snapshotResponse{
+		Epoch:        snap.Epoch,
+		Complete:     snap.Complete,
+		CarsIngested: snap.CarsIngested,
+		CarsFailed:   snap.CarsFailed,
+		Points:       snap.Points,
+		Cells:        len(snap.Cells),
+		Directions:   len(snap.OD),
+		PublishedAt:  snap.PublishedAt.UTC().Format(time.RFC3339Nano),
+		AgeSeconds:   time.Since(snap.PublishedAt).Seconds(),
+	})
+}
+
+// --- /v1/grid and /v1/cells/{id} --------------------------------------------
+
+type cellResponse struct {
+	ID string `json:"id"`
+	I  int    `json:"i"`
+	J  int    `json:"j"`
+	// Rect is the cell's rectangle [minx, miny, maxx, maxy] in
+	// projected metres.
+	Rect [4]float64 `json:"rect"`
+	sink.CellStats
+}
+
+type gridResponse struct {
+	Epoch    uint64         `json:"epoch"`
+	Complete bool           `json:"complete"`
+	CellM    float64        `json:"cell_m"`
+	Cells    []cellResponse `json:"cells"`
+}
+
+func newCellResponse(g *grid.Grid, id grid.CellID, cs sink.CellStats) cellResponse {
+	r := g.CellRect(id)
+	return cellResponse{
+		ID: id.String(), I: id.I, J: id.J,
+		Rect:      [4]float64{r.MinX, r.MinY, r.MaxX, r.MaxY},
+		CellStats: cs,
+	}
+}
+
+func (a *API) handleGrid(w http.ResponseWriter, r *http.Request, snap *sink.Snapshot) {
+	q := r.URL.Query()
+	minPoints := 0
+	if v := q.Get("min-points"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			a.fail(w, http.StatusBadRequest, "bad min-points %q", v)
+			return
+		}
+		minPoints = n
+	}
+	var bbox *geo.Rect
+	if v := q.Get("bbox"); v != "" {
+		b, err := parseBBox(v)
+		if err != nil {
+			a.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		bbox = &b
+	}
+	resp := gridResponse{
+		Epoch:    snap.Epoch,
+		Complete: snap.Complete,
+		CellM:    snap.Grid.CellM,
+		Cells:    []cellResponse{},
+	}
+	for _, id := range snap.CellIDs() {
+		cs := snap.Cells[id]
+		if cs.N < minPoints {
+			continue
+		}
+		if bbox != nil && !bbox.Intersects(snap.Grid.CellRect(id)) {
+			continue
+		}
+		resp.Cells = append(resp.Cells, newCellResponse(snap.Grid, id, cs))
+	}
+	a.writeJSON(w, resp)
+}
+
+// parseBBox parses "minx,miny,maxx,maxy".
+func parseBBox(s string) (geo.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geo.Rect{}, fmt.Errorf("bad bbox %q (want minx,miny,maxx,maxy)", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geo.Rect{}, fmt.Errorf("bad bbox %q: %v", s, err)
+		}
+		v[i] = f
+	}
+	r := geo.R(v[0], v[1], v[2], v[3])
+	if r.IsEmpty() {
+		return geo.Rect{}, fmt.Errorf("bad bbox %q (empty)", s)
+	}
+	return r, nil
+}
+
+type oneCellResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	Complete bool   `json:"complete"`
+	cellResponse
+}
+
+func (a *API) handleCell(w http.ResponseWriter, r *http.Request, snap *sink.Snapshot) {
+	id, err := grid.ParseCellID(r.PathValue("id"))
+	if err != nil {
+		a.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cs, ok := snap.Cells[id]
+	if !ok {
+		a.fail(w, http.StatusNotFound, "cell %s has no data at epoch %d", id, snap.Epoch)
+		return
+	}
+	a.writeJSON(w, oneCellResponse{
+		Epoch:        snap.Epoch,
+		Complete:     snap.Complete,
+		cellResponse: newCellResponse(snap.Grid, id, cs),
+	})
+}
+
+// --- /v1/od and /v1/od/{from}-{to} ------------------------------------------
+
+type odEntry struct {
+	Direction string           `json:"direction"`
+	From      string           `json:"from"`
+	To        string           `json:"to"`
+	Trips     int              `json:"trips"`
+	TravelS   travelTimeStats  `json:"travel_time_s"`
+	DistKm    sink.MetricStats `json:"dist_km"`
+	FuelMl    sink.MetricStats `json:"fuel_ml"`
+	LowPct    sink.MetricStats `json:"low_speed_pct"`
+	NormalPct sink.MetricStats `json:"normal_speed_pct"`
+	Attrs     sink.AttrTotals  `json:"attrs"`
+}
+
+type travelTimeStats struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+	P10  float64 `json:"p10"`
+	P25  float64 `json:"p25"`
+	P50  float64 `json:"p50"`
+	P75  float64 `json:"p75"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+}
+
+func newODEntry(dir string, od sink.ODStats) odEntry {
+	h := od.TravelTimeS
+	return odEntry{
+		Direction: dir,
+		From:      od.From,
+		To:        od.To,
+		Trips:     od.Trips,
+		TravelS: travelTimeStats{
+			N: h.Count(), Mean: h.Mean(), Max: h.Max(),
+			P10: h.Quantile(0.10), P25: h.Quantile(0.25), P50: h.Quantile(0.50),
+			P75: h.Quantile(0.75), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+		},
+		DistKm:    od.DistKm,
+		FuelMl:    od.FuelMl,
+		LowPct:    od.LowSpeedPct,
+		NormalPct: od.NormalSpeedPct,
+		Attrs:     od.Attrs,
+	}
+}
+
+type odMatrixResponse struct {
+	Epoch      uint64    `json:"epoch"`
+	Complete   bool      `json:"complete"`
+	Directions []odEntry `json:"directions"`
+}
+
+func (a *API) handleOD(w http.ResponseWriter, _ *http.Request, snap *sink.Snapshot) {
+	resp := odMatrixResponse{Epoch: snap.Epoch, Complete: snap.Complete, Directions: []odEntry{}}
+	for _, dir := range snap.Directions() {
+		resp.Directions = append(resp.Directions, newODEntry(dir, snap.OD[dir]))
+	}
+	a.writeJSON(w, resp)
+}
+
+type odPairResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	Complete bool   `json:"complete"`
+	odEntry
+}
+
+func (a *API) handleODPair(w http.ResponseWriter, r *http.Request, snap *sink.Snapshot) {
+	pair := r.PathValue("pair")
+	if !strings.Contains(pair, "-") {
+		a.fail(w, http.StatusBadRequest, "bad direction %q (want FROM-TO, e.g. T-S)", pair)
+		return
+	}
+	od, ok := snap.OD[pair]
+	if !ok {
+		a.fail(w, http.StatusNotFound, "no trips for direction %s at epoch %d", pair, snap.Epoch)
+		return
+	}
+	a.writeJSON(w, odPairResponse{
+		Epoch:    snap.Epoch,
+		Complete: snap.Complete,
+		odEntry:  newODEntry(pair, od),
+	})
+}
+
+// Mount attaches the API (under /v1/) to an existing mux — typically
+// the obs debug mux, so one listener serves queries, metrics and pprof.
+func Mount(mux *http.ServeMux, a *API) {
+	mux.Handle("/v1/", a)
+}

@@ -1,0 +1,340 @@
+// Package sink is the serving layer's ingest side: a mergeable,
+// incrementally updated aggregation over the fleet stream. Where the
+// batch pipeline computes grid-cell speed maps (Table 5), OD transition
+// statistics (Tables 3-4) and travel-time distributions once at the end
+// of a run, the sink folds each car in as it completes — consuming the
+// runner's CarEvents — and periodically publishes immutable,
+// epoch-numbered snapshots that the HTTP query API (internal/serve)
+// reads without ever blocking ingest.
+//
+// Concurrency model:
+//
+//   - Ingest is sharded: each car lands entirely in one shard (car
+//     number modulo shard count), guarded by that shard's mutex, so
+//     per-car absorption from parallel runner workers contends only
+//     within a shard and every shard always holds a whole number of
+//     cars.
+//   - Publish merges the shards (grid aggregators via Welford merge,
+//     travel-time histograms via exact bucket-count merge) into a fresh
+//     *Snapshot and swaps it in with one atomic pointer store.
+//   - Readers call Snapshot() — a single atomic load. A reader holds one
+//     immutable epoch forever; there is nothing to tear and nothing to
+//     lock.
+//
+// The final sealed snapshot is value-identical to the batch Result
+// aggregation over the same fleet: integer counts (cells, trips, points,
+// histogram buckets) match exactly, and floating-point moments match up
+// to accumulation-order rounding (see TestFinalSnapshotMatchesBatch).
+package sink
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Config assembles one sink.
+type Config struct {
+	// Grid is the analysis grid frame cells are keyed on (required;
+	// use the pipeline's study area and cell size to make the final
+	// snapshot comparable to the batch aggregation).
+	Grid *grid.Grid
+	// Shards is the ingest shard count (default GOMAXPROCS). More
+	// shards mean less lock contention between runner workers and
+	// proportionally more merge work per publish.
+	Shards int
+	// PublishEvery is the auto-publish cadence in absorbed cars: after
+	// every PublishEvery-th car a new epoch is published (default 1 —
+	// every completed car becomes queryable immediately). Zero or
+	// negative disables auto-publish; the owner then calls Publish or
+	// Seal explicitly.
+	PublishEvery int
+	// Metrics instruments ingest and publish (sink_* metrics); nil
+	// disables.
+	Metrics *obs.Registry
+	// Now is the publish timestamp source (test hook); nil selects
+	// time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Grid == nil {
+		return c, fmt.Errorf("sink: Config.Grid is required")
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.PublishEvery == 0 {
+		c.PublishEvery = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c, nil
+}
+
+// Sink accumulates fleet results and publishes epoch-swapped immutable
+// snapshots. Construct with New; all methods are safe for concurrent
+// use.
+type Sink struct {
+	cfg    Config
+	shards []*shard
+	// cur is the atomic snapshot pointer readers load; publishes are
+	// serialised by pubMu and swap cur exactly once each.
+	cur      atomic.Pointer[Snapshot]
+	pubMu    sync.Mutex
+	absorbed atomic.Uint64 // successful cars folded in, drives auto-publish
+	sealed   atomic.Bool
+
+	met sinkMetrics
+}
+
+// shard is one ingest lane. A car is absorbed entirely under its
+// shard's lock, so any publish observes whole cars only.
+type shard struct {
+	mu     sync.Mutex
+	cars   int
+	failed int
+	points int
+	agg    *grid.Aggregator
+	od     map[string]*odAcc
+}
+
+// odAcc accumulates one direction's transition statistics.
+type odAcc struct {
+	from, to string
+	trips    int
+	// travel is the travel-time distribution in seconds, on the obs
+	// log-linear bucket layout (merges exactly across shards).
+	travel *obs.Histogram
+	// Per-transition metric moments (Table 4 rows).
+	distKm, fuelMl, lowPct, normalPct stats.Welford
+	// Route attribute totals along the matched routes.
+	lights, busStops, pedestrian, junctions int
+}
+
+type sinkMetrics struct {
+	carsAbsorbed *obs.Counter
+	carsFailed   *obs.Counter
+	publishes    *obs.Counter
+	absorbTime   *obs.Histogram
+	publishTime  *obs.Histogram
+	epoch        *obs.Gauge
+	cells        *obs.Gauge
+	odPairs      *obs.Gauge
+}
+
+// New builds a sink and publishes the empty epoch-0 snapshot, so
+// readers attached before the first car completes already see a
+// consistent (if empty) world.
+func New(cfg Config) (*Sink, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sink{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			agg: grid.NewAggregator(cfg.Grid),
+			od:  map[string]*odAcc{},
+		}
+	}
+	reg := cfg.Metrics
+	s.met = sinkMetrics{
+		carsAbsorbed: reg.Counter("sink_cars_absorbed"),
+		carsFailed:   reg.Counter("sink_cars_failed"),
+		publishes:    reg.Counter("sink_publishes"),
+		absorbTime:   reg.Histogram("sink_absorb_seconds"),
+		publishTime:  reg.Histogram("sink_publish_seconds"),
+		epoch:        reg.Gauge("sink_epoch"),
+		cells:        reg.Gauge("sink_cells_nonempty"),
+		odPairs:      reg.Gauge("sink_od_pairs"),
+	}
+	s.cur.Store(&Snapshot{
+		Grid:        cfg.Grid,
+		PublishedAt: cfg.Now(),
+		Cells:       map[grid.CellID]CellStats{},
+		OD:          map[string]ODStats{},
+	})
+	return s, nil
+}
+
+// Snapshot returns the current immutable snapshot: one atomic load,
+// never nil, never blocked by ingest. Every field of the returned value
+// belongs to a single epoch.
+func (s *Sink) Snapshot() *Snapshot { return s.cur.Load() }
+
+// AbsorbEvent consumes one runner event — the function to tee onto
+// Pipeline.Stream / pass to Pipeline.RunObserved. Failed cars are
+// counted; successful cars are folded into the aggregation, and the
+// auto-publish cadence may publish a new epoch.
+func (s *Sink) AbsorbEvent(ev core.CarEvent) {
+	if ev.Err != nil {
+		sh := s.shardFor(ev.Car)
+		sh.mu.Lock()
+		sh.failed++
+		sh.mu.Unlock()
+		s.met.carsFailed.Inc()
+		return
+	}
+	s.Absorb(&ev.Result)
+}
+
+// Absorb folds one completed car into the aggregation and applies the
+// auto-publish cadence.
+func (s *Sink) Absorb(cr *core.CarResult) {
+	start := time.Now()
+	sh := s.shardFor(cr.Car)
+	sh.mu.Lock()
+	sh.absorb(cr)
+	sh.mu.Unlock()
+	s.met.absorbTime.Observe(time.Since(start).Seconds())
+	s.met.carsAbsorbed.Inc()
+	if n := s.absorbed.Add(1); s.cfg.PublishEvery > 0 && n%uint64(s.cfg.PublishEvery) == 0 {
+		s.Publish()
+	}
+}
+
+// AbsorbResult folds a whole batch result in — the bridge for inputs
+// that bypass the stream (e.g. trips reloaded from CSV).
+func (s *Sink) AbsorbResult(res *core.Result) {
+	for i := range res.Cars {
+		s.Absorb(&res.Cars[i])
+	}
+}
+
+func (s *Sink) shardFor(car int) *shard {
+	if car < 0 {
+		car = -car
+	}
+	return s.shards[car%len(s.shards)]
+}
+
+// absorb folds one car in; the caller holds the shard lock.
+func (sh *shard) absorb(cr *core.CarResult) {
+	sh.cars++
+	for _, rec := range cr.Transitions {
+		for _, sp := range core.TransitionSpeedPoints(rec) {
+			if sh.agg.Add(sp.Pos, sp.SpeedKmh) {
+				sh.points++
+			}
+		}
+		dir := rec.Transition.Direction
+		od := sh.od[dir]
+		if od == nil {
+			od = &odAcc{from: rec.Transition.From, to: rec.Transition.To, travel: &obs.Histogram{}}
+			sh.od[dir] = od
+		}
+		od.trips++
+		od.travel.Observe(rec.RouteTimeH * 3600)
+		od.distKm.Add(rec.RouteDistKm)
+		od.fuelMl.Add(rec.FuelMl)
+		od.lowPct.Add(rec.LowSpeedPct)
+		od.normalPct.Add(rec.NormalSpeedPct)
+		od.lights += rec.Attrs.TrafficLights
+		od.busStops += rec.Attrs.BusStops
+		od.pedestrian += rec.Attrs.PedestrianCrossings
+		od.junctions += rec.Attrs.Junctions
+	}
+}
+
+// Publish merges the shards into a fresh immutable snapshot, bumps the
+// epoch and swaps it in. Publishes are serialised; readers are never
+// blocked (they keep whatever epoch they already loaded). Returns the
+// published snapshot.
+func (s *Sink) Publish() *Snapshot { return s.publish(false) }
+
+// Seal publishes the final snapshot with Complete set — the run is
+// over, the aggregation will not change again. Further absorbs are
+// still folded in defensively but a sealed sink is meant to be
+// read-only.
+func (s *Sink) Seal() *Snapshot {
+	s.sealed.Store(true)
+	return s.publish(true)
+}
+
+func (s *Sink) publish(complete bool) *Snapshot {
+	start := time.Now()
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+
+	snap := &Snapshot{
+		Grid:     s.cfg.Grid,
+		Complete: complete || s.sealed.Load(),
+		Cells:    map[grid.CellID]CellStats{},
+		OD:       map[string]ODStats{},
+	}
+	merged := grid.NewAggregator(s.cfg.Grid)
+	type odMerge struct {
+		acc    odAcc
+		travel *obs.Histogram
+	}
+	ods := map[string]*odMerge{}
+	// Merge shard-by-shard in index order: each shard is locked only
+	// while it is copied, so ingest into other shards proceeds in
+	// parallel with the merge.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		snap.CarsIngested += sh.cars
+		snap.CarsFailed += sh.failed
+		snap.Points += sh.points
+		merged.Merge(sh.agg)
+		for dir, od := range sh.od {
+			m := ods[dir]
+			if m == nil {
+				m = &odMerge{acc: odAcc{from: od.from, to: od.to}, travel: &obs.Histogram{}}
+				ods[dir] = m
+			}
+			m.acc.trips += od.trips
+			m.travel.Merge(od.travel)
+			m.acc.distKm.Merge(od.distKm)
+			m.acc.fuelMl.Merge(od.fuelMl)
+			m.acc.lowPct.Merge(od.lowPct)
+			m.acc.normalPct.Merge(od.normalPct)
+			m.acc.lights += od.lights
+			m.acc.busStops += od.busStops
+			m.acc.pedestrian += od.pedestrian
+			m.acc.junctions += od.junctions
+		}
+		sh.mu.Unlock()
+	}
+	for _, c := range merged.Cells() {
+		snap.Cells[c.ID] = newCellStats(c)
+	}
+	for dir, m := range ods {
+		snap.OD[dir] = ODStats{
+			From:           m.acc.from,
+			To:             m.acc.to,
+			Trips:          m.acc.trips,
+			TravelTimeS:    m.travel.Freeze(),
+			DistKm:         summarize(m.acc.distKm),
+			FuelMl:         summarize(m.acc.fuelMl),
+			LowSpeedPct:    summarize(m.acc.lowPct),
+			NormalSpeedPct: summarize(m.acc.normalPct),
+			Attrs: AttrTotals{
+				TrafficLights:       m.acc.lights,
+				BusStops:            m.acc.busStops,
+				PedestrianCrossings: m.acc.pedestrian,
+				Junctions:           m.acc.junctions,
+			},
+		}
+	}
+	prev := s.cur.Load()
+	snap.Epoch = prev.Epoch + 1
+	snap.PublishedAt = s.cfg.Now()
+	s.cur.Store(snap)
+
+	s.met.publishes.Inc()
+	s.met.publishTime.Observe(time.Since(start).Seconds())
+	s.met.epoch.Set(int64(snap.Epoch))
+	s.met.cells.Set(int64(len(snap.Cells)))
+	s.met.odPairs.Set(int64(len(snap.OD)))
+	return snap
+}

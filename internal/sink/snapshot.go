@@ -1,0 +1,136 @@
+package sink
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Snapshot is one immutable epoch of the aggregation. Readers obtain it
+// with Sink.Snapshot and may hold it indefinitely; nothing in it is
+// ever mutated after publish. Epoch 0 is the empty pre-run snapshot.
+type Snapshot struct {
+	// Epoch numbers publishes monotonically; it keys the HTTP layer's
+	// ETags, so equal epochs imply byte-equal query answers.
+	Epoch uint64
+	// CarsIngested / CarsFailed count the cars folded in (successful)
+	// and seen failing so far; Complete marks the sealed final epoch —
+	// until then the statistics cover a partial fleet.
+	CarsIngested int
+	CarsFailed   int
+	Complete     bool
+	// Points is the number of in-area measured point speeds aggregated.
+	Points      int
+	PublishedAt time.Time
+
+	// Grid is the shared analysis frame (immutable).
+	Grid *grid.Grid
+	// Cells holds per-cell speed statistics for every non-empty cell.
+	Cells map[grid.CellID]CellStats
+	// OD holds per-direction ("T-S") transition statistics.
+	OD map[string]ODStats
+}
+
+// CellStats is one grid cell's speed aggregate.
+type CellStats struct {
+	N       int     `json:"n"`
+	MeanKmh float64 `json:"mean_kmh"`
+	VarKmh  float64 `json:"var_kmh"`
+	MinKmh  float64 `json:"min_kmh"`
+	MaxKmh  float64 `json:"max_kmh"`
+}
+
+// MetricStats summarises one per-transition metric (distance, fuel,
+// speed shares) over a direction's trips.
+type MetricStats struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// AttrTotals sums route attributes over a direction's matched routes
+// (the Table 4 feature columns).
+type AttrTotals struct {
+	TrafficLights       int `json:"traffic_lights"`
+	BusStops            int `json:"bus_stops"`
+	PedestrianCrossings int `json:"pedestrian_crossings"`
+	Junctions           int `json:"junctions"`
+}
+
+// ODStats is one direction's transition aggregate.
+type ODStats struct {
+	From  string
+	To    string
+	Trips int
+	// TravelTimeS is the travel-time distribution in seconds; quantiles
+	// stay queryable per epoch.
+	TravelTimeS    *obs.FrozenHistogram
+	DistKm         MetricStats
+	FuelMl         MetricStats
+	LowSpeedPct    MetricStats
+	NormalSpeedPct MetricStats
+	Attrs          AttrTotals
+}
+
+// Directions returns the snapshot's OD keys sorted, for stable
+// iteration in API responses and tables.
+func (s *Snapshot) Directions() []string {
+	out := make([]string, 0, len(s.OD))
+	for dir := range s.OD {
+		out = append(out, dir)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CellIDs returns the snapshot's non-empty cells in ID order.
+func (s *Snapshot) CellIDs() []grid.CellID {
+	out := make([]grid.CellID, 0, len(s.Cells))
+	for id := range s.Cells {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].I != out[j].I {
+			return out[i].I < out[j].I
+		}
+		return out[i].J < out[j].J
+	})
+	return out
+}
+
+// newCellStats freezes one aggregated cell.
+func newCellStats(c *grid.Cell) CellStats {
+	cs := CellStats{N: c.Speed.N(), MeanKmh: c.Speed.Mean()}
+	if cs.N >= 2 {
+		cs.VarKmh = c.Speed.Variance()
+	}
+	cs.MinKmh, cs.MaxKmh = c.Speed.Min(), c.Speed.Max()
+	return cs
+}
+
+// summarize freezes a Welford accumulator into plain values (zeros when
+// empty, so JSON responses never carry NaN).
+func summarize(w stats.Welford) MetricStats {
+	m := MetricStats{N: w.N()}
+	if m.N == 0 {
+		return m
+	}
+	m.Mean, m.Min, m.Max = w.Mean(), w.Min(), w.Max()
+	if math.IsNaN(m.Mean) {
+		m.Mean = 0
+	}
+	return m
+}
+
+// GridForPipeline builds the analysis grid frame matching p's batch
+// GridAnalysis (study area + configured cell size), so a sink fed from
+// p's stream aggregates on exactly the frame the batch path uses.
+func GridForPipeline(p *core.Pipeline) (*grid.Grid, error) {
+	return grid.New(p.City.StudyArea, p.Config.GridCellM)
+}

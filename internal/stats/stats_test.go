@@ -85,6 +85,46 @@ func TestWelfordMatchesBatch(t *testing.T) {
 	}
 }
 
+func TestWelfordMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var whole Welford
+	shards := make([]Welford, 4)
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64()*5 + 30
+		whole.Add(v)
+		shards[i%len(shards)].Add(v)
+		xs = append(xs, v)
+	}
+	var merged Welford
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("merged n = %d, want %d", merged.N(), whole.N())
+	}
+	if !feq(merged.Mean(), Mean(xs), 1e-9) || !feq(merged.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("merged %f/%f vs batch %f/%f", merged.Mean(), merged.Variance(), Mean(xs), Variance(xs))
+	}
+	mn, mx := MinMax(xs)
+	if merged.Min() != mn || merged.Max() != mx {
+		t.Fatal("merged extrema")
+	}
+
+	// Merging an empty accumulator is a no-op; merging into an empty one
+	// copies.
+	var empty, into Welford
+	merged2 := merged
+	merged2.Merge(empty)
+	if merged2.N() != merged.N() || merged2.Mean() != merged.Mean() {
+		t.Fatal("merge of empty changed state")
+	}
+	into.Merge(merged)
+	if into.N() != merged.N() || into.Mean() != merged.Mean() || into.Variance() != merged.Variance() {
+		t.Fatal("merge into empty must copy")
+	}
+}
+
 func TestNormalQuantileKnown(t *testing.T) {
 	cases := []struct{ p, want float64 }{
 		{0.5, 0},

@@ -153,6 +153,31 @@ func (w *Welford) Add(x float64) {
 	w.m2 += d * (x - w.mean)
 }
 
+// Merge folds another accumulator into w (Chan et al.'s parallel
+// update), so per-shard accumulators can be combined into fleet-level
+// moments: the merged mean, variance and extrema equal those of the
+// concatenated observation streams up to float rounding.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+}
+
 // N returns the observation count.
 func (w *Welford) N() int { return w.n }
 
