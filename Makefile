@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-runner bench-serve race ci profile results examples clean help
+.PHONY: all build test vet bench bench-runner bench-serve race ci fuzz profile results examples clean help
 
 all: build vet test
 
@@ -16,6 +16,8 @@ help:
 	@echo "           shared Router: pooled scratch, sharded path cache and"
 	@echo "           parallel per-car workers all run under the race detector)"
 	@echo "  ci       the full gate CI runs: build + vet + test + race"
+	@echo "  fuzz     run every native fuzz target for FUZZTIME (default 30s)"
+	@echo "           each; seed corpora live in testdata/fuzz/"
 	@echo "  bench    run every benchmark with -benchmem"
 	@echo "  bench-runner  snapshot fleet-runner perf (batch vs stream at"
 	@echo "           1/4/GOMAXPROCS workers) into results/BENCH_runner.json"
@@ -50,6 +52,27 @@ ci:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./...
+
+# Fuzz smoke: run every native fuzz target for FUZZTIME each. Go allows
+# one -fuzz pattern per package invocation, so iterate explicitly. The
+# committed corpora under testdata/fuzz/ replay on every plain
+# `go test` run; this target additionally explores new inputs.
+FUZZTIME ?= 30s
+FUZZ_TARGETS = \
+	./internal/clean:FuzzRepair \
+	./internal/segment:FuzzSplit \
+	./internal/grid:FuzzParseCellID \
+	./internal/geo:FuzzProjectionRoundTrip \
+	./internal/serve:FuzzQueryParsing \
+	./internal/trace:FuzzReadCSV \
+	./internal/digiroad:FuzzReadCSV
+
+fuzz:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "== fuzz $$pkg $$fn ($(FUZZTIME)) =="; \
+		$(GO) test $$pkg -fuzz="^$$fn\$$" -fuzztime=$(FUZZTIME) -run '^\$$'; \
+	done
 
 # Live profiling demo: run a large pipeline workload with the obs debug
 # server up and pull a 10 s CPU profile from /debug/pprof/profile while

@@ -69,6 +69,8 @@ func main() {
 	metricsOut := flag.String("metrics", "", "optional JSON metrics snapshot written at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060, :0 for ephemeral)")
 	serveAddr := flag.String("serve-addr", "", "serve the /v1 query API (plus the debug surface) on this address and keep serving after the run until interrupted")
+	checkOn := flag.Bool("check", false, "validate pipeline invariants at every stage boundary (check_violations_total metrics)")
+	checkStrict := flag.Bool("check-strict", false, "like -check, but an invariant violation fails the offending car")
 	verbose := flag.Bool("v", false, "print per-transition details")
 	flag.Parse()
 
@@ -98,6 +100,7 @@ func main() {
 		MaxFailures: *maxFailures,
 		MaxAttempts: *retries,
 		Metrics:     reg,
+		Check:       taxitrace.CheckConfig{Enabled: *checkOn, Strict: *checkStrict},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -117,7 +120,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if snk, err = sink.New(sink.Config{Grid: g, Metrics: reg}); err != nil {
+		if snk, err = sink.New(sink.Config{
+			Grid:    g,
+			Metrics: reg,
+			Gates:   p.Selector.GateNames(),
+			Check:   taxitrace.CheckConfig{Enabled: *checkOn, Strict: *checkStrict},
+		}); err != nil {
 			log.Fatal(err)
 		}
 		mux := reg.DebugMux()
@@ -145,6 +153,9 @@ func main() {
 		final := snk.Seal()
 		fmt.Printf("serving sealed snapshot: epoch %d, %d cars, %d cells, %d directions\n",
 			final.Epoch, final.CarsIngested, len(final.Cells), len(final.OD))
+		if cerr := snk.CheckErr(); cerr != nil {
+			log.Printf("sink invariant violation: %v", cerr)
+		}
 	}
 	if err != nil {
 		printFailedCars(err)

@@ -1,0 +1,257 @@
+package check
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+func strictValidator(reg *obs.Registry) *Validator {
+	return New(Config{Strict: true}, []string{"T", "S", "L"}, nil, reg)
+}
+
+func goodTrip(id int64, n int) *trace.Trip {
+	t := &trace.Trip{ID: id}
+	base := time.Date(2016, 3, 1, 8, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		t.Points = append(t.Points, trace.RoutePoint{
+			TripID:  id,
+			PointID: i + 1,
+			Time:    base.Add(time.Duration(i) * 10 * time.Second),
+			FuelMl:  float64(i) * 5,
+			DistM:   float64(i) * 100,
+		})
+	}
+	return t
+}
+
+func TestNilValidatorIsNoOp(t *testing.T) {
+	if v := New(Config{}, nil, nil, nil); v != nil {
+		t.Fatalf("disabled config must build a nil validator, got %v", v)
+	}
+	var v *Validator
+	if v.Strict() {
+		t.Fatal("nil validator must not be strict")
+	}
+	// Every method must tolerate the nil receiver.
+	if err := v.RawTrips(0, []*trace.Trip{{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.CleanedTrips(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Segments(0, nil, SegmentRules{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Transitions(0, []ODTransition{{From: "X", To: "X"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.MatchedRoute(0, nil, math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RouteAttrs(0, -1, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.GridCells(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SnapshotTransition(SnapshotMeta{}, SnapshotMeta{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountingModeNeverErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	v := New(Config{Enabled: true}, []string{"T"}, nil, reg)
+	bad := goodTrip(1, 3)
+	bad.Points[2].Time = bad.Points[0].Time.Add(-time.Hour)
+	if err := v.CleanedTrips(7, []*trace.Trip{bad}); err != nil {
+		t.Fatalf("counting mode returned %v", err)
+	}
+	snap := reg.Snapshot()
+	name := `check_violations_total{stage="clean",rule="monotone_time"}`
+	if snap.Counters[name] != 1 {
+		t.Fatalf("violation counter = %d, counters: %v", snap.Counters[name], snap.Counters)
+	}
+}
+
+func TestCleanedTripRules(t *testing.T) {
+	cases := []struct {
+		rule   string
+		mutate func(*trace.Trip)
+	}{
+		{"finite", func(tr *trace.Trip) { tr.Points[1].Pos.X = math.NaN() }},
+		{"finite", func(tr *trace.Trip) { tr.Points[0].SpeedKmh = math.Inf(1) }},
+		{"monotone_id", func(tr *trace.Trip) { tr.Points[2].PointID = tr.Points[1].PointID }},
+		{"monotone_time", func(tr *trace.Trip) { tr.Points[2].Time = tr.Points[0].Time.Add(-time.Second) }},
+		{"monotone_cumulative", func(tr *trace.Trip) { tr.Points[2].FuelMl = -1 }},
+	}
+	for _, tc := range cases {
+		reg := obs.NewRegistry()
+		v := strictValidator(reg)
+		tr := goodTrip(1, 4)
+		tc.mutate(tr)
+		err := v.CleanedTrips(3, []*trace.Trip{tr})
+		var ce *CheckError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: want *CheckError, got %v", tc.rule, err)
+		}
+		if got := ce.Violations[0].Rule; got != tc.rule {
+			t.Fatalf("rule = %q, want %q (violations %v)", got, tc.rule, ce.Violations)
+		}
+		if ce.Violations[0].Car != 3 || ce.Violations[0].Stage != "clean" {
+			t.Fatalf("violation attribution: %+v", ce.Violations[0])
+		}
+	}
+	// A valid trip passes.
+	v := strictValidator(obs.NewRegistry())
+	if err := v.CleanedTrips(0, []*trace.Trip{goodTrip(1, 4)}); err != nil {
+		t.Fatalf("valid trip flagged: %v", err)
+	}
+}
+
+func TestSegmentRules(t *testing.T) {
+	v := strictValidator(obs.NewRegistry())
+	rules := SegmentRules{MinPoints: 5, MaxLengthM: 30000}
+
+	ok := goodTrip(1, 5)
+	if err := v.Segments(0, []*trace.Trip{ok}, rules); err != nil {
+		t.Fatalf("exactly-MinPoints segment flagged: %v", err)
+	}
+
+	short := goodTrip(2, 4)
+	err := v.Segments(0, []*trace.Trip{short}, rules)
+	var ce *CheckError
+	if !errors.As(err, &ce) || ce.Violations[0].Rule != "min_points" {
+		t.Fatalf("want min_points violation, got %v", err)
+	}
+
+	long := goodTrip(3, 5)
+	for i := range long.Points {
+		long.Points[i].Pos.X = float64(i) * 10000 // 40 km of path
+	}
+	err = v.Segments(0, []*trace.Trip{long}, rules)
+	if !errors.As(err, &ce) || ce.Violations[0].Rule != "max_length" {
+		t.Fatalf("want max_length violation, got %v", err)
+	}
+}
+
+func TestTransitionRules(t *testing.T) {
+	v := strictValidator(obs.NewRegistry())
+	if err := v.Transitions(0, []ODTransition{
+		{From: "T", To: "S", NumPoints: 10, EntryIndex: 0, ExitIndex: 9},
+	}); err != nil {
+		t.Fatalf("valid transition flagged: %v", err)
+	}
+	for rule, tr := range map[string]ODTransition{
+		"gate_registered": {From: "T", To: "X", NumPoints: 5, ExitIndex: 4},
+		"distinct_gates":  {From: "T", To: "T", NumPoints: 5, ExitIndex: 4},
+		"crossing_bounds": {From: "T", To: "S", NumPoints: 5, EntryIndex: 0, ExitIndex: 5},
+	} {
+		err := v.Transitions(0, []ODTransition{tr})
+		var ce *CheckError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: want *CheckError, got %v", rule, err)
+		}
+		found := false
+		for _, viol := range ce.Violations {
+			if viol.Rule == rule {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s not among violations %v", rule, ce.Violations)
+		}
+	}
+}
+
+func TestMatchedRouteRules(t *testing.T) {
+	g := &roadnet.Graph{Edges: []roadnet.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 5, To: 6},
+	}}
+	reg := obs.NewRegistry()
+	v := New(Config{Strict: true}, nil, g, reg)
+
+	if err := v.MatchedRoute(0, []roadnet.EdgeID{0, 1}, 1); err != nil {
+		t.Fatalf("connected route flagged: %v", err)
+	}
+	err := v.MatchedRoute(0, []roadnet.EdgeID{0, 2}, 1)
+	var ce *CheckError
+	if !errors.As(err, &ce) || ce.Violations[0].Rule != "edge_connected" {
+		t.Fatalf("want edge_connected, got %v", err)
+	}
+	err = v.MatchedRoute(0, []roadnet.EdgeID{99}, 1)
+	if !errors.As(err, &ce) || ce.Violations[0].Rule != "edge_in_range" {
+		t.Fatalf("want edge_in_range, got %v", err)
+	}
+	err = v.MatchedRoute(0, nil, math.NaN())
+	if !errors.As(err, &ce) || ce.Violations[0].Rule != "matched_fraction" {
+		t.Fatalf("want matched_fraction, got %v", err)
+	}
+}
+
+func TestGridCellRoundTrip(t *testing.T) {
+	area := geo.R(0, 0, 1000, 1000)
+	g, err := grid.New(area, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := grid.NewAggregator(g)
+	agg.Add(area.Center(), 42)
+	v := strictValidator(obs.NewRegistry())
+	if err := v.GridCells(agg); err != nil {
+		t.Fatalf("valid aggregation flagged: %v", err)
+	}
+}
+
+func TestSnapshotTransitionRules(t *testing.T) {
+	v := strictValidator(obs.NewRegistry())
+	okPrev := SnapshotMeta{Epoch: 1, CarsIngested: 2, Points: 10}
+	okNext := SnapshotMeta{Epoch: 2, CarsIngested: 3, Points: 15}
+	if err := v.SnapshotTransition(okPrev, okNext); err != nil {
+		t.Fatalf("valid transition flagged: %v", err)
+	}
+	for rule, next := range map[string]SnapshotMeta{
+		"epoch_monotone":  {Epoch: 1, CarsIngested: 3, Points: 15},
+		"non_negative":    {Epoch: 2, CarsIngested: -1, Points: 15},
+		"monotone_counts": {Epoch: 2, CarsIngested: 1, Points: 15},
+	} {
+		err := v.SnapshotTransition(okPrev, next)
+		var ce *CheckError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: want *CheckError, got %v", rule, err)
+		}
+		found := false
+		for _, viol := range ce.Violations {
+			if viol.Rule == rule {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s not among %v", rule, ce.Violations)
+		}
+	}
+}
+
+func TestCheckErrorMessage(t *testing.T) {
+	err := &CheckError{Violations: []Violation{
+		{Stage: "clean", Rule: "finite", Car: 2, Detail: "trip 9: point 1 carries a non-finite field"},
+		{Stage: "clean", Rule: "monotone_id", Car: 2, Detail: "x"},
+	}}
+	msg := err.Error()
+	if !strings.Contains(msg, "2 invariant violation(s)") || !strings.Contains(msg, "clean/finite") ||
+		!strings.Contains(msg, "+1 more") {
+		t.Fatalf("message %q", msg)
+	}
+	if (&CheckError{}).Error() == "" {
+		t.Fatal("empty CheckError must still describe itself")
+	}
+}

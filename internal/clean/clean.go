@@ -48,7 +48,10 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.MaxSpeedKmh <= 0 {
+	// !(x > 0) rather than x <= 0: a NaN threshold must select the
+	// default too, not silently disable the spike filter (every
+	// "v > NaN" comparison is false). +Inf remains an explicit opt-out.
+	if !(c.MaxSpeedKmh > 0) {
 		c.MaxSpeedKmh = 150
 	}
 	return c
@@ -65,6 +68,15 @@ type Result struct {
 }
 
 // Repair cleans one trip. The input is not modified.
+//
+// Repair is idempotent: running it on its own output changes nothing
+// (the differential tests rely on this). Idempotence is not automatic —
+// realignment re-assigns the sorted timestamp multiset to the chosen
+// point order, which can create point adjacencies whose implied speed
+// exceeds MaxSpeedKmh even though every original adjacency passed the
+// spike filter. Repair therefore re-runs the validity filter over the
+// realigned result until a pass drops nothing (the count strictly
+// decreases, so the loop terminates).
 func Repair(t *trace.Trip, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	pts := filterValid(t.Points, cfg)
@@ -96,8 +108,31 @@ func Repair(t *trace.Trip, cfg Config) Result {
 		}
 	}
 
+	// Fixpoint: realignment can surface new spikes (see the doc
+	// comment); keep filtering + realigning until stable. After the
+	// first realign both candidate orderings coincide with position
+	// order, so the ordering decision is never revisited.
+	cleaned := realign(chosen)
+	for {
+		again := filterValid(cleaned, cfg)
+		if len(again) == len(cleaned) {
+			break
+		}
+		dropped += len(cleaned) - len(again)
+		if len(again) == 0 {
+			return Result{
+				ChosenOrder:  order,
+				LengthByID:   lenID,
+				LengthByTime: lenTime,
+				Reordered:    reordered,
+				Dropped:      dropped,
+			}
+		}
+		cleaned = realign(again)
+	}
+
 	out := t.Clone()
-	out.Points = realign(chosen)
+	out.Points = cleaned
 	return Result{
 		Trip:         out,
 		ChosenOrder:  order,

@@ -240,3 +240,77 @@ func TestRepairRecoversTruePathProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestNaNConfigDoesNotDisableSpikeFilter is the regression test for the
+// NaN-threshold hole: Config{MaxSpeedKmh: NaN} passed the old "<= 0"
+// default check untouched, and since every "v > NaN" comparison is
+// false, the GPS spike filter was silently disabled. A non-finite
+// threshold must select the default, exactly like zero does.
+func TestNaNConfigDoesNotDisableSpikeFilter(t *testing.T) {
+	tr := straightTrip(6)
+	tr.Points[3].Pos = geo.V(100000, 100000) // wild GPS spike
+
+	ref := Repair(tr, Config{})
+	if ref.Dropped != 1 {
+		t.Fatalf("default config dropped %d, want 1 (the spike)", ref.Dropped)
+	}
+	got := Repair(tr, Config{MaxSpeedKmh: math.NaN()})
+	if got.Dropped != 1 {
+		t.Fatalf("NaN MaxSpeedKmh dropped %d, want 1: the spike filter was disabled", got.Dropped)
+	}
+	// An explicit +Inf remains a deliberate opt-out.
+	off := Repair(tr, Config{MaxSpeedKmh: math.Inf(1)})
+	if off.Dropped != 0 {
+		t.Fatalf("+Inf MaxSpeedKmh dropped %d, want 0 (filter explicitly off)", off.Dropped)
+	}
+}
+
+// TestRepairRealignmentSpikeConverges pins the concrete mechanism that
+// made Repair non-idempotent: every time-adjacent pair of the arriving
+// points passes the spike filter, but the id ordering wins the length
+// comparison, and realignment then pairs the sorted timestamps with
+// the id-ordered positions — creating an adjacency (A→C below: 45 m in
+// the 1 s gap that originally separated A and B) implying > 150 km/h.
+// The old single-pass Repair returned that trip; running Repair again
+// dropped the new spike, more points gone. The fixpoint loop must
+// converge on the first call.
+func TestRepairRealignmentSpikeConverges(t *testing.T) {
+	tr := &trace.Trip{ID: 1, CarID: 1}
+	mk := func(id int, x, y float64, dtMs int64) trace.RoutePoint {
+		return trace.RoutePoint{
+			PointID: id, TripID: 1,
+			Pos:  geo.V(x, y),
+			Time: t0.Add(time.Duration(dtMs) * time.Millisecond),
+		}
+	}
+	// Time order A,B,C,D (gaps 1 s, 99 s, 1 s), id order A,C,B,D.
+	//   byTime path: |AB|+|BC|+|CD| = 40.3+43.0+39.7 ≈ 123 m
+	//   byID path:   |AC|+|CB|+|BD| = 45.0+43.0+ 3.6 ≈  92 m  → chosen
+	// Arriving time-adjacent speeds all < 150 km/h, but the realigned
+	// A→C leg is 45 m over 1 s = 162 km/h.
+	tr.Points = append(tr.Points,
+		mk(1, 0, 0, 0),       // A
+		mk(3, 20, 35, 1000),  // B
+		mk(2, 45, 0, 100000), // C
+		mk(4, 23, 33, 101000), // D
+	)
+
+	r1 := Repair(tr, Config{})
+	if r1.Trip == nil {
+		t.Fatal("trip fully filtered")
+	}
+	if r1.ChosenOrder != OrderByID || !r1.Reordered {
+		t.Fatalf("setup broken: order %v reordered %v", r1.ChosenOrder, r1.Reordered)
+	}
+	// The fixpoint must already have removed the realignment-created
+	// spike: 3 of 4 points survive (single-pass code kept all 4).
+	if len(r1.Trip.Points) != 3 || r1.Dropped != 1 {
+		t.Fatalf("first Repair kept %d points (dropped %d), want 3 (dropped 1)",
+			len(r1.Trip.Points), r1.Dropped)
+	}
+	r2 := Repair(r1.Trip, Config{})
+	if r2.Trip == nil || len(r2.Trip.Points) != len(r1.Trip.Points) || r2.Dropped != 0 {
+		t.Fatalf("Repair not idempotent: %d points -> %v (dropped %d)",
+			len(r1.Trip.Points), len(r2.Trip.Points), r2.Dropped)
+	}
+}

@@ -57,5 +57,40 @@ func FuzzRepair(f *testing.F) {
 				t.Fatal("cumulative measurements not monotone after repair")
 			}
 		}
+
+		// Differential properties over the same input:
+		//
+		// Idempotence — Repair of a repaired trip is the identity.
+		// Historically this failed: realignment re-assigns the sorted
+		// timestamp multiset along the chosen order, which can create
+		// adjacencies faster than MaxSpeedKmh that only a second pass
+		// would filter. Repair now iterates to the fixpoint.
+		r2 := Repair(r.Trip, Config{})
+		if r2.Trip == nil {
+			t.Fatal("Repair of a repaired trip dropped everything")
+		}
+		if r2.Dropped != 0 || r2.Reordered {
+			t.Fatalf("Repair is not idempotent: second pass dropped %d, reordered %v",
+				r2.Dropped, r2.Reordered)
+		}
+		if len(r2.Trip.Points) != len(pts) {
+			t.Fatalf("Repair is not idempotent: %d -> %d points", len(pts), len(r2.Trip.Points))
+		}
+		for i := range pts {
+			if pts[i] != r2.Trip.Points[i] {
+				t.Fatalf("Repair is not idempotent: point %d changed", i)
+			}
+		}
+
+		// Ordering minimality — the chosen ordering's trip length is
+		// the smaller of the two candidates, the paper's §IV-B rule.
+		chosenLen, otherLen := r.LengthByID, r.LengthByTime
+		if r.ChosenOrder == OrderByTime {
+			chosenLen, otherLen = r.LengthByTime, r.LengthByID
+		}
+		if chosenLen > otherLen {
+			t.Fatalf("chose the longer ordering: %s %.1f m over %.1f m",
+				r.ChosenOrder, chosenLen, otherLen)
+		}
 	})
 }

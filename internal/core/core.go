@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/clean"
 	"repro/internal/digiroad"
 	"repro/internal/geo"
@@ -77,6 +78,15 @@ type Config struct {
 	// Faults injects per-stage failures, panics or stalls into car
 	// processing — the test/chaos hook. Nil in production runs.
 	Faults runner.FaultInjector
+	// Check enables the correctness harness: per-stage invariant
+	// validation at every stage boundary (see internal/check).
+	// Violations increment check_violations_total counters on Metrics;
+	// with Check.Strict they additionally fail the offending car
+	// through the runner's fault path. Checking never changes results:
+	// pipeline output is byte-identical with the checker on and off on
+	// invariant-respecting data (see the determinism test, which runs
+	// strict).
+	Check check.Config
 	// Metrics receives the pipeline's instrumentation: per-stage spans
 	// (duration histograms + active gauges), kept/dropped counters for
 	// every lossy stage, per-car worker timing, and the router
@@ -124,6 +134,9 @@ type Pipeline struct {
 	// disabled); met holds the pre-resolved handles.
 	Metrics *obs.Registry
 	met     *pipelineMetrics
+	// checker is the stage-boundary invariant validator (nil when
+	// Config.Check is off; every method of a nil checker is a no-op).
+	checker *check.Validator
 }
 
 // NewPipeline builds the city, road graph and processing stages.
@@ -164,6 +177,7 @@ func NewPipelineWithCity(city *digiroad.City, cfg Config) (*Pipeline, error) {
 		wm = weather.DefaultModel(cfg.Fleet.Seed)
 	}
 	registerRouterGauges(cfg.Metrics, router)
+	checker := check.New(cfg.Check, sel.GateNames(), graph, cfg.Metrics)
 	return &Pipeline{
 		Config:   cfg,
 		City:     city,
@@ -177,7 +191,26 @@ func NewPipelineWithCity(city *digiroad.City, cfg Config) (*Pipeline, error) {
 		Rules:    cfg.Segment,
 		Metrics:  cfg.Metrics,
 		met:      newPipelineMetrics(cfg.Metrics),
+		checker:  checker,
 	}, nil
+}
+
+// Checker exposes the pipeline's invariant validator (nil when
+// Config.Check is off) so external consumers — the serving layer's
+// sink, standalone analyses — can validate their own boundaries with
+// the same rule set and counters.
+func (p *Pipeline) Checker() *check.Validator { return p.checker }
+
+// checkGate converts a strict-mode invariant violation into a
+// stage-attributed error on the runner's fault path, exactly like an
+// injected fault: the car fails with a CarError naming the stage, and
+// the violation is permanent (no retries — re-running the same car
+// breaks the same invariant).
+func (p *Pipeline) checkGate(stage string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &runner.StageError{Stage: stage, Err: err}
 }
 
 // TransitionRecord is one accepted OD transition with everything the
@@ -404,6 +437,13 @@ func (p *Pipeline) ProcessContext(ctx context.Context, car int, raw []*trace.Tri
 	}()
 	cr := CarResult{Car: car, RawTrips: len(raw)}
 
+	// Input boundary: whatever produced the raw trips (simulator or a
+	// CSV reload standing in for it), each must be internally
+	// consistent before cleaning sees it.
+	if err := p.checkGate("simulate", p.checker.RawTrips(car, raw)); err != nil {
+		return cr, err
+	}
+
 	// Cleaning (§IV-B).
 	if err := p.stageGate(ctx, car, "clean"); err != nil {
 		return cr, err
@@ -422,6 +462,9 @@ func (p *Pipeline) ProcessContext(ctx context.Context, car int, raw []*trace.Tri
 		cr.CleanStats.DroppedPoints += r.Dropped
 	}
 	p.met.recordCleanStats(cr.CleanStats)
+	if err := p.checkGate("clean", p.checker.CleanedTrips(car, clean.Trips(results))); err != nil {
+		return cr, err
+	}
 
 	// Segmentation (Table 2).
 	if err := p.stageGate(ctx, car, "segment"); err != nil {
@@ -431,6 +474,12 @@ func (p *Pipeline) ProcessContext(ctx context.Context, car int, raw []*trace.Tri
 	cr.Segments = segment.SplitAll(clean.Trips(results), p.Rules, &cr.SegStats)
 	sp.End()
 	p.met.recordSegStats(cr.SegStats)
+	if err := p.checkGate("segment", p.checker.Segments(car, cr.Segments, check.SegmentRules{
+		MinPoints:  p.Rules.MinPoints,
+		MaxLengthM: p.Rules.MaxLengthM,
+	})); err != nil {
+		return cr, err
+	}
 
 	// OD selection (Table 3) and per-transition analysis.
 	if err := p.stageGate(ctx, car, "odselect"); err != nil {
@@ -441,6 +490,9 @@ func (p *Pipeline) ProcessContext(ctx context.Context, car int, raw []*trace.Tri
 	sp.End()
 	cr.Funnel = funnel
 	p.met.recordFunnel(funnel)
+	if err := p.checkGate("odselect", p.checkTransitions(car, accepted)); err != nil {
+		return cr, err
+	}
 	// Matching and attribute fetching run per transition; their fault
 	// gates sit at stage entry so an injected failure is attributed to
 	// the right stage.
@@ -465,9 +517,35 @@ func (p *Pipeline) ProcessContext(ctx context.Context, car int, raw []*trace.Tri
 			p.met.matchDropped.Inc()
 			continue
 		}
+		if err := p.checkGate("mapmatch", p.checker.MatchedRoute(car, rec.Match.Route, rec.Match.MatchedFraction)); err != nil {
+			return cr, err
+		}
+		if err := p.checkGate("mapattr", p.checker.RouteAttrs(car,
+			rec.Attrs.TrafficLights, rec.Attrs.BusStops,
+			rec.Attrs.PedestrianCrossings, rec.Attrs.Junctions)); err != nil {
+			return cr, err
+		}
 		cr.Transitions = append(cr.Transitions, rec)
 	}
 	return cr, nil
+}
+
+// checkTransitions adapts accepted transitions to the checker's view.
+func (p *Pipeline) checkTransitions(car int, accepted []*odselect.Transition) error {
+	if p.checker == nil {
+		return nil
+	}
+	trs := make([]check.ODTransition, len(accepted))
+	for i, tr := range accepted {
+		trs[i] = check.ODTransition{
+			From:       tr.From,
+			To:         tr.To,
+			NumPoints:  len(tr.Seg.Points),
+			EntryIndex: tr.FromCross.EntryIndex,
+			ExitIndex:  tr.ToCross.ExitIndex,
+		}
+	}
+	return p.checker.Transitions(car, trs)
 }
 
 // Process runs the processing stages with a background context.
@@ -574,6 +652,9 @@ func (p *Pipeline) GridAnalysis(recs []*TransitionRecord) (*grid.Aggregator, *st
 	sp.End()
 	p.met.gridPoints.Add(uint64(points))
 	p.met.gridCells.Set(int64(agg.NumNonEmpty()))
+	if err := p.checkGate("grid", p.checker.GridCells(agg)); err != nil {
+		return agg, nil, err
+	}
 
 	sp = p.met.lmm.Start()
 	lmm, err := stats.FitLMM(agg.LMMGroups())

@@ -3,8 +3,10 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 
+	"repro/internal/check"
 	"repro/internal/obs"
 	"repro/internal/tracegen"
 )
@@ -119,6 +121,37 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 		}
 		if g := snap.Gauges["pipeline_"+stage+"_active"]; g != 0 {
 			t.Errorf("stage %s active gauge did not return to 0: %v", stage, g)
+		}
+	}
+
+	// The strict invariant checker must not perturb determinism either:
+	// checks observe stage outputs, never mutate them, so a strict run
+	// over invariant-respecting data is byte-identical — and records
+	// zero violations.
+	ccfg := determinismConfig()
+	ccfg.Metrics = obs.NewRegistry()
+	ccfg.Check = check.Config{Strict: true}
+	checked, err := NewPipeline(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chkRes, err := checked.Run()
+	if err != nil {
+		t.Fatalf("strict checker failed a clean fleet: %v", err)
+	}
+	chkJSON, err := json.Marshal(chkRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parJSON, chkJSON) {
+		t.Fatal("enabling the strict checker changed the pipeline output")
+	}
+	if _, _, err := checked.GridAnalysis(chkRes.Transitions()); err != nil {
+		t.Fatal(err)
+	}
+	for name, n := range ccfg.Metrics.Snapshot().Counters {
+		if strings.HasPrefix(name, "check_violations_total") && n != 0 {
+			t.Errorf("clean fleet recorded violations: %s = %d", name, n)
 		}
 	}
 }

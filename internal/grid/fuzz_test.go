@@ -1,0 +1,45 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCellID throws arbitrary byte strings at the cell-id parser.
+// It must never panic; on success the id must re-render and re-parse to
+// the same value (String∘Parse is the identity on accepted inputs),
+// indices must be non-negative, and inputs containing sign characters
+// or non-digit index bytes must be rejected — the pre-fix strconv.Atoi
+// parser accepted "c+7.12" and "c-0.-0".
+func FuzzParseCellID(f *testing.F) {
+	f.Add("c007.012")
+	f.Add("c7.12")
+	f.Add("c+7.12")
+	f.Add("c-1.2")
+	f.Add("c999999999.999999999")
+	f.Add("c0000000007.1") // 10-digit index: overflow guard
+	f.Add("c.")
+	f.Add("c1.")
+	f.Add("")
+	f.Add("x1.2")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseCellID(s)
+		if err != nil {
+			return
+		}
+		if c.I < 0 || c.J < 0 {
+			t.Fatalf("ParseCellID(%q) produced negative indices %+v", s, c)
+		}
+		if strings.ContainsAny(s, "+- ") {
+			t.Fatalf("ParseCellID(%q) accepted a sign/space character", s)
+		}
+		back, err := ParseCellID(c.String())
+		if err != nil {
+			t.Fatalf("round trip of %q: re-parse of %q failed: %v", s, c.String(), err)
+		}
+		if back != c {
+			t.Fatalf("round trip of %q: %+v -> %q -> %+v", s, c, c.String(), back)
+		}
+	})
+}

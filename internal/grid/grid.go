@@ -7,7 +7,6 @@ package grid
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 
 	"repro/internal/digiroad"
@@ -66,15 +65,35 @@ func ParseCellID(s string) (CellID, error) {
 	if dot < 2 || dot == len(s)-1 {
 		return bad()
 	}
-	i, err := strconv.Atoi(s[1:dot])
-	if err != nil || i < 0 {
+	i, ok := parseCellIndex(s[1:dot])
+	if !ok {
 		return bad()
 	}
-	j, err := strconv.Atoi(s[dot+1:])
-	if err != nil || j < 0 {
+	j, ok := parseCellIndex(s[dot+1:])
+	if !ok {
 		return bad()
 	}
 	return CellID{I: i, J: j}, nil
+}
+
+// parseCellIndex parses a non-negative decimal cell index from digits
+// only. Unlike strconv.Atoi it rejects sign prefixes ("+7"), so every
+// accepted id is one CellID.String could have produced (up to leading
+// zeros) — the round-trip property the invariant checker and fuzzers
+// verify.
+func parseCellIndex(s string) (int, bool) {
+	if s == "" || len(s) > 9 { // 9 digits cannot overflow int32
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		d := s[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		n = n*10 + int(d)
+	}
+	return n, true
 }
 
 // NumCells returns the total cell count of the grid frame.

@@ -339,3 +339,61 @@ func TestMatchedPositionsHelper(t *testing.T) {
 		t.Fatalf("matchedPositions = %d points", len(got))
 	}
 }
+
+// TestMatchJitterInvariance is the metamorphic check behind the
+// checker's map-matching invariants: GPS noise well inside a street's
+// capture radius must not change the *edge sequence* a trace matches
+// to. Several noise realisations of the same ground-truth drive —
+// including the zero-noise one — must all produce the same route, with
+// every point matched, on both matchers.
+func TestMatchJitterInvariance(t *testing.T) {
+	g := gridGraph(t, 5, -1)
+	// Start and end mid-edge: projections at graph nodes are
+	// legitimately ambiguous between the two incident edges.
+	truth := geo.Line(120, 100, 300, 100, 300, 300, 380, 300)
+
+	type matcher interface {
+		Match([]trace.RoutePoint) (*Result, error)
+	}
+	impls := map[string]matcher{
+		"incremental": NewIncremental(g, DefaultConfig()),
+		"hmm":         NewHMM(g, HMMConfig{}),
+	}
+	for name, m := range impls {
+		var ref []roadnet.EdgeID
+		for seed := int64(0); seed < 6; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			noise := 2.5
+			if seed == 0 {
+				noise = 0 // exact on-street reference realisation
+			}
+			// Spacing 37 never lands a zero-noise sample exactly on a
+			// graph node, where edge assignment legitimately ties.
+			pts := ptsAlong(rng, truth, 37, noise)
+			res, err := m.Match(pts)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if res.MatchedFraction != 1 {
+				t.Fatalf("%s seed %d: matched fraction %f", name, seed, res.MatchedFraction)
+			}
+			if seed == 0 {
+				ref = res.Route
+				if len(ref) == 0 {
+					t.Fatalf("%s: reference run produced an empty route", name)
+				}
+				continue
+			}
+			if len(res.Route) != len(ref) {
+				t.Fatalf("%s seed %d: route length %d, reference %d",
+					name, seed, len(res.Route), len(ref))
+			}
+			for i := range ref {
+				if res.Route[i] != ref[i] {
+					t.Fatalf("%s seed %d: route diverged at %d: %v vs %v",
+						name, seed, i, res.Route[i], ref[i])
+				}
+			}
+		}
+	}
+}

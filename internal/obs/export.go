@@ -6,24 +6,41 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus writes every metric in the Prometheus text exposition
 // format (version 0.0.4), deterministically ordered by name. Counters
 // and gauges map directly; histograms are written as summaries
 // (quantile series plus _sum and _count) with an extra _max gauge.
-// Metric names are sanitised to the Prometheus charset.
+// Metric names are sanitised to the Prometheus charset. A registry name
+// of the shape `base{labels}` (e.g. the checker's
+// check_violations_total{stage="clean",rule="finite"}) is exported as a
+// labelled series: the base name is sanitised, the label text is kept
+// verbatim, and the TYPE header is emitted once per base name.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	bw := bufio.NewWriter(w)
 
+	lastType := ""
 	for _, name := range sortedKeys(s.Counters) {
-		n := sanitizeMetricName(name)
-		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+		base, labels := splitLabels(name)
+		n := sanitizeMetricName(base)
+		if n != lastType {
+			fmt.Fprintf(bw, "# TYPE %s counter\n", n)
+			lastType = n
+		}
+		fmt.Fprintf(bw, "%s%s %d\n", n, labels, s.Counters[name])
 	}
+	lastType = ""
 	for _, name := range sortedKeys(s.Gauges) {
-		n := sanitizeMetricName(name)
-		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(s.Gauges[name]))
+		base, labels := splitLabels(name)
+		n := sanitizeMetricName(base)
+		if n != lastType {
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", n)
+			lastType = n
+		}
+		fmt.Fprintf(bw, "%s%s %s\n", n, labels, formatFloat(s.Gauges[name]))
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
@@ -56,6 +73,21 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // round-trip representation.
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// splitLabels splits a registry name of the shape `base{labels}` into
+// its base name and the braced label block (returned verbatim,
+// including braces). Names without a well-formed trailing label block
+// are returned whole with empty labels.
+func splitLabels(name string) (base, labels string) {
+	if !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	i := strings.IndexByte(name, '{')
+	if i <= 0 {
+		return name, ""
+	}
+	return name[:i], name[i:]
 }
 
 // sanitizeMetricName maps a registry name onto the Prometheus metric

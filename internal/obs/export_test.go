@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -62,6 +63,59 @@ func TestExporterGoldenFiles(t *testing.T) {
 		if !bytes.Equal(buf.Bytes(), want) {
 			t.Errorf("%s drifted from golden file (run with -update to regenerate):\n--- got ---\n%s\n--- want ---\n%s",
 				tc.file, buf.Bytes(), want)
+		}
+	}
+}
+
+// TestExporterLabelledSeries pins the `base{labels}` convention the
+// invariant checker uses for its violation counters: one TYPE header
+// per base name, label text preserved verbatim, base name sanitised,
+// and plain names untouched.
+func TestExporterLabelledSeries(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`check_violations_total{stage="clean",rule="finite"}`).Add(2)
+	reg.Counter(`check_violations_total{stage="grid",rule="cell_roundtrip"}`).Inc()
+	reg.Counter("pipeline_cars_processed").Add(7)
+	reg.Gauge(`queue depth!{shard="a"}`).Set(3) // base needs sanitising
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	wantLines := []string{
+		`check_violations_total{stage="clean",rule="finite"} 2`,
+		`check_violations_total{stage="grid",rule="cell_roundtrip"} 1`,
+		"pipeline_cars_processed 7",
+		`queue_depth_{shard="a"} 3`,
+	}
+	for _, l := range wantLines {
+		if !strings.Contains(out, l+"\n") {
+			t.Errorf("missing line %q in:\n%s", l, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE check_violations_total counter"); n != 1 {
+		t.Errorf("TYPE header for labelled counter appears %d times, want 1:\n%s", n, out)
+	}
+	if strings.Contains(out, "check_violations_total_") {
+		t.Errorf("labels leaked into the metric name:\n%s", out)
+	}
+}
+
+// TestSplitLabels covers the name-splitting corner cases directly.
+func TestSplitLabels(t *testing.T) {
+	cases := []struct{ in, base, labels string }{
+		{`a{x="1"}`, "a", `{x="1"}`},
+		{"plain", "plain", ""},
+		{"trailing{", "trailing{", ""}, // no closing brace: not label syntax
+		{`{x="1"}`, `{x="1"}`, ""},     // no base: not label syntax
+		{"a{}", "a", "{}"},
+	}
+	for _, c := range cases {
+		b, l := splitLabels(c.in)
+		if b != c.base || l != c.labels {
+			t.Errorf("splitLabels(%q) = %q, %q; want %q, %q", c.in, b, l, c.base, c.labels)
 		}
 	}
 }

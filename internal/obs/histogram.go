@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sync/atomic"
 )
@@ -96,14 +98,18 @@ func (h *Histogram) Max() float64 {
 // counts: the representative value of the bucket holding the ceil(q*n)
 // ranked observation. Under concurrent writes the estimate remains
 // well-defined (each bucket read is atomic) but may mix in observations
-// arriving during the scan. Returns 0 when empty.
+// arriving during the scan. An empty (or nil) histogram has no
+// quantiles: the result is NaN, a sentinel no bucket midpoint can ever
+// produce, so "no data" cannot be mistaken for "the quantile is ~1e-9"
+// (bucket 0's midpoint). A NaN q propagates as NaN. JSON-facing
+// summaries (Snapshot, the serving layer) map the sentinel back to 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
-		return 0
+		return math.NaN()
 	}
 	n := h.count.Load()
-	if n == 0 {
-		return 0
+	if n == 0 || math.IsNaN(q) {
+		return math.NaN()
 	}
 	if q < 0 {
 		q = 0
@@ -154,20 +160,43 @@ func (h *Histogram) Merge(src *Histogram) {
 // FrozenHistogram is an immutable point-in-time copy of a histogram:
 // sparse bucket counts plus the running count/sum/max. Safe to share
 // between any number of readers; arbitrary quantiles stay computable
-// after the source histogram has moved on.
+// after the source histogram has moved on. The frozen copy records the
+// bucket layout it was frozen under, so Merge can refuse to combine
+// histograms whose bucket indexes mean different values.
 type FrozenHistogram struct {
 	count   uint64
 	sum     float64
 	max     float64
 	idx     []int32  // non-empty bucket indexes, ascending
 	bucketN []uint64 // counts parallel to idx
+	// layout identifies the bucket scheme (sub-bucket bits, min/max
+	// exponent) the indexes refer to. Zero-valued on hand-constructed
+	// or legacy values, which layoutOf treats as the current layout.
+	layout histLayout
+}
+
+// histLayout identifies one log-linear bucket scheme.
+type histLayout struct {
+	SubBits, MinExp, MaxExp int8
+}
+
+// curLayout is the layout this build's Histogram records under.
+var curLayout = histLayout{SubBits: histSubBits, MinExp: histMinExp, MaxExp: histMaxExp}
+
+// layoutOf resolves a frozen histogram's layout, treating the zero
+// value (empty or hand-built) as current.
+func (f *FrozenHistogram) layoutOf() histLayout {
+	if f == nil || f.layout == (histLayout{}) {
+		return curLayout
+	}
+	return f.layout
 }
 
 // Freeze copies the histogram's current state. Under concurrent writes
 // the copy is a consistent-enough mixture (each bucket read is atomic);
 // freeze quiescent histograms when exactness matters.
 func (h *Histogram) Freeze() *FrozenHistogram {
-	f := &FrozenHistogram{}
+	f := &FrozenHistogram{layout: curLayout}
 	if h == nil {
 		return f
 	}
@@ -216,10 +245,11 @@ func (f *FrozenHistogram) Mean() float64 {
 }
 
 // Quantile estimates the q-quantile from the frozen bucket counts, with
-// the same bucket-midpoint semantics as Histogram.Quantile.
+// the same bucket-midpoint semantics (and NaN empty/NaN-q sentinel) as
+// Histogram.Quantile.
 func (f *FrozenHistogram) Quantile(q float64) float64 {
-	if f == nil || f.count == 0 {
-		return 0
+	if f == nil || f.count == 0 || math.IsNaN(q) {
+		return math.NaN()
 	}
 	if q < 0 {
 		q = 0
@@ -242,6 +272,57 @@ func (f *FrozenHistogram) Quantile(q float64) float64 {
 		return bucketValue(int(f.idx[len(f.idx)-1]))
 	}
 	return 0
+}
+
+// ErrLayoutMismatch marks an attempt to merge frozen histograms whose
+// bucket layouts differ: their bucket indexes refer to different value
+// ranges, so adding counts index-by-index would silently corrupt the
+// distribution.
+var ErrLayoutMismatch = errors.New("obs: histogram bucket layouts differ")
+
+// Merge returns a new frozen histogram combining f and o (either may be
+// nil = empty). It errors with ErrLayoutMismatch when the two were
+// frozen under different bucket layouts — counts are never combined
+// across layouts.
+func (f *FrozenHistogram) Merge(o *FrozenHistogram) (*FrozenHistogram, error) {
+	lf, lo := f.layoutOf(), o.layoutOf()
+	if lf != lo {
+		return nil, fmt.Errorf("%w: %+v vs %+v", ErrLayoutMismatch, lf, lo)
+	}
+	out := &FrozenHistogram{
+		count:  f.Count() + o.Count(),
+		sum:    f.Sum() + o.Sum(),
+		max:    math.Max(f.Max(), o.Max()),
+		layout: lf,
+	}
+	var fi, oi int
+	fIdx, oIdx := frozenBuckets(f), frozenBuckets(o)
+	for fi < len(fIdx) || oi < len(oIdx) {
+		switch {
+		case oi >= len(oIdx) || (fi < len(fIdx) && fIdx[fi] < oIdx[oi]):
+			out.idx = append(out.idx, fIdx[fi])
+			out.bucketN = append(out.bucketN, f.bucketN[fi])
+			fi++
+		case fi >= len(fIdx) || oIdx[oi] < fIdx[fi]:
+			out.idx = append(out.idx, oIdx[oi])
+			out.bucketN = append(out.bucketN, o.bucketN[oi])
+			oi++
+		default: // same bucket in both
+			out.idx = append(out.idx, fIdx[fi])
+			out.bucketN = append(out.bucketN, f.bucketN[fi]+o.bucketN[oi])
+			fi++
+			oi++
+		}
+	}
+	return out, nil
+}
+
+// frozenBuckets returns a frozen histogram's bucket indexes (nil-safe).
+func frozenBuckets(f *FrozenHistogram) []int32 {
+	if f == nil {
+		return nil
+	}
+	return f.idx
 }
 
 // Equal reports whether two frozen histograms carry identical bucket
@@ -280,7 +361,9 @@ type HistogramSnapshot struct {
 	P99   float64 `json:"p99"`
 }
 
-// Snapshot summarises the histogram.
+// Snapshot summarises the histogram. The NaN empty-quantile sentinel is
+// mapped back to 0 here: snapshots are JSON-marshalled (JSON has no
+// NaN) and an all-zero summary with Count 0 is unambiguous.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
@@ -289,10 +372,18 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Count: h.Count(),
 		Sum:   h.Sum(),
 		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
+		P50:   zeroNaN(h.Quantile(0.50)),
+		P90:   zeroNaN(h.Quantile(0.90)),
+		P99:   zeroNaN(h.Quantile(0.99)),
 	}
+}
+
+// zeroNaN maps the NaN sentinel to 0 for JSON-facing summaries.
+func zeroNaN(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
 }
 
 // addFloat atomically adds delta to a float64 stored as uint64 bits.

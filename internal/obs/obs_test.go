@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"io"
 	"math"
 	"math/rand"
@@ -59,8 +60,11 @@ func TestHistogramQuantileAccuracy(t *testing.T) {
 
 func TestHistogramEdgeCases(t *testing.T) {
 	h := &Histogram{}
-	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Sum() != 0 {
-		t.Fatal("empty histogram must report zeros")
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be the NaN sentinel")
+	}
+	if h.Max() != 0 || h.Sum() != 0 {
+		t.Fatal("empty histogram must report zero max/sum")
 	}
 	h.Observe(0)
 	h.Observe(-5)          // clamps to 0
@@ -126,7 +130,7 @@ func TestHistogramMergeFreeze(t *testing.T) {
 	nilH.Merge(whole)
 	merged.Merge(nil)
 	nf := nilH.Freeze()
-	if nf.Count() != 0 || nf.Quantile(0.5) != 0 || nf.Mean() != 0 {
+	if nf.Count() != 0 || !math.IsNaN(nf.Quantile(0.5)) || nf.Mean() != 0 {
 		t.Fatal("nil-histogram freeze must be empty")
 	}
 	if !nf.Equal((&Histogram{}).Freeze()) {
@@ -316,5 +320,85 @@ func TestDebugServer(t *testing.T) {
 
 	if body, _ = get("/debug/pprof/"); !strings.Contains(body, "profile") {
 		t.Error("/debug/pprof/ index looks wrong")
+	}
+}
+
+// TestFrozenMergeExact: FrozenHistogram.Merge over a partition of one
+// observation stream must reproduce the unpartitioned freeze exactly,
+// commute, treat nil as the identity, and preserve quantiles.
+func TestFrozenMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	whole, a, b := &Histogram{}, &Histogram{}, &Histogram{}
+	for i := 0; i < 4000; i++ {
+		v := rng.ExpFloat64() * 40
+		whole.Observe(v)
+		if i%3 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	fa, fb, fw := a.Freeze(), b.Freeze(), whole.Freeze()
+
+	m, err := fa.Merge(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(fw) {
+		t.Fatal("merge of a partition differs from the whole")
+	}
+	rm, err := fb.Merge(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rm.Equal(m) {
+		t.Fatal("frozen merge does not commute")
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if m.Quantile(q) != fw.Quantile(q) {
+			t.Fatalf("merged p%g = %g, whole %g", q*100, m.Quantile(q), fw.Quantile(q))
+		}
+	}
+
+	// Nil and empty are identities.
+	if id, err := fa.Merge(nil); err != nil || !id.Equal(fa) {
+		t.Fatalf("merge with nil: %v", err)
+	}
+	var nilF *FrozenHistogram
+	if id, err := nilF.Merge(fa); err != nil || !id.Equal(fa) {
+		t.Fatalf("nil.Merge: %v", err)
+	}
+}
+
+// TestFrozenMergeLayoutMismatch: counts frozen under a different bucket
+// scheme must never be added index-by-index — Merge has to refuse with
+// ErrLayoutMismatch in both directions.
+func TestFrozenMergeLayoutMismatch(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(1)
+	cur := h.Freeze()
+	foreign := &FrozenHistogram{
+		count: 1, sum: 1, max: 1,
+		idx: []int32{3}, bucketN: []uint64{1},
+		layout: histLayout{SubBits: 2, MinExp: -10, MaxExp: 10},
+	}
+	if _, err := cur.Merge(foreign); !errors.Is(err, ErrLayoutMismatch) {
+		t.Fatalf("cur.Merge(foreign) = %v, want ErrLayoutMismatch", err)
+	}
+	if _, err := foreign.Merge(cur); !errors.Is(err, ErrLayoutMismatch) {
+		t.Fatalf("foreign.Merge(cur) = %v, want ErrLayoutMismatch", err)
+	}
+	// Same foreign layout on both sides is fine: layouts agree.
+	other := &FrozenHistogram{
+		count: 2, sum: 4, max: 3,
+		idx: []int32{3, 5}, bucketN: []uint64{1, 1},
+		layout: histLayout{SubBits: 2, MinExp: -10, MaxExp: 10},
+	}
+	m, err := foreign.Merge(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 3 || len(m.idx) != 2 || m.bucketN[0] != 2 {
+		t.Fatalf("foreign-layout merge wrong: %+v", m)
 	}
 }

@@ -154,6 +154,17 @@ func NewSelector(gates []Gate, cfg Config) (*Selector, error) {
 	return &Selector{gates: gates, cfg: cfg.withDefaults()}, nil
 }
 
+// GateNames returns the selector's registered gate names in gate
+// order — the authoritative name set for OD key validation downstream
+// (invariant checker, serving layer).
+func (s *Selector) GateNames() []string {
+	names := make([]string, len(s.gates))
+	for i, g := range s.gates {
+		names[i] = g.Name
+	}
+	return names
+}
+
 // gateEvent is one acceptable crossing of a named gate.
 type gateEvent struct {
 	gate  string
@@ -292,21 +303,29 @@ func (s *Selector) Run(car int, segs []*trace.Trip) (Funnel, []*Transition) {
 	return f, accepted
 }
 
+// Pair is an ordered origin-destination gate pair. It keys the Matrix
+// by the two names themselves rather than by their rendered "From-To"
+// string, so gate names containing the separator (e.g. "T-north")
+// cannot collide: Pair{"A-B","C"} and Pair{"A","B-C"} are distinct
+// keys even though both render as "A-B-C".
+type Pair struct {
+	From, To string
+}
+
+// String renders the pair in the paper's direction notation ("T-S").
+func (p Pair) String() string { return p.From + "-" + p.To }
+
 // Matrix tallies transitions by ordered gate pair across a batch of
 // classifications — the full origin-destination picture, of which the
 // paper studies the four T/S/L pairs involving T.
 type Matrix struct {
 	gates  []string
-	counts map[string]int
+	counts map[Pair]int
 }
 
 // NewMatrix prepares a matrix over the selector's gates.
 func (s *Selector) NewMatrix() *Matrix {
-	names := make([]string, len(s.gates))
-	for i, g := range s.gates {
-		names[i] = g.Name
-	}
-	return &Matrix{gates: names, counts: map[string]int{}}
+	return &Matrix{gates: s.GateNames(), counts: map[Pair]int{}}
 }
 
 // Add records a classification; only stages carrying a transition
@@ -315,11 +334,11 @@ func (m *Matrix) Add(c Classification) {
 	if c.Transition == nil {
 		return
 	}
-	m.counts[c.Transition.Direction]++
+	m.counts[Pair{From: c.Transition.From, To: c.Transition.To}]++
 }
 
-// Count returns the tally for an ordered pair ("T-S").
-func (m *Matrix) Count(from, to string) int { return m.counts[from+"-"+to] }
+// Count returns the tally for an ordered pair.
+func (m *Matrix) Count(from, to string) int { return m.counts[Pair{From: from, To: to}] }
 
 // Total returns all recorded transitions.
 func (m *Matrix) Total() int {

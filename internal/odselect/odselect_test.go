@@ -230,3 +230,51 @@ func TestMatrix(t *testing.T) {
 		t.Fatalf("matrix render: %q", out)
 	}
 }
+
+// TestMatrixHyphenatedGateNames is the regression test for the OD
+// key-collision bug: keys used to be built by from+"-"+to string
+// concatenation, so the distinct directions ("A-B" → "C") and
+// ("A" → "B-C") collided on the rendered key "A-B-C" and pooled their
+// counts. Struct keys keep them apart.
+func TestMatrixHyphenatedGateNames(t *testing.T) {
+	gates := []Gate{
+		NewGate("A-B", geo.Line(0, 0, 0, 400), 120),
+		NewGate("C", geo.Line(2000, 0, 2000, 400), 120),
+		NewGate("A", geo.Line(4000, 0, 4000, 400), 120),
+		NewGate("B-C", geo.Line(6000, 0, 6000, 400), 120),
+	}
+	s, err := NewSelector(gates, Config{CentralArea: geo.R(0, 0, 7000, 2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.NewMatrix()
+	m.Add(Classification{Stage: StageAccepted, Transition: &Transition{
+		From: "A-B", To: "C", Direction: "A-B-C",
+	}})
+	m.Add(Classification{Stage: StageAccepted, Transition: &Transition{
+		From: "A", To: "B-C", Direction: "A-B-C",
+	}})
+	if got := m.Count("A-B", "C"); got != 1 {
+		t.Fatalf(`Count("A-B","C") = %d, want 1 (collision with ("A","B-C"))`, got)
+	}
+	if got := m.Count("A", "B-C"); got != 1 {
+		t.Fatalf(`Count("A","B-C") = %d, want 1 (collision with ("A-B","C"))`, got)
+	}
+	if m.Total() != 2 {
+		t.Fatalf("total = %d, want 2", m.Total())
+	}
+}
+
+func TestGateNames(t *testing.T) {
+	s := testSelector(t, Config{})
+	got := s.GateNames()
+	want := []string{"A", "B", "C"}
+	if len(got) != len(want) {
+		t.Fatalf("GateNames() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GateNames() = %v, want %v", got, want)
+		}
+	}
+}

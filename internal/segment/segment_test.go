@@ -292,3 +292,95 @@ func TestSplitIdempotent(t *testing.T) {
 		}
 	}
 }
+
+// --- Post-filter boundary semantics -------------------------------
+//
+// The paper's filters are "fewer than five route points" and "longer
+// than 30 km": both are strict, so a segment with exactly MinPoints
+// points or exactly MaxLengthM metres is kept. These tests pin the
+// comparison direction against off-by-one regressions.
+
+func TestPostFilterExactlyMinPointsKept(t *testing.T) {
+	rules := DefaultRules()
+	tr := newBuilder().drive(rules.MinPoints, 100, 30*time.Second).tr
+	var stats Stats
+	segs := Split(tr, rules, &stats)
+	if len(segs) != 1 || len(segs[0].Points) != rules.MinPoints {
+		t.Fatalf("exactly-%d-point segment not kept: %v (stats %+v)",
+			rules.MinPoints, lengths(segs), stats)
+	}
+	// One point fewer crosses the boundary.
+	tr = newBuilder().drive(rules.MinPoints-1, 100, 30*time.Second).tr
+	if segs := Split(tr, rules, nil); len(segs) != 0 {
+		t.Fatalf("%d-point segment kept: %v", rules.MinPoints-1, lengths(segs))
+	}
+}
+
+func TestPostFilterExactlyMaxLengthKept(t *testing.T) {
+	rules := DefaultRules()
+	// 5 points, 4 legs of 7.5 km in 1 min each: exactly 30 000 m.
+	tr := newBuilder().drive(5, rules.MaxLengthM/4, time.Minute).tr
+	if l := trace.PathLength(tr.Points); l != rules.MaxLengthM {
+		t.Fatalf("setup: trip is %.1f m, want exactly %.1f", l, rules.MaxLengthM)
+	}
+	var stats Stats
+	segs := Split(tr, rules, &stats)
+	if len(segs) != 1 || stats.TooLong != 0 {
+		t.Fatalf("exactly-%.0f-m segment not kept: %v (stats %+v)",
+			rules.MaxLengthM, lengths(segs), stats)
+	}
+	// One extra metre over the four legs crosses the boundary.
+	tr = newBuilder().drive(5, (rules.MaxLengthM+1)/4, time.Minute).tr
+	segs = Split(tr, rules, &stats)
+	if len(segs) != 0 || stats.TooLong != 1 {
+		t.Fatalf("over-length segment kept: %v (stats %+v)", lengths(segs), stats)
+	}
+}
+
+// TestSplitZeroDurationPairs feeds a trip whose consecutive points all
+// share one timestamp. The gap rules divide by dt; they must treat
+// dt <= 0 as "no stop" rather than producing an Inf/NaN speed that
+// fires rule 3.
+func TestSplitZeroDurationPairs(t *testing.T) {
+	tr := &trace.Trip{ID: 1, CarID: 1}
+	for i := 0; i < 6; i++ {
+		tr.Points = append(tr.Points, trace.RoutePoint{
+			PointID: i + 1, TripID: 1,
+			Pos:  geo.V(float64(i)*100, 0),
+			Time: t0, // every pair has dt == 0
+		})
+	}
+	var stats Stats
+	segs := Split(tr, DefaultRules(), &stats)
+	if len(segs) != 1 || len(segs[0].Points) != 6 {
+		t.Fatalf("zero-duration trip mangled: %v (stats %+v)", lengths(segs), stats)
+	}
+	if got := stats.StopGapsByRule; got != [5]int{} {
+		t.Fatalf("zero-duration gaps classified as stops: %v", got)
+	}
+}
+
+// TestSubTripDoesNotAliasParent pins that segments copy their point
+// slices: writing through a returned segment must never reach the
+// cleaned source trip other stages still hold.
+func TestSubTripDoesNotAliasParent(t *testing.T) {
+	tr := newBuilder().
+		drive(6, 100, 30*time.Second).
+		idle(5*time.Minute, 80*time.Second).
+		drive(6, 100, 30*time.Second).tr
+	segs := Split(tr, DefaultRules(), nil)
+	if len(segs) < 2 {
+		t.Fatalf("want >=2 segments, got %v", lengths(segs))
+	}
+	for _, s := range segs {
+		for i := range s.Points {
+			s.Points[i].PointID = -1
+			s.Points[i].Pos = geo.V(-1e9, -1e9)
+		}
+	}
+	for i, p := range tr.Points {
+		if p.PointID == -1 || p.Pos.X == -1e9 {
+			t.Fatalf("segment mutation reached parent point %d", i)
+		}
+	}
+}

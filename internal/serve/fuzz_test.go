@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sink"
+)
+
+// FuzzQueryParsing covers the three request parsers the API trusts
+// with raw client input: the If-None-Match list matcher, the bbox
+// query parameter, and the /v1/od/{FROM-TO} path segment. None may
+// panic; accepted values must satisfy the parser's advertised
+// contract (non-empty rects, registered and reassemblable OD keys).
+func FuzzQueryParsing(f *testing.F) {
+	f.Add(`"v1", W/"v2"`, `"v1"`, "0,0,100,100", "T-S")
+	f.Add("*", `"zzz"`, "10.5,-3,10.6,4", "T-north-S")
+	f.Add("", "", "1,2,3", "A-B-C")
+	f.Add("W/*", `"v"`, "a,b,c,d", "-S")
+	f.Add(`"v2"`, `"v2"`, "5,5,5,5", "T-")
+
+	gated := &sink.Snapshot{Gates: []string{"T-north", "S", "L"}}
+	open := &sink.Snapshot{}
+
+	f.Fuzz(func(t *testing.T, header, etag, bbox, pair string) {
+		ifNoneMatch(header, etag)
+
+		if r, err := parseBBox(bbox); err == nil {
+			if r.IsEmpty() {
+				t.Fatalf("parseBBox(%q) accepted an empty rect", bbox)
+			}
+		}
+
+		for _, snap := range []*sink.Snapshot{gated, open} {
+			key, err := parseODPair(pair, snap)
+			if err != nil {
+				continue
+			}
+			if key.From == "" || key.To == "" {
+				t.Fatalf("parseODPair(%q) accepted an empty gate: %+v", pair, key)
+			}
+			if got := key.From + "-" + key.To; got != pair {
+				t.Fatalf("parseODPair(%q) key %+v reassembles to %q", pair, key, got)
+			}
+			if len(snap.Gates) > 0 && (!snap.HasGate(key.From) || !snap.HasGate(key.To)) {
+				t.Fatalf("parseODPair(%q) accepted unregistered gates: %+v", pair, key)
+			}
+			if strings.IndexByte(pair, '-') < 0 {
+				t.Fatalf("parseODPair(%q) accepted a pair with no separator", pair)
+			}
+		}
+	})
+}

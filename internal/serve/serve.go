@@ -20,6 +20,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -317,17 +318,26 @@ type travelTimeStats struct {
 	P99  float64 `json:"p99"`
 }
 
-func newODEntry(dir string, od sink.ODStats) odEntry {
+func newODEntry(dir sink.ODKey, od sink.ODStats) odEntry {
 	h := od.TravelTimeS
+	// Quantile's NaN empty-histogram sentinel must not reach the JSON
+	// encoder (JSON has no NaN); an all-zero summary with N 0 is
+	// unambiguous.
+	q := func(p float64) float64 {
+		if v := h.Quantile(p); !math.IsNaN(v) {
+			return v
+		}
+		return 0
+	}
 	return odEntry{
-		Direction: dir,
+		Direction: dir.String(),
 		From:      od.From,
 		To:        od.To,
 		Trips:     od.Trips,
 		TravelS: travelTimeStats{
 			N: h.Count(), Mean: h.Mean(), Max: h.Max(),
-			P10: h.Quantile(0.10), P25: h.Quantile(0.25), P50: h.Quantile(0.50),
-			P75: h.Quantile(0.75), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+			P10: q(0.10), P25: q(0.25), P50: q(0.50),
+			P75: q(0.75), P90: q(0.90), P99: q(0.99),
 		},
 		DistKm:    od.DistKm,
 		FuelMl:    od.FuelMl,
@@ -358,21 +368,62 @@ type odPairResponse struct {
 }
 
 func (a *API) handleODPair(w http.ResponseWriter, r *http.Request, snap *sink.Snapshot) {
-	pair := r.PathValue("pair")
-	if !strings.Contains(pair, "-") {
-		a.fail(w, http.StatusBadRequest, "bad direction %q (want FROM-TO, e.g. T-S)", pair)
+	key, err := parseODPair(r.PathValue("pair"), snap)
+	if err != nil {
+		a.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	od, ok := snap.OD[pair]
+	od, ok := snap.OD[key]
 	if !ok {
-		a.fail(w, http.StatusNotFound, "no trips for direction %s at epoch %d", pair, snap.Epoch)
+		a.fail(w, http.StatusNotFound, "no trips for direction %s at epoch %d", key, snap.Epoch)
 		return
 	}
 	a.writeJSON(w, odPairResponse{
 		Epoch:    snap.Epoch,
 		Complete: snap.Complete,
-		odEntry:  newODEntry(pair, od),
+		odEntry:  newODEntry(key, od),
 	})
+}
+
+// parseODPair resolves a "{from}-{to}" path segment against the
+// snapshot's registered gates. The '-' separator may also occur inside
+// gate names, making a naive split ambiguous; when the gate set is
+// known we try every split position and accept the one whose both
+// sides are registered gates, otherwise we split on the LAST separator
+// (gate names extend more naturally on the left: "T-north"-"S" renders
+// as "T-north-S"). Unknown gate names are a 400, not a 404: the
+// request is malformed regardless of which directions hold data.
+func parseODPair(pair string, snap *sink.Snapshot) (sink.ODKey, error) {
+	if len(snap.Gates) > 0 {
+		var hit []sink.ODKey
+		for i := strings.IndexByte(pair, '-'); i >= 0; {
+			from, to := pair[:i], pair[i+1:]
+			if from != "" && to != "" && snap.HasGate(from) && snap.HasGate(to) {
+				hit = append(hit, sink.ODKey{From: from, To: to})
+			}
+			next := strings.IndexByte(pair[i+1:], '-')
+			if next < 0 {
+				break
+			}
+			i += 1 + next
+		}
+		switch len(hit) {
+		case 1:
+			return hit[0], nil
+		case 0:
+			return sink.ODKey{}, fmt.Errorf("bad direction %q: gates must be registered (known: %s)",
+				pair, strings.Join(snap.Gates, ", "))
+		default:
+			// Pathological gate sets (e.g. "A", "B", "A-B") can make two
+			// splits valid; refuse rather than guess.
+			return sink.ODKey{}, fmt.Errorf("ambiguous direction %q: %d gate splits match", pair, len(hit))
+		}
+	}
+	i := strings.LastIndexByte(pair, '-')
+	if i <= 0 || i == len(pair)-1 {
+		return sink.ODKey{}, fmt.Errorf("bad direction %q (want FROM-TO, e.g. T-S)", pair)
+	}
+	return sink.ODKey{From: pair[:i], To: pair[i+1:]}, nil
 }
 
 // Mount attaches the API (under /v1/) to an existing mux — typically

@@ -332,3 +332,84 @@ func TestMountAlongsideDebug(t *testing.T) {
 		}
 	}
 }
+
+// buildCarFromTo is buildCar for explicit (possibly hyphenated) gate
+// names.
+func buildCarFromTo(car int, from, to string, speeds ...float64) core.CarResult {
+	cr := buildCar(car, "x-y", speeds...)
+	tr := cr.Transitions[0].Transition
+	tr.From, tr.To, tr.Direction = from, to, from+"-"+to
+	return cr
+}
+
+// TestODPairHyphenatedGates is the regression test for the
+// /v1/od/{from}-{to} ambiguity: with gate names containing '-', the
+// rendered direction string no longer identifies the pair, so the
+// handler must resolve the path against the registered gate set — and
+// reject unknown gates with 400 rather than a misleading 404.
+func TestODPairHyphenatedGates(t *testing.T) {
+	g, err := grid.New(geo.R(0, 0, 2000, 2000), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sink.New(sink.Config{
+		Grid: g, Shards: 1, PublishEvery: 1,
+		Gates: []string{"T-north", "S", "L"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AbsorbEvent(core.CarEvent{Car: 1, Result: buildCarFromTo(1, "T-north", "S", 30, 50, 40)})
+	api := NewAPI(s, nil)
+
+	var pair struct {
+		From  string `json:"from"`
+		To    string `json:"to"`
+		Trips int    `json:"trips"`
+	}
+	rec := get(t, api, "/v1/od/T-north-S", &pair)
+	if rec.Code != http.StatusOK || pair.From != "T-north" || pair.To != "S" || pair.Trips != 1 {
+		t.Fatalf("hyphenated pair: status %d %+v\n%s", rec.Code, pair, rec.Body.String())
+	}
+
+	// Both gates known but no data: 404.
+	if rec := get(t, api, "/v1/od/S-L", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("no-data pair: status %d", rec.Code)
+	}
+	// Unknown gate names: 400, not 404.
+	for _, path := range []string{"/v1/od/T-S", "/v1/od/X-Y", "/v1/od/T-north-X"} {
+		if rec := get(t, api, path, nil); rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400\n%s", path, rec.Code, rec.Body.String())
+		}
+	}
+
+	// The full matrix renders the hyphenated direction unambiguously
+	// via its struct key.
+	var matrix struct {
+		Directions []struct {
+			Direction string `json:"direction"`
+			From      string `json:"from"`
+			To        string `json:"to"`
+		} `json:"directions"`
+	}
+	get(t, api, "/v1/od", &matrix)
+	if len(matrix.Directions) != 1 || matrix.Directions[0].From != "T-north" || matrix.Directions[0].To != "S" {
+		t.Fatalf("matrix = %+v", matrix.Directions)
+	}
+}
+
+// TestParseODPairAmbiguous: a pathological gate set where two split
+// positions both name registered gates must be refused, not guessed.
+func TestParseODPairAmbiguous(t *testing.T) {
+	snap := &sink.Snapshot{Gates: []string{"A", "B", "A-B", "B-B"}}
+	// "A-B-B" could be A→B-B or A-B→B; both sides of both splits are
+	// registered gates.
+	if _, err := parseODPair("A-B-B", snap); err == nil {
+		t.Fatal("ambiguous pair accepted")
+	}
+	// Unambiguous pairs still resolve.
+	key, err := parseODPair("A-B-A", snap) // only A-B→A works (B-A unknown)
+	if err != nil || key.From != "A-B" || key.To != "A" {
+		t.Fatalf("key %v err %v", key, err)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/obs"
@@ -59,6 +60,17 @@ type Config struct {
 	// Metrics instruments ingest and publish (sink_* metrics); nil
 	// disables.
 	Metrics *obs.Registry
+	// Gates registers the gate names OD directions may reference; the
+	// set is published on every snapshot (Snapshot.Gates) so the query
+	// layer can reject lookups naming unknown gates. Empty disables
+	// gate validation.
+	Gates []string
+	// Check enables the correctness harness on the sink's own boundary:
+	// every publish validates the snapshot transition (strictly
+	// advancing epoch, non-shrinking non-negative counts) against the
+	// previous one, counting violations on Metrics. With Check.Strict a
+	// violation is additionally latched and reported by CheckErr.
+	Check check.Config
 	// Now is the publish timestamp source (test hook); nil selects
 	// time.Now.
 	Now func() time.Time
@@ -93,6 +105,12 @@ type Sink struct {
 	absorbed atomic.Uint64 // successful cars folded in, drives auto-publish
 	sealed   atomic.Bool
 
+	// checker validates snapshot transitions when Config.Check is on
+	// (nil otherwise); checkErr latches the first strict violation.
+	// Both are guarded by pubMu (the checker runs only inside publish).
+	checker  *check.Validator
+	checkErr error
+
 	met sinkMetrics
 }
 
@@ -104,7 +122,7 @@ type shard struct {
 	failed int
 	points int
 	agg    *grid.Aggregator
-	od     map[string]*odAcc
+	od     map[ODKey]*odAcc
 }
 
 // odAcc accumulates one direction's transition statistics.
@@ -139,11 +157,15 @@ func New(cfg Config) (*Sink, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Sink{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	s := &Sink{
+		cfg:     cfg,
+		shards:  make([]*shard, cfg.Shards),
+		checker: check.New(cfg.Check, cfg.Gates, nil, cfg.Metrics),
+	}
 	for i := range s.shards {
 		s.shards[i] = &shard{
 			agg: grid.NewAggregator(cfg.Grid),
-			od:  map[string]*odAcc{},
+			od:  map[ODKey]*odAcc{},
 		}
 	}
 	reg := cfg.Metrics
@@ -161,9 +183,21 @@ func New(cfg Config) (*Sink, error) {
 		Grid:        cfg.Grid,
 		PublishedAt: cfg.Now(),
 		Cells:       map[grid.CellID]CellStats{},
-		OD:          map[string]ODStats{},
+		OD:          map[ODKey]ODStats{},
+		Gates:       cfg.Gates,
 	})
 	return s, nil
+}
+
+// CheckErr returns the first strict-mode invariant violation a publish
+// latched (nil while the sink's snapshot sequence has stayed valid, or
+// when checking is off). The error is sticky: once a transition has
+// violated the epoch/count monotonicity contract, every later epoch is
+// suspect.
+func (s *Sink) CheckErr() error {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	return s.checkErr
 }
 
 // Snapshot returns the current immutable snapshot: one atomic load,
@@ -226,11 +260,11 @@ func (sh *shard) absorb(cr *core.CarResult) {
 				sh.points++
 			}
 		}
-		dir := rec.Transition.Direction
-		od := sh.od[dir]
+		key := ODKey{From: rec.Transition.From, To: rec.Transition.To}
+		od := sh.od[key]
 		if od == nil {
-			od = &odAcc{from: rec.Transition.From, to: rec.Transition.To, travel: &obs.Histogram{}}
-			sh.od[dir] = od
+			od = &odAcc{from: key.From, to: key.To, travel: &obs.Histogram{}}
+			sh.od[key] = od
 		}
 		od.trips++
 		od.travel.Observe(rec.RouteTimeH * 3600)
@@ -269,14 +303,15 @@ func (s *Sink) publish(complete bool) *Snapshot {
 		Grid:     s.cfg.Grid,
 		Complete: complete || s.sealed.Load(),
 		Cells:    map[grid.CellID]CellStats{},
-		OD:       map[string]ODStats{},
+		OD:       map[ODKey]ODStats{},
+		Gates:    s.cfg.Gates,
 	}
 	merged := grid.NewAggregator(s.cfg.Grid)
 	type odMerge struct {
 		acc    odAcc
 		travel *obs.Histogram
 	}
-	ods := map[string]*odMerge{}
+	ods := map[ODKey]*odMerge{}
 	// Merge shard-by-shard in index order: each shard is locked only
 	// while it is copied, so ingest into other shards proceeds in
 	// parallel with the merge.
@@ -329,6 +364,12 @@ func (s *Sink) publish(complete bool) *Snapshot {
 	prev := s.cur.Load()
 	snap.Epoch = prev.Epoch + 1
 	snap.PublishedAt = s.cfg.Now()
+	if err := s.checker.SnapshotTransition(
+		check.SnapshotMeta{Epoch: prev.Epoch, CarsIngested: prev.CarsIngested, CarsFailed: prev.CarsFailed, Points: prev.Points},
+		check.SnapshotMeta{Epoch: snap.Epoch, CarsIngested: snap.CarsIngested, CarsFailed: snap.CarsFailed, Points: snap.Points},
+	); err != nil && s.checkErr == nil {
+		s.checkErr = err
+	}
 	s.cur.Store(snap)
 
 	s.met.publishes.Inc()

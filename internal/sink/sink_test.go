@@ -8,11 +8,13 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/obs"
 	"repro/internal/odselect"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 )
@@ -90,7 +92,7 @@ func TestAbsorbPublishSeal(t *testing.T) {
 	if first.Epoch != 1 || first.CarsIngested != 1 || first.Complete {
 		t.Fatalf("after car 1: %+v", first)
 	}
-	if first.OD["T-S"].Trips != 1 || first.Points != 3 {
+	if first.OD[ODKey{From: "T", To: "S"}].Trips != 1 || first.Points != 3 {
 		t.Fatalf("after car 1: od %+v points %d", first.OD, first.Points)
 	}
 
@@ -111,14 +113,14 @@ func TestAbsorbPublishSeal(t *testing.T) {
 	}
 
 	// The earlier epoch is immutable: car 2 must not have leaked in.
-	if first.CarsIngested != 1 || first.OD["S-T"].Trips != 0 || len(first.OD) != 1 {
+	if first.CarsIngested != 1 || first.OD[ODKey{From: "S", To: "T"}].Trips != 0 || len(first.OD) != 1 {
 		t.Fatalf("epoch %d mutated after later publishes: %+v", first.Epoch, first)
 	}
 
 	// Travel-time histogram carries both trips' durations exactly.
 	h := &obs.Histogram{}
 	h.Observe(2 * 30)
-	if od := final.OD["T-S"]; !od.TravelTimeS.Equal(h.Freeze()) {
+	if od := final.OD[ODKey{From: "T", To: "S"}]; !od.TravelTimeS.Equal(h.Freeze()) {
 		t.Fatalf("T-S travel hist: count=%d", od.TravelTimeS.Count())
 	}
 	// Cell stats: car 1's three points land in three distinct cells on
@@ -316,9 +318,9 @@ func TestFinalSnapshotMatchesBatch(t *testing.T) {
 		fuel   float64
 		attrs  AttrTotals
 	}
-	refs := map[string]*refOD{}
+	refs := map[ODKey]*refOD{}
 	for _, rec := range recs {
-		dir := rec.Transition.Direction
+		dir := ODKey{From: rec.Transition.From, To: rec.Transition.To}
 		r := refs[dir]
 		if r == nil {
 			r = &refOD{travel: &obs.Histogram{}}
@@ -417,6 +419,139 @@ func TestDirectionsAndCellIDsSorted(t *testing.T) {
 	for i := 1; i < len(ids); i++ {
 		if ids[i-1].I > ids[i].I || (ids[i-1].I == ids[i].I && ids[i-1].J >= ids[i].J) {
 			t.Fatalf("cell ids not sorted: %v", ids)
+		}
+	}
+}
+
+// TestFinalSnapshotMatchesBatchUnderFaults repeats the stream-vs-batch
+// differential with the runner under fire: one car flaps with
+// transient faults (recovered by retries), one car fails permanently.
+// The sealed snapshot must still be value-identical to a batch
+// aggregation of the partial Result — failed cars appear only in
+// CarsFailed, never as partial aggregate contributions — and the
+// invariant checker must stay silent through every epoch.
+func TestFinalSnapshotMatchesBatchUnderFaults(t *testing.T) {
+	var mu sync.Mutex
+	flaps := 0
+	p, err := core.NewPipeline(core.Config{
+		CitySeed: 42,
+		Fleet: tracegen.Config{
+			Seed: 42, Cars: 4, TripsPerCar: 30, GateRunFraction: 0.3,
+		},
+		MaxAttempts: 3,
+		Check:       check.Config{Strict: true},
+		Faults: runner.FaultFunc(func(car int, stage string) error {
+			switch {
+			case car == 2 && stage == "mapmatch":
+				mu.Lock()
+				defer mu.Unlock()
+				if flaps < 2 {
+					flaps++
+					return runner.Transient(fmt.Errorf("injected flap %d", flaps))
+				}
+				return nil
+			case car == 3 && stage == "segment":
+				return fmt.Errorf("injected permanent failure")
+			}
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GridForPipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Grid: g, Shards: 3, PublishEvery: 1,
+		Gates: p.Selector.GateNames(), Check: check.Config{Strict: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunObserved(context.Background(), s.AbsorbEvent)
+	if err == nil {
+		t.Fatal("permanent fault did not surface in the run error")
+	}
+	snap := s.Seal()
+	if cerr := s.CheckErr(); cerr != nil {
+		t.Fatalf("sink invariant checker tripped on a clean stream: %v", cerr)
+	}
+
+	if len(res.Cars) != 3 {
+		t.Fatalf("partial result has %d cars, want 3 (car 3 failed)", len(res.Cars))
+	}
+	for _, cr := range res.Cars {
+		if cr.Car == 3 {
+			t.Fatal("failed car 3 leaked into the partial result")
+		}
+	}
+	if snap.CarsIngested != 3 || snap.CarsFailed != 1 {
+		t.Fatalf("ingested/failed = %d/%d, want 3/1", snap.CarsIngested, snap.CarsFailed)
+	}
+	if flaps != 2 {
+		t.Fatalf("transient injector fired %d times, want 2", flaps)
+	}
+
+	recs := res.Transitions()
+	if len(recs) == 0 {
+		t.Fatal("no transitions survived; widen the config")
+	}
+
+	// Batch-style reference from the partial Result.
+	ref := grid.NewAggregator(g)
+	points := 0
+	for _, rec := range recs {
+		for _, sp := range core.TransitionSpeedPoints(rec) {
+			if ref.Add(sp.Pos, sp.SpeedKmh) {
+				points++
+			}
+		}
+	}
+	if snap.Points != points {
+		t.Fatalf("points = %d, want %d", snap.Points, points)
+	}
+	if len(snap.Cells) != ref.NumNonEmpty() {
+		t.Fatalf("cells = %d, want %d", len(snap.Cells), ref.NumNonEmpty())
+	}
+	for _, rc := range ref.Cells() {
+		sc, ok := snap.Cells[rc.ID]
+		if !ok {
+			t.Fatalf("cell %v missing from snapshot", rc.ID)
+		}
+		if sc.N != rc.Speed.N() || !feq(sc.MeanKmh, rc.Speed.Mean()) {
+			t.Fatalf("cell %v: n/mean %d/%g, want %d/%g",
+				rc.ID, sc.N, sc.MeanKmh, rc.Speed.N(), rc.Speed.Mean())
+		}
+	}
+
+	type refOD struct {
+		trips  int
+		travel *obs.Histogram
+	}
+	refs := map[ODKey]*refOD{}
+	for _, rec := range recs {
+		dir := ODKey{From: rec.Transition.From, To: rec.Transition.To}
+		r := refs[dir]
+		if r == nil {
+			r = &refOD{travel: &obs.Histogram{}}
+			refs[dir] = r
+		}
+		r.trips++
+		r.travel.Observe(rec.RouteTimeH * 3600)
+	}
+	if len(snap.OD) != len(refs) {
+		t.Fatalf("directions = %v, want %d", snap.Directions(), len(refs))
+	}
+	for dir, r := range refs {
+		od, ok := snap.OD[dir]
+		if !ok {
+			t.Fatalf("direction %s missing", dir)
+		}
+		if od.Trips != r.trips || !od.TravelTimeS.Equal(r.travel.Freeze()) {
+			t.Fatalf("%s: stream OD differs from batch (trips %d want %d)",
+				dir, od.Trips, r.trips)
 		}
 	}
 }

@@ -32,9 +32,26 @@ type Snapshot struct {
 	Grid *grid.Grid
 	// Cells holds per-cell speed statistics for every non-empty cell.
 	Cells map[grid.CellID]CellStats
-	// OD holds per-direction ("T-S") transition statistics.
-	OD map[string]ODStats
+	// OD holds per-direction transition statistics, keyed by the
+	// ordered gate pair itself — not its rendered "From-To" string, so
+	// gate names containing '-' cannot collide.
+	OD map[ODKey]ODStats
+	// Gates lists the registered gate names (from Config.Gates, in
+	// registration order) — the authoritative name set the query layer
+	// validates OD lookups against. Empty when the sink was built
+	// without gate registration; lookups then skip name validation.
+	Gates []string
 }
+
+// ODKey is an ordered origin-destination gate pair — the snapshot's OD
+// map key. Keying by the two names (not their concatenation) keeps
+// directions distinct even when gate names contain the '-' separator.
+type ODKey struct {
+	From, To string
+}
+
+// String renders the key in the paper's direction notation ("T-S").
+func (k ODKey) String() string { return k.From + "-" + k.To }
 
 // CellStats is one grid cell's speed aggregate.
 type CellStats struct {
@@ -78,15 +95,35 @@ type ODStats struct {
 	Attrs          AttrTotals
 }
 
-// Directions returns the snapshot's OD keys sorted, for stable
-// iteration in API responses and tables.
-func (s *Snapshot) Directions() []string {
-	out := make([]string, 0, len(s.OD))
+// Directions returns the snapshot's OD keys sorted (by origin, then
+// destination), for stable iteration in API responses and tables.
+func (s *Snapshot) Directions() []ODKey {
+	out := make([]ODKey, 0, len(s.OD))
 	for dir := range s.OD {
 		out = append(out, dir)
 	}
-	sort.Strings(out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
 	return out
+}
+
+// HasGate reports whether name is a registered gate. With no gate
+// registration (empty Gates) every name passes — the caller then falls
+// back to plain map-lookup semantics.
+func (s *Snapshot) HasGate(name string) bool {
+	if len(s.Gates) == 0 {
+		return true
+	}
+	for _, g := range s.Gates {
+		if g == name {
+			return true
+		}
+	}
+	return false
 }
 
 // CellIDs returns the snapshot's non-empty cells in ID order.

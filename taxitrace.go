@@ -53,6 +53,7 @@
 package taxitrace
 
 import (
+	"repro/internal/check"
 	"repro/internal/core"
 )
 
@@ -95,6 +96,16 @@ type SpeedPoint = core.SpeedPoint
 
 // LowSpeedKmh is the paper's low-speed threshold (10 km/h).
 const LowSpeedKmh = core.LowSpeedKmh
+
+// CheckConfig enables the correctness harness (Config.Check): per-stage
+// invariant validation at every pipeline stage boundary, with counting
+// and strict (fail-the-car) modes. See internal/check.
+type CheckConfig = check.Config
+
+// CheckError is the typed strict-mode invariant failure the runner's
+// fault path surfaces; errors.As against a failed car's error recovers
+// the individual violations.
+type CheckError = check.CheckError
 
 // New builds the synthetic city, road graph, fleet generator and all
 // processing stages.
