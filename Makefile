@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-runner bench-serve race ci fuzz profile results examples clean help
+.PHONY: all build test vet bench bench-runner bench-serve bench-fleet race ci fuzz profile results examples clean help
 
 all: build vet test
 
@@ -24,6 +24,10 @@ help:
 	@echo "  bench-serve   snapshot serving-layer perf (sink ingest/merge"
 	@echo "           throughput, query latency incl. p50/p99 under"
 	@echo "           concurrent load) into results/BENCH_serve.json"
+	@echo "  bench-fleet   snapshot fleet-scale perf (1k/10k cars, layout x"
+	@echo "           format matrix + ingest microbenches, merged with the"
+	@echo "           frozen pre-columnar baseline) into"
+	@echo "           results/BENCH_fleet.json; FLEET_CARS=N adds a size"
 	@echo "  profile  run a large taxiflow workload with -debug-addr and"
 	@echo "           capture a 10 s CPU profile into cpu.pprof"
 	@echo "  results  regenerate all paper tables/figures into results/"
@@ -65,6 +69,7 @@ FUZZ_TARGETS = \
 	./internal/geo:FuzzProjectionRoundTrip \
 	./internal/serve:FuzzQueryParsing \
 	./internal/trace:FuzzReadCSV \
+	./internal/trace:FuzzReadBinary \
 	./internal/digiroad:FuzzReadCSV
 
 fuzz:
@@ -118,6 +123,24 @@ bench-serve:
 		< /tmp/bench_serve.txt > results/BENCH_serve.json
 	@echo "wrote results/BENCH_serve.json"
 
+# Fleet-scale perf trajectory: the cars × layout × format matrix plus
+# the per-car ingest microbenches, single-shot runs with medians over 3
+# repetitions (one op is a whole fleet). The frozen pre-columnar
+# baseline (BenchmarkFleetSeed arms of results/bench_fleet_seed.txt,
+# recorded on the seed revision of this workload) is concatenated in
+# front so the snapshot carries both sides of the before/after
+# comparison. FLEET_CARS=N benchmarks an extra (e.g. 100000) size.
+bench-fleet:
+	$(GO) test -run xxx -bench '^BenchmarkFleet' -benchmem -benchtime=1x -count=3 . \
+		| tee /tmp/bench_fleet.txt
+	{ grep '^BenchmarkFleetSeed' results/bench_fleet_seed.txt; cat /tmp/bench_fleet.txt; } \
+		| $(GO) run ./cmd/benchfmt \
+		-snapshot "$$(date +%Y-%m-%d)" \
+		-command "go test -run xxx -bench '^BenchmarkFleet' -benchmem -benchtime=1x -count=3 ." \
+		-notes "32-car pool replicated per fleet size, 3 trips/car, seed 42; BenchmarkFleetSeed = frozen pre-columnar baseline (results/bench_fleet_seed.txt)" \
+		> results/BENCH_fleet.json
+	@echo "wrote results/BENCH_fleet.json"
+
 # Regenerate every paper table and figure (plus ablations) into results/.
 results:
 	$(GO) run ./cmd/experiments -scale paper -ablations -out results
@@ -128,6 +151,7 @@ examples:
 	$(GO) run ./examples/mixedmodel
 	$(GO) run ./examples/mapmatching
 	$(GO) run ./examples/datacleaning
+	$(GO) run ./examples/binarytraces
 	$(GO) run ./examples/drivingcoach
 
 clean:

@@ -31,6 +31,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -64,7 +65,8 @@ func main() {
 	workers := flag.Int("workers", 0, "fleet runner worker pool size (0 = GOMAXPROCS)")
 	maxFailures := flag.Int("max-failures", 0, "error budget: failed cars tolerated before aborting (0 = unlimited, -1 = abort on first)")
 	retries := flag.Int("retries", 1, "per-car attempts for retryable errors")
-	tracesIn := flag.String("traces", "", "optional route-point CSV (from cmd/tracegen) to process instead of simulating; must match -seed")
+	tracesIn := flag.String("traces", "", "optional route-point trace file (CSV or binary, from cmd/tracegen; format sniffed) to process instead of simulating; must match -seed")
+	layoutFlag := flag.String("layout", "auto", "point-storage layout for the hot path: auto, columnar, or legacy")
 	svgOut := flag.String("svg", "", "optional SVG output: the accepted transitions' speed map")
 	metricsOut := flag.String("metrics", "", "optional JSON metrics snapshot written at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060, :0 for ephemeral)")
@@ -73,6 +75,11 @@ func main() {
 	checkStrict := flag.Bool("check-strict", false, "like -check, but an invariant violation fails the offending car")
 	verbose := flag.Bool("v", false, "print per-transition details")
 	flag.Parse()
+
+	layout, err := taxitrace.ParseLayout(*layoutFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -89,6 +96,7 @@ func main() {
 
 	start := time.Now()
 	p, err := taxitrace.New(taxitrace.Config{
+		Layout:   layout,
 		CitySeed: *seed,
 		Fleet: tracegen.Config{
 			Seed:            *seed,
@@ -140,7 +148,7 @@ func main() {
 	var res *taxitrace.Result
 	switch {
 	case *tracesIn != "":
-		res, err = processCSV(ctx, p, *tracesIn)
+		res, err = processTraces(ctx, p, *tracesIn)
 		if snk != nil && res != nil {
 			snk.AbsorbResult(res)
 		}
@@ -376,19 +384,25 @@ func writeSpeedMap(p *taxitrace.Pipeline, recs []*taxitrace.TransitionRecord, pa
 	return f.Close()
 }
 
-// processCSV loads externally recorded trips (e.g. written by
+// processTraces loads externally recorded trips (e.g. written by
 // cmd/tracegen against the same city seed) and runs the processing
-// stages over them, grouped by car. Like RunContext, a bad car is
-// isolated: its error is joined into the returned error while the
-// remaining cars' results are kept.
-func processCSV(ctx context.Context, p *taxitrace.Pipeline, path string) (*taxitrace.Result, error) {
+// stages over them, grouped by car. The file format — CSV or the
+// binary trace format — is sniffed from the leading bytes. Like
+// RunContext, a bad car is isolated: its error is joined into the
+// returned error while the remaining cars' results are kept.
+func processTraces(ctx context.Context, p *taxitrace.Pipeline, path string) (*taxitrace.Result, error) {
 	res := &taxitrace.Result{}
 	f, err := os.Open(path)
 	if err != nil {
 		return res, err
 	}
 	defer f.Close()
-	trips, err := trace.ReadCSV(f, p.City.DB.Proj)
+	br := bufio.NewReaderSize(f, 1<<16)
+	read := trace.ReadCSV
+	if head, err := br.Peek(8); err == nil && string(head) == "TAXITRCB" {
+		read = trace.ReadBinary
+	}
+	trips, err := read(br, p.City.DB.Proj)
 	if err != nil {
 		return res, err
 	}

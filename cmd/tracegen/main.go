@@ -1,11 +1,12 @@
 // Command tracegen generates a synthetic taxi-trace dataset over the
 // synthetic city and writes it as CSV (one route point per row, in
 // arrival order, with the transmission corruption the cleaning stage
-// repairs), plus the road database as a second CSV.
+// repairs) and/or the compact binary trace format, plus the road
+// database as a second CSV.
 //
 // Usage:
 //
-//	tracegen [-cars N] [-trips N] [-seed N] [-traces FILE] [-map FILE]
+//	tracegen [-cars N] [-trips N] [-seed N] [-traces FILE] [-map FILE] [-format csv|binary|both]
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"flag"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/digiroad"
 	"repro/internal/roadnet"
@@ -26,10 +29,22 @@ func main() {
 	cars := flag.Int("cars", 7, "number of simulated taxis")
 	trips := flag.Int("trips", 60, "engine-on trips per taxi")
 	seed := flag.Int64("seed", 42, "master random seed")
-	tracesOut := flag.String("traces", "traces.csv", "route-point CSV output")
+	tracesOut := flag.String("traces", "traces.csv", "route-point trace output (extension adjusted to the format)")
+	format := flag.String("format", "csv", "trace output format: csv, binary, or both")
 	mapOut := flag.String("map", "digiroad.csv", "road database CSV output")
 	geoJSON := flag.String("geojson", "", "optional GeoJSON output prefix: writes <prefix>-map.geojson and <prefix>-trips.geojson")
 	flag.Parse()
+	wantCSV, wantBinary := false, false
+	switch *format {
+	case "csv":
+		wantCSV = true
+	case "binary":
+		wantBinary = true
+	case "both":
+		wantCSV, wantBinary = true, true
+	default:
+		log.Fatalf("unknown -format %q (want csv, binary, or both)", *format)
+	}
 
 	city := digiroad.SynthesizeOulu(digiroad.SynthConfig{Seed: *seed})
 	graph, err := roadnet.Build(city.DB)
@@ -49,12 +64,26 @@ func main() {
 	}
 	log.Printf("simulated %d trips, %d route points", len(fleet), points)
 
-	if err := writeFile(*tracesOut, func(w *bufio.Writer) error {
-		return trace.WriteCSV(w, fleet, city.DB.Proj)
-	}); err != nil {
-		log.Fatal(err)
+	if wantCSV {
+		path := withExt(*tracesOut, ".csv", wantBinary)
+		if err := writeFile(path, func(w *bufio.Writer) error {
+			return trace.WriteCSV(w, fleet, city.DB.Proj)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
 	}
-	log.Printf("wrote %s", *tracesOut)
+	if wantBinary {
+		// Never write binary into a .csv-named file (the default
+		// -traces value): swap the extension.
+		path := withExt(*tracesOut, ".bin", wantCSV || filepath.Ext(*tracesOut) == ".csv")
+		if err := writeFile(path, func(w *bufio.Writer) error {
+			return trace.WriteBinary(w, fleet, city.DB.Proj)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
+	}
 
 	if err := writeFile(*mapOut, func(w *bufio.Writer) error {
 		return city.DB.WriteCSV(w)
@@ -77,6 +106,16 @@ func main() {
 		}
 		log.Printf("wrote %s-map.geojson and %s-trips.geojson", *geoJSON, *geoJSON)
 	}
+}
+
+// withExt forces path's extension when both formats are written (so
+// -format=both -traces=x.csv yields x.csv and x.bin); a single-format
+// run keeps the user's path untouched.
+func withExt(path, ext string, both bool) string {
+	if !both {
+		return path
+	}
+	return strings.TrimSuffix(path, filepath.Ext(path)) + ext
 }
 
 func writeFile(path string, write func(*bufio.Writer) error) error {

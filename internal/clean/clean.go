@@ -133,6 +133,9 @@ func Repair(t *trace.Trip, cfg Config) Result {
 
 	out := t.Clone()
 	out.Points = cleaned
+	// Realignment assigned the sorted timestamp multiset along the
+	// sequence, so the result is time-ordered by construction.
+	out.MarkTimeSorted()
 	return Result{
 		Trip:         out,
 		ChosenOrder:  order,

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"slices"
+
+	"repro/internal/clean"
+	"repro/internal/segment"
+	"repro/internal/trace"
+)
+
+// Columnar car processing: the cleaning and segmentation stages run on
+// struct-of-arrays columns in a pooled per-car arena instead of
+// per-trip []RoutePoint slices. Raw trips are appended to the arena
+// once, the cleaning kernel appends realigned trips to the same arena,
+// segmentation yields zero-copy subviews, and only the kept segments
+// are materialised back into row form (the CarResult contract — and
+// every stage from OD selection on — is layout-independent and
+// unchanged). The determinism test runs both layouts and asserts
+// byte-identical results.
+
+// carScratch is the per-car reusable state. One scratch is checked out
+// of the pipeline pool per ProcessContext call, so steady-state
+// columnar processing allocates only for the data that escapes (the
+// materialised segments).
+type carScratch struct {
+	arena    *trace.Arena
+	clean    clean.Scratch
+	breader  trace.BinaryReader // reused by ProcessBinaryContext
+	views    []trace.ColTrip    // raw trip views
+	cleaned  []trace.ColTrip    // cleaned trip views
+	segments []trace.ColTrip    // kept segment views
+}
+
+func (p *Pipeline) getScratch() *carScratch {
+	if sc, ok := p.scratches.Get().(*carScratch); ok {
+		return sc
+	}
+	return &carScratch{arena: trace.NewArena(0)}
+}
+
+func (p *Pipeline) putScratch(sc *carScratch) {
+	sc.arena.Reset()
+	sc.views = sc.views[:0]
+	sc.cleaned = sc.cleaned[:0]
+	sc.segments = sc.segments[:0]
+	p.scratches.Put(sc)
+}
+
+// processColumnar is the columnar implementation of ProcessContext.
+// ok is false — with no side effects — when some trip cannot be
+// represented columnarly (point id overflow, out-of-range or non-UTC
+// time, mismatched trip id); the dispatcher then reruns the car on the
+// row-oriented path.
+func (p *Pipeline) processColumnar(ctx context.Context, car int, raw []*trace.Trip) (CarResult, error, bool) {
+	sc := p.getScratch()
+	for _, t := range raw {
+		v, err := sc.arena.AppendTrip(t)
+		if err != nil {
+			p.putScratch(sc)
+			return CarResult{}, nil, false
+		}
+		sc.views = append(sc.views, v)
+	}
+	cr, err := p.processViews(ctx, car, len(raw), raw, sc)
+	return cr, err, true
+}
+
+// ProcessBinaryContext is ProcessContext for one car's binary trace
+// stream: records are decoded straight into the pooled columnar arena,
+// skipping the row materialisation ReadBinary would do only for
+// processColumnar to immediately re-columnarise. Every record in r
+// must belong to car. Results are byte-identical to
+// ReadBinary + ProcessContext (the differential test asserts this); a
+// legacy-layout pipeline falls back to exactly that pair.
+func (p *Pipeline) ProcessBinaryContext(ctx context.Context, car int, r io.Reader) (CarResult, error) {
+	if !p.Config.Layout.columnar() {
+		raw, err := trace.ReadBinary(r, p.City.DB.Proj)
+		if err != nil {
+			return CarResult{Car: car}, err
+		}
+		return p.processLegacy(ctx, car, raw)
+	}
+	sc := p.getScratch()
+	if err := sc.breader.Reset(r, p.City.DB.Proj); err != nil {
+		p.putScratch(sc)
+		return CarResult{Car: car}, err
+	}
+	for {
+		v, err := sc.breader.Next(sc.arena)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			p.putScratch(sc)
+			return CarResult{Car: car}, err
+		}
+		if v.CarID != car {
+			p.putScratch(sc)
+			return CarResult{Car: car}, fmt.Errorf("core: record for car %d in car %d's binary stream", v.CarID, car)
+		}
+		sc.views = append(sc.views, v)
+	}
+	// Records arrive in file order; ReadBinary sorts by (car, trip id),
+	// so sort the single-car views the same way before processing.
+	slices.SortStableFunc(sc.views, func(a, b trace.ColTrip) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
+		}
+	})
+	var raw []*trace.Trip
+	if p.checker != nil {
+		// The input validator speaks rows; materialise only when checking.
+		raw = trace.MaterializeAll(sc.views, false)
+	}
+	return p.processViews(ctx, car, len(sc.views), raw, sc)
+}
+
+// processViews runs the columnar stages over sc.views, which the
+// caller has already filled. It takes ownership of sc. rawForCheck is
+// the row form of the views for the input validator; callers without a
+// validator pass nil.
+func (p *Pipeline) processViews(ctx context.Context, car, rawTrips int, rawForCheck []*trace.Trip, sc *carScratch) (CarResult, error) {
+	defer p.putScratch(sc)
+
+	carSpan := p.met.car.Start()
+	defer func() {
+		carSpan.End()
+		p.met.cars.Inc()
+	}()
+	cr := CarResult{Car: car, RawTrips: rawTrips}
+
+	// Input boundary check, identical to the row path.
+	if err := p.checkGate("simulate", p.checker.RawTrips(car, rawForCheck)); err != nil {
+		return cr, err
+	}
+
+	// Cleaning (§IV-B) on columns. Only results with surviving points
+	// are counted, mirroring RepairAll.
+	if err := p.stageGate(ctx, car, "clean"); err != nil {
+		return cr, err
+	}
+	sp := p.met.clean.Start()
+	for _, v := range sc.views {
+		r := clean.RepairColumns(v, p.Config.Clean, sc.arena, &sc.clean)
+		if r.Trip.N == 0 {
+			continue
+		}
+		sc.cleaned = append(sc.cleaned, r.Trip)
+		cr.CleanStats.Trips++
+		if r.Reordered {
+			cr.CleanStats.Reordered++
+		}
+		if r.ChosenOrder == clean.OrderByTime {
+			cr.CleanStats.ChoseTime++
+		}
+		cr.CleanStats.DroppedPoints += r.Dropped
+	}
+	sp.End()
+	p.met.recordCleanStats(cr.CleanStats)
+	if p.checker != nil {
+		// The validator speaks rows; materialise only when checking.
+		if err := p.checkGate("clean", p.checker.CleanedTrips(car, trace.MaterializeAll(sc.cleaned, true))); err != nil {
+			return cr, err
+		}
+	}
+
+	// Segmentation (Table 2) as zero-copy views; kept segments are
+	// materialised into the CarResult, which owns its memory.
+	if err := p.stageGate(ctx, car, "segment"); err != nil {
+		return cr, err
+	}
+	sp = p.met.segment.Start()
+	for _, v := range sc.cleaned {
+		sc.segments = segment.SplitColumns(v, p.Rules, &cr.SegStats, sc.segments)
+	}
+	cr.Segments = trace.MaterializeAll(sc.segments, true)
+	sp.End()
+	p.met.recordSegStats(cr.SegStats)
+	if err := p.checkGate("segment", p.checker.Segments(car, cr.Segments, segmentCheckRules(p.Rules))); err != nil {
+		return cr, err
+	}
+
+	err := p.selectAndAnalyse(ctx, car, &cr)
+	return cr, err
+}

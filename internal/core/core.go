@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/check"
@@ -41,6 +42,50 @@ const LowSpeedKmh = 10
 // NormalSpeedToleranceKmh: a point counts as "normal speed" (at the
 // speed limit) when within this margin below the local limit.
 const NormalSpeedToleranceKmh = 2
+
+// Layout selects the in-memory point representation of the per-car
+// hot path (cleaning and segmentation).
+type Layout int
+
+const (
+	// LayoutAuto selects the default layout (columnar).
+	LayoutAuto Layout = iota
+	// LayoutColumnar runs cleaning and segmentation on struct-of-arrays
+	// columns in a pooled per-car arena (see internal/trace.Columns).
+	LayoutColumnar
+	// LayoutLegacy runs the row-oriented []RoutePoint path. Output is
+	// byte-identical to columnar (the determinism test asserts it);
+	// the layout is kept for differential testing and as the fallback
+	// for trips the columnar store cannot represent.
+	LayoutLegacy
+)
+
+// String returns the layout name.
+func (l Layout) String() string {
+	switch l {
+	case LayoutLegacy:
+		return "legacy"
+	case LayoutColumnar:
+		return "columnar"
+	default:
+		return "auto"
+	}
+}
+
+// ParseLayout converts a flag value to a Layout.
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "", "auto":
+		return LayoutAuto, nil
+	case "columnar":
+		return LayoutColumnar, nil
+	case "legacy":
+		return LayoutLegacy, nil
+	}
+	return LayoutAuto, fmt.Errorf("core: unknown layout %q (want auto, columnar or legacy)", s)
+}
+
+func (l Layout) columnar() bool { return l != LayoutLegacy }
 
 // Config assembles one pipeline. Zero values select the paper's
 // settings.
@@ -96,6 +141,9 @@ type Config struct {
 	// byte-identical with instrumentation on and off (see the
 	// determinism test).
 	Metrics *obs.Registry
+	// Layout selects the hot-path point representation (default
+	// columnar; see the Layout constants).
+	Layout Layout
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +185,9 @@ type Pipeline struct {
 	// checker is the stage-boundary invariant validator (nil when
 	// Config.Check is off; every method of a nil checker is a no-op).
 	checker *check.Validator
+	// scratches pools per-car columnar scratch state (arena + sort
+	// buffers) across workers; see columnar.go.
+	scratches sync.Pool
 }
 
 // NewPipeline builds the city, road graph and processing stages.
@@ -429,7 +480,23 @@ func (p *Pipeline) stageGate(ctx context.Context, car int, stage string) error {
 // obtained) under ctx. Cancellation is honored between stages and
 // between transitions; on error the partial CarResult built so far is
 // returned alongside it.
+//
+// Config.Layout picks the point representation of the cleaning and
+// segmentation stages; both produce byte-identical results. Trips the
+// columnar store cannot represent losslessly send the whole car down
+// the row-oriented path.
 func (p *Pipeline) ProcessContext(ctx context.Context, car int, raw []*trace.Trip) (CarResult, error) {
+	if p.Config.Layout.columnar() {
+		if cr, err, ok := p.processColumnar(ctx, car, raw); ok {
+			return cr, err
+		}
+	}
+	return p.processLegacy(ctx, car, raw)
+}
+
+// processLegacy is the row-oriented ([]RoutePoint) implementation of
+// ProcessContext.
+func (p *Pipeline) processLegacy(ctx context.Context, car int, raw []*trace.Trip) (CarResult, error) {
 	carSpan := p.met.car.Start()
 	defer func() {
 		carSpan.End()
@@ -474,39 +541,42 @@ func (p *Pipeline) ProcessContext(ctx context.Context, car int, raw []*trace.Tri
 	cr.Segments = segment.SplitAll(clean.Trips(results), p.Rules, &cr.SegStats)
 	sp.End()
 	p.met.recordSegStats(cr.SegStats)
-	if err := p.checkGate("segment", p.checker.Segments(car, cr.Segments, check.SegmentRules{
-		MinPoints:  p.Rules.MinPoints,
-		MaxLengthM: p.Rules.MaxLengthM,
-	})); err != nil {
+	if err := p.checkGate("segment", p.checker.Segments(car, cr.Segments, segmentCheckRules(p.Rules))); err != nil {
 		return cr, err
 	}
 
-	// OD selection (Table 3) and per-transition analysis.
+	return cr, p.selectAndAnalyse(ctx, car, &cr)
+}
+
+// selectAndAnalyse runs the layout-independent tail of car processing
+// — OD selection (Table 3), map-matching and attribute fetching — over
+// cr.Segments, accumulating into cr.
+func (p *Pipeline) selectAndAnalyse(ctx context.Context, car int, cr *CarResult) error {
 	if err := p.stageGate(ctx, car, "odselect"); err != nil {
-		return cr, err
+		return err
 	}
-	sp = p.met.odselect.Start()
+	sp := p.met.odselect.Start()
 	funnel, accepted := p.Selector.Run(car, cr.Segments)
 	sp.End()
 	cr.Funnel = funnel
 	p.met.recordFunnel(funnel)
 	if err := p.checkGate("odselect", p.checkTransitions(car, accepted)); err != nil {
-		return cr, err
+		return err
 	}
 	// Matching and attribute fetching run per transition; their fault
 	// gates sit at stage entry so an injected failure is attributed to
 	// the right stage.
 	if err := p.stageGate(ctx, car, "mapmatch"); err != nil {
-		return cr, err
+		return err
 	}
 	if err := p.stageGate(ctx, car, "mapattr"); err != nil {
-		return cr, err
+		return err
 	}
 	for _, tr := range accepted {
 		// Honor cancellation between transitions: a car with hundreds
 		// of accepted transitions must not stall a drain.
 		if err := ctx.Err(); err != nil {
-			return cr, err
+			return err
 		}
 		rec, err := p.analyseTransition(car, tr)
 		if err != nil {
@@ -518,16 +588,21 @@ func (p *Pipeline) ProcessContext(ctx context.Context, car int, raw []*trace.Tri
 			continue
 		}
 		if err := p.checkGate("mapmatch", p.checker.MatchedRoute(car, rec.Match.Route, rec.Match.MatchedFraction)); err != nil {
-			return cr, err
+			return err
 		}
 		if err := p.checkGate("mapattr", p.checker.RouteAttrs(car,
 			rec.Attrs.TrafficLights, rec.Attrs.BusStops,
 			rec.Attrs.PedestrianCrossings, rec.Attrs.Junctions)); err != nil {
-			return cr, err
+			return err
 		}
 		cr.Transitions = append(cr.Transitions, rec)
 	}
-	return cr, nil
+	return nil
+}
+
+// segmentCheckRules adapts segmentation rules to the checker's view.
+func segmentCheckRules(r segment.Rules) check.SegmentRules {
+	return check.SegmentRules{MinPoints: r.MinPoints, MaxLengthM: r.MaxLengthM}
 }
 
 // checkTransitions adapts accepted transitions to the checker's view.

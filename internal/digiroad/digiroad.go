@@ -315,24 +315,104 @@ func (db *Database) ObjectsInRect(r geo.Rect) []*PointObject {
 	return out
 }
 
+// lineChunkSegs is the sweep granularity for near-line queries: the
+// chain is walked in chunks of this many segments, each with its own
+// bounding-box index query, so a long route tests candidates against a
+// handful of nearby segments instead of the whole chain (the full-chain
+// distance test is quadratic in route length × candidate count).
+const lineChunkSegs = 16
+
 // ObjectsNearLine returns point objects within dist metres of the chain,
 // optionally filtered by kind (pass 0 for all kinds).
 func (db *Database) ObjectsNearLine(pl geo.Polyline, dist float64, kind ObjectKind) []*PointObject {
 	db.ensureIndexes()
-	query := pl.Bounds().Expand(dist)
-	ids := db.objIndex.Search(query, nil)
 	var out []*PointObject
-	for _, id := range ids {
-		o := db.objIndexed[id]
-		if kind != 0 && o.Kind != kind {
-			continue
+	var ids []int
+	var seen map[int]struct{}
+	for start := 0; start == 0 || start+1 < len(pl); start += lineChunkSegs {
+		chunk := pl
+		if len(pl) > lineChunkSegs+1 {
+			end := start + lineChunkSegs + 1
+			if end > len(pl) {
+				end = len(pl)
+			}
+			chunk = pl[start:end]
 		}
-		if pl.DistanceTo(o.Pos) <= dist {
-			out = append(out, o)
+		ids = db.objIndex.Search(chunk.Bounds().Expand(dist), ids[:0])
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			o := db.objIndexed[id]
+			if kind != 0 && o.Kind != kind {
+				continue
+			}
+			// An object within dist of the full chain is within dist of
+			// the chunk holding its nearest segment, so the union over
+			// chunks accepts exactly the objects the one-shot full-chain
+			// test accepted.
+			if chunk.DistanceTo(o.Pos) <= dist {
+				if seen == nil {
+					seen = make(map[int]struct{})
+				}
+				seen[id] = struct{}{}
+				out = append(out, o)
+			}
+		}
+		if len(chunk) == len(pl) {
+			break
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// CountObjectsNearLine tallies by kind the point objects within dist
+// metres of the chain. It accepts exactly the objects ObjectsNearLine
+// (with kind 0) accepts, but only counts them, so per-route feature
+// fetching does not build and sort a result slice it will immediately
+// discard.
+func (db *Database) CountObjectsNearLine(pl geo.Polyline, dist float64) FeatureCounts {
+	db.ensureIndexes()
+	var fc FeatureCounts
+	var ids, seen []int
+	for start := 0; start == 0 || start+1 < len(pl); start += lineChunkSegs {
+		chunk := pl
+		if len(pl) > lineChunkSegs+1 {
+			end := start + lineChunkSegs + 1
+			if end > len(pl) {
+				end = len(pl)
+			}
+			chunk = pl[start:end]
+		}
+		ids = db.objIndex.Search(chunk.Bounds().Expand(dist), ids[:0])
+	candidates:
+		for _, id := range ids {
+			// The accept set is small (objects on the traversed streets),
+			// so a linear dedup scan beats a map.
+			for _, s := range seen {
+				if s == id {
+					continue candidates
+				}
+			}
+			o := db.objIndexed[id]
+			if chunk.DistanceTo(o.Pos) <= dist {
+				seen = append(seen, id)
+				switch o.Kind {
+				case TrafficLight:
+					fc.TrafficLights++
+				case BusStop:
+					fc.BusStops++
+				case PedestrianCrossing:
+					fc.PedestrianCrossings++
+				}
+			}
+		}
+		if len(chunk) == len(pl) {
+			break
+		}
+	}
+	return fc
 }
 
 // FeatureCounts tallies the paper's four feature kinds within a

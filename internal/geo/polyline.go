@@ -202,6 +202,43 @@ func (pl Polyline) Slice(from, to float64) Polyline {
 	return out
 }
 
+// AppendSlice appends exactly the vertices Slice(from, to) returns to
+// dst, without allocating an intermediate polyline.
+func (pl Polyline) AppendSlice(dst Polyline, from, to float64) Polyline {
+	if len(pl) < 2 || to <= from {
+		if len(pl) == 0 {
+			return dst
+		}
+		return append(dst, pl.PointAt(from))
+	}
+	dst = append(dst, pl.PointAt(from))
+	var walked float64
+	for i := 1; i < len(pl); i++ {
+		seg := pl[i-1].Dist(pl[i])
+		vertexAt := walked + seg
+		if vertexAt > from && vertexAt < to {
+			dst = append(dst, pl[i])
+		}
+		walked = vertexAt
+		if walked >= to {
+			break
+		}
+	}
+	return append(dst, pl.PointAt(to))
+}
+
+// AppendSliceReversed appends exactly the vertices
+// Slice(from, to).Reverse() returns to dst, without allocating an
+// intermediate polyline.
+func (pl Polyline) AppendSliceReversed(dst Polyline, from, to float64) Polyline {
+	start := len(dst)
+	dst = pl.AppendSlice(dst, from, to)
+	for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
 // closestOnSegment returns the closest point to p on segment ab and the
 // interpolation parameter t in [0,1].
 func closestOnSegment(p, a, b XY) (XY, float64) {

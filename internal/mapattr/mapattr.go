@@ -20,10 +20,13 @@ type RouteAttributes struct {
 	LengthM             float64
 }
 
-// Fetcher counts features along route geometries.
+// Fetcher counts features along route geometries. It is safe for
+// concurrent use: the junction list is computed once at construction
+// and only read afterwards.
 type Fetcher struct {
-	db    *digiroad.Database
-	graph *roadnet.Graph
+	db        *digiroad.Database
+	graph     *roadnet.Graph
+	junctions []*roadnet.Node
 	// ProximityM is how close a point object must be to the route to
 	// count (default 20 m: the object sits on the traversed street).
 	ProximityM float64
@@ -34,26 +37,53 @@ func NewFetcher(db *digiroad.Database, graph *roadnet.Graph, proximityM float64)
 	if proximityM <= 0 {
 		proximityM = 20
 	}
-	return &Fetcher{db: db, graph: graph, ProximityM: proximityM}
+	return &Fetcher{db: db, graph: graph, junctions: graph.Junctions(), ProximityM: proximityM}
 }
+
+// attrChunkSegs mirrors digiroad's near-line sweep granularity: the
+// route is cut into chunks of this many segments and each junction is
+// distance-tested only against the chunks whose expanded bounds contain
+// it, instead of projecting every in-bbox junction onto the full route.
+const attrChunkSegs = 16
 
 // AlongGeometry counts the features within ProximityM of the route
 // chain and the junction nodes it passes.
 func (f *Fetcher) AlongGeometry(route geo.Polyline) RouteAttributes {
 	attrs := RouteAttributes{LengthM: route.Length()}
-	for _, o := range f.db.ObjectsNearLine(route, f.ProximityM, 0) {
-		switch o.Kind {
-		case digiroad.TrafficLight:
-			attrs.TrafficLights++
-		case digiroad.BusStop:
-			attrs.BusStops++
-		case digiroad.PedestrianCrossing:
-			attrs.PedestrianCrossings++
+	fc := f.db.CountObjectsNearLine(route, f.ProximityM)
+	attrs.TrafficLights = fc.TrafficLights
+	attrs.BusStops = fc.BusStops
+	attrs.PedestrianCrossings = fc.PedestrianCrossings
+
+	type chunkRect struct {
+		chunk  geo.Polyline
+		bounds geo.Rect
+	}
+	var chunks []chunkRect
+	for start := 0; start == 0 || start+1 < len(route); start += attrChunkSegs {
+		chunk := route
+		if len(route) > attrChunkSegs+1 {
+			end := start + attrChunkSegs + 1
+			if end > len(route) {
+				end = len(route)
+			}
+			chunk = route[start:end]
+		}
+		chunks = append(chunks, chunkRect{chunk, chunk.Bounds().Expand(f.ProximityM)})
+		if len(chunk) == len(route) {
+			break
 		}
 	}
-	for _, n := range f.graph.JunctionsIn(route.Bounds().Expand(f.ProximityM)) {
-		if route.DistanceTo(n.Pos) <= f.ProximityM {
-			attrs.Junctions++
+	for _, n := range f.junctions {
+		for _, c := range chunks {
+			// A junction within ProximityM of the route is within
+			// ProximityM of the chunk holding its nearest segment, and
+			// that chunk's expanded bounds contain it — so this accepts
+			// exactly the junctions the full-route test accepted.
+			if c.bounds.Contains(n.Pos) && c.chunk.DistanceTo(n.Pos) <= f.ProximityM {
+				attrs.Junctions++
+				break
+			}
 		}
 	}
 	return attrs

@@ -168,7 +168,9 @@ func (m *HMMMatcher) Match(points []trace.RoutePoint) (*Result, error) {
 		res.Points[li] = MatchedPoint{Index: li, Edge: st.cand.Edge.ID, Proj: st.cand.Proj}
 	}
 	res.MatchedFraction = float64(len(layers)) / float64(len(points))
-	m.inc.assembleRoute(res)
+	s := m.inc.getScratch()
+	m.inc.assembleRoute(res, s)
+	m.inc.putScratch(s)
 	return res, nil
 }
 

@@ -16,6 +16,7 @@ package mapmatch
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"repro/internal/geo"
 	"repro/internal/roadnet"
@@ -104,12 +105,49 @@ type Result struct {
 }
 
 // Matcher is a reusable incremental map-matcher over one graph. It is
-// safe for concurrent use: all per-match state lives on the stack and
+// safe for concurrent use: per-match state is checked out of a pool and
 // the shared Router is itself concurrency-safe.
 type Matcher struct {
-	g   *roadnet.Graph
-	rt  *roadnet.Router
-	cfg Config
+	g       *roadnet.Graph
+	rt      *roadnet.Router
+	cfg     Config
+	scratch sync.Pool // of *matchScratch
+}
+
+// matchScratch is the reusable per-match state: one candidate-query
+// buffer per lookahead level (the level-0 buffer must survive while
+// deeper levels query), the matched-position sequence, the
+// element-dedup set, and the geometry/edge assembly buffers.
+type matchScratch struct {
+	near  []roadnet.NearScratch
+	seq   []matchPos
+	seen  map[int]bool
+	piece geo.Polyline
+	edges []roadnet.EdgeID
+}
+
+type matchPos struct {
+	edge  roadnet.EdgeID
+	along float64
+	pt    geo.XY
+}
+
+func (m *Matcher) getScratch() *matchScratch {
+	if s, ok := m.scratch.Get().(*matchScratch); ok {
+		return s
+	}
+	return &matchScratch{
+		near: make([]roadnet.NearScratch, m.cfg.LookaheadDepth+1),
+		seen: make(map[int]bool),
+	}
+}
+
+func (m *Matcher) putScratch(s *matchScratch) {
+	s.seq = s.seq[:0]
+	s.piece = s.piece[:0]
+	s.edges = s.edges[:0]
+	clear(s.seen)
+	m.scratch.Put(s)
 }
 
 // NewIncremental builds a matcher over the graph's shared routing
@@ -144,18 +182,21 @@ func (m *Matcher) Match(points []trace.RoutePoint) (*Result, error) {
 	if len(points) == 0 {
 		return nil, ErrEmptyInput
 	}
-	res := &Result{}
+	s := m.getScratch()
+	defer m.putScratch(s)
+	res := &Result{Points: make([]MatchedPoint, 0, len(points))}
 	matched := 0
 
-	var prev *MatchedPoint
+	var prev MatchedPoint
+	hasPrev := false
 	var prevPointPos geo.XY
 	for i := range points {
-		mp := m.matchOne(points, i, prev, prevPointPos)
+		mp := m.matchOne(points, i, prev, hasPrev, prevPointPos, s)
 		res.Points = append(res.Points, mp)
 		if !mp.Skipped {
 			matched++
-			cp := mp
-			prev = &cp
+			prev = mp
+			hasPrev = true
 			prevPointPos = points[i].Pos
 		}
 	}
@@ -163,19 +204,18 @@ func (m *Matcher) Match(points []trace.RoutePoint) (*Result, error) {
 	if matched == 0 {
 		return nil, ErrNoCandidate
 	}
-	m.assembleRoute(res)
+	m.assembleRoute(res, s)
 	return res, nil
 }
 
 // matchOne scores the candidate edges for point i and picks the best,
 // optionally looking ahead at the next points' best continuations.
-func (m *Matcher) matchOne(points []trace.RoutePoint, i int, prev *MatchedPoint, prevPos geo.XY) MatchedPoint {
-	cands := m.candidates(points[i].Pos)
+func (m *Matcher) matchOne(points []trace.RoutePoint, i int, prev MatchedPoint, hasPrev bool, prevPos geo.XY, s *matchScratch) MatchedPoint {
+	cands := m.candidates(points[i].Pos, &s.near[0])
 	if len(cands) == 0 {
 		return MatchedPoint{Index: i, Skipped: true}
 	}
 	var prevEdge roadnet.EdgeID
-	hasPrev := prev != nil
 	if hasPrev {
 		prevEdge = prev.Edge
 	}
@@ -188,7 +228,7 @@ func (m *Matcher) matchOne(points []trace.RoutePoint, i int, prev *MatchedPoint,
 			continue
 		}
 		if m.cfg.LookaheadDepth > 0 && i+1 < len(points) {
-			score += 0.6 * m.continuation(points, i+1, c.Edge.ID, m.cfg.LookaheadDepth)
+			score += 0.6 * m.continuation(points, i+1, c.Edge.ID, m.cfg.LookaheadDepth, s)
 		}
 		if score > best {
 			best = score
@@ -202,9 +242,10 @@ func (m *Matcher) matchOne(points []trace.RoutePoint, i int, prev *MatchedPoint,
 	return MatchedPoint{Index: i, Edge: bestCand.Edge.ID, Proj: bestCand.Proj}
 }
 
-// candidates returns the bounded candidate set for a position.
-func (m *Matcher) candidates(p geo.XY) []roadnet.EdgeCandidate {
-	cands := m.g.EdgesNear(p, m.cfg.MaxCandidateDist)
+// candidates returns the bounded candidate set for a position. The
+// result aliases ns and is valid until its next reuse.
+func (m *Matcher) candidates(p geo.XY, ns *roadnet.NearScratch) []roadnet.EdgeCandidate {
+	cands := m.g.EdgesNearInto(p, m.cfg.MaxCandidateDist, ns)
 	if len(cands) > m.cfg.MaxCandidates {
 		cands = cands[:m.cfg.MaxCandidates]
 	}
@@ -255,9 +296,11 @@ func (m *Matcher) scoreCandidate(points []trace.RoutePoint, i int, c roadnet.Edg
 
 // continuation returns the best achievable score for point i given the
 // previous edge, recursing up to depth points ahead with a decaying
-// weight.
-func (m *Matcher) continuation(points []trace.RoutePoint, i int, prevEdge roadnet.EdgeID, depth int) float64 {
-	cands := m.candidates(points[i].Pos)
+// weight. Each recursion level queries through its own scratch buffer
+// (s.near[level]) so the caller's candidate slice stays intact.
+func (m *Matcher) continuation(points []trace.RoutePoint, i int, prevEdge roadnet.EdgeID, depth int, s *matchScratch) float64 {
+	level := m.cfg.LookaheadDepth - depth + 1
+	cands := m.candidates(points[i].Pos, &s.near[level])
 	if len(cands) == 0 {
 		return 0
 	}
@@ -268,7 +311,7 @@ func (m *Matcher) continuation(points []trace.RoutePoint, i int, prevEdge roadne
 			continue
 		}
 		if depth > 1 && i+1 < len(points) {
-			score += 0.6 * m.continuation(points, i+1, c.Edge.ID, depth-1)
+			score += 0.6 * m.continuation(points, i+1, c.Edge.ID, depth-1, s)
 		}
 		if score > best {
 			best = score
@@ -305,23 +348,20 @@ func (m *Matcher) adjacent(a, b roadnet.EdgeID) bool {
 // assembleRoute connects consecutive matched positions into one
 // continuous network route, filling disconnected gaps with shortest
 // paths.
-func (m *Matcher) assembleRoute(res *Result) {
-	type pos struct {
-		edge  roadnet.EdgeID
-		along float64
-		pt    geo.XY
-	}
-	var seq []pos
+func (m *Matcher) assembleRoute(res *Result, s *matchScratch) {
+	seq := s.seq[:0]
 	for _, mp := range res.Points {
 		if mp.Skipped {
 			continue
 		}
-		seq = append(seq, pos{edge: mp.Edge, along: mp.Proj.Along, pt: mp.Proj.Point})
+		seq = append(seq, matchPos{edge: mp.Edge, along: mp.Proj.Along, pt: mp.Proj.Point})
 	}
+	s.seq = seq
 	if len(seq) == 0 {
 		return
 	}
-	res.Geometry = geo.Polyline{seq[0].pt}
+	res.Route = make([]roadnet.EdgeID, 0, len(seq))
+	res.Geometry = append(make(geo.Polyline, 0, 2*len(seq)), seq[0].pt)
 	appendEdge := func(id roadnet.EdgeID) {
 		if n := len(res.Route); n == 0 || res.Route[n-1] != id {
 			res.Route = append(res.Route, id)
@@ -333,19 +373,18 @@ func (m *Matcher) assembleRoute(res *Result) {
 		a, b := seq[k-1], seq[k]
 		if a.edge == b.edge {
 			// Same edge: walk along its geometry between the two
-			// projections.
+			// projections, staged through the reusable piece buffer.
 			g := m.g.Edges[a.edge].Geom
 			lo, hi := a.along, b.along
-			var piece geo.Polyline
 			if lo <= hi {
-				piece = g.Slice(lo, hi)
+				s.piece = g.AppendSlice(s.piece[:0], lo, hi)
 			} else {
-				piece = g.Slice(hi, lo).Reverse()
+				s.piece = g.AppendSliceReversed(s.piece[:0], hi, lo)
 			}
-			res.Geometry = appendChain(res.Geometry, piece)
+			res.Geometry = appendChain(res.Geometry, s.piece)
 			continue
 		}
-		edges, piece, filled := m.connect(a.edge, a.along, b.edge, b.along)
+		edges, piece, filled := m.connect(a.edge, a.along, b.edge, b.along, s)
 		if filled {
 			res.GapsFilled++
 		}
@@ -356,7 +395,7 @@ func (m *Matcher) assembleRoute(res *Result) {
 	}
 
 	// Traversed traffic elements, deduplicated in route order.
-	seen := map[int]bool{}
+	seen := s.seen
 	for _, id := range res.Route {
 		for _, el := range m.g.Edges[id].Elements {
 			if !seen[el] {
@@ -370,55 +409,49 @@ func (m *Matcher) assembleRoute(res *Result) {
 // connect routes from a position on edge A to a position on edge B,
 // trying all exit/entry node combinations and charging the partial
 // edge distances. filled is true when the edges are not adjacent
-// (a genuine gap that required Dijkstra).
-func (m *Matcher) connect(ea roadnet.EdgeID, alongA float64, eb roadnet.EdgeID, alongB float64) ([]roadnet.EdgeID, geo.Polyline, bool) {
+// (a genuine gap that required Dijkstra). The returned slices are
+// views into s's reusable buffers, valid until the next connect call.
+func (m *Matcher) connect(ea roadnet.EdgeID, alongA float64, eb roadnet.EdgeID, alongB float64, s *matchScratch) ([]roadnet.EdgeID, geo.Polyline, bool) {
 	A, B := &m.g.Edges[ea], &m.g.Edges[eb]
 	filled := !m.adjacent(ea, eb)
 
-	type option struct {
-		cost  float64
-		edges []roadnet.EdgeID
-		geom  geo.Polyline
-	}
-	best := option{cost: math.Inf(1)}
+	// First pass: pick the cheapest exit/entry combination on cost
+	// alone (the partial-edge charges need no geometry), then build the
+	// edge list and geometry once for the winner.
+	bestCost := math.Inf(1)
+	var bestExitTo, bestEnterFrom bool
+	var bestPath *roadnet.Path
 
 	for _, exitTo := range [2]bool{false, true} { // exit via A.From or A.To
-		// Partial geometry on A from alongA to the chosen endpoint.
 		var exitNode roadnet.NodeID
-		var gA geo.Polyline
 		var costA float64
 		if exitTo {
 			if !A.CanTraverse(true) {
 				continue
 			}
 			exitNode = A.To
-			gA = A.Geom.Slice(alongA, A.Length)
 			costA = A.Length - alongA
 		} else {
 			if !A.CanTraverse(false) {
 				continue
 			}
 			exitNode = A.From
-			gA = A.Geom.Slice(0, alongA).Reverse()
 			costA = alongA
 		}
 		for _, enterFrom := range [2]bool{true, false} { // enter via B.From or B.To
 			var enterNode roadnet.NodeID
-			var gB geo.Polyline
 			var costB float64
 			if enterFrom {
 				if !B.CanTraverse(true) {
 					continue
 				}
 				enterNode = B.From
-				gB = B.Geom.Slice(0, alongB)
 				costB = alongB
 			} else {
 				if !B.CanTraverse(false) {
 					continue
 				}
 				enterNode = B.To
-				gB = B.Geom.Slice(alongB, B.Length).Reverse()
 				costB = B.Length - alongB
 			}
 			path, err := m.rt.ShortestPath(exitNode, enterNode, roadnet.DistanceWeight)
@@ -426,22 +459,42 @@ func (m *Matcher) connect(ea roadnet.EdgeID, alongA float64, eb roadnet.EdgeID, 
 				continue
 			}
 			total := costA + path.Cost + costB
-			if total < best.cost {
-				var edges []roadnet.EdgeID
-				edges = append(edges, ea)
-				edges = append(edges, path.Edges()...)
-				edges = append(edges, eb)
-				geom := appendChain(gA.Clone(), path.Geometry())
-				geom = appendChain(geom, gB)
-				best = option{cost: total, edges: edges, geom: geom}
+			if total < bestCost {
+				bestCost = total
+				bestExitTo, bestEnterFrom, bestPath = exitTo, enterFrom, path
 			}
 		}
 	}
-	if math.IsInf(best.cost, 1) {
+	if math.IsInf(bestCost, 1) {
 		// Unreachable (disconnected component): jump straight across.
-		return []roadnet.EdgeID{ea, eb}, geo.Polyline{B.Geom.PointAt(alongB)}, filled
+		s.edges = append(s.edges[:0], ea, eb)
+		s.piece = append(s.piece[:0], B.Geom.PointAt(alongB))
+		return s.edges, s.piece, filled
 	}
-	return best.edges, best.geom, filled
+
+	// Assemble gA + path geometry + gB in the reusable piece buffer,
+	// applying appendChain's joint rule at each boundary.
+	piece := s.piece[:0]
+	if bestExitTo {
+		piece = A.Geom.AppendSlice(piece, alongA, A.Length)
+	} else {
+		piece = A.Geom.AppendSliceReversed(piece, 0, alongA)
+	}
+	mark := len(piece)
+	piece = dropJoint(bestPath.AppendGeometry(piece), mark)
+	mark = len(piece)
+	if bestEnterFrom {
+		piece = B.Geom.AppendSlice(piece, 0, alongB)
+	} else {
+		piece = B.Geom.AppendSliceReversed(piece, alongB, B.Length)
+	}
+	piece = dropJoint(piece, mark)
+	s.piece = piece
+
+	s.edges = append(s.edges[:0], ea)
+	s.edges = bestPath.AppendEdges(s.edges)
+	s.edges = append(s.edges, eb)
+	return s.edges, s.piece, filled
 }
 
 // appendChain appends piece to chain, dropping a duplicated joint
@@ -451,4 +504,23 @@ func appendChain(chain, piece geo.Polyline) geo.Polyline {
 		piece = piece[1:]
 	}
 	return append(chain, piece...)
+}
+
+// dropJoint applies appendChain's joint rule in place: it removes the
+// leading vertices of piece[mark:] that duplicate (within 1e-6) the
+// chain tail piece[mark-1], as if piece[mark:] had been appended with
+// appendChain.
+func dropJoint(piece geo.Polyline, mark int) geo.Polyline {
+	if mark == 0 {
+		return piece
+	}
+	tail := piece[mark-1]
+	k := 0
+	for mark+k < len(piece) && tail.Dist(piece[mark+k]) < 1e-6 {
+		k++
+	}
+	if k > 0 {
+		piece = append(piece[:mark], piece[mark+k:]...)
+	}
+	return piece
 }

@@ -173,12 +173,28 @@ type gateEvent struct {
 
 // Classify runs one cleaned trip segment through the funnel.
 func (s *Selector) Classify(seg *trace.Trip) Classification {
-	traj := seg.Geometry()
+	var sc classifyScratch
+	return s.classify(seg, &sc)
+}
+
+// classifyScratch holds the per-segment buffers classify reuses; Run
+// keeps one across a whole car so steady-state classification does not
+// allocate per segment.
+type classifyScratch struct {
+	traj   geo.Polyline
+	events []gateEvent
+}
+
+func (s *Selector) classify(seg *trace.Trip, sc *classifyScratch) Classification {
+	// Crossings and the filters below only read the trajectory and keep
+	// value-typed results, so the buffer is safe to reuse.
+	traj := seg.AppendGeometry(sc.traj[:0])
+	sc.traj = traj
 	if len(traj) < 2 {
 		return Classification{Stage: StageNoGate}
 	}
 
-	var events []gateEvent
+	events := sc.events[:0]
 	for _, g := range s.gates {
 		for _, cr := range g.Thick.Crossings(traj) {
 			if cr.Angle <= s.cfg.MaxCrossingAngleDeg {
@@ -186,6 +202,7 @@ func (s *Selector) Classify(seg *trace.Trip) Classification {
 			}
 		}
 	}
+	sc.events = events
 	if len(events) == 0 {
 		return Classification{Stage: StageNoGate}
 	}
@@ -284,8 +301,9 @@ type Funnel struct {
 func (s *Selector) Run(car int, segs []*trace.Trip) (Funnel, []*Transition) {
 	f := Funnel{Car: car, TripSegments: len(segs)}
 	var accepted []*Transition
+	var sc classifyScratch
 	for _, seg := range segs {
-		c := s.Classify(seg)
+		c := s.classify(seg, &sc)
 		if c.Stage >= StageGateTouched {
 			f.Filtered++
 		}

@@ -373,19 +373,42 @@ type EdgeCandidate struct {
 	Distance float64
 }
 
+// NearScratch holds the reusable buffers for EdgesNearInto. The zero
+// value is ready to use; one scratch serves one goroutine.
+type NearScratch struct {
+	ids   []int
+	cands []EdgeCandidate
+}
+
 // EdgesNear returns edges passing within radius of p, nearest first.
 func (g *Graph) EdgesNear(p geo.XY, radius float64) []EdgeCandidate {
+	return g.EdgesNearInto(p, radius, &NearScratch{})
+}
+
+// EdgesNearInto is EdgesNear with caller-owned buffers: the returned
+// slice aliases s and is valid until the next call with the same
+// scratch. The hot path (map matching queries the index a few times
+// per route point) runs allocation-free with a warm scratch.
+func (g *Graph) EdgesNearInto(p geo.XY, radius float64, s *NearScratch) []EdgeCandidate {
 	query := geo.RectFromPoints(p).Expand(radius)
-	ids := g.edgeIndex.Search(query, nil)
-	var out []EdgeCandidate
-	for _, id := range ids {
+	s.ids = g.edgeIndex.Search(query, s.ids[:0])
+	out := s.cands[:0]
+	for _, id := range s.ids {
 		e := &g.Edges[id]
 		proj := e.Geom.Project(p)
 		if proj.Distance <= radius {
 			out = append(out, EdgeCandidate{Edge: e, Proj: proj, Distance: proj.Distance})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	// Insertion sort by distance: candidate sets are tiny, and unlike
+	// sort.Slice this neither allocates nor depends on an unstable
+	// algorithm's tie order (ties keep index order).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Distance < out[j-1].Distance; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	s.cands = out
 	return out
 }
 

@@ -52,13 +52,42 @@ func (p *Path) Geometry() geo.Polyline {
 	return out
 }
 
+// AppendGeometry appends exactly the vertices Geometry returns to dst,
+// without allocating intermediates (no per-step Reverse copies). Safe
+// on cached paths: the step geometries are only read.
+func (p *Path) AppendGeometry(dst geo.Polyline) geo.Polyline {
+	start := len(dst)
+	for _, s := range p.Steps {
+		g := s.Edge.Geom
+		if s.Forward {
+			if len(dst) > start && len(g) > 0 {
+				g = g[1:]
+			}
+			dst = append(dst, g...)
+		} else {
+			i := len(g) - 1
+			if len(dst) > start && len(g) > 0 {
+				i-- // skip the joint vertex (reversed head = forward tail)
+			}
+			for ; i >= 0; i-- {
+				dst = append(dst, g[i])
+			}
+		}
+	}
+	return dst
+}
+
 // Edges returns the traversed edge IDs in order.
 func (p *Path) Edges() []EdgeID {
-	out := make([]EdgeID, len(p.Steps))
-	for i, s := range p.Steps {
-		out[i] = s.Edge.ID
+	return p.AppendEdges(make([]EdgeID, 0, len(p.Steps)))
+}
+
+// AppendEdges appends the traversed edge IDs to dst.
+func (p *Path) AppendEdges(dst []EdgeID) []EdgeID {
+	for _, s := range p.Steps {
+		dst = append(dst, s.Edge.ID)
 	}
-	return out
+	return dst
 }
 
 // ErrNoPath is returned when the destination is unreachable. It is a

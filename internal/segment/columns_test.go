@@ -1,0 +1,131 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// randomCleanedTrip builds a time-ordered trip shaped like cleaning
+// output, with still periods, slow crawls and long gaps sprinkled in so
+// every Table 2 rule fires across the population.
+func randomCleanedTrip(rng *rand.Rand, id int64) *trace.Trip {
+	tr := &trace.Trip{ID: id, CarID: 1}
+	x, y := 0.0, 0.0
+	at := time.Date(2012, 10, 1, 8, 0, 0, 0, time.UTC).Add(time.Duration(id) * time.Hour)
+	n := 2 + rng.Intn(60)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0: // still period (rule 1 / resplit rule 5 material)
+			at = at.Add(time.Duration(1+rng.Intn(8)) * time.Minute)
+			x += rng.Float64() * 5
+		case 1: // long gap with little movement (rules 2 and 4)
+			at = at.Add(time.Duration(5+rng.Intn(20)) * time.Minute)
+			x += rng.Float64() * 2000
+		case 2: // crawl (rule 3)
+			at = at.Add(30 * time.Minute)
+			x += 0.001
+		case 3: // zero-duration pair
+			x += 100
+		default: // normal driving
+			at = at.Add(time.Duration(10+rng.Intn(50)) * time.Second)
+			x += 100 + rng.Float64()*400
+			y += rng.Float64() * 50
+		}
+		tr.Points = append(tr.Points, trace.RoutePoint{
+			PointID:  i + 1,
+			TripID:   id,
+			Pos:      geo.V(x, y),
+			Time:     at,
+			SpeedKmh: rng.Float64() * 60,
+			FuelMl:   float64(i) * 8,
+			DistM:    float64(i) * 100,
+		})
+	}
+	tr.MarkTimeSorted()
+	return tr
+}
+
+// TestSplitColumnsMatchesSplit: over thousands of random cleaned
+// trips, columnar segmentation must produce the same segments — same
+// membership, same point values — and the same Stats as the
+// row-oriented Split.
+func TestSplitColumnsMatchesSplit(t *testing.T) {
+	rules := DefaultRules()
+	loose := DefaultRules()
+	loose.MinPoints = 2
+	loose.ResplitLengthM = 5000
+	loose.MaxLengthM = 100_000
+	rng := rand.New(rand.NewSource(19))
+	a := trace.NewArena(0)
+	for i := 0; i < 3000; i++ {
+		r := rules
+		if i%2 == 1 {
+			r = loose
+		}
+		tr := randomCleanedTrip(rng, int64(i+1))
+
+		var wantStats Stats
+		want := Split(tr, r, &wantStats)
+
+		a.Reset()
+		v, err := a.AppendTrip(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotStats Stats
+		views := SplitColumns(v, r, &gotStats, nil)
+
+		if wantStats != gotStats {
+			t.Fatalf("trip %d stats diverge:\ncolumnar %+v\nlegacy   %+v", tr.ID, gotStats, wantStats)
+		}
+		if len(views) != len(want) {
+			t.Fatalf("trip %d: columnar %d segments, legacy %d", tr.ID, len(views), len(want))
+		}
+		got := trace.MaterializeAll(views, true)
+		for si := range want {
+			ws, gs := want[si], got[si]
+			if gs.ID != ws.ID || gs.CarID != ws.CarID || len(gs.Points) != len(ws.Points) {
+				t.Fatalf("trip %d segment %d header diverges", tr.ID, si)
+			}
+			for k := range ws.Points {
+				wp, gp := &ws.Points[k], &gs.Points[k]
+				if gp.PointID != wp.PointID || !gp.Time.Equal(wp.Time) ||
+					math.Float64bits(gp.Pos.X) != math.Float64bits(wp.Pos.X) ||
+					math.Float64bits(gp.Pos.Y) != math.Float64bits(wp.Pos.Y) ||
+					math.Float64bits(gp.SpeedKmh) != math.Float64bits(wp.SpeedKmh) ||
+					math.Float64bits(gp.FuelMl) != math.Float64bits(wp.FuelMl) ||
+					math.Float64bits(gp.DistM) != math.Float64bits(wp.DistM) {
+					t.Fatalf("trip %d segment %d point %d diverges", tr.ID, si, k)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitColumnsAppendsToOut: the out parameter accumulates across
+// calls, the pattern the pipeline uses for a car's whole trip list.
+func TestSplitColumnsAppendsToOut(t *testing.T) {
+	rules := DefaultRules()
+	rules.MinPoints = 2
+	rng := rand.New(rand.NewSource(23))
+	a := trace.NewArena(0)
+	var out []trace.ColTrip
+	wantTotal := 0
+	for i := 0; i < 5; i++ {
+		tr := randomCleanedTrip(rng, int64(i+1))
+		wantTotal += len(Split(tr, rules, nil))
+		v, err := a.AppendTrip(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = SplitColumns(v, rules, nil, out)
+	}
+	if len(out) != wantTotal {
+		t.Fatalf("accumulated %d segments, want %d", len(out), wantTotal)
+	}
+}

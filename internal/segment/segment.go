@@ -229,5 +229,9 @@ func pairRule(a, b *trace.RoutePoint, rules Rules) int {
 func subTrip(t *trace.Trip, i, j int) *trace.Trip {
 	out := &trace.Trip{ID: t.ID, CarID: t.CarID}
 	out.Points = append([]trace.RoutePoint(nil), t.Points[i:j]...)
+	if t.TimeSorted() {
+		// A contiguous slice of a time-ordered trip stays ordered.
+		out.MarkTimeSorted()
+	}
 	return out
 }

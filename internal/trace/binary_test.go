@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func binTestProj() *geo.Projection {
+	return geo.NewProjection(geo.Point{Lon: 25.47, Lat: 65.01})
+}
+
+// binTestTrips returns trips with awkward fractional values, sub-metre
+// positions and a sub-millisecond timestamp, so quantisation is
+// actually exercised.
+func binTestTrips() []*Trip {
+	trips := []*Trip{
+		mkTrip(1, 0, 0, 103.37, -42.9, 100.004, 100.25),
+		mkTrip(2, 50.5, 50.5, 60.75, 60.125),
+		mkTrip(9, -1234.5678, 987.654),
+	}
+	trips[1].CarID = 3
+	trips[1].Points[0].SpeedKmh = 13.333333
+	trips[1].Points[0].FuelMl = 0.05
+	trips[1].Points[1].DistM = 10238.06
+	trips[2].CarID = 12
+	trips[2].Points[0].Time = t0.Add(7*time.Millisecond + 431*time.Microsecond)
+	return trips
+}
+
+// TestBinaryCSVValueIdentity is the format-parity property the pipeline
+// differential relies on: a fleet written to binary and read back is
+// value-identical — float bit patterns included — to the same fleet
+// written to CSV and read back.
+func TestBinaryCSVValueIdentity(t *testing.T) {
+	proj := binTestProj()
+	trips := binTestTrips()
+
+	var cbuf, bbuf bytes.Buffer
+	if err := WriteCSV(&cbuf, trips, proj); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bbuf, trips, proj); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := ReadCSV(bytes.NewReader(cbuf.Bytes()), proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadBinary(bytes.NewReader(bbuf.Bytes()), proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromBin) != len(fromCSV) {
+		t.Fatalf("binary %d trips, csv %d", len(fromBin), len(fromCSV))
+	}
+	for i := range fromCSV {
+		c, b := fromCSV[i], fromBin[i]
+		if b.ID != c.ID || b.CarID != c.CarID || len(b.Points) != len(c.Points) {
+			t.Fatalf("trip %d header: binary %+v, csv %+v", i, b, c)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for k := range c.Points {
+			cp, bp := &c.Points[k], &b.Points[k]
+			if bp.PointID != cp.PointID || bp.TripID != cp.TripID {
+				t.Fatalf("trip %d point %d ids differ", i, k)
+			}
+			if !bp.Time.Equal(cp.Time) || bp.Time.Location() != time.UTC {
+				t.Fatalf("trip %d point %d time: binary %v, csv %v", i, k, bp.Time, cp.Time)
+			}
+			// Bit equality, not approximate: the quantisers must agree
+			// digit for digit with FormatFloat/ParseFloat.
+			if math.Float64bits(bp.Pos.X) != math.Float64bits(cp.Pos.X) ||
+				math.Float64bits(bp.Pos.Y) != math.Float64bits(cp.Pos.Y) ||
+				math.Float64bits(bp.SpeedKmh) != math.Float64bits(cp.SpeedKmh) ||
+				math.Float64bits(bp.FuelMl) != math.Float64bits(cp.FuelMl) ||
+				math.Float64bits(bp.DistM) != math.Float64bits(cp.DistM) {
+				t.Fatalf("trip %d point %d values diverge:\nbinary %+v\ncsv    %+v", i, k, *bp, *cp)
+			}
+		}
+	}
+}
+
+// TestBinaryRoundTripStable: write → read → write must reproduce the
+// file byte for byte (quantisation is idempotent).
+func TestBinaryRoundTripStable(t *testing.T) {
+	proj := binTestProj()
+	var first bytes.Buffer
+	if err := WriteBinary(&first, binTestTrips(), proj); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(bytes.NewReader(first.Bytes()), proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := WriteBinary(&second, back, proj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("unstable round trip: first %d bytes, second %d bytes",
+			first.Len(), second.Len())
+	}
+}
+
+func TestWriteBinarySkipsEmptyAndRejectsOverflow(t *testing.T) {
+	proj := binTestProj()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, []*Trip{{ID: 5, CarID: 1}}, proj); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != binaryHeaderLen {
+		t.Fatalf("empty trip wrote %d bytes, want bare header", buf.Len())
+	}
+	if got, err := ReadBinary(bytes.NewReader(buf.Bytes()), proj); err != nil || len(got) != 0 {
+		t.Fatalf("header-only file: trips=%v err=%v", got, err)
+	}
+
+	big := mkTrip(1, 0, 0, 10, 0)
+	big.CarID = 1 << 40
+	if err := WriteBinary(io.Discard, []*Trip{big}, proj); err == nil {
+		t.Fatal("car id overflow accepted")
+	}
+	bad := mkTrip(2, 0, 0, 10, 0)
+	bad.Points[0].PointID = 1 << 40
+	if err := WriteBinary(io.Discard, []*Trip{bad}, proj); err == nil {
+		t.Fatal("point id overflow accepted")
+	}
+	nan := mkTrip(3, 0, 0, 10, 0)
+	nan.Points[1].FuelMl = math.NaN()
+	if err := WriteBinary(io.Discard, []*Trip{nan}, proj); err == nil {
+		t.Fatal("NaN fuel accepted")
+	}
+}
+
+// corruptAt returns a valid one-trip file with f applied to its bytes.
+func corruptAt(t *testing.T, f func([]byte) []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, []*Trip{mkTrip(1, 0, 0, 10, 0, 20, 0)}, binTestProj()); err != nil {
+		t.Fatal(err)
+	}
+	return f(buf.Bytes())
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	proj := binTestProj()
+	cases := map[string][]byte{
+		"empty":            nil,
+		"truncated header": corruptAt(t, func(b []byte) []byte { return b[:10] }),
+		"bad magic": corruptAt(t, func(b []byte) []byte {
+			b[0] = 'X'
+			return b
+		}),
+		"bad version": corruptAt(t, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 99)
+			return b
+		}),
+		"truncated body": corruptAt(t, func(b []byte) []byte { return b[:len(b)-5] }),
+		"record length not on a point boundary": corruptAt(t, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[binaryHeaderLen:], 17)
+			return b
+		}),
+		"record length below trip head": corruptAt(t, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[binaryHeaderLen:], 3)
+			return b
+		}),
+		"zero-point record": corruptAt(t, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[binaryHeaderLen:], binaryTripHead)
+			return b
+		}),
+		"lying huge length prefix": corruptAt(t, func(b []byte) []byte {
+			// Claims ~512MB of points on a tiny file: must error from
+			// the short read, not allocate the claimed size.
+			binary.LittleEndian.PutUint32(b[binaryHeaderLen:], uint32(binaryTripHead+binaryPointWidth*maxBinaryPoints))
+			return b
+		}),
+		"nPoints over format limit": corruptAt(t, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[binaryHeaderLen:], uint32(binaryTripHead+binaryPointWidth*(maxBinaryPoints+1)))
+			return b
+		}),
+		"nPoints disagrees with record length": corruptAt(t, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[binaryHeaderLen+16:], 7)
+			return b
+		}),
+		"time out of columnar range": corruptAt(t, func(b []byte) []byte {
+			// First timestamp: after 3 point ids (recLen + head + ids).
+			off := binaryHeaderLen + 4 + binaryTripHead + 4*3
+			binary.LittleEndian.PutUint64(b[off:], uint64(int64(math.MaxInt64/100)))
+			return b
+		}),
+	}
+	for name, in := range cases {
+		if _, err := ReadBinary(bytes.NewReader(in), proj); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestBinaryReaderStreams checks the arena-based streaming interface
+// used by the pipeline's binary ingest.
+func TestBinaryReaderStreams(t *testing.T) {
+	proj := binTestProj()
+	trips := binTestTrips()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, trips, proj); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBinaryReader(bytes.NewReader(buf.Bytes()), proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewArena(0)
+	var n int
+	for {
+		v, err := br.Next(a)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.ID != trips[n].ID || v.Len() != len(trips[n].Points) {
+			t.Fatalf("record %d: view %+v", n, v)
+		}
+		n++
+	}
+	if n != len(trips) {
+		t.Fatalf("streamed %d records, want %d", n, len(trips))
+	}
+	if a.Len() == 0 {
+		t.Fatal("arena holds no rows after streaming")
+	}
+}
+
+// TestQuantDecimalMatchesFormatFloat pins the quantiser to the CSV
+// writer digit for digit across awkward values, including the negative
+// zero canonicalisation.
+func TestQuantDecimalMatchesFormatFloat(t *testing.T) {
+	var buf [32]byte
+	values := []float64{0, 1, -1, 0.05, -0.04, 13.333333, 1e-9, -1e-9,
+		123456.789, -0.15, 0.25, 2.675, 1 << 30}
+	for _, x := range values {
+		for _, prec := range []int{1, 2, 7} {
+			m, err := quantDecimal(buf[:], x, prec)
+			if err != nil {
+				t.Fatalf("quantDecimal(%v, %d): %v", x, prec, err)
+			}
+			s := strings.TrimPrefix(strings.Replace(
+				formatFloatForTest(x, prec), ".", "", 1), "-")
+			wantAbs := int64(0)
+			for _, c := range s {
+				wantAbs = wantAbs*10 + int64(c-'0')
+			}
+			got := m
+			if got < 0 {
+				got = -got
+			}
+			if got != wantAbs {
+				t.Errorf("quantDecimal(%v, %d) = %d, FormatFloat digits %s", x, prec, m, s)
+			}
+		}
+	}
+	if _, err := quantDecimal(buf[:], math.Inf(1), 2); err == nil {
+		t.Error("Inf accepted")
+	}
+	if _, err := quantDecimal(buf[:], math.NaN(), 2); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := quantDecimal(buf[:], 1e300, 1); err == nil {
+		t.Error("overflowing magnitude accepted")
+	}
+	if _, err := quantDecimal(buf[:], 1<<53-1, 7); err == nil {
+		t.Error("mantissa overflow at 7 decimals accepted")
+	}
+}
+
+func formatFloatForTest(x float64, prec int) string {
+	return strconv.FormatFloat(x, 'f', prec, 64)
+}

@@ -55,6 +55,10 @@ func WriteCSV(w io.Writer, trips []*Trip, proj *geo.Projection) error {
 func ReadCSV(r io.Reader, proj *geo.Projection) ([]*Trip, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(csvHeader)
+	// Fields are copied into RoutePoint values before the next Read, so
+	// the record slice and its backing string can be reused — one
+	// allocation per row instead of two.
+	cr.ReuseRecord = true
 	head, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("trace: read header: %w", err)
@@ -64,6 +68,7 @@ func ReadCSV(r io.Reader, proj *geo.Projection) ([]*Trip, error) {
 	}
 	byTrip := map[int64]*Trip{}
 	line := 1
+	totalPts := 0
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -80,9 +85,20 @@ func ReadCSV(r io.Reader, proj *geo.Projection) ([]*Trip, error) {
 		t := byTrip[pt.TripID]
 		if t == nil {
 			t = &Trip{ID: pt.TripID, CarID: carID}
+			// Presize from the running mean trip size: rows arrive
+			// grouped by trip, so by the time a later trip starts the
+			// mean is a good estimate and append growth is avoided.
+			est := 16
+			if len(byTrip) > 0 {
+				if avg := totalPts / len(byTrip); avg > est {
+					est = avg
+				}
+			}
+			t.Points = make([]RoutePoint, 0, est)
 			byTrip[pt.TripID] = t
 		}
 		t.Points = append(t.Points, pt)
+		totalPts++
 	}
 	out := make([]*Trip, 0, len(byTrip))
 	for _, t := range byTrip {

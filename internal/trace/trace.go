@@ -41,7 +41,23 @@ type Trip struct {
 	RecordedDistM    float64
 	RecordedFuelMl   float64
 	RecordedDuration time.Duration
+
+	// timeSorted records that Points are in non-decreasing time order,
+	// letting StartTime/EndTime answer in O(1) instead of scanning.
+	// Only producers that guarantee the order (cleaning realignment,
+	// segment slicing of cleaned trips, columnar materialisation) set
+	// it; it is cleared implicitly by constructing a new Trip, never by
+	// mutation, so holders of a marked trip must not reorder Points.
+	timeSorted bool
 }
+
+// MarkTimeSorted asserts that Points are in non-decreasing time order.
+// Call it only when the order is guaranteed: StartTime and EndTime
+// trust the mark.
+func (t *Trip) MarkTimeSorted() { t.timeSorted = true }
+
+// TimeSorted reports whether the trip has been marked time-ordered.
+func (t *Trip) TimeSorted() bool { return t.timeSorted }
 
 // Validate checks basic trip integrity (non-empty, consistent trip IDs).
 func (t *Trip) Validate() error {
@@ -66,11 +82,16 @@ func (t *Trip) Clone() *Trip {
 // Geometry returns the point positions as a polyline, in the current
 // point order.
 func (t *Trip) Geometry() geo.Polyline {
-	pl := make(geo.Polyline, len(t.Points))
+	return t.AppendGeometry(make(geo.Polyline, 0, len(t.Points)))
+}
+
+// AppendGeometry appends the point positions to dst, letting hot loops
+// reuse one polyline buffer across trips.
+func (t *Trip) AppendGeometry(dst geo.Polyline) geo.Polyline {
 	for i := range t.Points {
-		pl[i] = t.Points[i].Pos
+		dst = append(dst, t.Points[i].Pos)
 	}
-	return pl
+	return dst
 }
 
 // PathLength returns the sum of distances between consecutive points in
@@ -92,10 +113,15 @@ func (t *Trip) Duration() time.Duration {
 	return t.Points[len(t.Points)-1].Time.Sub(t.Points[0].Time)
 }
 
-// StartTime returns the earliest point timestamp.
+// StartTime returns the earliest point timestamp. O(1) on trips
+// marked time-sorted (everything downstream of cleaning), O(n)
+// otherwise.
 func (t *Trip) StartTime() time.Time {
 	if len(t.Points) == 0 {
 		return time.Time{}
+	}
+	if t.timeSorted {
+		return t.Points[0].Time
 	}
 	min := t.Points[0].Time
 	for _, p := range t.Points[1:] {
@@ -106,10 +132,14 @@ func (t *Trip) StartTime() time.Time {
 	return min
 }
 
-// EndTime returns the latest point timestamp.
+// EndTime returns the latest point timestamp. O(1) on trips marked
+// time-sorted, O(n) otherwise.
 func (t *Trip) EndTime() time.Time {
 	if len(t.Points) == 0 {
 		return time.Time{}
+	}
+	if t.timeSorted {
+		return t.Points[len(t.Points)-1].Time
 	}
 	max := t.Points[0].Time
 	for _, p := range t.Points[1:] {

@@ -64,6 +64,22 @@ type Config = core.Config
 // Pipeline is a ready-to-run reproduction pipeline.
 type Pipeline = core.Pipeline
 
+// Layout selects the point-storage layout for the per-car hot path
+// (Config.Layout): columnar struct-of-arrays by default, with the
+// row-oriented legacy path available for differential testing.
+type Layout = core.Layout
+
+// Layout values.
+const (
+	LayoutAuto     = core.LayoutAuto
+	LayoutColumnar = core.LayoutColumnar
+	LayoutLegacy   = core.LayoutLegacy
+)
+
+// ParseLayout parses a -layout style flag value ("", "auto",
+// "columnar", "legacy").
+func ParseLayout(s string) (Layout, error) { return core.ParseLayout(s) }
+
 // Result is the full fleet output of Pipeline.Run.
 type Result = core.Result
 
