@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-runner bench-serve bench-fleet race ci fuzz profile results examples clean help
+.PHONY: all build test vet bench bench-runner bench-serve bench-fleet bench-obs race ci fuzz profile results examples clean help
 
 all: build vet test
 
@@ -28,6 +28,9 @@ help:
 	@echo "           format matrix + ingest microbenches, merged with the"
 	@echo "           frozen pre-columnar baseline) into"
 	@echo "           results/BENCH_fleet.json; FLEET_CARS=N adds a size"
+	@echo "  bench-obs     snapshot observability overhead (obs off vs idle"
+	@echo "           tracer+lineage vs fully traced on the 1k-car fleet)"
+	@echo "           into results/BENCH_obs.json"
 	@echo "  profile  run a large taxiflow workload with -debug-addr and"
 	@echo "           capture a 10 s CPU profile into cpu.pprof"
 	@echo "  results  regenerate all paper tables/figures into results/"
@@ -140,6 +143,20 @@ bench-fleet:
 		-notes "32-car pool replicated per fleet size, 3 trips/car, seed 42; BenchmarkFleetSeed = frozen pre-columnar baseline (results/bench_fleet_seed.txt)" \
 		> results/BENCH_fleet.json
 	@echo "wrote results/BENCH_fleet.json"
+
+# Observability overhead: the BenchmarkFleet workload (1000 cars,
+# columnar layout, binary ingest) with the obs stack off (nil tracer —
+# must stay within 1% of the pre-observability BENCH_fleet.json arm),
+# lineage+metrics only, a 10% trace sample, and every car traced.
+bench-obs:
+	$(GO) test -run xxx -bench '^BenchmarkFleetObs' -benchmem -benchtime=1x -count=5 . \
+		| tee /tmp/bench_obs.txt
+	$(GO) run ./cmd/benchfmt \
+		-snapshot "$$(date +%Y-%m-%d)" \
+		-command "go test -run xxx -bench '^BenchmarkFleetObs' -benchmem -benchtime=1x -count=5 ." \
+		-notes "1000-car fleet, columnar layout, binary ingest; obs=off (nil tracer, <=1% of pre-observability BENCH_fleet baseline), obs=lineage adds ledger+metrics, obs=sampled traces 10% of cars, obs=traced traces all" \
+		< /tmp/bench_obs.txt > results/BENCH_obs.json
+	@echo "wrote results/BENCH_obs.json"
 
 # Regenerate every paper table and figure (plus ablations) into results/.
 results:

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"html"
 	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/report"
 )
 
 func main() {
@@ -38,10 +40,22 @@ func main() {
 	workers := flag.Int("workers", 0, "fleet runner worker pool size (0 = GOMAXPROCS)")
 	maxFailures := flag.Int("max-failures", -1, "error budget before the fleet run aborts (-1 = abort on first failure; experiments need the full fleet)")
 	metricsOut := flag.String("metrics", "", "optional JSON metrics snapshot written at exit")
+	reportOut := flag.String("report", "", "write the run report (lineage table, stage timings, fleet summary) as JSON at exit")
+	logLevel := flag.String("log-level", "", "emit structured logs to stderr at this level (debug, info, warn, error; empty disables)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
 
+	var logger *slog.Logger
+	if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			log.Fatalf("bad -log-level %q: %v", *logLevel, err)
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	}
+
 	reg := obs.NewRegistry()
+	lin := obs.NewLineage(reg)
 	if *debugAddr != "" {
 		srv, err := obs.ServeDebug(*debugAddr, reg)
 		if err != nil {
@@ -66,6 +80,8 @@ func main() {
 	cfg.Metrics = reg
 	cfg.Workers = *workers
 	cfg.MaxFailures = *maxFailures
+	cfg.Lineage = lin
+	cfg.Log = logger
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
@@ -113,6 +129,27 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote metrics snapshot to %s", *metricsOut)
+	}
+	if err := lin.Check(); err != nil {
+		log.Fatalf("lineage conservation violated: %v", err)
+	}
+	if *reportOut != "" {
+		rep := report.Build(reg, lin, report.Options{
+			Params: map[string]string{
+				"scale": *scale,
+				"seed":  fmt.Sprint(*seed),
+				"cars":  fmt.Sprint(cfg.Cars),
+				"trips": fmt.Sprint(cfg.TripsPerCar),
+			},
+			Duration: time.Since(start),
+		})
+		if err := report.Validate(&rep); err != nil {
+			log.Fatalf("run report failed validation: %v", err)
+		}
+		if err := report.WriteFile(*reportOut, &rep); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote run report to %s", *reportOut)
 	}
 	log.Printf("wrote results to %s in %s", *out, time.Since(start).Round(time.Millisecond))
 }

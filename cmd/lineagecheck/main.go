@@ -1,0 +1,113 @@
+// Command lineagecheck validates the observability artifacts a
+// taxiflow run writes — the CI gate for the lineage contract.
+//
+// Usage:
+//
+//	lineagecheck -report report.json [-trace trace.json] [-min-cars N]
+//
+// It re-validates the run report against the versioned schema
+// (internal/report.Validate), re-checks the lineage conservation
+// invariant (every stage: in = out + Σ dropped-by-reason), optionally
+// requires a minimum fleet size, and — when -trace is given — parses
+// the Chrome trace_event export and checks it is structurally sound
+// (non-empty traceEvents with names, timestamps and complete-event
+// durations), i.e. that Perfetto/chrome://tracing will load it.
+// Any violation exits non-zero with a one-line diagnosis.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lineagecheck: ")
+	reportIn := flag.String("report", "", "run report to validate (required)")
+	traceIn := flag.String("trace", "", "optional Chrome trace_event export to validate")
+	minCars := flag.Int("min-cars", 0, "minimum cars_ok the report must account for")
+	flag.Parse()
+	if *reportIn == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r, err := report.ReadFile(*reportIn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if got := int(r.Fleet.CarsOK); got < *minCars {
+		log.Fatalf("%s: %d cars ok, want at least %d", *reportIn, got, *minCars)
+	}
+	var dropped uint64
+	for _, st := range r.Lineage.Stages {
+		dropped += st.Dropped
+	}
+	fmt.Printf("report ok: %d stages conserved, %d cars ok, %d units dropped across stages\n",
+		len(r.Lineage.Stages), r.Fleet.CarsOK, dropped)
+
+	if *traceIn != "" {
+		n, err := checkTrace(*traceIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace ok: %d events\n", n)
+	}
+}
+
+// traceEvent mirrors the fields every Chrome trace_event record must
+// carry to render.
+type traceEvent struct {
+	Name  string   `json:"name"`
+	Phase string   `json:"ph"`
+	TsUs  *float64 `json:"ts"`
+	DurUs *float64 `json:"dur"`
+	PID   *int     `json:"pid"`
+	TID   *int     `json:"tid"`
+}
+
+func checkTrace(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("%s: not valid trace JSON: %v", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return 0, fmt.Errorf("%s: no traceEvents", path)
+	}
+	spans := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Phase == "" {
+			return 0, fmt.Errorf("%s: event %d missing name or ph", path, i)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			return 0, fmt.Errorf("%s: event %d (%s) missing pid/tid", path, i, ev.Name)
+		}
+		if ev.Phase != "X" {
+			continue // metadata and counter events carry no duration
+		}
+		spans++
+		// dur is omitted when zero (a sub-resolution span), so only ts
+		// is mandatory on complete events.
+		if ev.TsUs == nil {
+			return 0, fmt.Errorf("%s: complete event %d (%s) missing ts", path, i, ev.Name)
+		}
+		if *ev.TsUs < 0 || (ev.DurUs != nil && *ev.DurUs < 0) {
+			return 0, fmt.Errorf("%s: complete event %d (%s) has negative ts/dur", path, i, ev.Name)
+		}
+	}
+	if spans == 0 {
+		return 0, fmt.Errorf("%s: no complete (ph=X) span events", path)
+	}
+	return len(doc.TraceEvents), nil
+}

@@ -8,6 +8,8 @@
 //	taxiflow [-cars N] [-trips N] [-seed N] [-gatefrac F] [-v]
 //	         [-workers N] [-max-failures N] [-retries N]
 //	         [-metrics out.json] [-debug-addr :6060] [-serve-addr :8080]
+//	         [-report report.json] [-trace-out trace.json] [-trace-sample F]
+//	         [-log-level info] [-log-format text|json]
 //
 // The fleet runs on the fault-tolerant runner: per-car failures are
 // isolated and summarised in a failed-car table instead of aborting
@@ -20,6 +22,14 @@
 // writes the full JSON snapshot, and -debug-addr serves /metrics
 // (Prometheus text format), /debug/vars (JSON) and /debug/pprof/ (live
 // profiling) for the duration of the run.
+//
+// Observability of the data itself: every run keeps a drop-reason
+// ledger (the lineage table printed in the summary; in = out +
+// Σ dropped per stage, conservation-checked), -report writes it as a
+// validated JSON run report (see cmd/lineagecheck), -trace-out records
+// per-car span trees and exports Chrome trace_event JSON loadable in
+// Perfetto, -trace-sample traces a deterministic fraction of cars, and
+// -log-level/-log-format stream structured logs (log/slog) to stderr.
 //
 // -serve-addr additionally mounts the serving layer (internal/sink +
 // internal/serve): cars stream into an incremental aggregation as they
@@ -37,10 +47,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"text/tabwriter"
 	"time"
@@ -49,6 +61,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/render"
+	"repro/internal/report"
 	"repro/internal/serve"
 	"repro/internal/sink"
 	"repro/internal/trace"
@@ -73,10 +86,19 @@ func main() {
 	serveAddr := flag.String("serve-addr", "", "serve the /v1 query API (plus the debug surface) on this address and keep serving after the run until interrupted")
 	checkOn := flag.Bool("check", false, "validate pipeline invariants at every stage boundary (check_violations_total metrics)")
 	checkStrict := flag.Bool("check-strict", false, "like -check, but an invariant violation fails the offending car")
+	reportOut := flag.String("report", "", "write the run report (lineage table, stage timings, fleet summary) as JSON at exit")
+	traceOut := flag.String("trace-out", "", "record per-car span trees and write them as Chrome trace_event JSON (Perfetto-loadable) at exit")
+	traceSample := flag.Float64("trace-sample", 1.0, "fraction of cars to trace (deterministic per -seed)")
+	logLevel := flag.String("log-level", "", "emit structured logs to stderr at this level (debug, info, warn, error; empty disables)")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
 	verbose := flag.Bool("v", false, "print per-transition details")
 	flag.Parse()
 
 	layout, err := taxitrace.ParseLayout(*layoutFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger, err := newLogger(*logLevel, *logFormat)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,6 +116,18 @@ func main() {
 		fmt.Printf("debug server: http://%s/metrics /debug/vars /debug/pprof/\n", srv.Addr)
 	}
 
+	// The lineage ledger always runs (its cost is a handful of atomic
+	// adds per car); the tracer only when an export was requested.
+	lin := taxitrace.NewLineage(reg)
+	var tracer *taxitrace.Tracer
+	if *traceOut != "" {
+		tracer = taxitrace.NewTracer(taxitrace.TracerConfig{
+			Capacity:       1 << 16,
+			SampleFraction: *traceSample,
+			Seed:           *seed,
+		})
+	}
+
 	start := time.Now()
 	p, err := taxitrace.New(taxitrace.Config{
 		Layout:   layout,
@@ -108,6 +142,9 @@ func main() {
 		MaxFailures: *maxFailures,
 		MaxAttempts: *retries,
 		Metrics:     reg,
+		Tracer:      tracer,
+		Lineage:     lin,
+		Log:         logger,
 		Check:       taxitrace.CheckConfig{Enabled: *checkOn, Strict: *checkStrict},
 	})
 	if err != nil {
@@ -133,16 +170,17 @@ func main() {
 			Metrics: reg,
 			Gates:   p.Selector.GateNames(),
 			Check:   taxitrace.CheckConfig{Enabled: *checkOn, Strict: *checkStrict},
+			Log:     logger,
 		}); err != nil {
 			log.Fatal(err)
 		}
 		mux := reg.DebugMux()
-		serve.Mount(mux, serve.NewAPI(snk, reg))
+		serve.Mount(mux, serve.NewAPI(snk, reg).WithLogger(logger).WithLineage(lin))
 		if apiSrv, err = obs.Serve(*serveAddr, mux); err != nil {
 			log.Fatal(err)
 		}
 		defer apiSrv.Close()
-		fmt.Printf("query API: http://%s/v1/snapshot /v1/grid /v1/od (+debug surface)\n", apiSrv.Addr)
+		fmt.Printf("query API: http://%s/v1/snapshot /v1/healthz /v1/lineage /v1/grid /v1/od (+debug surface)\n", apiSrv.Addr)
 	}
 
 	var res *taxitrace.Result
@@ -225,6 +263,7 @@ func main() {
 
 	snap := reg.Snapshot()
 	printStageTable(snap)
+	printLineageTable(lin)
 	printCacheStats(p)
 	printRunnerStats(snap)
 
@@ -233,6 +272,34 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *metricsOut)
+	}
+	if *reportOut != "" {
+		rep := report.Build(reg, lin, report.Options{
+			Params: map[string]string{
+				"cars":     fmt.Sprint(*cars),
+				"trips":    fmt.Sprint(*trips),
+				"seed":     fmt.Sprint(*seed),
+				"gatefrac": fmt.Sprint(*gateFrac),
+				"layout":   *layoutFlag,
+				"workers":  fmt.Sprint(*workers),
+				"retries":  fmt.Sprint(*retries),
+			},
+			Duration: time.Since(start),
+		})
+		if err := report.Validate(&rep); err != nil {
+			log.Fatalf("run report failed validation: %v", err)
+		}
+		if err := report.WriteFile(*reportOut, &rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *reportOut)
+	}
+	if tracer != nil {
+		if err := writeTrace(tracer, *traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d spans retained, %d overwritten)\n",
+			*traceOut, tracer.Len(), tracer.Dropped())
 	}
 	fmt.Printf("\ndone in %s\n", time.Since(start).Round(time.Millisecond))
 
@@ -282,6 +349,73 @@ func printStageTable(snap obs.Snapshot) {
 			h.Count, fmtSeconds(h.Sum), fmtSeconds(h.P50), fmtSeconds(h.P99))
 	}
 	w.Flush()
+}
+
+// printLineageTable renders the drop-reason ledger: the per-stage
+// conservation rows (in = out + Σ dropped-by-reason) and the most
+// lossy cars.
+func printLineageTable(lin *taxitrace.Lineage) {
+	snap := lin.Snapshot(5)
+	if len(snap.Stages) == 0 {
+		return
+	}
+	fmt.Printf("\ndata lineage (per stage, in = out + dropped):\n")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "stage\tunit\tin\tout\tdropped\treasons")
+	for _, st := range snap.Stages {
+		var reasons []string
+		for _, r := range st.Reasons {
+			reasons = append(reasons, fmt.Sprintf("%s:%d", r.Reason, r.N))
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%s\n",
+			st.Stage, st.Unit, st.In, st.Out, st.Dropped, strings.Join(reasons, " "))
+	}
+	w.Flush()
+	if len(snap.TopDroppedCars) > 0 {
+		var parts []string
+		for _, c := range snap.TopDroppedCars {
+			parts = append(parts, fmt.Sprintf("car %d (%d)", c.Car, c.Dropped))
+		}
+		fmt.Printf("most dropped-from cars: %s\n", strings.Join(parts, ", "))
+	}
+	if err := lin.Check(); err != nil {
+		log.Printf("LINEAGE CONSERVATION VIOLATED: %v", err)
+	}
+}
+
+// newLogger builds the structured logger the -log-level/-log-format
+// flags request; an empty level disables logging (nil logger).
+func newLogger(level, format string) (*slog.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %v", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+// writeTrace exports the tracer's retained spans as Chrome trace_event
+// JSON (loadable in Perfetto and chrome://tracing).
+func writeTrace(tr *taxitrace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteTraceEvent(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printFailedCars renders the per-car failure table from a RunContext

@@ -57,14 +57,38 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// DropStats breaks the dropped-point count down by removal reason —
+// the cleaning stage's contribution to the pipeline's drop-reason
+// lineage. The row and columnar cleaners attribute identically (the
+// filters apply in the same precedence: finiteness, area, duplicate
+// id, spike), so the differential tests hold field by field.
+type DropStats struct {
+	NonFinite   int `json:"non_finite"`   // NaN/Inf field or zero timestamp
+	OutOfArea   int `json:"out_of_area"`  // outside the configured area
+	DuplicateID int `json:"duplicate_id"` // repeated device sequence id
+	Spike       int `json:"spike"`        // implied speed impossible
+}
+
+// Total sums the per-reason counts.
+func (d DropStats) Total() int { return d.NonFinite + d.OutOfArea + d.DuplicateID + d.Spike }
+
+// Merge adds o into d.
+func (d *DropStats) Merge(o DropStats) {
+	d.NonFinite += o.NonFinite
+	d.OutOfArea += o.OutOfArea
+	d.DuplicateID += o.DuplicateID
+	d.Spike += o.Spike
+}
+
 // Result reports what cleaning did to one trip.
 type Result struct {
 	Trip         *trace.Trip // cleaned copy; nil when nothing survived
 	ChosenOrder  Order
-	LengthByID   float64 // trip length under id ordering, metres
-	LengthByTime float64 // trip length under timestamp ordering, metres
-	Reordered    bool    // arrival order differed from the chosen order
-	Dropped      int     // points removed by validity filters
+	LengthByID   float64   // trip length under id ordering, metres
+	LengthByTime float64   // trip length under timestamp ordering, metres
+	Reordered    bool      // arrival order differed from the chosen order
+	Dropped      int       // points removed by validity filters (== Drops.Total())
+	Drops        DropStats // the same count broken down by reason
 }
 
 // Repair cleans one trip. The input is not modified.
@@ -79,10 +103,10 @@ type Result struct {
 // decreases, so the loop terminates).
 func Repair(t *trace.Trip, cfg Config) Result {
 	cfg = cfg.withDefaults()
-	pts := filterValid(t.Points, cfg)
-	dropped := len(t.Points) - len(pts)
+	var drops DropStats
+	pts := filterValid(t.Points, cfg, &drops)
 	if len(pts) == 0 {
-		return Result{Dropped: dropped}
+		return Result{Dropped: drops.Total(), Drops: drops}
 	}
 
 	byID := append([]trace.RoutePoint(nil), pts...)
@@ -114,18 +138,18 @@ func Repair(t *trace.Trip, cfg Config) Result {
 	// order, so the ordering decision is never revisited.
 	cleaned := realign(chosen)
 	for {
-		again := filterValid(cleaned, cfg)
+		again := filterValid(cleaned, cfg, &drops)
 		if len(again) == len(cleaned) {
 			break
 		}
-		dropped += len(cleaned) - len(again)
 		if len(again) == 0 {
 			return Result{
 				ChosenOrder:  order,
 				LengthByID:   lenID,
 				LengthByTime: lenTime,
 				Reordered:    reordered,
-				Dropped:      dropped,
+				Dropped:      drops.Total(),
+				Drops:        drops,
 			}
 		}
 		cleaned = realign(again)
@@ -142,18 +166,19 @@ func Repair(t *trace.Trip, cfg Config) Result {
 		LengthByID:   lenID,
 		LengthByTime: lenTime,
 		Reordered:    reordered,
-		Dropped:      dropped,
+		Dropped:      drops.Total(),
+		Drops:        drops,
 	}
 }
 
-// RepairAll cleans a batch, dropping trips with no surviving points.
+// RepairAll cleans a batch. Every trip yields a Result — including
+// trips with no surviving points (Trip == nil), whose drop counts
+// would otherwise vanish from the lineage accounting. Use Trips to
+// extract the survivors.
 func RepairAll(trips []*trace.Trip, cfg Config) []Result {
 	out := make([]Result, 0, len(trips))
 	for _, t := range trips {
-		r := Repair(t, cfg)
-		if r.Trip != nil {
-			out = append(out, r)
-		}
+		out = append(out, Repair(t, cfg))
 	}
 	return out
 }
@@ -171,19 +196,22 @@ func Trips(results []Result) []*trace.Trip {
 
 // filterValid drops records with non-finite fields, out-of-area
 // positions, duplicate point ids, and GPS spikes implying impossible
-// speed.
-func filterValid(pts []trace.RoutePoint, cfg Config) []trace.RoutePoint {
+// speed, accumulating each removal's reason into drops.
+func filterValid(pts []trace.RoutePoint, cfg Config, drops *DropStats) []trace.RoutePoint {
 	seen := make(map[int]bool, len(pts))
 	out := make([]trace.RoutePoint, 0, len(pts))
 	for _, p := range pts {
 		if !finite(p.Pos.X) || !finite(p.Pos.Y) || !finite(p.SpeedKmh) ||
 			!finite(p.FuelMl) || !finite(p.DistM) || p.Time.IsZero() {
+			drops.NonFinite++
 			continue
 		}
 		if cfg.Area.Area() > 0 && !cfg.Area.Contains(p.Pos) {
+			drops.OutOfArea++
 			continue
 		}
 		if seen[p.PointID] {
+			drops.DuplicateID++
 			continue
 		}
 		seen[p.PointID] = true
@@ -212,6 +240,7 @@ func filterValid(pts []trace.RoutePoint, cfg Config) []trace.RoutePoint {
 	if len(bad) == 0 {
 		return out
 	}
+	drops.Spike += len(bad)
 	kept := out[:0]
 	for _, p := range out {
 		if !bad[p.PointID] {

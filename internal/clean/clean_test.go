@@ -187,12 +187,34 @@ func TestRepairEmptyAndSingle(t *testing.T) {
 func TestRepairAllAndTrips(t *testing.T) {
 	batch := []*trace.Trip{straightTrip(5), {ID: 9}, straightTrip(3)}
 	results := RepairAll(batch, Config{})
-	if len(results) != 2 {
-		t.Fatalf("RepairAll kept %d, want 2", len(results))
+	if len(results) != 3 {
+		t.Fatalf("RepairAll returned %d results, want one per trip (3)", len(results))
+	}
+	if results[1].Trip != nil {
+		t.Fatal("empty trip must yield a nil-Trip result")
 	}
 	trips := Trips(results)
 	if len(trips) != 2 {
 		t.Fatalf("Trips = %d", len(trips))
+	}
+}
+
+// TestDropStatsAttribution checks every reason is counted in its own
+// bucket and that the buckets always sum to Dropped.
+func TestDropStatsAttribution(t *testing.T) {
+	tr := straightTrip(8)
+	tr.Points[1].SpeedKmh = math.NaN()                // non_finite
+	tr.Points[2].PointID = tr.Points[3].PointID       // duplicate_id
+	tr.Points[4].Pos = geo.V(tr.Points[4].Pos.X, 1e7) // spike (inside area)
+	tr.Points[6].Pos = geo.V(-9e5, 0)                 // out_of_area
+	cfg := Config{Area: geo.R(-1e4, -1e4, 1e4, 2e7)}
+	r := Repair(tr, cfg)
+	want := DropStats{NonFinite: 1, OutOfArea: 1, DuplicateID: 1, Spike: 1}
+	if r.Drops != want {
+		t.Fatalf("Drops = %+v, want %+v", r.Drops, want)
+	}
+	if r.Drops.Total() != r.Dropped {
+		t.Fatalf("Drops %+v does not sum to Dropped %d", r.Drops, r.Dropped)
 	}
 }
 
@@ -289,9 +311,9 @@ func TestRepairRealignmentSpikeConverges(t *testing.T) {
 	// Arriving time-adjacent speeds all < 150 km/h, but the realigned
 	// A→C leg is 45 m over 1 s = 162 km/h.
 	tr.Points = append(tr.Points,
-		mk(1, 0, 0, 0),       // A
-		mk(3, 20, 35, 1000),  // B
-		mk(2, 45, 0, 100000), // C
+		mk(1, 0, 0, 0),        // A
+		mk(3, 20, 35, 1000),   // B
+		mk(2, 45, 0, 100000),  // C
 		mk(4, 23, 33, 101000), // D
 	)
 

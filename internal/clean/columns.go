@@ -28,7 +28,8 @@ type ColResult struct {
 	LengthByID   float64
 	LengthByTime float64
 	Reordered    bool
-	Dropped      int
+	Dropped      int       // == Drops.Total()
+	Drops        DropStats // per-reason breakdown, identical to the row path's
 }
 
 // Scratch holds the reusable buffers for RepairColumns. One scratch
@@ -94,9 +95,10 @@ func RepairColumns(v trace.ColTrip, cfg Config, a *trace.Arena, s *Scratch) ColR
 	cfg = cfg.withDefaults()
 	s.reset(v.Len())
 
-	dropped := filterValidCols(v, cfg, s)
+	var drops DropStats
+	filterValidCols(v, cfg, s, &drops)
 	if len(s.valid) == 0 {
-		return ColResult{Dropped: dropped}
+		return ColResult{Dropped: drops.Total(), Drops: drops}
 	}
 
 	// Candidate orderings of the surviving points. s.byTM already holds
@@ -163,7 +165,6 @@ func RepairColumns(v trace.ColTrip, cfg Config, a *trace.Arena, s *Scratch) ColR
 		LengthByID:   lenID,
 		LengthByTime: lenTime,
 		Reordered:    reordered,
-		Dropped:      dropped,
 	}
 
 	// Fixpoint: realignment can create adjacencies that fail the spike
@@ -171,13 +172,13 @@ func RepairColumns(v trace.ColTrip, cfg Config, a *trace.Arena, s *Scratch) ColR
 	// ids are 1..m, so each re-filter pass reduces to the spike scan;
 	// re-realignment after a drop reduces to renumbering (the remaining
 	// sorted multisets stay sorted, and millisecond truncation is
-	// idempotent).
+	// idempotent). Fixpoint removals are spike drops by construction.
 	for m >= 2 {
-		drops := spikeScan(dst.Sub(0, m), cfg, s.bad[:m])
-		if drops == 0 {
+		spikes := spikeScan(dst.Sub(0, m), cfg, s.bad[:m])
+		if spikes == 0 {
 			break
 		}
-		res.Dropped += drops
+		drops.Spike += spikes
 		w := 0
 		for i := 0; i < m; i++ {
 			if s.bad[i] {
@@ -194,29 +195,34 @@ func RepairColumns(v trace.ColTrip, cfg Config, a *trace.Arena, s *Scratch) ColR
 		}
 		m = w
 		if m == 0 {
+			res.Dropped, res.Drops = drops.Total(), drops
 			return res
 		}
 	}
 	res.Trip = dst.Sub(0, m)
+	res.Dropped, res.Drops = drops.Total(), drops
 	return res
 }
 
 // filterValidCols mirrors filterValid: it fills s.valid with the
 // arrival-order indices of points passing the finiteness, area,
 // duplicate-id and spike filters, leaves the surviving timestamp order
-// in s.byTM when the spike filter ran, and returns the number of
-// dropped points. Zero timestamps cannot occur in columnar storage
-// (Arena.AppendTrip refuses them), so the IsZero test has no columnar
-// counterpart.
-func filterValidCols(v trace.ColTrip, cfg Config, s *Scratch) int {
+// in s.byTM when the spike filter ran, and accumulates per-reason drop
+// counts into drops (attributed exactly like the row path: finiteness
+// before area before duplicates before spikes). Zero timestamps cannot
+// occur in columnar storage (Arena.AppendTrip refuses them), so the
+// IsZero test has no columnar counterpart.
+func filterValidCols(v trace.ColTrip, cfg Config, s *Scratch, drops *DropStats) {
 	n := v.Len()
 	checkArea := cfg.Area.Area() > 0
 	for i := 0; i < n; i++ {
 		if !finite(v.Pos(i).X) || !finite(v.Pos(i).Y) || !finite(v.Speed(i)) ||
 			!finite(v.Fuel(i)) || !finite(v.Dist(i)) {
+			drops.NonFinite++
 			continue
 		}
 		if checkArea && !cfg.Area.Contains(v.Pos(i)) {
+			drops.OutOfArea++
 			continue
 		}
 		s.valid = append(s.valid, int32(i))
@@ -245,14 +251,14 @@ func filterValidCols(v trace.ColTrip, cfg Config, s *Scratch) int {
 			}
 		}
 		if dups > 0 {
+			drops.DuplicateID += dups
 			s.valid = compact(s.valid, s.bad)
 		}
 	}
 
-	dropped := n - len(s.valid)
 	s.byTM = s.byTM[:0]
 	if len(s.valid) < 2 {
-		return dropped
+		return
 	}
 
 	// Spike filter in timestamp order with anchor semantics: a point
@@ -276,10 +282,10 @@ func filterValidCols(v trace.ColTrip, cfg Config, s *Scratch) int {
 		last = p
 	}
 	if spikes > 0 {
+		drops.Spike += spikes
 		s.valid = compact(s.valid, s.bad)
 		s.byTM = compact(s.byTM, s.bad)
 	}
-	return dropped + spikes
 }
 
 // spikeScan marks spike points of a realigned (position == timestamp

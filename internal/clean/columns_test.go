@@ -73,10 +73,13 @@ func compareRepair(t *testing.T, tr *trace.Trip, cfg Config) {
 	got := RepairColumns(v, cfg, a, &s)
 
 	if got.ChosenOrder != want.ChosenOrder || got.Reordered != want.Reordered ||
-		got.Dropped != want.Dropped ||
+		got.Dropped != want.Dropped || got.Drops != want.Drops ||
 		math.Float64bits(got.LengthByID) != math.Float64bits(want.LengthByID) ||
 		math.Float64bits(got.LengthByTime) != math.Float64bits(want.LengthByTime) {
 		t.Fatalf("trip %d stats diverge:\ncolumnar %+v\nlegacy   %+v", tr.ID, got, want)
+	}
+	if got.Drops.Total() != got.Dropped {
+		t.Fatalf("trip %d: Drops %+v does not sum to Dropped %d", tr.ID, got.Drops, got.Dropped)
 	}
 	if want.Trip == nil {
 		if got.Trip.N != 0 {

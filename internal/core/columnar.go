@@ -7,6 +7,7 @@ import (
 	"slices"
 
 	"repro/internal/clean"
+	"repro/internal/obs"
 	"repro/internal/segment"
 	"repro/internal/trace"
 )
@@ -76,6 +77,13 @@ func (p *Pipeline) processColumnar(ctx context.Context, car int, raw []*trace.Tr
 // ReadBinary + ProcessContext (the differential test asserts this); a
 // legacy-layout pipeline falls back to exactly that pair.
 func (p *Pipeline) ProcessBinaryContext(ctx context.Context, car int, r io.Reader) (CarResult, error) {
+	ctx, root := p.ensureCarTrace(ctx, car)
+	cr, err := p.processBinary(ctx, car, r)
+	endCarTrace(ctx, root, err)
+	return cr, err
+}
+
+func (p *Pipeline) processBinary(ctx context.Context, car int, r io.Reader) (CarResult, error) {
 	if !p.Config.Layout.columnar() {
 		raw, err := trace.ReadBinary(r, p.City.DB.Proj)
 		if err != nil {
@@ -142,19 +150,26 @@ func (p *Pipeline) processViews(ctx context.Context, car, rawTrips int, rawForCh
 		return cr, err
 	}
 
-	// Cleaning (§IV-B) on columns. Only results with surviving points
-	// are counted, mirroring RepairAll.
+	// Cleaning (§IV-B) on columns. Every view yields accounting —
+	// a trip whose points were all dropped still contributes its drop
+	// counts, mirroring the row path.
 	if err := p.stageGate(ctx, car, "clean"); err != nil {
 		return cr, err
 	}
+	for _, v := range sc.views {
+		cr.CleanStats.RawPoints += v.Len()
+	}
 	sp := p.met.clean.Start()
+	tsp := p.traceStage(ctx, "clean")
 	for _, v := range sc.views {
 		r := clean.RepairColumns(v, p.Config.Clean, sc.arena, &sc.clean)
 		if r.Trip.N == 0 {
-			continue
+			cr.CleanStats.EmptyTrips++
+		} else {
+			sc.cleaned = append(sc.cleaned, r.Trip)
+			cr.CleanStats.Trips++
+			cr.CleanStats.KeptPoints += r.Trip.N
 		}
-		sc.cleaned = append(sc.cleaned, r.Trip)
-		cr.CleanStats.Trips++
 		if r.Reordered {
 			cr.CleanStats.Reordered++
 		}
@@ -162,9 +177,11 @@ func (p *Pipeline) processViews(ctx context.Context, car, rawTrips int, rawForCh
 			cr.CleanStats.ChoseTime++
 		}
 		cr.CleanStats.DroppedPoints += r.Dropped
+		cr.CleanStats.Drops.Merge(r.Drops)
 	}
 	sp.End()
-	p.met.recordCleanStats(cr.CleanStats)
+	tsp.End(obs.TAttr("trips", itoa(cr.CleanStats.Trips)),
+		obs.TAttr("dropped_points", itoa(cr.CleanStats.DroppedPoints)))
 	if p.checker != nil {
 		// The validator speaks rows; materialise only when checking.
 		if err := p.checkGate("clean", p.checker.CleanedTrips(car, trace.MaterializeAll(sc.cleaned, true))); err != nil {
@@ -178,12 +195,13 @@ func (p *Pipeline) processViews(ctx context.Context, car, rawTrips int, rawForCh
 		return cr, err
 	}
 	sp = p.met.segment.Start()
+	tsp = p.traceStage(ctx, "segment")
 	for _, v := range sc.cleaned {
 		sc.segments = segment.SplitColumns(v, p.Rules, &cr.SegStats, sc.segments)
 	}
 	cr.Segments = trace.MaterializeAll(sc.segments, true)
+	tsp.End(obs.TAttr("kept", itoa(cr.SegStats.KeptSegments)))
 	sp.End()
-	p.met.recordSegStats(cr.SegStats)
 	if err := p.checkGate("segment", p.checker.Segments(car, cr.Segments, segmentCheckRules(p.Rules))); err != nil {
 		return cr, err
 	}

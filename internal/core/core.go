@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -141,6 +142,21 @@ type Config struct {
 	// byte-identical with instrumentation on and off (see the
 	// determinism test).
 	Metrics *obs.Registry
+	// Tracer records per-car span trees (which stages ran, under which
+	// attempt, for how long) for deterministically sampled cars; see
+	// obs.Tracer. Nil disables tracing — the hot path degrades to one
+	// nil check per stage. Tracing never influences results.
+	Tracer *obs.Tracer
+	// Lineage is the drop-reason ledger: per stage, how many records
+	// went in, came out, and why the difference was dropped, with
+	// per-car attribution. Nil disables the ledger. Counts are
+	// committed once per car on its final successful attempt, so the
+	// ledger's conservation invariant (in = out + Σ dropped) holds even
+	// under retries; see internal/core/lineage.go.
+	Lineage *obs.Lineage
+	// Log receives structured per-car and fleet-event log lines
+	// (log/slog). Nil disables logging.
+	Log *slog.Logger
 	// Layout selects the hot-path point representation (default
 	// columnar; see the Layout constants).
 	Layout Layout
@@ -185,6 +201,9 @@ type Pipeline struct {
 	// checker is the stage-boundary invariant validator (nil when
 	// Config.Check is off; every method of a nil checker is a no-op).
 	checker *check.Validator
+	// lin holds the pre-resolved lineage ledger handles (all no-ops
+	// when Config.Lineage is nil).
+	lin *lineageHandles
 	// scratches pools per-car columnar scratch state (arena + sort
 	// buffers) across workers; see columnar.go.
 	scratches sync.Pool
@@ -243,6 +262,7 @@ func NewPipelineWithCity(city *digiroad.City, cfg Config) (*Pipeline, error) {
 		Metrics:  cfg.Metrics,
 		met:      newPipelineMetrics(cfg.Metrics),
 		checker:  checker,
+		lin:      newLineageHandles(cfg.Lineage),
 	}, nil
 }
 
@@ -295,15 +315,32 @@ type CarResult struct {
 	SegStats    segment.Stats
 	Segments    []*trace.Trip
 	Funnel      odselect.Funnel
+	MatchStats  MatchStats
 	Transitions []*TransitionRecord
 }
 
 // CleanStats summarises the cleaning stage for one car.
 type CleanStats struct {
-	Trips         int
+	Trips         int // trips with at least one surviving point
+	EmptyTrips    int // trips whose points were all dropped
 	Reordered     int // trips whose arrival order was repaired
 	ChoseTime     int // trips where the timestamp ordering won
-	DroppedPoints int
+	RawPoints     int // points entering the cleaner
+	KeptPoints    int // points surviving it
+	DroppedPoints int // == Drops.Total(); RawPoints - KeptPoints
+	// Drops breaks DroppedPoints down by removal reason — the cleaning
+	// row of the car's lineage.
+	Drops clean.DropStats
+}
+
+// MatchStats summarises the map-matching stage for one car: every
+// accepted transition is either matched or dropped with a reason, so
+// Matched + Degenerate + Unroutable equals the OD funnel's accepted
+// count.
+type MatchStats struct {
+	Matched    int
+	Degenerate int // O-D span shorter than two points
+	Unroutable int // the matcher found no route
 }
 
 // Result is the full fleet output.
@@ -371,6 +408,7 @@ func (p *Pipeline) runnerConfig() runner.Config {
 		MaxAttempts:    p.Config.MaxAttempts,
 		Backoff:        p.Config.RetryBackoff,
 		Metrics:        p.Metrics,
+		Log:            p.Config.Log,
 	}
 }
 
@@ -382,7 +420,13 @@ func (p *Pipeline) runnerConfig() runner.Config {
 // Consumers must drain Events until it closes; RunContext does exactly
 // that and rebuilds the batch Result.
 func (p *Pipeline) Stream(ctx context.Context) *FleetStream {
-	return runner.Run(ctx, p.runnerConfig(), p.Gen.Cars(), p.RunCarContext)
+	st := runner.Run(ctx, p.runnerConfig(), p.Gen.Cars(), p.RunCarContext)
+	if p.Config.Lineage != nil || p.Config.Log != nil {
+		// Fold every terminal per-car outcome into the fleet lineage
+		// row (and the structured log) exactly once, as it happens.
+		st = runner.Tee(st, p.recordFleetEvent)
+	}
+	return st
 }
 
 // RunContext executes the pipeline for the whole fleet under ctx and
@@ -444,14 +488,24 @@ func (p *Pipeline) Run() (*Result, error) { return p.RunContext(context.Backgrou
 
 // RunCarContext executes the pipeline for one car under ctx.
 func (p *Pipeline) RunCarContext(ctx context.Context, car int) (CarResult, error) {
+	ctx, root := p.ensureCarTrace(ctx, car)
 	if err := p.stageGate(ctx, car, "simulate"); err != nil {
+		endCarTrace(ctx, root, err)
 		return CarResult{Car: car}, err
 	}
 	sp := p.met.simulate.Start()
+	tsp := p.traceStage(ctx, "simulate")
 	raw := p.Gen.CarTrips(car)
+	tsp.End(obs.TAttr("trips", itoa(len(raw))))
 	sp.End()
-	p.met.simTrips.Add(uint64(len(raw)))
-	return p.ProcessContext(ctx, car, raw)
+	cr, err := p.ProcessContext(ctx, car, raw)
+	if err == nil {
+		// Committed only on the final successful attempt, like the rest
+		// of the stage counters, so retries cannot double-count.
+		p.met.simTrips.Add(uint64(len(raw)))
+	}
+	endCarTrace(ctx, root, err)
+	return cr, err
 }
 
 // RunCar executes the pipeline for one car.
@@ -486,6 +540,14 @@ func (p *Pipeline) stageGate(ctx context.Context, car int, stage string) error {
 // columnar store cannot represent losslessly send the whole car down
 // the row-oriented path.
 func (p *Pipeline) ProcessContext(ctx context.Context, car int, raw []*trace.Trip) (CarResult, error) {
+	ctx, root := p.ensureCarTrace(ctx, car)
+	cr, err := p.processDispatch(ctx, car, raw)
+	endCarTrace(ctx, root, err)
+	return cr, err
+}
+
+// processDispatch picks the layout implementation.
+func (p *Pipeline) processDispatch(ctx context.Context, car int, raw []*trace.Trip) (CarResult, error) {
 	if p.Config.Layout.columnar() {
 		if cr, err, ok := p.processColumnar(ctx, car, raw); ok {
 			return cr, err
@@ -511,15 +573,26 @@ func (p *Pipeline) processLegacy(ctx context.Context, car int, raw []*trace.Trip
 		return cr, err
 	}
 
-	// Cleaning (§IV-B).
+	// Cleaning (§IV-B). Every raw trip yields a result — a trip whose
+	// points were all dropped still contributes its drop counts to the
+	// lineage.
 	if err := p.stageGate(ctx, car, "clean"); err != nil {
 		return cr, err
 	}
+	for _, t := range raw {
+		cr.CleanStats.RawPoints += len(t.Points)
+	}
 	sp := p.met.clean.Start()
+	tsp := p.traceStage(ctx, "clean")
 	results := clean.RepairAll(raw, p.Config.Clean)
 	sp.End()
-	cr.CleanStats.Trips = len(results)
 	for _, r := range results {
+		if r.Trip == nil {
+			cr.CleanStats.EmptyTrips++
+		} else {
+			cr.CleanStats.Trips++
+			cr.CleanStats.KeptPoints += len(r.Trip.Points)
+		}
 		if r.Reordered {
 			cr.CleanStats.Reordered++
 		}
@@ -527,8 +600,10 @@ func (p *Pipeline) processLegacy(ctx context.Context, car int, raw []*trace.Trip
 			cr.CleanStats.ChoseTime++
 		}
 		cr.CleanStats.DroppedPoints += r.Dropped
+		cr.CleanStats.Drops.Merge(r.Drops)
 	}
-	p.met.recordCleanStats(cr.CleanStats)
+	tsp.End(obs.TAttr("trips", itoa(cr.CleanStats.Trips)),
+		obs.TAttr("dropped_points", itoa(cr.CleanStats.DroppedPoints)))
 	if err := p.checkGate("clean", p.checker.CleanedTrips(car, clean.Trips(results))); err != nil {
 		return cr, err
 	}
@@ -538,9 +613,10 @@ func (p *Pipeline) processLegacy(ctx context.Context, car int, raw []*trace.Trip
 		return cr, err
 	}
 	sp = p.met.segment.Start()
+	tsp = p.traceStage(ctx, "segment")
 	cr.Segments = segment.SplitAll(clean.Trips(results), p.Rules, &cr.SegStats)
+	tsp.End(obs.TAttr("kept", itoa(cr.SegStats.KeptSegments)))
 	sp.End()
-	p.met.recordSegStats(cr.SegStats)
 	if err := p.checkGate("segment", p.checker.Segments(car, cr.Segments, segmentCheckRules(p.Rules))); err != nil {
 		return cr, err
 	}
@@ -556,10 +632,11 @@ func (p *Pipeline) selectAndAnalyse(ctx context.Context, car int, cr *CarResult)
 		return err
 	}
 	sp := p.met.odselect.Start()
+	tsp := p.traceStage(ctx, "odselect")
 	funnel, accepted := p.Selector.Run(car, cr.Segments)
+	tsp.End(obs.TAttr("accepted", itoa(funnel.PostFiltered)))
 	sp.End()
 	cr.Funnel = funnel
-	p.met.recordFunnel(funnel)
 	if err := p.checkGate("odselect", p.checkTransitions(car, accepted)); err != nil {
 		return err
 	}
@@ -572,10 +649,12 @@ func (p *Pipeline) selectAndAnalyse(ctx context.Context, car int, cr *CarResult)
 	if err := p.stageGate(ctx, car, "mapattr"); err != nil {
 		return err
 	}
+	tsp = p.traceStage(ctx, "mapmatch")
 	for _, tr := range accepted {
 		// Honor cancellation between transitions: a car with hundreds
 		// of accepted transitions must not stall a drain.
 		if err := ctx.Err(); err != nil {
+			tsp.End()
 			return err
 		}
 		rec, err := p.analyseTransition(car, tr)
@@ -583,20 +662,33 @@ func (p *Pipeline) selectAndAnalyse(ctx context.Context, car int, cr *CarResult)
 			// A transition that cannot be matched is dropped from the
 			// analysis but stays in the funnel count, mirroring the
 			// paper's "only cleared and filtered transitions ... are
-			// map-matched".
-			p.met.matchDropped.Inc()
+			// map-matched". The reason feeds the mapmatch lineage row.
+			if errors.Is(err, ErrDegenerateSpan) {
+				cr.MatchStats.Degenerate++
+			} else {
+				cr.MatchStats.Unroutable++
+			}
 			continue
 		}
 		if err := p.checkGate("mapmatch", p.checker.MatchedRoute(car, rec.Match.Route, rec.Match.MatchedFraction)); err != nil {
+			tsp.End()
 			return err
 		}
 		if err := p.checkGate("mapattr", p.checker.RouteAttrs(car,
 			rec.Attrs.TrafficLights, rec.Attrs.BusStops,
 			rec.Attrs.PedestrianCrossings, rec.Attrs.Junctions)); err != nil {
+			tsp.End()
 			return err
 		}
+		cr.MatchStats.Matched++
 		cr.Transitions = append(cr.Transitions, rec)
 	}
+	tsp.End(obs.TAttr("matched", itoa(cr.MatchStats.Matched)),
+		obs.TAttr("dropped", itoa(cr.MatchStats.Degenerate+cr.MatchStats.Unroutable)))
+
+	// The car is done: publish its stage counters and lineage in one
+	// commit, so failed or retried attempts never leak partial counts.
+	p.commitCar(cr)
 	return nil
 }
 
@@ -649,11 +741,9 @@ func (p *Pipeline) analyseTransition(car int, tr *odselect.Transition) (*Transit
 	if err != nil {
 		return nil, err
 	}
-	p.met.matchMatched.Inc()
 	sp = p.met.mapattr.Start()
 	attrs := p.Fetcher.ForMatch(match)
 	sp.End()
-	p.met.attrRoutes.Inc()
 
 	rec := &TransitionRecord{
 		Car:        car,

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+
+	"repro/internal/obs"
+)
+
+// Lineage glue: the pipeline's drop-reason ledger. Stage code never
+// touches the ledger directly — each car accumulates its in/out/drop
+// counts into its CarResult, and commitCar folds them into the ledger
+// (and the stage counters) exactly once, on the car's final successful
+// attempt. A failed attempt commits nothing, so retries cannot
+// double-count and the conservation invariant (in = out + Σ dropped,
+// per stage) holds by construction:
+//
+//	clean    (points):      RawPoints   = KeptPoints   + Drops.Total()
+//	segment  (segments):    RawSegments = KeptSegments + TooFew + TooLong
+//	odselect (segments):    TripSegments = PostFiltered + the funnel gaps
+//	mapmatch (transitions): PostFiltered = Matched + Degenerate + Unroutable
+//	fleet    (cars):        attempted    = ok + failed-by-stage
+type lineageHandles struct {
+	clean, segment, od, match, fleet *obs.StageLineage
+
+	cleanNonFinite, cleanOutOfArea, cleanDup, cleanSpike  *obs.DropCounter
+	segShort, segLong                                     *obs.DropCounter
+	odNoGate, odSingleGate, odOutsideCentre, odPostFilter *obs.DropCounter
+	matchDegenerate, matchUnroutable                      *obs.DropCounter
+}
+
+// newLineageHandles pre-resolves every ledger handle. With a nil
+// ledger every handle is nil and every operation is a no-op, mirroring
+// the registry contract.
+func newLineageHandles(l *obs.Lineage) *lineageHandles {
+	h := &lineageHandles{
+		clean:   l.Stage("clean", "points"),
+		segment: l.Stage("segment", "segments"),
+		od:      l.Stage("odselect", "segments"),
+		match:   l.Stage("mapmatch", "transitions"),
+		fleet:   l.Stage("fleet", "cars"),
+	}
+	h.cleanNonFinite = h.clean.Reason(obs.DropNonFinite)
+	h.cleanOutOfArea = h.clean.Reason(obs.DropOutOfArea)
+	h.cleanDup = h.clean.Reason(obs.DropDuplicateID)
+	h.cleanSpike = h.clean.Reason(obs.DropSpike)
+	h.segShort = h.segment.Reason(obs.DropTooFewPoints)
+	h.segLong = h.segment.Reason(obs.DropTooLong)
+	h.odNoGate = h.od.Reason(obs.DropNoGate)
+	h.odSingleGate = h.od.Reason(obs.DropSingleGate)
+	h.odOutsideCentre = h.od.Reason(obs.DropOutsideCentre)
+	h.odPostFilter = h.od.Reason(obs.DropPostFilter)
+	h.matchDegenerate = h.match.Reason(obs.DropDegenerateSpan)
+	h.matchUnroutable = h.match.Reason(obs.DropUnroutable)
+	return h
+}
+
+// commitCar publishes one successfully processed car into the stage
+// counters and the lineage ledger. It is the single metrics/lineage
+// commit point for per-car stage accounting: callers invoke it exactly
+// once per car, after the car's final attempt succeeded, so a retried
+// attempt's partial progress never leaks into the totals (the
+// per-attempt duration histograms and the pipeline_cars_processed
+// envelope counter intentionally remain per-attempt).
+func (p *Pipeline) commitCar(cr *CarResult) {
+	p.met.recordCleanStats(cr.CleanStats)
+	p.met.recordSegStats(cr.SegStats)
+	p.met.recordFunnel(cr.Funnel)
+	p.met.matchMatched.Add(uint64(cr.MatchStats.Matched))
+	p.met.matchDropped.Add(uint64(cr.MatchStats.Degenerate + cr.MatchStats.Unroutable))
+	p.met.attrRoutes.Add(uint64(len(cr.Transitions)))
+
+	h := p.lin
+	car := cr.Car
+	h.clean.RecordCar(car, uint64(cr.CleanStats.RawPoints), uint64(cr.CleanStats.KeptPoints))
+	h.cleanNonFinite.Add(uint64(cr.CleanStats.Drops.NonFinite))
+	h.cleanOutOfArea.Add(uint64(cr.CleanStats.Drops.OutOfArea))
+	h.cleanDup.Add(uint64(cr.CleanStats.Drops.DuplicateID))
+	h.cleanSpike.Add(uint64(cr.CleanStats.Drops.Spike))
+
+	h.segment.RecordCar(car, uint64(cr.SegStats.RawSegments), uint64(cr.SegStats.KeptSegments))
+	h.segShort.Add(uint64(cr.SegStats.TooFewPoints))
+	h.segLong.Add(uint64(cr.SegStats.TooLong))
+
+	f := cr.Funnel
+	h.od.RecordCar(car, uint64(f.TripSegments), uint64(f.PostFiltered))
+	h.odNoGate.Add(uint64(f.TripSegments - f.Filtered))
+	h.odSingleGate.Add(uint64(f.Filtered - f.Transitions))
+	h.odOutsideCentre.Add(uint64(f.Transitions - f.WithinCentre))
+	h.odPostFilter.Add(uint64(f.WithinCentre - f.PostFiltered))
+
+	m := cr.MatchStats
+	h.match.RecordCar(car, uint64(m.Matched+m.Degenerate+m.Unroutable), uint64(m.Matched))
+	h.matchDegenerate.Add(uint64(m.Degenerate))
+	h.matchUnroutable.Add(uint64(m.Unroutable))
+
+	if log := p.Config.Log; log != nil {
+		log.Debug("car processed",
+			slog.Int("car", car),
+			slog.Int("raw_trips", cr.RawTrips),
+			slog.Int("raw_points", cr.CleanStats.RawPoints),
+			slog.Int("kept_points", cr.CleanStats.KeptPoints),
+			slog.Int("segments", cr.SegStats.KeptSegments),
+			slog.Int("transitions", len(cr.Transitions)))
+	}
+}
+
+// recordFleetEvent folds one terminal per-car outcome into the fleet
+// row of the ledger (and the structured log). Runs on the stream's
+// forwarding goroutine via runner.Tee, so every delivered event is
+// counted exactly once; cars abandoned before producing an event are
+// never counted as "in", keeping the row conserved under aborts.
+func (p *Pipeline) recordFleetEvent(ev CarEvent) {
+	log := p.Config.Log
+	if ev.Err == nil {
+		p.lin.fleet.RecordCar(ev.Car, 1, 1)
+		return
+	}
+	p.lin.fleet.RecordCar(ev.Car, 1, 0)
+	reason := obs.DropCancelled
+	if !errors.Is(ev.Err.Err, context.Canceled) && !errors.Is(ev.Err.Err, context.DeadlineExceeded) {
+		reason = obs.DropReason("failed:" + failStage(ev.Err.Stage))
+	}
+	p.lin.fleet.Reason(reason).Add(1)
+	if log != nil {
+		log.Warn("car failed",
+			slog.Int("car", ev.Car),
+			slog.String("stage", failStage(ev.Err.Stage)),
+			slog.Int("attempts", ev.Err.Attempts),
+			slog.String("error", ev.Err.Err.Error()))
+	}
+}
+
+func failStage(stage string) string {
+	if stage == "" {
+		return "unknown"
+	}
+	return stage
+}

@@ -7,6 +7,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"log/slog"
 
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -35,6 +36,11 @@ type EnvConfig struct {
 	// controls how fast a doomed paper-scale regeneration gives up.
 	Workers     int
 	MaxFailures int
+	// Lineage, when non-nil, receives the run's drop-reason ledger
+	// (conservation-checked data lineage); Log receives structured
+	// per-car and fleet log lines.
+	Lineage *obs.Lineage
+	Log     *slog.Logger
 }
 
 // SmallScale is a quick configuration for tests and benchmarks.
@@ -72,6 +78,8 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		Workers:     cfg.Workers,
 		MaxFailures: cfg.MaxFailures,
 		Metrics:     cfg.Metrics,
+		Lineage:     cfg.Lineage,
+		Log:         cfg.Log,
 	})
 	if err != nil {
 		return nil, err

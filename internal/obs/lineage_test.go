@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLineageNilIsNoOp(t *testing.T) {
+	var l *Lineage
+	st := l.Stage("clean", "points")
+	if st != nil {
+		t.Fatal("nil lineage must yield nil stages")
+	}
+	st.Add(10, 5)
+	st.RecordCar(1, 10, 5)
+	d := st.Reason(DropSpike)
+	d.Add(3)
+	if d.Value() != 0 {
+		t.Fatal("nil drop counter must stay 0")
+	}
+	snap := l.Snapshot(5)
+	if len(snap.Stages) != 0 || !snap.Conserved {
+		t.Fatalf("nil lineage snapshot = %+v", snap)
+	}
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineageConservation(t *testing.T) {
+	l := NewLineage(nil)
+	st := l.Stage("clean", "points")
+	spike := st.Reason(DropSpike)
+	area := st.Reason(DropOutOfArea)
+
+	st.RecordCar(1, 100, 90)
+	spike.Add(6)
+	area.Add(4)
+	if err := l.Check(); err != nil {
+		t.Fatalf("conserved ledger failed check: %v", err)
+	}
+
+	snap := l.Snapshot(10)
+	if len(snap.Stages) != 1 {
+		t.Fatalf("stages = %d", len(snap.Stages))
+	}
+	row := snap.Stages[0]
+	if row.Stage != "clean" || row.Unit != "points" ||
+		row.In != 100 || row.Out != 90 || row.Dropped != 10 || !row.Conserved {
+		t.Fatalf("row = %+v", row)
+	}
+	if len(row.Reasons) != 2 {
+		t.Fatalf("reasons = %+v", row.Reasons)
+	}
+	if !snap.Conserved {
+		t.Fatal("snapshot not conserved")
+	}
+
+	// Unaccounted drops must fail the check.
+	st.Add(10, 5)
+	if err := l.Check(); err == nil {
+		t.Fatal("unaccounted drops passed conservation check")
+	} else if !strings.Contains(err.Error(), "clean") {
+		t.Fatalf("error does not name the stage: %v", err)
+	}
+	if l.Snapshot(0).Conserved {
+		t.Fatal("snapshot must flag the violation")
+	}
+}
+
+func TestLineageTopDroppedCars(t *testing.T) {
+	l := NewLineage(nil)
+	clean := l.Stage("clean", "points")
+	seg := l.Stage("segment", "segments")
+	clean.RecordCar(1, 10, 9)  // car 1: 1 dropped
+	clean.RecordCar(2, 10, 4)  // car 2: 6 dropped
+	seg.RecordCar(2, 5, 3)     // car 2: +2 = 8
+	clean.RecordCar(3, 10, 7)  // car 3: 3 dropped
+	clean.RecordCar(4, 10, 10) // car 4: clean, absent from the table
+
+	snap := l.Snapshot(2)
+	if len(snap.TopDroppedCars) != 2 {
+		t.Fatalf("top cars = %+v", snap.TopDroppedCars)
+	}
+	if snap.TopDroppedCars[0].Car != 2 || snap.TopDroppedCars[0].Dropped != 8 {
+		t.Fatalf("top car = %+v", snap.TopDroppedCars[0])
+	}
+	if snap.TopDroppedCars[1].Car != 3 || snap.TopDroppedCars[1].Dropped != 3 {
+		t.Fatalf("second car = %+v", snap.TopDroppedCars[1])
+	}
+	if by := snap.TopDroppedCars[0].ByStage; by["clean"] != 6 || by["segment"] != 2 {
+		t.Fatalf("car 2 by-stage = %+v", by)
+	}
+	// topCars == 0 omits the car table entirely.
+	if cars := l.Snapshot(0).TopDroppedCars; len(cars) != 0 {
+		t.Fatalf("topCars=0 returned %+v", cars)
+	}
+}
+
+func TestLineageRegistryMirrors(t *testing.T) {
+	reg := NewRegistry()
+	l := NewLineage(reg)
+	st := l.Stage("clean", "points")
+	st.Reason(DropSpike).Add(7)
+	st.RecordCar(3, 50, 43)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lineage_in_total{stage="clean"} 50`,
+		`lineage_out_total{stage="clean"} 43`,
+		`lineage_dropped_total{stage="clean",reason="spike"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLineageStageIdempotent(t *testing.T) {
+	l := NewLineage(nil)
+	a := l.Stage("clean", "points")
+	b := l.Stage("clean", "points")
+	if a != b {
+		t.Fatal("Stage must return the same row for the same name")
+	}
+	if a.Reason(DropSpike) != b.Reason(DropSpike) {
+		t.Fatal("Reason must be idempotent")
+	}
+}
+
+// TestLineageConcurrent exercises the ledger from many goroutines; the
+// totals must come out exact (run under -race for the safety half).
+func TestLineageConcurrent(t *testing.T) {
+	l := NewLineage(nil)
+	st := l.Stage("clean", "points")
+	spike := st.Reason(DropSpike)
+	const workers = 16
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				st.RecordCar(w, 10, 9)
+				spike.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+	snap := l.Snapshot(workers)
+	row := snap.Stages[0]
+	if row.In != workers*perWorker*10 || row.Out != workers*perWorker*9 {
+		t.Fatalf("row = %+v", row)
+	}
+	if len(snap.TopDroppedCars) != workers {
+		t.Fatalf("cars = %d", len(snap.TopDroppedCars))
+	}
+	for _, c := range snap.TopDroppedCars {
+		if c.Dropped != perWorker {
+			t.Fatalf("car %d dropped %d, want %d", c.Car, c.Dropped, perWorker)
+		}
+	}
+}

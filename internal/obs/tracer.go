@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records per-car span trees — which stages ran, nested under
+// which parent, for how long, with what attributes — into a fixed-size
+// lock-free ring buffer. It is the causal counterpart of the SpanTimer
+// metrics: where a SpanTimer aggregates durations into a histogram, a
+// TraceSpan remembers *this* car's clean stage, under *this* attempt,
+// with its drop counts attached as attributes.
+//
+// Design constraints, in order:
+//
+//   - a nil *Tracer (tracing disabled) must cost nothing on the hot
+//     path: StartSpan returns the zero TraceSpan and every method on it
+//     is a predictable no-op branch;
+//   - recording must be safe from all fleet workers concurrently with
+//     no locks: each finished span claims a ring slot with one atomic
+//     increment and publishes its record with one atomic store. When
+//     the ring wraps, the oldest spans are overwritten (Dropped counts
+//     them) — tracing favours recent history over completeness;
+//   - per-car sampling must be deterministic: whether car N is sampled
+//     is a pure function of (Seed, SampleFraction, N), so two runs of
+//     the same fleet trace the same cars and a re-run reproduces a
+//     trace exactly.
+//
+// Exporters render the recorded spans as Chrome trace_event JSON
+// (openable in chrome://tracing and Perfetto; one timeline row per
+// car) or as NDJSON (one span record per line, for ad-hoc tooling).
+type Tracer struct {
+	now  func() time.Time
+	base time.Time
+	seed int64
+	// sampleAll short-circuits the per-car hash when the fraction is 1.
+	sampleAll bool
+	threshold uint64 // car sampled iff splitmix64(seed,car) < threshold
+
+	slots []atomic.Pointer[SpanRecord]
+	mask  uint64
+	next  atomic.Uint64 // next ring sequence number (total spans recorded)
+	ids   atomic.Uint64 // span id allocator; 0 is "no parent"
+}
+
+// TracerConfig tunes a Tracer. The zero value samples every car into a
+// 65536-span ring with the wall clock.
+type TracerConfig struct {
+	// Capacity is the number of spans retained (rounded up to a power
+	// of two, default 65536). Older spans are overwritten when the
+	// fleet produces more.
+	Capacity int
+	// SampleFraction is the deterministic share of cars traced, in
+	// (0, 1]. Values <= 0 or >= 1 trace every car.
+	SampleFraction float64
+	// Seed keys the per-car sampling hash, so different seeds select
+	// different (but individually stable) car subsets.
+	Seed int64
+	// Now is the clock (test hook); nil selects time.Now.
+	Now func() time.Time
+}
+
+// NewTracer builds a tracer. The returned tracer is ready for
+// concurrent use by any number of goroutines.
+func NewTracer(cfg TracerConfig) *Tracer {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	// Round up to a power of two so slot claiming is a mask, not a mod.
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	t := &Tracer{
+		now:   now,
+		seed:  cfg.Seed,
+		slots: make([]atomic.Pointer[SpanRecord], n),
+		mask:  uint64(n - 1),
+	}
+	t.base = now()
+	if cfg.SampleFraction <= 0 || cfg.SampleFraction >= 1 {
+		t.sampleAll = true
+	} else {
+		t.threshold = uint64(cfg.SampleFraction * float64(math.MaxUint64))
+	}
+	return t
+}
+
+// splitmix64 is the standard 64-bit finalising mix; it turns the
+// (seed, car) pair into a uniform hash for sampling decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sampled reports whether spans for car are recorded — a deterministic
+// function of the tracer's seed and sample fraction. A nil tracer
+// samples nothing.
+func (t *Tracer) Sampled(car int) bool {
+	if t == nil {
+		return false
+	}
+	if t.sampleAll {
+		return true
+	}
+	return splitmix64(uint64(t.seed)^uint64(car)*0x9e3779b97f4a7c15) < t.threshold
+}
+
+// TraceAttr is one key/value annotation attached to a span at End.
+type TraceAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// TAttr builds a TraceAttr.
+func TAttr(key, value string) TraceAttr { return TraceAttr{Key: key, Value: value} }
+
+// SpanRecord is one finished span as stored in the ring.
+type SpanRecord struct {
+	ID      uint64      `json:"id"`
+	Parent  uint64      `json:"parent,omitempty"` // 0 = root
+	Name    string      `json:"name"`
+	Car     int         `json:"car"`
+	StartNs int64       `json:"start_ns"` // relative to the tracer's base time
+	DurNs   int64       `json:"dur_ns"`
+	Attrs   []TraceAttr `json:"attrs,omitempty"`
+}
+
+// TraceSpan is one in-flight span. The zero TraceSpan (from a nil or
+// non-sampling tracer) is a valid no-op: Child returns another no-op
+// and End does nothing.
+type TraceSpan struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	car    int
+	name   string
+	start  time.Time
+}
+
+// StartSpan opens a root span for car, subject to sampling. The caller
+// must End it (children may End after their parent; the tree is
+// reassembled from ids at export time).
+func (t *Tracer) StartSpan(name string, car int) TraceSpan {
+	if t == nil || !t.Sampled(car) {
+		return TraceSpan{}
+	}
+	return TraceSpan{t: t, id: t.ids.Add(1), car: car, name: name, start: t.now()}
+}
+
+// Active reports whether the span records anything (false for the
+// zero/no-op span).
+func (s TraceSpan) Active() bool { return s.t != nil }
+
+// Child opens a sub-span under s for the same car.
+func (s TraceSpan) Child(name string) TraceSpan {
+	if s.t == nil {
+		return TraceSpan{}
+	}
+	return TraceSpan{t: s.t, id: s.t.ids.Add(1), parent: s.id, car: s.car, name: name, start: s.t.now()}
+}
+
+// End finishes the span, attaching attrs, and publishes its record to
+// the ring. End must be called at most once per span.
+func (s TraceSpan) End(attrs ...TraceAttr) {
+	if s.t == nil {
+		return
+	}
+	rec := &SpanRecord{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		Car:     s.car,
+		StartNs: s.start.Sub(s.t.base).Nanoseconds(),
+		DurNs:   s.t.now().Sub(s.start).Nanoseconds(),
+	}
+	if len(attrs) > 0 {
+		rec.Attrs = append([]TraceAttr(nil), attrs...)
+	}
+	slot := s.t.next.Add(1) - 1
+	s.t.slots[slot&s.t.mask].Store(rec)
+}
+
+// Len returns the number of span records currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := t.next.Load()
+	if n > uint64(len(t.slots)) {
+		return len(t.slots)
+	}
+	return int(n)
+}
+
+// Dropped returns how many spans have been overwritten by ring wraps.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	n := t.next.Load()
+	if n <= uint64(len(t.slots)) {
+		return 0
+	}
+	return n - uint64(len(t.slots))
+}
+
+// Records snapshots the retained spans, sorted by (start, id) so
+// concurrent recording orders deterministically for a deterministic
+// clock. Spans still in flight (started, not ended) are absent.
+func (t *Tracer) Records() []*SpanRecord {
+	if t == nil {
+		return nil
+	}
+	out := make([]*SpanRecord, 0, t.Len())
+	for i := range t.slots {
+		if rec := t.slots[i].Load(); rec != nil {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNs != out[j].StartNs {
+			return out[i].StartNs < out[j].StartNs
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// --- Exporters --------------------------------------------------------------
+
+// traceEvent is one Chrome trace_event entry. Complete spans use
+// ph "X" with microsecond ts/dur; metadata events (ph "M") name the
+// process and per-car threads so Perfetto renders one labelled row per
+// car.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvent exports the retained spans in the Chrome trace_event
+// JSON format, loadable in chrome://tracing and Perfetto: pid 1 is the
+// pipeline, each car is a thread, and nesting follows time containment
+// within a car's row. Span ids and parents ride along in args.
+func (t *Tracer) WriteTraceEvent(w io.Writer) error {
+	recs := t.Records()
+	f := traceFile{TraceEvents: make([]traceEvent, 0, len(recs)+8), DisplayTimeUnit: "ms"}
+	f.TraceEvents = append(f.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]string{"name": "taxitrace pipeline"},
+	})
+	seenCar := map[int]bool{}
+	for _, rec := range recs {
+		if !seenCar[rec.Car] {
+			seenCar[rec.Car] = true
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: rec.Car,
+				Args: map[string]string{"name": "car " + itoa(rec.Car)},
+			})
+		}
+		args := map[string]string{
+			"span_id": utoa(rec.ID),
+			"car":     itoa(rec.Car),
+		}
+		if rec.Parent != 0 {
+			args["parent_id"] = utoa(rec.Parent)
+		}
+		for _, a := range rec.Attrs {
+			args[a.Key] = a.Value
+		}
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: rec.Name,
+			Cat:  "pipeline",
+			Ph:   "X",
+			Ts:   float64(rec.StartNs) / 1e3,
+			Dur:  float64(rec.DurNs) / 1e3,
+			Pid:  1,
+			Tid:  rec.Car,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// WriteNDJSON exports the retained spans as newline-delimited JSON,
+// one SpanRecord per line in (start, id) order.
+func (t *Tracer) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range t.Records() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// itoa/utoa avoid pulling strconv formatting into the export loop's
+// closure captures; they are trivial wrappers kept for symmetry.
+func itoa(v int) string {
+	if v < 0 {
+		return "-" + utoa(uint64(-v))
+	}
+	return utoa(uint64(v))
+}
+
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Context propagation ----------------------------------------------------
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying sp, so stage code deeper
+// in the call tree can parent its spans correctly without plumbing a
+// TraceSpan through every signature.
+func ContextWithSpan(ctx context.Context, sp TraceSpan) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the span carried by ctx, or the zero (no-op)
+// span when there is none.
+func SpanFromContext(ctx context.Context) TraceSpan {
+	sp, _ := ctx.Value(spanCtxKey{}).(TraceSpan)
+	return sp
+}

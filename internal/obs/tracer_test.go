@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic monotone clock for tracer tests: every
+// reading advances time by step.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{t: time.Date(2012, 10, 1, 8, 0, 0, 0, time.UTC), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestTracerNilIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Sampled(1) {
+		t.Fatal("nil tracer must sample nothing")
+	}
+	sp := tr.StartSpan("car", 1)
+	if sp.Active() {
+		t.Fatal("nil tracer span must be inactive")
+	}
+	child := sp.Child("clean")
+	child.End(TAttr("k", "v"))
+	sp.End()
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Records() != nil {
+		t.Fatal("nil tracer must retain nothing")
+	}
+	if err := tr.WriteNDJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerSpanTree(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 64, Now: newFakeClock(time.Millisecond).Now})
+	root := tr.StartSpan("car", 7)
+	if !root.Active() {
+		t.Fatal("span should be active")
+	}
+	clean := root.Child("clean")
+	clean.End(TAttr("dropped", "3"))
+	segment := root.Child("segment")
+	inner := segment.Child("interp")
+	inner.End()
+	segment.End()
+	root.End(TAttr("attempt", "1"))
+
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	byName := map[string]*SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+		if r.Car != 7 {
+			t.Fatalf("span %s car = %d, want 7", r.Name, r.Car)
+		}
+		if r.DurNs <= 0 {
+			t.Fatalf("span %s has non-positive duration %d", r.Name, r.DurNs)
+		}
+	}
+	if byName["clean"].Parent != byName["car"].ID ||
+		byName["segment"].Parent != byName["car"].ID {
+		t.Fatal("stage spans must parent to the car span")
+	}
+	if byName["interp"].Parent != byName["segment"].ID {
+		t.Fatal("nested span must parent to its stage")
+	}
+	if byName["car"].Parent != 0 {
+		t.Fatal("root span must have no parent")
+	}
+	if got := byName["clean"].Attrs; len(got) != 1 || got[0] != TAttr("dropped", "3") {
+		t.Fatalf("clean attrs = %+v", got)
+	}
+}
+
+// TestTracerConcurrentCars drives many goroutines (one per car) through
+// span trees at once; run under -race this is the lock-freedom check,
+// and afterwards every recorded span tree must still be internally
+// consistent (each child's parent id belongs to the same car).
+func TestTracerConcurrentCars(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 1 << 12})
+	const cars = 32
+	const spansPerCar = 8
+	var wg sync.WaitGroup
+	for car := 1; car <= cars; car++ {
+		wg.Add(1)
+		go func(car int) {
+			defer wg.Done()
+			root := tr.StartSpan("car", car)
+			for i := 0; i < spansPerCar; i++ {
+				sp := root.Child("stage")
+				sp.Child("inner").End()
+				sp.End()
+			}
+			root.End()
+		}(car)
+	}
+	wg.Wait()
+
+	recs := tr.Records()
+	if want := cars * (2*spansPerCar + 1); len(recs) != want {
+		t.Fatalf("got %d records, want %d", len(recs), want)
+	}
+	byID := map[uint64]*SpanRecord{}
+	for _, r := range recs {
+		if byID[r.ID] != nil {
+			t.Fatalf("duplicate span id %d", r.ID)
+		}
+		byID[r.ID] = r
+	}
+	for _, r := range recs {
+		if r.Parent == 0 {
+			continue
+		}
+		p := byID[r.Parent]
+		if p == nil {
+			t.Fatalf("span %d has unknown parent %d", r.ID, r.Parent)
+		}
+		if p.Car != r.Car {
+			t.Fatalf("span %d (car %d) parents across cars to %d (car %d)",
+				r.ID, r.Car, p.ID, p.Car)
+		}
+	}
+}
+
+func TestTracerSamplingDeterministic(t *testing.T) {
+	a := NewTracer(TracerConfig{SampleFraction: 0.25, Seed: 42})
+	b := NewTracer(TracerConfig{SampleFraction: 0.25, Seed: 42})
+	c := NewTracer(TracerConfig{SampleFraction: 0.25, Seed: 43})
+
+	sampled, diverged := 0, false
+	for car := 0; car < 4096; car++ {
+		if a.Sampled(car) != b.Sampled(car) {
+			t.Fatalf("same seed diverges at car %d", car)
+		}
+		if a.Sampled(car) {
+			sampled++
+		}
+		if a.Sampled(car) != c.Sampled(car) {
+			diverged = true
+		}
+	}
+	// 25% of 4096 with a uniform hash: allow generous slack.
+	if sampled < 4096/8 || sampled > 4096/2 {
+		t.Fatalf("sampled %d of 4096 at fraction 0.25", sampled)
+	}
+	if !diverged {
+		t.Fatal("different seeds selected identical car subsets")
+	}
+	// Unsampled cars produce inactive spans that record nothing.
+	for car := 0; car < 64; car++ {
+		if !a.Sampled(car) {
+			if sp := a.StartSpan("car", car); sp.Active() {
+				t.Fatalf("unsampled car %d got an active span", car)
+			}
+			break
+		}
+	}
+}
+
+func TestTracerRingOverflow(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 8})
+	for i := 0; i < 20; i++ {
+		tr.StartSpan("s", 1).End()
+	}
+	if tr.Len() != 8 {
+		t.Fatalf("Len = %d, want 8 (ring capacity)", tr.Len())
+	}
+	if tr.Dropped() != 12 {
+		t.Fatalf("Dropped = %d, want 12", tr.Dropped())
+	}
+	// The retained spans are the newest 8 (ids 13..20).
+	for _, r := range tr.Records() {
+		if r.ID <= 12 {
+			t.Fatalf("overwritten span %d still retained", r.ID)
+		}
+	}
+}
+
+// TestTraceEventGolden pins the Chrome trace_event exporter output
+// byte-for-byte. Regenerate with:
+//
+//	go test ./internal/obs -run TraceEventGolden -update
+func TestTraceEventGolden(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 64, Now: newFakeClock(time.Millisecond).Now})
+	for _, car := range []int{3, 11} {
+		root := tr.StartSpan("car", car)
+		clean := root.Child("clean")
+		clean.End(TAttr("dropped", "2"), TAttr("reason", "spike"))
+		seg := root.Child("segment")
+		seg.End()
+		root.End(TAttr("attempt", "1"))
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvent(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_event.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace_event output diverges from golden:\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+
+	// The export must be valid trace-viewer JSON: an object with a
+	// traceEvents array whose entries carry ph/ts/pid/tid.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("no traceEvents in export")
+	}
+	for _, ev := range parsed.TraceEvents {
+		if ev["ph"] == nil || ev["pid"] == nil {
+			t.Fatalf("malformed event %v", ev)
+		}
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 16, Now: newFakeClock(time.Millisecond).Now})
+	root := tr.StartSpan("car", 5)
+	root.Child("clean").End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d NDJSON lines, want 2", len(lines))
+	}
+	for _, ln := range lines {
+		var rec SpanRecord
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("line %q: %v", ln, err)
+		}
+		if rec.Car != 5 {
+			t.Fatalf("line %q: car = %d", ln, rec.Car)
+		}
+	}
+}
+
+func TestContextSpanPropagation(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 16})
+	sp := tr.StartSpan("car", 1)
+	ctx := ContextWithSpan(t.Context(), sp)
+	got := SpanFromContext(ctx)
+	if !got.Active() || got.id != sp.id {
+		t.Fatal("span did not round-trip through context")
+	}
+	if SpanFromContext(t.Context()).Active() {
+		t.Fatal("empty context must yield the no-op span")
+	}
+}
+
+func BenchmarkTracerSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("car", i)
+		sp.Child("clean").End()
+		sp.End()
+	}
+}
+
+func BenchmarkTracerSpanEnabled(b *testing.B) {
+	tr := NewTracer(TracerConfig{Capacity: 1 << 16})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("car", i)
+		sp.Child("clean").End()
+		sp.End()
+	}
+}
+
+func BenchmarkTracerSpanUnsampled(b *testing.B) {
+	// Fraction chosen so car 1 is unsampled for seed 0 (checked below).
+	tr := NewTracer(TracerConfig{Capacity: 1 << 10, SampleFraction: 1e-9})
+	car := 0
+	for tr.Sampled(car) {
+		car++
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("car", car)
+		sp.Child("clean").End()
+		sp.End()
+	}
+}

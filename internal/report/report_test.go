@@ -1,0 +1,109 @@
+package report
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/tracegen"
+)
+
+func runFleet(t *testing.T) (*obs.Registry, *obs.Lineage) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	lin := obs.NewLineage(reg)
+	p, err := core.NewPipeline(core.Config{
+		CitySeed: 42,
+		Fleet:    tracegen.Config{Seed: 42, Cars: 2, TripsPerCar: 8, GateRunFraction: 0.35, SpikeRate: 0.4},
+		Metrics:  reg,
+		Lineage:  lin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return reg, lin
+}
+
+func TestBuildValidateRoundTrip(t *testing.T) {
+	reg, lin := runFleet(t)
+	fixed := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	r := Build(reg, lin, Options{
+		Params:   map[string]string{"cars": "2", "seed": "42"},
+		Duration: 3 * time.Second,
+		Now:      func() time.Time { return fixed },
+	})
+	if err := Validate(&r); err != nil {
+		t.Fatalf("fresh report invalid: %v", err)
+	}
+	if !r.GeneratedAt.Equal(fixed) || r.DurationSeconds != 3 {
+		t.Fatalf("header = %v / %v", r.GeneratedAt, r.DurationSeconds)
+	}
+	if r.Fleet.CarsOK != 2 || r.Fleet.CarsFailed != 0 {
+		t.Fatalf("fleet = %+v", r.Fleet)
+	}
+	if len(r.StageTimings) == 0 {
+		t.Fatal("no stage timings")
+	}
+	for _, st := range r.StageTimings {
+		if st.Calls == 0 || st.TotalSeconds < 0 {
+			t.Fatalf("stage %+v", st)
+		}
+	}
+	if !r.Lineage.Conserved || len(r.Lineage.Stages) == 0 {
+		t.Fatalf("lineage = %+v", r.Lineage)
+	}
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := WriteFile(path, &r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fleet != r.Fleet || len(back.Lineage.Stages) != len(r.Lineage.Stages) {
+		t.Fatalf("round trip diverged: %+v vs %+v", back.Fleet, r.Fleet)
+	}
+}
+
+func TestValidateRejectsViolations(t *testing.T) {
+	reg, lin := runFleet(t)
+	base := Build(reg, lin, Options{})
+
+	bad := base
+	bad.Schema = "bogus/v9"
+	if err := Validate(&bad); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+
+	bad = base
+	// Deep-copy the stage rows before corrupting one.
+	bad.Lineage.Stages = append([]obs.StageSnapshot(nil), base.Lineage.Stages...)
+	bad.Lineage.Stages[0].In += 7 // unaccounted loss
+	if err := Validate(&bad); err == nil {
+		t.Error("conservation violation accepted")
+	}
+
+	bad = base
+	bad.StageTimings = append([]StageTiming(nil), base.StageTimings...)
+	bad.StageTimings[0].Calls = 0
+	if err := Validate(&bad); err == nil {
+		t.Error("zero-call stage accepted")
+	}
+}
+
+func TestBuildNilSources(t *testing.T) {
+	r := Build(nil, nil, Options{})
+	if err := Validate(&r); err != nil {
+		t.Fatalf("empty report invalid: %v", err)
+	}
+	if len(r.StageTimings) != 0 || len(r.Lineage.Stages) != 0 {
+		t.Fatalf("empty report has data: %+v", r)
+	}
+}

@@ -35,6 +35,7 @@ package runner
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -83,6 +84,10 @@ type Config struct {
 	// Metrics instruments the run (runner_cars_ok/failed/retried/
 	// skipped, runner_inflight, runner_drain_seconds); nil disables.
 	Metrics *obs.Registry
+
+	// Log receives structured run-event lines (retries at Warn, the
+	// run summary at Info); nil disables logging.
+	Log *slog.Logger
 
 	// Sleep implements the retry backoff wait; tests inject a recorder
 	// here. Nil selects a timer-based wait that honors ctx.
@@ -299,6 +304,18 @@ func Run[T any](ctx context.Context, cfg Config, n int, task Task[T]) *Stream[T]
 		case ctx.Err() != nil:
 			s.err = ctx.Err()
 		}
+		if cfg.Log != nil {
+			attrs := []any{
+				slog.Int("cars", n),
+				slog.Int64("ok", okCount.Load()),
+				slog.Int64("failed", failCount.Load()),
+				slog.Int64("skipped", int64(n)-okCount.Load()-failCount.Load()),
+			}
+			if s.err != nil {
+				attrs = append(attrs, slog.String("error", s.err.Error()))
+			}
+			cfg.Log.Info("fleet run finished", attrs...)
+		}
 		close(s.events)
 		close(s.done)
 		cancel()
@@ -307,12 +324,23 @@ func Run[T any](ctx context.Context, cfg Config, n int, task Task[T]) *Stream[T]
 }
 
 // runCar executes one car with panic isolation and Transient retries.
+// Each attempt runs under a context carrying its attempt number (see
+// AttemptOf), so tasks can scope per-attempt observability — mark
+// retried attempts retry=true in traces, commit lineage only on the
+// final successful attempt — without the runner leaking into their
+// signatures.
 func runCar[T any](ctx context.Context, cfg Config, met metrics, car int, task Task[T]) Event[T] {
 	var lastErr error
 	attempts := 0
 	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			met.retried.Inc()
+			if cfg.Log != nil {
+				cfg.Log.Warn("retrying car",
+					slog.Int("car", car),
+					slog.Int("attempt", attempt),
+					slog.String("cause", lastErr.Error()))
+			}
 			if err := cfg.Sleep(ctx, backoff(cfg.Backoff, attempt)); err != nil {
 				lastErr = err
 				attempts = attempt - 1
@@ -320,7 +348,7 @@ func runCar[T any](ctx context.Context, cfg Config, met metrics, car int, task T
 			}
 		}
 		attempts = attempt
-		res, err := runAttempt(ctx, car, task)
+		res, err := runAttempt(withAttempt(ctx, attempt), car, task)
 		if err == nil {
 			return Event[T]{Car: car, Attempts: attempts, Result: res}
 		}
@@ -330,6 +358,22 @@ func runCar[T any](ctx context.Context, cfg Config, met metrics, car int, task T
 		}
 	}
 	return Event[T]{Car: car, Attempts: attempts, Err: newCarError(car, attempts, lastErr)}
+}
+
+type attemptCtxKey struct{}
+
+// withAttempt stamps the per-attempt context with its 1-based attempt
+// number.
+func withAttempt(ctx context.Context, attempt int) context.Context {
+	return context.WithValue(ctx, attemptCtxKey{}, attempt)
+}
+
+// AttemptOf returns the 1-based attempt number the runner stamped on a
+// task's context, or 0 when the task is not running under the runner.
+// Attempt numbers above 1 identify retries.
+func AttemptOf(ctx context.Context) int {
+	att, _ := ctx.Value(attemptCtxKey{}).(int)
+	return att
 }
 
 // runAttempt runs the task once, converting a panic into a permanent

@@ -11,19 +11,30 @@
 // Endpoints (all GET, JSON):
 //
 //	/v1/snapshot           epoch, cars ingested/failed, complete flag
+//	/v1/healthz            liveness: epoch age, sealed flag, ingest inflight
+//	/v1/lineage            the run's drop-reason ledger (conservation-checked)
 //	/v1/grid               per-cell speed stats; ?bbox=, ?min-points=
 //	/v1/cells/{id}         one cell by its "cI.J" key
 //	/v1/od                 the OD matrix (all directions)
 //	/v1/od/{from}-{to}     one direction: travel-time quantiles + metrics
+//
+// Every request passes through a recovery + access-log middleware
+// (ServeHTTP): a handler panic becomes a logged 500 instead of a
+// silently reset connection, and each request emits one structured log
+// line (method, path, status, bytes, duration, epoch) when a logger is
+// attached with WithLogger.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -45,6 +56,18 @@ type API struct {
 	src Source
 	mux *http.ServeMux
 	met apiMetrics
+
+	// log receives one access-log line per request and one error line
+	// per recovered panic (WithLogger; nil disables logging but not
+	// panic recovery).
+	log *slog.Logger
+	// lineage backs /v1/lineage (WithLineage; nil reports disabled).
+	lineage *obs.Lineage
+	// inflight is the runner_inflight gauge from the shared registry —
+	// how many cars ingest is working on right now, surfaced by healthz.
+	inflight *obs.Gauge
+	// reqID numbers requests for log correlation.
+	reqID atomic.Uint64
 }
 
 type apiMetrics struct {
@@ -52,6 +75,7 @@ type apiMetrics struct {
 	notModified *obs.Counter
 	badRequest  *obs.Counter
 	notFound    *obs.Counter
+	serverError *obs.Counter
 	latency     *obs.Histogram
 }
 
@@ -64,6 +88,8 @@ func NewAPI(src Source, reg *obs.Registry) *API {
 		met: apiMetrics{
 			requests: map[string]*obs.Counter{
 				"snapshot": reg.Counter("serve_requests_snapshot"),
+				"healthz":  reg.Counter("serve_requests_healthz"),
+				"lineage":  reg.Counter("serve_requests_lineage"),
 				"grid":     reg.Counter("serve_requests_grid"),
 				"cell":     reg.Counter("serve_requests_cell"),
 				"od":       reg.Counter("serve_requests_od"),
@@ -72,8 +98,10 @@ func NewAPI(src Source, reg *obs.Registry) *API {
 			notModified: reg.Counter("serve_responses_not_modified"),
 			badRequest:  reg.Counter("serve_responses_bad_request"),
 			notFound:    reg.Counter("serve_responses_not_found"),
+			serverError: reg.Counter("serve_responses_server_error"),
 			latency:     reg.Histogram("serve_request_seconds"),
 		},
+		inflight: reg.Gauge("runner_inflight"),
 	}
 	reg.GaugeFunc("serve_snapshot_epoch", func() float64 {
 		return float64(src.Snapshot().Epoch)
@@ -85,6 +113,8 @@ func NewAPI(src Source, reg *obs.Registry) *API {
 		return float64(src.Snapshot().CarsIngested)
 	})
 	a.mux.HandleFunc("GET /v1/snapshot", a.wrap("snapshot", a.handleSnapshot))
+	a.mux.HandleFunc("GET /v1/healthz", a.wrap("healthz", a.handleHealthz))
+	a.mux.HandleFunc("GET /v1/lineage", a.wrap("lineage", a.handleLineage))
 	a.mux.HandleFunc("GET /v1/grid", a.wrap("grid", a.handleGrid))
 	a.mux.HandleFunc("GET /v1/cells/{id}", a.wrap("cell", a.handleCell))
 	a.mux.HandleFunc("GET /v1/od", a.wrap("od", a.handleOD))
@@ -92,8 +122,87 @@ func NewAPI(src Source, reg *obs.Registry) *API {
 	return a
 }
 
-// ServeHTTP dispatches to the API's endpoints.
-func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+// WithLogger attaches a structured logger for access logs and panic
+// reports; returns a for chaining. Safe to call only before serving.
+func (a *API) WithLogger(log *slog.Logger) *API {
+	a.log = log
+	return a
+}
+
+// WithLineage attaches the run's lineage ledger, backing /v1/lineage;
+// returns a for chaining. Safe to call only before serving.
+func (a *API) WithLineage(l *obs.Lineage) *API {
+	a.lineage = l
+	return a
+}
+
+// statusWriter records the status code and body size a handler wrote,
+// for the access log and the panic recovery (which must not write a
+// second header onto a response that already has one).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// ServeHTTP dispatches to the API's endpoints through the recovery and
+// access-log middleware: a panicking handler yields a logged 500 (when
+// nothing has been written yet) rather than an empty reply, and every
+// request emits one structured line when a logger is attached.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := a.reqID.Add(1)
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		if rec := recover(); rec != nil {
+			a.met.serverError.Inc()
+			if sw.status == 0 {
+				sw.Header().Set("Content-Type", "application/json; charset=utf-8")
+				sw.WriteHeader(http.StatusInternalServerError)
+				json.NewEncoder(sw).Encode(map[string]string{"error": "internal server error"})
+			}
+			if a.log != nil {
+				a.log.Error("handler panicked",
+					slog.Uint64("req", id),
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.String("panic", fmt.Sprint(rec)),
+					slog.String("stack", string(debug.Stack())))
+			}
+		}
+		if a.log != nil {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK // handler wrote nothing: net/http defaults to 200
+			}
+			a.log.Info("request",
+				slog.Uint64("req", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.Int("bytes", sw.bytes),
+				slog.Duration("duration", time.Since(start)),
+				slog.Uint64("epoch", a.src.Snapshot().Epoch))
+		}
+	}()
+	a.mux.ServeHTTP(sw, r)
+}
 
 // handlerFunc answers one request against the snapshot it was handed —
 // the single epoch the whole response is built from.
@@ -177,6 +286,54 @@ func (a *API) handleSnapshot(w http.ResponseWriter, _ *http.Request, snap *sink.
 		PublishedAt:  snap.PublishedAt.UTC().Format(time.RFC3339Nano),
 		AgeSeconds:   time.Since(snap.PublishedAt).Seconds(),
 	})
+}
+
+// --- /v1/healthz ------------------------------------------------------------
+
+type healthzResponse struct {
+	Status         string  `json:"status"`
+	Epoch          uint64  `json:"epoch"`
+	AgeSeconds     float64 `json:"age_seconds"`
+	Sealed         bool    `json:"sealed"`
+	IngestInflight int64   `json:"ingest_inflight"`
+	CarsIngested   int     `json:"cars_ingested"`
+	CarsFailed     int     `json:"cars_failed"`
+}
+
+// handleHealthz answers the liveness probe: how stale the served epoch
+// is, whether the run has sealed, and how many cars ingest is still
+// working on. Always 200 — reachability is the health signal; the body
+// carries the freshness details a poller alerts on.
+func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request, snap *sink.Snapshot) {
+	a.writeJSON(w, healthzResponse{
+		Status:         "ok",
+		Epoch:          snap.Epoch,
+		AgeSeconds:     time.Since(snap.PublishedAt).Seconds(),
+		Sealed:         snap.Complete,
+		IngestInflight: a.inflight.Value(),
+		CarsIngested:   snap.CarsIngested,
+		CarsFailed:     snap.CarsFailed,
+	})
+}
+
+// --- /v1/lineage ------------------------------------------------------------
+
+type lineageResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Enabled bool   `json:"enabled"`
+	// Lineage is the drop-reason ledger (in = out + Σ dropped per
+	// stage); omitted when no ledger is attached.
+	Lineage *obs.LineageSnapshot `json:"lineage,omitempty"`
+}
+
+func (a *API) handleLineage(w http.ResponseWriter, _ *http.Request, snap *sink.Snapshot) {
+	resp := lineageResponse{Epoch: snap.Epoch}
+	if a.lineage != nil {
+		ls := a.lineage.Snapshot(10)
+		resp.Enabled = true
+		resp.Lineage = &ls
+	}
+	a.writeJSON(w, resp)
 }
 
 // --- /v1/grid and /v1/cells/{id} --------------------------------------------

@@ -28,7 +28,9 @@
 package sink
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -74,6 +76,9 @@ type Config struct {
 	// Now is the publish timestamp source (test hook); nil selects
 	// time.Now.
 	Now func() time.Time
+	// Log receives one structured line per publish (Debug) and per seal
+	// (Info) — epoch, cars, cells, OD pairs. Nil disables.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -377,5 +382,19 @@ func (s *Sink) publish(complete bool) *Snapshot {
 	s.met.epoch.Set(int64(snap.Epoch))
 	s.met.cells.Set(int64(len(snap.Cells)))
 	s.met.odPairs.Set(int64(len(snap.OD)))
+	if log := s.cfg.Log; log != nil {
+		msg, level := "snapshot published", slog.LevelDebug
+		if snap.Complete {
+			msg, level = "sink sealed", slog.LevelInfo
+		}
+		log.Log(context.Background(), level, msg,
+			slog.Uint64("epoch", snap.Epoch),
+			slog.Int("cars", snap.CarsIngested),
+			slog.Int("failed", snap.CarsFailed),
+			slog.Int("points", snap.Points),
+			slog.Int("cells", len(snap.Cells)),
+			slog.Int("od_pairs", len(snap.OD)),
+			slog.Bool("complete", snap.Complete))
+	}
 	return snap
 }

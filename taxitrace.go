@@ -55,6 +55,7 @@ package taxitrace
 import (
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config assembles one pipeline; the zero value selects the paper's
@@ -140,3 +141,30 @@ func FailedCars(err error) []*CarError { return core.FailedCars(err) }
 func TransitionSpeedPoints(rec *TransitionRecord) []SpeedPoint {
 	return core.TransitionSpeedPoints(rec)
 }
+
+// Tracer records per-car span trees on a fixed-size lock-free ring
+// (Config.Tracer); export with WriteTraceEvent (Perfetto /
+// chrome://tracing) or WriteNDJSON. A nil Tracer is a no-op.
+type Tracer = obs.Tracer
+
+// TracerConfig sizes a Tracer and sets its deterministic per-car
+// sampling fraction.
+type TracerConfig = obs.TracerConfig
+
+// NewTracer builds a span recorder; see obs.NewTracer.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.NewTracer(cfg) }
+
+// Lineage is the run's drop-reason ledger (Config.Lineage): per stage,
+// in = out + Σ dropped-by-reason, with per-car drop attribution. A nil
+// Lineage is a no-op.
+type Lineage = obs.Lineage
+
+// LineageSnapshot is the queryable per-run lineage table.
+type LineageSnapshot = obs.LineageSnapshot
+
+// DropReason is a typed cause for discarding a unit of data at a
+// pipeline stage (obs.DropSpike, obs.DropTooLong, ...).
+type DropReason = obs.DropReason
+
+// NewLineage builds a ledger, mirroring totals into reg when non-nil.
+func NewLineage(reg *obs.Registry) *Lineage { return obs.NewLineage(reg) }
