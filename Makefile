@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-runner bench-serve bench-fleet bench-obs race ci fuzz profile results examples clean help
+.PHONY: all build test vet bench bench-runner bench-serve bench-fleet bench-obs bench-ingest race ci fuzz profile results examples clean help
 
 all: build vet test
 
@@ -31,6 +31,10 @@ help:
 	@echo "  bench-obs     snapshot observability overhead (obs off vs idle"
 	@echo "           tracer+lineage vs fully traced on the 1k-car fleet)"
 	@echo "           into results/BENCH_obs.json"
+	@echo "  bench-ingest  snapshot streaming-ingest perf (ordered and"
+	@echo "           bounded-shuffle firehose replay: points/s + p99"
+	@echo "           ingest-to-visible latency, plus NDJSON/binary frame"
+	@echo "           decode) into results/BENCH_ingest.json"
 	@echo "  profile  run a large taxiflow workload with -debug-addr and"
 	@echo "           capture a 10 s CPU profile into cpu.pprof"
 	@echo "  results  regenerate all paper tables/figures into results/"
@@ -71,6 +75,7 @@ FUZZ_TARGETS = \
 	./internal/grid:FuzzParseCellID \
 	./internal/geo:FuzzProjectionRoundTrip \
 	./internal/serve:FuzzQueryParsing \
+	./internal/ingest:FuzzPointCodec \
 	./internal/trace:FuzzReadCSV \
 	./internal/trace:FuzzReadBinary \
 	./internal/digiroad:FuzzReadCSV
@@ -157,6 +162,22 @@ bench-obs:
 		-notes "1000-car fleet, columnar layout, binary ingest; obs=off (nil tracer, <=1% of pre-observability BENCH_fleet baseline), obs=lineage adds ledger+metrics, obs=sampled traces 10% of cars, obs=traced traces all" \
 		< /tmp/bench_obs.txt > results/BENCH_obs.json
 	@echo "wrote results/BENCH_obs.json"
+
+# Streaming-ingest perf trajectory: the 32-car differential fixture
+# replayed as an event-time firehose (ordered, and shuffled within the
+# lateness bound), reporting sustained points/s and the p99
+# ingest-to-visible latency, plus the bare NDJSON/binary frame
+# decoders; medians over 5 single-shot runs (one op is a whole fleet
+# replay) into results/BENCH_ingest.json.
+bench-ingest:
+	$(GO) test -run xxx -bench '^BenchmarkIngest' -benchmem -benchtime=1x -count=5 \
+		./internal/ingest/ | tee /tmp/bench_ingest.txt
+	$(GO) run ./cmd/benchfmt \
+		-snapshot "$$(date +%Y-%m-%d)" \
+		-command "go test -run xxx -bench '^BenchmarkIngest' -benchmem -benchtime=1x -count=5 ./internal/ingest/" \
+		-notes "32-car fleet x 3 trips flattened to a point firehose, 30s lateness, watermark every 256 points; ordered vs bounded-shuffle replay through admission/watermark/trip-close into the sink, plus NDJSON vs TAXIPNTB decode" \
+		< /tmp/bench_ingest.txt > results/BENCH_ingest.json
+	@echo "wrote results/BENCH_ingest.json"
 
 # Regenerate every paper table and figure (plus ablations) into results/.
 results:

@@ -7,6 +7,7 @@ package taxitrace
 // and so the ablations quantify the design choices.
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -184,7 +185,7 @@ func BenchmarkPipelinePerCar(b *testing.B) {
 	raw := env.P.Gen.CarTrips(2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := env.P.Process(2, raw); err != nil {
+		if _, err := env.P.ProcessContext(context.Background(), 2, raw); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -212,7 +213,7 @@ func BenchmarkPipelinePerCarObsOverhead(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := env.P.Process(2, raw); err != nil {
+			if _, err := env.P.ProcessContext(context.Background(), 2, raw); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -59,6 +59,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/report"
@@ -84,6 +85,9 @@ func main() {
 	metricsOut := flag.String("metrics", "", "optional JSON metrics snapshot written at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060, :0 for ephemeral)")
 	serveAddr := flag.String("serve-addr", "", "serve the /v1 query API (plus the debug surface) on this address and keep serving after the run until interrupted")
+	ingestAddr := flag.String("ingest-addr", "", "event-time streaming mode: accept a point firehose on POST /v1/ingest (plus the /v1 query API) on this address instead of running the batch fleet; Ctrl-C to exit")
+	lateness := flag.Duration("lateness", 30*time.Second, "with -ingest-addr: allowed event-time lateness (out-of-orderness bound)")
+	idleTimeout := flag.Duration("idle-timeout", 10*time.Minute, "with -ingest-addr: event-time silence after which a car stops holding the watermark back")
 	checkOn := flag.Bool("check", false, "validate pipeline invariants at every stage boundary (check_violations_total metrics)")
 	checkStrict := flag.Bool("check-strict", false, "like -check, but an invariant violation fails the offending car")
 	reportOut := flag.String("report", "", "write the run report (lineage table, stage timings, fleet summary) as JSON at exit")
@@ -153,6 +157,26 @@ func main() {
 	fmt.Printf("city: %d traffic elements, %d point objects\n",
 		p.City.DB.NumElements(), p.City.DB.NumObjects())
 	fmt.Printf("network: %s\n", p.Graph.Stats())
+
+	// With -ingest-addr the process is a streaming server: points
+	// arrive over HTTP (e.g. from tracegen -firehose), per-car state
+	// machines clean and segment them online, and the watermark closes
+	// trips into the sink — the batch fleet never runs.
+	if *ingestAddr != "" {
+		if err := runIngestServer(ctx, p, reg, lin, logger, *ingestAddr, *lateness, *idleTimeout,
+			taxitrace.CheckConfig{Enabled: *checkOn, Strict: *checkStrict}); err != nil {
+			log.Fatal(err)
+		}
+		printLineageTable(lin)
+		if *metricsOut != "" {
+			if err := writeMetrics(reg, *metricsOut); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *metricsOut)
+		}
+		fmt.Printf("\ndone in %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	// With -serve-addr, completed cars stream into the incremental
 	// aggregation sink and the query API answers on the same listener
@@ -516,6 +540,75 @@ func writeSpeedMap(p *taxitrace.Pipeline, recs []*taxitrace.TransitionRecord, pa
 		return err
 	}
 	return f.Close()
+}
+
+// runIngestServer runs the process as an event-time streaming server:
+// the sink, the ingest engine and the /v1 API (query + firehose) share
+// one listener, a wall-clock tick keeps the watermark advancing on
+// slow streams, and interruption closes the engine so the final
+// snapshot seals before the summary prints.
+func runIngestServer(ctx context.Context, p *taxitrace.Pipeline, reg *obs.Registry,
+	lin *taxitrace.Lineage, logger *slog.Logger, addr string,
+	lateness, idleTimeout time.Duration, check taxitrace.CheckConfig) error {
+	g, err := sink.GridForPipeline(p)
+	if err != nil {
+		return err
+	}
+	snk, err := sink.New(sink.Config{
+		Grid:    g,
+		Metrics: reg,
+		Gates:   p.Selector.GateNames(),
+		Check:   check,
+		Log:     logger,
+	})
+	if err != nil {
+		return err
+	}
+	eng, err := ingest.New(ingest.Config{
+		Pipeline:        p,
+		Sink:            snk,
+		AllowedLateness: lateness,
+		IdleTimeout:     idleTimeout,
+		Metrics:         reg,
+		Lineage:         lin,
+		Log:             logger,
+	})
+	if err != nil {
+		return err
+	}
+	mux := reg.DebugMux()
+	serve.Mount(mux, serve.NewAPI(snk, reg).WithLogger(logger).WithLineage(lin).WithIngest(eng))
+	srv, err := obs.Serve(addr, mux)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("streaming ingest: POST http://%s/v1/ingest (NDJSON or TAXIPNTB binary), POST /v1/ingest/close to seal\n", srv.Addr)
+	fmt.Printf("query API: http://%s/v1/snapshot /v1/healthz /v1/lineage /v1/grid /v1/od (+debug surface)\n", srv.Addr)
+	fmt.Printf("watermark: lateness %s, idle timeout %s — Ctrl-C to exit\n", lateness, idleTimeout)
+
+	// Slow or stalled streams would otherwise only flush on the
+	// admission cadence; a wall tick forces watermark recomputation.
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			eng.Close()
+			st := eng.Stats()
+			final := snk.Snapshot()
+			fmt.Printf("\ningest: %d received, %d admitted, %d trips closed, %d dropped\n",
+				st.Received, st.Admitted, st.ClosedTrips, st.Received-st.Admitted)
+			fmt.Printf("final snapshot: epoch %d, %d cars, %d cells, %d directions\n",
+				final.Epoch, final.CarsIngested, len(final.Cells), len(final.OD))
+			if cerr := snk.CheckErr(); cerr != nil {
+				log.Printf("sink invariant violation: %v", cerr)
+			}
+			return nil
+		case <-tick.C:
+			eng.Advance()
+		}
+	}
 }
 
 // processTraces loads externally recorded trips (e.g. written by

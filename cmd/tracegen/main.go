@@ -4,20 +4,35 @@
 // repairs) and/or the compact binary trace format, plus the road
 // database as a second CSV.
 //
+// With -firehose the same fleet is instead replayed as a streaming
+// point firehose against a running ingest server (taxiflow
+// -ingest-addr): the trips are flattened to per-point events in event
+// time, optionally shuffled within bounded windows to exercise the
+// out-of-orderness buffer, POSTed to /v1/ingest (NDJSON, or the binary
+// framing with -format binary) and the stream is closed so the
+// server's snapshot seals.
+//
 // Usage:
 //
 //	tracegen [-cars N] [-trips N] [-seed N] [-traces FILE] [-map FILE] [-format csv|binary|both]
+//	tracegen [-cars N] [-trips N] [-seed N] -firehose http://HOST:PORT/v1/ingest
+//	         [-shuffle-window N] [-no-close] [-format binary]
 package main
 
 import (
 	"bufio"
 	"flag"
+	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/digiroad"
+	"repro/internal/ingest"
 	"repro/internal/roadnet"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -33,6 +48,10 @@ func main() {
 	format := flag.String("format", "csv", "trace output format: csv, binary, or both")
 	mapOut := flag.String("map", "digiroad.csv", "road database CSV output")
 	geoJSON := flag.String("geojson", "", "optional GeoJSON output prefix: writes <prefix>-map.geojson and <prefix>-trips.geojson")
+	firehose := flag.String("firehose", "", "replay the fleet as a point firehose against this ingest URL (e.g. http://localhost:8080/v1/ingest) instead of writing files")
+	shuffleWindow := flag.Int("shuffle-window", 0, "with -firehose: permute events within windows of this many points (bounded out-of-orderness; 0 keeps event order)")
+	shuffleSpan := flag.Duration("shuffle-span", 20*time.Second, "with -shuffle-window: cap a window's event-time span (keep below the server's -lateness)")
+	noClose := flag.Bool("no-close", false, "with -firehose: leave the stream open (skip POST …/close)")
 	flag.Parse()
 	wantCSV, wantBinary := false, false
 	switch *format {
@@ -63,6 +82,13 @@ func main() {
 		points += len(t.Points)
 	}
 	log.Printf("simulated %d trips, %d route points", len(fleet), points)
+
+	if *firehose != "" {
+		if err := runFirehose(*firehose, fleet, city, *seed, *shuffleWindow, shuffleSpan.Milliseconds(), wantBinary, !*noClose); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if wantCSV {
 		path := withExt(*tracesOut, ".csv", wantBinary)
@@ -106,6 +132,62 @@ func main() {
 		}
 		log.Printf("wrote %s-map.geojson and %s-trips.geojson", *geoJSON, *geoJSON)
 	}
+}
+
+// runFirehose flattens the fleet to per-point events in event-time
+// order, optionally applies the bounded in-window shuffle, streams the
+// body to the ingest URL (NDJSON, or the binary point framing when the
+// caller asked for -format binary) and finally closes the stream.
+func runFirehose(url string, fleet []*trace.Trip, city *digiroad.City, seed int64,
+	window int, spanCapMs int64, binaryBody, closeStream bool) error {
+	byCar := map[int][]*trace.Trip{}
+	for _, t := range fleet {
+		byCar[t.CarID] = append(byCar[t.CarID], t)
+	}
+	pts := ingest.FleetPoints(byCar, city.DB.Proj)
+	if window > 1 {
+		span := ingest.ShuffleWindows(pts, window, spanCapMs, seed)
+		log.Printf("shuffled within windows of %d points (max in-window span %dms)", window, span)
+	}
+
+	pr, pw := io.Pipe()
+	go func() {
+		var err error
+		if binaryBody {
+			err = ingest.WriteBinary(pw, pts)
+		} else {
+			err = ingest.WriteNDJSON(pw, pts)
+		}
+		pw.CloseWithError(err)
+	}()
+	contentType := "application/x-ndjson"
+	if binaryBody {
+		contentType = "application/octet-stream"
+	}
+	resp, err := http.Post(url, contentType, pr)
+	if err != nil {
+		return fmt.Errorf("firehose: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("firehose: %s replied %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	log.Printf("firehose: sent %d points: %s", len(pts), strings.TrimSpace(string(body)))
+
+	if closeStream {
+		resp, err := http.Post(strings.TrimRight(url, "/")+"/close", "application/json", nil)
+		if err != nil {
+			return fmt.Errorf("firehose close: %w", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("firehose close: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		log.Printf("firehose: closed stream: %s", strings.TrimSpace(string(body)))
+	}
+	return nil
 }
 
 // withExt forces path's extension when both formats are written (so

@@ -153,7 +153,7 @@ func TestFormatAndLayoutDifferential(t *testing.T) {
 					mine = append(mine, tr)
 				}
 			}
-			return p.Process(car, mine)
+			return p.ProcessContext(context.Background(), car, mine)
 		}
 	}
 	procCSV := groupRead(func() ([]*trace.Trip, error) {

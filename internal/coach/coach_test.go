@@ -1,6 +1,7 @@
 package coach
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -30,7 +31,7 @@ func testData(t *testing.T) (*core.Pipeline, []*core.TransitionRecord) {
 			return
 		}
 		var res *core.Result
-		res, envErr = envP.Run()
+		res, envErr = envP.RunContext(context.Background())
 		if envErr == nil {
 			envRecs = res.Transitions()
 		}

@@ -477,15 +477,6 @@ func (p *Pipeline) RunObserved(ctx context.Context, observe func(CarEvent)) (*Re
 	return &Result{Cars: cars}, errors.Join(errs...)
 }
 
-// Run executes the fleet with a background context.
-//
-// Deprecated: use RunContext (or Stream for incremental consumption),
-// which add cancellation, per-car fault isolation and partial results.
-// Note the error contract changed with the fault-tolerant runner: Run
-// now returns the partial Result alongside the joined error instead of
-// a nil Result on the first per-car failure.
-func (p *Pipeline) Run() (*Result, error) { return p.RunContext(context.Background()) }
-
 // RunCarContext executes the pipeline for one car under ctx.
 func (p *Pipeline) RunCarContext(ctx context.Context, car int) (CarResult, error) {
 	ctx, root := p.ensureCarTrace(ctx, car)
@@ -506,13 +497,6 @@ func (p *Pipeline) RunCarContext(ctx context.Context, car int) (CarResult, error
 	}
 	endCarTrace(ctx, root, err)
 	return cr, err
-}
-
-// RunCar executes the pipeline for one car.
-//
-// Deprecated: use RunCarContext.
-func (p *Pipeline) RunCar(car int) (CarResult, error) {
-	return p.RunCarContext(context.Background(), car)
 }
 
 // stageGate is the per-stage entry check: it propagates cancellation
@@ -650,11 +634,26 @@ func (p *Pipeline) selectAndAnalyse(ctx context.Context, car int, cr *CarResult)
 		return err
 	}
 	tsp = p.traceStage(ctx, "mapmatch")
+	if err := p.matchTransitions(ctx, car, accepted, &cr.MatchStats, &cr.Transitions); err != nil {
+		tsp.End()
+		return err
+	}
+	tsp.End(obs.TAttr("matched", itoa(cr.MatchStats.Matched)),
+		obs.TAttr("dropped", itoa(cr.MatchStats.Degenerate+cr.MatchStats.Unroutable)))
+
+	// The car is done: publish its stage counters and lineage in one
+	// commit, so failed or retried attempts never leak partial counts.
+	p.commitCar(cr)
+	return nil
+}
+
+// matchTransitions runs map-matching and attribute fetching over the
+// accepted transitions, folding outcomes into ms and appending matched
+// records to out. Cancellation is honored between transitions: a car
+// with hundreds of accepted transitions must not stall a drain.
+func (p *Pipeline) matchTransitions(ctx context.Context, car int, accepted []*odselect.Transition, ms *MatchStats, out *[]*TransitionRecord) error {
 	for _, tr := range accepted {
-		// Honor cancellation between transitions: a car with hundreds
-		// of accepted transitions must not stall a drain.
 		if err := ctx.Err(); err != nil {
-			tsp.End()
 			return err
 		}
 		rec, err := p.analyseTransition(car, tr)
@@ -664,32 +663,46 @@ func (p *Pipeline) selectAndAnalyse(ctx context.Context, car int, cr *CarResult)
 			// paper's "only cleared and filtered transitions ... are
 			// map-matched". The reason feeds the mapmatch lineage row.
 			if errors.Is(err, ErrDegenerateSpan) {
-				cr.MatchStats.Degenerate++
+				ms.Degenerate++
 			} else {
-				cr.MatchStats.Unroutable++
+				ms.Unroutable++
 			}
 			continue
 		}
 		if err := p.checkGate("mapmatch", p.checker.MatchedRoute(car, rec.Match.Route, rec.Match.MatchedFraction)); err != nil {
-			tsp.End()
 			return err
 		}
 		if err := p.checkGate("mapattr", p.checker.RouteAttrs(car,
 			rec.Attrs.TrafficLights, rec.Attrs.BusStops,
 			rec.Attrs.PedestrianCrossings, rec.Attrs.Junctions)); err != nil {
-			tsp.End()
 			return err
 		}
-		cr.MatchStats.Matched++
-		cr.Transitions = append(cr.Transitions, rec)
+		ms.Matched++
+		*out = append(*out, rec)
 	}
-	tsp.End(obs.TAttr("matched", itoa(cr.MatchStats.Matched)),
-		obs.TAttr("dropped", itoa(cr.MatchStats.Degenerate+cr.MatchStats.Unroutable)))
-
-	// The car is done: publish its stage counters and lineage in one
-	// commit, so failed or retried attempts never leak partial counts.
-	p.commitCar(cr)
 	return nil
+}
+
+// AnalyseSegments runs the layout-independent analysis tail — OD
+// selection (Table 3), map-matching and attribute fetching — over
+// already-cleaned, already-segmented trips of one car, outside the
+// fleet runner. This is the incremental entry point the streaming
+// ingest layer drives once a trip closes under the watermark: unlike
+// the batch path it commits nothing to the pipeline's lineage ledger
+// or stage counters (callers own their accounting), but it validates
+// the same invariants when the correctness harness is on.
+//
+// The returned MatchStats partition the funnel's accepted count:
+// Matched + Degenerate + Unroutable == Funnel.PostFiltered.
+func (p *Pipeline) AnalyseSegments(ctx context.Context, car int, segs []*trace.Trip) (odselect.Funnel, MatchStats, []*TransitionRecord, error) {
+	var ms MatchStats
+	var recs []*TransitionRecord
+	funnel, accepted := p.Selector.Run(car, segs)
+	if err := p.checkGate("odselect", p.checkTransitions(car, accepted)); err != nil {
+		return funnel, ms, recs, err
+	}
+	err := p.matchTransitions(ctx, car, accepted, &ms, &recs)
+	return funnel, ms, recs, err
 }
 
 // segmentCheckRules adapts segmentation rules to the checker's view.
@@ -713,13 +726,6 @@ func (p *Pipeline) checkTransitions(car int, accepted []*odselect.Transition) er
 		}
 	}
 	return p.checker.Transitions(car, trs)
-}
-
-// Process runs the processing stages with a background context.
-//
-// Deprecated: use ProcessContext.
-func (p *Pipeline) Process(car int, raw []*trace.Trip) (CarResult, error) {
-	return p.ProcessContext(context.Background(), car, raw)
 }
 
 // analyseTransition map-matches one transition and derives the Table 4

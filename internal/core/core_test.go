@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/tracegen"
@@ -27,7 +28,7 @@ func smallPipeline(t *testing.T) *Pipeline {
 
 func TestPipelineRunEndToEnd(t *testing.T) {
 	p := smallPipeline(t)
-	res, err := p.Run()
+	res, err := p.RunContext(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -59,7 +60,7 @@ func TestPipelineRunEndToEnd(t *testing.T) {
 
 func TestTransitionMetricsPlausible(t *testing.T) {
 	p := smallPipeline(t)
-	res, err := p.Run()
+	res, err := p.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestTransitionMetricsPlausible(t *testing.T) {
 
 func TestCleaningStageEngages(t *testing.T) {
 	p := smallPipeline(t)
-	res, err := p.Run()
+	res, err := p.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestCleaningStageEngages(t *testing.T) {
 
 func TestGridAnalysis(t *testing.T) {
 	p := smallPipeline(t)
-	res, err := p.Run()
+	res, err := p.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestGridAnalysis(t *testing.T) {
 
 func TestTransitionSpeedPoints(t *testing.T) {
 	p := smallPipeline(t)
-	res, err := p.Run()
+	res, err := p.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +157,11 @@ func TestTransitionSpeedPoints(t *testing.T) {
 func TestPipelineDeterministic(t *testing.T) {
 	a := smallPipeline(t)
 	b := smallPipeline(t)
-	ra, err := a.Run()
+	ra, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := b.Run()
+	rb, err := b.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestPipelineDeterministic(t *testing.T) {
 
 func TestFeatureModel(t *testing.T) {
 	p := smallPipeline(t)
-	res, err := p.Run()
+	res, err := p.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestDetectHotspotsRecoversPlantedAreas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.Run()
+	res, err := p.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -37,7 +38,7 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parRes, err := parallel.Run()
+	parRes, err := parallel.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	}
 	serRes := &Result{Cars: make([]CarResult, serial.Gen.Cars())}
 	for car := 1; car <= serial.Gen.Cars(); car++ {
-		cr, err := serial.RunCar(car)
+		cr, err := serial.RunCarContext(context.Background(), car)
 		if err != nil {
 			t.Fatalf("car %d: %v", car, err)
 		}
@@ -74,7 +75,7 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	// Re-running a warmed pipeline must also be stable: every cached
 	// path the second pass reads was produced by the deterministic
 	// bidirectional search the first pass ran.
-	again, err := parallel.Run()
+	again, err := parallel.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	insRes, err := instrumented.Run()
+	insRes, err := instrumented.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	legRes, err := legacy.Run()
+	legRes, err := legacy.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	chkRes, err := checked.Run()
+	chkRes, err := checked.RunContext(context.Background())
 	if err != nil {
 		t.Fatalf("strict checker failed a clean fleet: %v", err)
 	}

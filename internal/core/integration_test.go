@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/digiroad"
@@ -35,11 +36,11 @@ func TestCSVRoundTripThroughPipeline(t *testing.T) {
 		t.Fatalf("loaded %d trips, want %d", len(loaded), len(raw))
 	}
 
-	direct, err := p.Process(1, raw)
+	direct, err := p.ProcessContext(context.Background(), 1, raw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaCSV, err := p.Process(1, loaded)
+	viaCSV, err := p.ProcessContext(context.Background(), 1, loaded)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestMapCSVRoundTripThroughGraph(t *testing.T) {
 			len(p.Graph.Edges), len(pOrig.Graph.Edges),
 			len(p.Graph.Nodes), len(pOrig.Graph.Nodes))
 	}
-	res, err := p.Run()
+	res, err := p.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log/slog"
 
@@ -84,7 +85,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.Run()
+	res, err := p.RunContext(context.Background())
 	if err != nil {
 		// The tables and figures quote fleet-wide numbers; a partial
 		// fleet would silently skew them, so any car failure fails the

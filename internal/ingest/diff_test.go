@@ -1,0 +1,291 @@
+package ingest
+
+import (
+	"context"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sink"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// feq compares floats to within accumulation-order rounding (the two
+// arms fold transitions into Welford accumulators in different
+// orders).
+func feq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// diffFixture builds the shared differential scenario: one pipeline, a
+// 32-car simulated fleet flattened to a point firehose, and the
+// canonical per-car trips REBUILT from those points — so the batch arm
+// and the streaming arm process bit-identical float64 inputs (the
+// WGS84 round trip through the wire schema happens exactly once, in
+// the shared fixture).
+type diffFixture struct {
+	p     *core.Pipeline
+	pts   []Point
+	byCar map[int][]*trace.Trip // canonical trips, rebuilt from pts
+	cars  []int
+}
+
+func newDiffFixture(t *testing.T) *diffFixture {
+	t.Helper()
+	p, err := core.NewPipeline(core.Config{
+		CitySeed: 42,
+		Layout:   core.LayoutLegacy,
+		Fleet: tracegen.Config{
+			Seed: 42, Cars: 32, TripsPerCar: 3, GateRunFraction: 0.4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := tracegen.New(p.City, p.Graph, tracegen.Config{
+		Seed: 42, Cars: 32, TripsPerCar: 3, GateRunFraction: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := map[int][]*trace.Trip{}
+	for _, tr := range gen.Fleet() {
+		raw[tr.CarID] = append(raw[tr.CarID], tr)
+	}
+	pts := FleetPoints(raw, p.City.DB.Proj)
+	if len(pts) == 0 {
+		t.Fatal("fleet produced no points")
+	}
+
+	// Canonical trips: group the wire points back into per-car trips
+	// (order within a trip follows the event-time sort; cleaning's
+	// Repair is insensitive to that permutation since ids and
+	// timestamps are unique).
+	byCar := map[int][]*trace.Trip{}
+	bufs := map[int]map[int64]*trace.Trip{}
+	for _, pt := range pts {
+		carBufs := bufs[pt.Car]
+		if carBufs == nil {
+			carBufs = map[int64]*trace.Trip{}
+			bufs[pt.Car] = carBufs
+		}
+		tr := carBufs[pt.Trip]
+		if tr == nil {
+			tr = &trace.Trip{ID: pt.Trip, CarID: pt.Car}
+			carBufs[pt.Trip] = tr
+			byCar[pt.Car] = append(byCar[pt.Car], tr)
+		}
+		tr.Points = append(tr.Points, pt.RoutePoint(p.City.DB.Proj))
+	}
+	var cars []int
+	for car := range byCar {
+		cars = append(cars, car)
+		sort.Slice(byCar[car], func(i, j int) bool { return byCar[car][i].ID < byCar[car][j].ID })
+	}
+	sort.Ints(cars)
+	if len(cars) < 32 {
+		t.Fatalf("fixture has %d cars, want 32", len(cars))
+	}
+	return &diffFixture{p: p, pts: pts, byCar: byCar, cars: cars}
+}
+
+func newDiffSink(t *testing.T, p *core.Pipeline) *sink.Sink {
+	t.Helper()
+	g, err := sink.GridForPipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sink.New(sink.Config{
+		Grid: g, Shards: 3, PublishEvery: 1, Gates: p.Selector.GateNames(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// batchSnapshot runs the canonical trips through the batch pipeline
+// and seals a reference snapshot.
+func (fx *diffFixture) batchSnapshot(t *testing.T) *sink.Snapshot {
+	t.Helper()
+	s := newDiffSink(t, fx.p)
+	var res core.Result
+	for _, car := range fx.cars {
+		cr, err := fx.p.ProcessContext(context.Background(), car, fx.byCar[car])
+		if err != nil {
+			t.Fatalf("batch car %d: %v", car, err)
+		}
+		res.Cars = append(res.Cars, cr)
+	}
+	s.AbsorbResult(&res)
+	return s.Seal()
+}
+
+// compareSnapshots asserts value-identity: integer counts exactly,
+// floating moments to within accumulation-order rounding.
+func compareSnapshots(t *testing.T, got, want *sink.Snapshot) {
+	t.Helper()
+	if !got.Complete {
+		t.Fatal("streamed snapshot not sealed")
+	}
+	if got.CarsIngested != want.CarsIngested || got.CarsFailed != want.CarsFailed {
+		t.Fatalf("cars = %d/%d, want %d/%d",
+			got.CarsIngested, got.CarsFailed, want.CarsIngested, want.CarsFailed)
+	}
+	if got.Points != want.Points {
+		t.Fatalf("points = %d, want %d", got.Points, want.Points)
+	}
+	if len(got.Cells) != len(want.Cells) {
+		t.Fatalf("cells = %d, want %d", len(got.Cells), len(want.Cells))
+	}
+	for id, wc := range want.Cells {
+		gc, ok := got.Cells[id]
+		if !ok {
+			t.Fatalf("cell %v missing from streamed snapshot", id)
+		}
+		if gc.N != wc.N {
+			t.Fatalf("cell %v: n=%d want %d", id, gc.N, wc.N)
+		}
+		if !feq(gc.MeanKmh, wc.MeanKmh) || !feq(gc.VarKmh, wc.VarKmh) {
+			t.Fatalf("cell %v: mean/var %g/%g want %g/%g", id, gc.MeanKmh, gc.VarKmh, wc.MeanKmh, wc.VarKmh)
+		}
+		if gc.MinKmh != wc.MinKmh || gc.MaxKmh != wc.MaxKmh {
+			t.Fatalf("cell %v: extrema %g/%g want %g/%g", id, gc.MinKmh, gc.MaxKmh, wc.MinKmh, wc.MaxKmh)
+		}
+	}
+	if len(got.OD) != len(want.OD) {
+		t.Fatalf("directions = %v, want %v", got.Directions(), want.Directions())
+	}
+	for dir, wo := range want.OD {
+		go_, ok := got.OD[dir]
+		if !ok {
+			t.Fatalf("direction %s missing from streamed snapshot", dir)
+		}
+		if go_.Trips != wo.Trips || go_.Attrs != wo.Attrs {
+			t.Fatalf("%s: trips %d attrs %+v, want %d %+v", dir, go_.Trips, go_.Attrs, wo.Trips, wo.Attrs)
+		}
+		if !go_.TravelTimeS.Equal(wo.TravelTimeS) {
+			t.Fatalf("%s: travel-time histogram differs from batch", dir)
+		}
+		for _, m := range []struct {
+			name      string
+			got, want sink.MetricStats
+		}{
+			{"dist", go_.DistKm, wo.DistKm},
+			{"fuel", go_.FuelMl, wo.FuelMl},
+			{"low", go_.LowSpeedPct, wo.LowSpeedPct},
+			{"normal", go_.NormalSpeedPct, wo.NormalSpeedPct},
+		} {
+			if m.got.N != m.want.N || !feq(m.got.Mean, m.want.Mean) ||
+				m.got.Min != m.want.Min || m.got.Max != m.want.Max {
+				t.Fatalf("%s %s: %+v, want %+v", dir, m.name, m.got, m.want)
+			}
+		}
+	}
+}
+
+// streamSnapshot replays pts point by point through an engine and
+// returns the sealed snapshot plus the engine and its ledger.
+func (fx *diffFixture) streamSnapshot(t *testing.T, pts []Point) (*sink.Snapshot, *Engine, *obs.Lineage) {
+	t.Helper()
+	s := newDiffSink(t, fx.p)
+	lin := obs.NewLineage(nil)
+	e, err := New(Config{
+		Pipeline:        fx.p,
+		Sink:            s,
+		AllowedLateness: 30 * time.Second,
+		IdleTimeout:     5 * time.Minute,
+		WatermarkEvery:  64,
+		Lineage:         lin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		e.Push(pt)
+	}
+	e.Close()
+	return s.Snapshot(), e, lin
+}
+
+// TestStreamedSnapshotMatchesBatch is the streaming acceptance gate:
+// replaying a 32-car fleet point by point, in event-time order, must
+// seal a snapshot value-identical to the batch pipeline over the same
+// inputs — and the ledger must conserve at every stage and across the
+// ingest → clean handoff.
+func TestStreamedSnapshotMatchesBatch(t *testing.T) {
+	fx := newDiffFixture(t)
+	want := fx.batchSnapshot(t)
+	got, e, lin := fx.streamSnapshot(t, fx.pts)
+
+	compareSnapshots(t, got, want)
+
+	st := e.Stats()
+	if st.Received != uint64(len(fx.pts)) || st.Admitted != st.Received {
+		t.Fatalf("stats = %+v: an in-order replay must admit every point", st)
+	}
+	if st.OpenTrips != 0 || st.BufferedPoints != 0 {
+		t.Fatalf("stats = %+v: Close must drain every buffer", st)
+	}
+	checkLineage(t, lin, st)
+}
+
+// TestStreamedSnapshotMatchesBatchShuffled repeats the differential
+// with bounded out-of-orderness: the firehose is permuted within
+// fixed-size windows whose event-time span stays under the allowed
+// lateness, so no point may be dropped and the sealed snapshot must
+// still match batch exactly.
+func TestStreamedSnapshotMatchesBatchShuffled(t *testing.T) {
+	fx := newDiffFixture(t)
+	want := fx.batchSnapshot(t)
+
+	shuffled := append([]Point(nil), fx.pts...)
+	span := ShuffleWindows(shuffled, 32, 20_000, 7)
+	if span <= 0 {
+		t.Fatal("shuffle produced no disorder; enlarge the window")
+	}
+	if span >= (30 * time.Second).Milliseconds() {
+		t.Fatalf("in-window span %dms exceeds the allowed lateness; shrink the window", span)
+	}
+
+	got, e, lin := fx.streamSnapshot(t, shuffled)
+	compareSnapshots(t, got, want)
+
+	st := e.Stats()
+	if st.Admitted != st.Received {
+		t.Fatalf("stats = %+v: disorder below the lateness bound must not drop points", st)
+	}
+	checkLineage(t, lin, st)
+}
+
+// checkLineage asserts per-stage conservation and the cross-stage
+// handoff invariant: after Close, every admitted point entered the
+// cleaning stage.
+func checkLineage(t *testing.T, lin *obs.Lineage, st Stats) {
+	t.Helper()
+	if err := lin.Check(); err != nil {
+		t.Fatalf("lineage conservation violated: %v", err)
+	}
+	snap := lin.Snapshot(0)
+	stages := map[string]obs.StageSnapshot{}
+	for _, s := range snap.Stages {
+		stages[s.Stage] = s
+	}
+	if in := stages["ingest"].In; in != st.Received {
+		t.Fatalf("ingest.in = %d, want %d received", in, st.Received)
+	}
+	if out := stages["ingest"].Out; out != st.Admitted {
+		t.Fatalf("ingest.out = %d, want %d admitted", out, st.Admitted)
+	}
+	if stages["ingest"].Out != stages["clean"].In {
+		t.Fatalf("handoff broken: ingest.out = %d but clean.in = %d",
+			stages["ingest"].Out, stages["clean"].In)
+	}
+}

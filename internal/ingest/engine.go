@@ -1,0 +1,596 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clean"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/segment"
+	"repro/internal/sink"
+	"repro/internal/trace"
+)
+
+// Config assembles one ingest engine.
+type Config struct {
+	// Pipeline supplies the processing stages (cleaning configuration,
+	// segmentation rules, OD selector, matcher, attribute fetcher) and
+	// the city projection. Required.
+	Pipeline *core.Pipeline
+	// Sink receives flushed transitions; trips close into it and a new
+	// epoch is published after every flush round, so live snapshots
+	// advance as the watermark does. Nil runs the engine without a
+	// serving layer (the differential tests read Stats instead).
+	Sink *sink.Sink
+	// AllowedLateness is how far behind a car's newest event time a
+	// point may arrive before it is dropped as late; it bounds the
+	// out-of-orderness buffer. Default 30s.
+	AllowedLateness time.Duration
+	// IdleTimeout is the event-time silence after which a car stops
+	// holding the low watermark back (and its open trips become
+	// closeable) — the "car went silent mid-trip" policy. Default
+	// 10 minutes.
+	IdleTimeout time.Duration
+	// WatermarkEvery recomputes the watermark (and flushes newly
+	// closeable trips) every N admitted points. Default 256.
+	WatermarkEvery int
+	// Metrics receives ingest_* instrumentation; nil disables.
+	Metrics *obs.Registry
+	// Lineage receives the streaming drop-reason ledger: stages
+	// "ingest" and "clean" in points, "segment" and "odselect" in
+	// segments, "mapmatch" in transitions, each conserving
+	// in = out + Σ dropped. Nil disables.
+	Lineage *obs.Lineage
+	// Log receives one structured line per flush round; nil disables.
+	Log *slog.Logger
+	// Now is the wall-clock source for the ingest-to-visible latency
+	// histogram (test hook); nil selects time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Pipeline == nil {
+		return c, fmt.Errorf("ingest: Config.Pipeline is required")
+	}
+	if c.AllowedLateness <= 0 {
+		c.AllowedLateness = 30 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 10 * time.Minute
+	}
+	if c.WatermarkEvery <= 0 {
+		c.WatermarkEvery = 256
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c, nil
+}
+
+// unsetWatermark marks "no watermark yet": nothing is late before the
+// first advance.
+const unsetWatermark = math.MinInt64
+
+// Engine is the event-time ingestion state machine. Construct with
+// New; Push/PushBatch are safe for concurrent use.
+type Engine struct {
+	cfg  Config
+	proj *geo.Projection
+	area geo.Rect // out-of-area filter (disabled when empty), from Config.Pipeline
+
+	// wm is the low watermark in Unix ms, read lock-free on the
+	// admission path.
+	wm atomic.Int64
+
+	// mu guards the per-car buffers and the watermark bookkeeping;
+	// trip processing (cleaning, segmentation, matching) always runs
+	// outside it.
+	mu          sync.Mutex
+	cars        map[int]*carState
+	globalMaxMs int64
+	seenPoints  bool
+	sinceAdv    int
+	closing     bool
+	drops       map[obs.DropReason]uint64
+	received    uint64
+	admitted    uint64
+	closedTrips uint64
+	buffered    int
+
+	lin linHandles
+	met engineMetrics
+
+	// flushMu serialises flush rounds so two concurrent watermark
+	// advances cannot interleave their sink publishes.
+	flushMu sync.Mutex
+}
+
+// carState is one device's online state machine.
+type carState struct {
+	maxMs  int64
+	open   map[int64]*tripBuf
+	closed map[int64]struct{}
+}
+
+// tripBuf buffers one open trip in arrival order.
+type tripBuf struct {
+	id           int64
+	minMs, maxMs int64
+	pts          []trace.RoutePoint
+	recvNs       []int64 // wall receive time per point, for visible latency
+}
+
+type linHandles struct {
+	ingest, clean, segment, od, match *obs.StageLineage
+
+	inNonFinite, inOutOfArea, inLate               *obs.DropCounter
+	cleanNonFinite, cleanOutOfArea, cleanDup       *obs.DropCounter
+	cleanSpike                                     *obs.DropCounter
+	segShort, segLong                              *obs.DropCounter
+	odNoGate, odSingleGate, odOutsideCentre        *obs.DropCounter
+	odPostFilter, matchDegenerate, matchUnroutable *obs.DropCounter
+}
+
+func newLinHandles(l *obs.Lineage) linHandles {
+	h := linHandles{
+		ingest:  l.Stage("ingest", "points"),
+		clean:   l.Stage("clean", "points"),
+		segment: l.Stage("segment", "segments"),
+		od:      l.Stage("odselect", "segments"),
+		match:   l.Stage("mapmatch", "transitions"),
+	}
+	h.inNonFinite = h.ingest.Reason(obs.DropNonFinite)
+	h.inOutOfArea = h.ingest.Reason(obs.DropOutOfArea)
+	h.inLate = h.ingest.Reason(obs.DropLate)
+	h.cleanNonFinite = h.clean.Reason(obs.DropNonFinite)
+	h.cleanOutOfArea = h.clean.Reason(obs.DropOutOfArea)
+	h.cleanDup = h.clean.Reason(obs.DropDuplicateID)
+	h.cleanSpike = h.clean.Reason(obs.DropSpike)
+	h.segShort = h.segment.Reason(obs.DropTooFewPoints)
+	h.segLong = h.segment.Reason(obs.DropTooLong)
+	h.odNoGate = h.od.Reason(obs.DropNoGate)
+	h.odSingleGate = h.od.Reason(obs.DropSingleGate)
+	h.odOutsideCentre = h.od.Reason(obs.DropOutsideCentre)
+	h.odPostFilter = h.od.Reason(obs.DropPostFilter)
+	h.matchDegenerate = h.match.Reason(obs.DropDegenerateSpan)
+	h.matchUnroutable = h.match.Reason(obs.DropUnroutable)
+	return h
+}
+
+type engineMetrics struct {
+	received    *obs.Counter
+	admitted    *obs.Counter
+	tripsClosed *obs.Counter
+	flushes     *obs.Counter
+	watermark   *obs.Gauge
+	openTrips   *obs.Gauge
+	bufPoints   *obs.Gauge
+	latency     *obs.Histogram
+	flushTime   *obs.Histogram
+}
+
+// New builds an engine over the pipeline's stages.
+func New(cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Metrics
+	e := &Engine{
+		cfg:   cfg,
+		proj:  cfg.Pipeline.City.DB.Proj,
+		area:  cfg.Pipeline.Config.Clean.Area,
+		cars:  map[int]*carState{},
+		drops: map[obs.DropReason]uint64{},
+		lin:   newLinHandles(cfg.Lineage),
+		met: engineMetrics{
+			received:    reg.Counter("ingest_points_received"),
+			admitted:    reg.Counter("ingest_points_admitted"),
+			tripsClosed: reg.Counter("ingest_trips_closed"),
+			flushes:     reg.Counter("ingest_flushes"),
+			watermark:   reg.Gauge("ingest_watermark_ms"),
+			openTrips:   reg.Gauge("ingest_open_trips"),
+			bufPoints:   reg.Gauge("ingest_buffered_points"),
+			latency:     reg.Histogram("ingest_visible_latency_seconds"),
+			flushTime:   reg.Histogram("ingest_flush_seconds"),
+		},
+	}
+	e.wm.Store(unsetWatermark)
+	return e, nil
+}
+
+// PushResult reports what one Push/PushBatch did.
+type PushResult struct {
+	Received int
+	Admitted int
+	// Dropped counts rejected points by reason (nil when none).
+	Dropped map[obs.DropReason]int
+	// WatermarkMs is the low watermark after the call (Unix ms;
+	// math.MinInt64 while unset).
+	WatermarkMs int64
+}
+
+// Push admits one event.
+func (e *Engine) Push(p Point) PushResult {
+	return e.PushBatch([]Point{p})
+}
+
+// PushBatch admits a batch of events, then advances the watermark (and
+// flushes newly closed trips) if the recomputation cadence is due.
+func (e *Engine) PushBatch(pts []Point) PushResult {
+	res := PushResult{Received: len(pts)}
+	now := e.cfg.Now().UnixNano()
+	due := false
+
+	e.mu.Lock()
+	for i := range pts {
+		if reason, ok := e.admitLocked(&pts[i], now); ok {
+			res.Admitted++
+		} else {
+			if res.Dropped == nil {
+				res.Dropped = map[obs.DropReason]int{}
+			}
+			res.Dropped[reason]++
+		}
+	}
+	e.sinceAdv += len(pts)
+	if e.sinceAdv >= e.cfg.WatermarkEvery {
+		e.sinceAdv = 0
+		due = true
+	}
+	e.mu.Unlock()
+
+	e.met.received.Add(uint64(res.Received))
+	e.met.admitted.Add(uint64(res.Admitted))
+	if due {
+		e.Advance()
+	}
+	res.WatermarkMs = e.wm.Load()
+	return res
+}
+
+// admitLocked runs the online admission checks for one event and
+// buffers it. The non-finite and out-of-area predicates are exactly
+// the first two filters of clean.Repair, applied per point at the
+// door; removing them here leaves the trip-close Repair (ordering,
+// duplicates, spikes) with identical results, so streaming admission
+// stays value-equivalent to batch cleaning.
+func (e *Engine) admitLocked(p *Point, recvNs int64) (obs.DropReason, bool) {
+	e.received++
+	rp := p.RoutePoint(e.proj)
+	if !finite(rp.Pos.X) || !finite(rp.Pos.Y) || !finite(rp.SpeedKmh) ||
+		!finite(rp.FuelMl) || !finite(rp.DistM) || rp.Time.IsZero() {
+		return e.dropLocked(p.Car, obs.DropNonFinite, e.lin.inNonFinite), false
+	}
+	if e.area.Area() > 0 && !e.area.Contains(rp.Pos) {
+		return e.dropLocked(p.Car, obs.DropOutOfArea, e.lin.inOutOfArea), false
+	}
+	cs := e.cars[p.Car]
+	if cs == nil {
+		cs = &carState{open: map[int64]*tripBuf{}, closed: map[int64]struct{}{}}
+		e.cars[p.Car] = cs
+	}
+	if wm := e.wm.Load(); wm != unsetWatermark && p.TimeMs < wm {
+		return e.dropLocked(p.Car, obs.DropLate, e.lin.inLate), false
+	}
+	if _, done := cs.closed[p.Trip]; done {
+		return e.dropLocked(p.Car, obs.DropLate, e.lin.inLate), false
+	}
+	tb := cs.open[p.Trip]
+	if tb == nil {
+		tb = &tripBuf{id: p.Trip, minMs: p.TimeMs, maxMs: p.TimeMs}
+		cs.open[p.Trip] = tb
+		e.met.openTrips.Add(1)
+	}
+	tb.pts = append(tb.pts, rp)
+	tb.recvNs = append(tb.recvNs, recvNs)
+	if p.TimeMs < tb.minMs {
+		tb.minMs = p.TimeMs
+	}
+	if p.TimeMs > tb.maxMs {
+		tb.maxMs = p.TimeMs
+	}
+	if p.TimeMs > cs.maxMs || cs.maxMs == 0 {
+		cs.maxMs = p.TimeMs
+	}
+	if p.TimeMs > e.globalMaxMs || !e.seenPoints {
+		e.globalMaxMs = p.TimeMs
+	}
+	e.seenPoints = true
+	e.admitted++
+	e.buffered++
+	e.met.bufPoints.Add(1)
+	e.lin.ingest.Add(1, 1)
+	return "", true
+}
+
+// dropLocked counts one rejected point; the caller holds e.mu.
+func (e *Engine) dropLocked(car int, reason obs.DropReason, dc *obs.DropCounter) obs.DropReason {
+	e.drops[reason]++
+	dc.Add(1)
+	// One unit in, zero out: attributes the drop to the car in the
+	// ledger's per-car table.
+	e.lin.ingest.RecordCar(car, 1, 0)
+	return reason
+}
+
+// closedTrip is one trip extracted for flushing.
+type closedTrip struct {
+	car int
+	tb  *tripBuf
+}
+
+// Advance recomputes the low watermark and flushes every trip it
+// closes. Push calls it on the recomputation cadence; owners may also
+// call it directly (e.g. on a wall-clock tick for slow streams).
+func (e *Engine) Advance() {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+
+	e.mu.Lock()
+	closed := e.advanceLocked()
+	e.mu.Unlock()
+
+	if len(closed) > 0 {
+		e.flush(closed)
+	}
+}
+
+// advanceLocked recomputes the watermark from the per-car maxima,
+// extracts every newly closeable trip and marks it closed; the caller
+// holds e.mu and processes the returned trips outside it.
+func (e *Engine) advanceLocked() []closedTrip {
+	if !e.seenPoints {
+		return nil
+	}
+	latenessMs := e.cfg.AllowedLateness.Milliseconds()
+	idleMs := e.cfg.IdleTimeout.Milliseconds()
+
+	var wm int64
+	if e.closing {
+		wm = math.MaxInt64
+	} else {
+		minActive := int64(math.MaxInt64)
+		for _, cs := range e.cars {
+			if len(cs.open) == 0 {
+				continue // nothing pending: the car must not pin the watermark
+			}
+			if e.globalMaxMs-cs.maxMs > idleMs {
+				continue // silent car: excluded so the watermark still advances
+			}
+			if cs.maxMs < minActive {
+				minActive = cs.maxMs
+			}
+		}
+		if minActive == math.MaxInt64 {
+			wm = e.globalMaxMs - latenessMs
+		} else {
+			wm = minActive - latenessMs
+		}
+		if cur := e.wm.Load(); cur != unsetWatermark && wm < cur {
+			wm = cur // watermarks never regress
+		}
+	}
+	e.wm.Store(wm)
+	if wm != math.MaxInt64 {
+		e.met.watermark.Set(wm)
+	}
+
+	var out []closedTrip
+	for car, cs := range e.cars {
+		if len(cs.open) == 0 {
+			continue
+		}
+		idle := e.closing || e.globalMaxMs-cs.maxMs > idleMs
+		trips := make([]*tripBuf, 0, len(cs.open))
+		for _, tb := range cs.open {
+			trips = append(trips, tb)
+		}
+		sort.Slice(trips, func(i, j int) bool {
+			if trips[i].minMs != trips[j].minMs {
+				return trips[i].minMs < trips[j].minMs
+			}
+			return trips[i].id < trips[j].id
+		})
+		for i, tb := range trips {
+			// A trip may close once no in-flight point can still belong
+			// to it: when a newer trip of the same car has been seen, all
+			// of this trip precedes that trip's first point, so the
+			// watermark passing it proves the buffer is complete. With no
+			// newer trip the bound falls back to the trip's own maximum —
+			// taken only for idle (or closing) cars, which is the
+			// documented lateness policy rather than an equivalence-safe
+			// bound.
+			var bound int64
+			if i+1 < len(trips) {
+				bound = max64(tb.maxMs, trips[i+1].minMs)
+			} else if idle {
+				bound = tb.maxMs
+			} else {
+				continue
+			}
+			if wm > bound {
+				delete(cs.open, tb.id)
+				cs.closed[tb.id] = struct{}{}
+				out = append(out, closedTrip{car: car, tb: tb})
+			}
+		}
+	}
+	// Deterministic flush order (map iteration above is not).
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].car != out[j].car {
+			return out[i].car < out[j].car
+		}
+		return out[i].tb.minMs < out[j].tb.minMs
+	})
+	return out
+}
+
+// flush runs each closed trip through cleaning → segmentation → OD
+// selection → map-matching, absorbs the resulting transitions into the
+// sink and publishes one new epoch for the round. The caller holds
+// flushMu (never e.mu): stage work here runs concurrently with
+// admission.
+func (e *Engine) flush(closed []closedTrip) {
+	start := e.cfg.Now()
+	cleanCfg := e.cfg.Pipeline.Config.Clean
+	rules := e.cfg.Pipeline.Rules
+	ctx := context.Background()
+	absorbed := false
+	for _, ct := range closed {
+		trip := &trace.Trip{ID: ct.tb.id, CarID: ct.car, Points: ct.tb.pts}
+		res := clean.Repair(trip, cleanCfg)
+		kept := 0
+		if res.Trip != nil {
+			kept = len(res.Trip.Points)
+		}
+		e.lin.clean.RecordCar(ct.car, uint64(len(ct.tb.pts)), uint64(kept))
+		e.lin.cleanNonFinite.Add(uint64(res.Drops.NonFinite))
+		e.lin.cleanOutOfArea.Add(uint64(res.Drops.OutOfArea))
+		e.lin.cleanDup.Add(uint64(res.Drops.DuplicateID))
+		e.lin.cleanSpike.Add(uint64(res.Drops.Spike))
+
+		var segs []*trace.Trip
+		var segStats segment.Stats
+		if res.Trip != nil {
+			segs = segment.Split(res.Trip, rules, &segStats)
+		}
+		e.lin.segment.RecordCar(ct.car, uint64(segStats.RawSegments), uint64(segStats.KeptSegments))
+		e.lin.segShort.Add(uint64(segStats.TooFewPoints))
+		e.lin.segLong.Add(uint64(segStats.TooLong))
+
+		var recs []*core.TransitionRecord
+		if len(segs) > 0 {
+			funnel, ms, matched, err := e.cfg.Pipeline.AnalyseSegments(ctx, ct.car, segs)
+			if err != nil && e.cfg.Log != nil {
+				e.cfg.Log.Error("ingest: trip analysis failed",
+					slog.Int("car", ct.car), slog.Int64("trip", ct.tb.id), slog.String("error", err.Error()))
+			}
+			recs = matched
+			e.lin.od.RecordCar(ct.car, uint64(funnel.TripSegments), uint64(funnel.PostFiltered))
+			e.lin.odNoGate.Add(uint64(funnel.TripSegments - funnel.Filtered))
+			e.lin.odSingleGate.Add(uint64(funnel.Filtered - funnel.Transitions))
+			e.lin.odOutsideCentre.Add(uint64(funnel.Transitions - funnel.WithinCentre))
+			e.lin.odPostFilter.Add(uint64(funnel.WithinCentre - funnel.PostFiltered))
+			e.lin.match.RecordCar(ct.car, uint64(ms.Matched+ms.Degenerate+ms.Unroutable), uint64(ms.Matched))
+			e.lin.matchDegenerate.Add(uint64(ms.Degenerate))
+			e.lin.matchUnroutable.Add(uint64(ms.Unroutable))
+		}
+		if e.cfg.Sink != nil && len(recs) > 0 {
+			e.cfg.Sink.AbsorbTransitions(ct.car, recs)
+			absorbed = true
+		}
+
+		nowNs := e.cfg.Now().UnixNano()
+		for _, r := range ct.tb.recvNs {
+			e.met.latency.Observe(float64(nowNs-r) / 1e9)
+		}
+
+		e.mu.Lock()
+		e.closedTrips++
+		e.buffered -= len(ct.tb.pts)
+		e.mu.Unlock()
+		e.met.tripsClosed.Inc()
+		e.met.openTrips.Add(-1)
+		e.met.bufPoints.Add(-int64(len(ct.tb.pts)))
+	}
+	if absorbed && e.cfg.Sink != nil {
+		e.cfg.Sink.Publish()
+	}
+	e.met.flushes.Inc()
+	e.met.flushTime.Observe(e.cfg.Now().Sub(start).Seconds())
+	if e.cfg.Log != nil {
+		e.cfg.Log.Debug("ingest: flush round",
+			slog.Int("trips", len(closed)),
+			slog.Int64("watermark_ms", e.wm.Load()))
+	}
+}
+
+// Close ends the stream: the watermark jumps to +infinity, every
+// buffered trip flushes, each car is completed in the sink, and the
+// sink (when attached) seals its final snapshot. Points pushed after
+// Close are dropped as late.
+func (e *Engine) Close() {
+	e.flushMu.Lock()
+	e.mu.Lock()
+	e.closing = true
+	closed := e.advanceLocked()
+	carIDs := make([]int, 0, len(e.cars))
+	for car := range e.cars {
+		carIDs = append(carIDs, car)
+	}
+	sort.Ints(carIDs)
+	e.mu.Unlock()
+
+	if len(closed) > 0 {
+		e.flush(closed)
+	}
+	e.flushMu.Unlock()
+
+	if e.cfg.Sink != nil {
+		for _, car := range carIDs {
+			e.cfg.Sink.CarComplete(car)
+		}
+		e.cfg.Sink.Seal()
+	}
+}
+
+// Watermark returns the low watermark in Unix ms (math.MinInt64 while
+// unset, math.MaxInt64 once closed).
+func (e *Engine) Watermark() int64 { return e.wm.Load() }
+
+// VisibleLatencyQuantile returns the q-quantile (0..1) of the
+// ingest-to-visible latency distribution in seconds — the time from a
+// point's admission to the flush that made its trip queryable.
+func (e *Engine) VisibleLatencyQuantile(q float64) float64 {
+	return e.met.latency.Quantile(q)
+}
+
+// Stats is a point-in-time engine summary.
+type Stats struct {
+	Received       uint64
+	Admitted       uint64
+	Dropped        map[obs.DropReason]uint64
+	ClosedTrips    uint64
+	OpenTrips      int
+	BufferedPoints int
+	WatermarkMs    int64
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Stats{
+		Received:       e.received,
+		Admitted:       e.admitted,
+		ClosedTrips:    e.closedTrips,
+		BufferedPoints: e.buffered,
+		WatermarkMs:    e.wm.Load(),
+		Dropped:        make(map[obs.DropReason]uint64, len(e.drops)),
+	}
+	for r, n := range e.drops {
+		s.Dropped[r] = n
+	}
+	for _, cs := range e.cars {
+		s.OpenTrips += len(cs.open)
+	}
+	return s
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package ingest
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// Replay helpers: turn batch per-car trace files back into the point
+// firehose they would have been, for the differential tests, the
+// firehose client and the benchmarks.
+
+// FleetPoints flattens per-car trips into one event stream ordered by
+// event time (ties broken by car, trip, then sequence number, so the
+// order is total and deterministic).
+func FleetPoints(fleet map[int][]*trace.Trip, proj *geo.Projection) []Point {
+	var out []Point
+	cars := make([]int, 0, len(fleet))
+	for car := range fleet {
+		cars = append(cars, car)
+	}
+	sort.Ints(cars)
+	for _, car := range cars {
+		for _, trip := range fleet[car] {
+			for _, rp := range trip.Points {
+				out = append(out, FromRoutePoint(car, rp, proj))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.TimeMs != b.TimeMs {
+			return a.TimeMs < b.TimeMs
+		}
+		if a.Car != b.Car {
+			return a.Car < b.Car
+		}
+		if a.Trip != b.Trip {
+			return a.Trip < b.Trip
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// ShuffleWindows permutes pts in place within consecutive windows of
+// at most `window` points, modelling bounded out-of-orderness: a point
+// can move at most one window away from its slot. A window also never
+// spans more than capMs of event time (capMs <= 0 disables the cap):
+// a fleet stream has engine-off gaps of hours between dense bursts,
+// and shuffling across such a gap would manufacture disorder no real
+// transmission path produces — and push points behind the watermark.
+// It returns the maximum event-time span (ms) observed inside any
+// window — the disorder bound the stream now carries; replay stays
+// batch-equivalent whenever that span is below the engine's allowed
+// lateness. The permutation is deterministic in seed.
+func ShuffleWindows(pts []Point, window int, capMs int64, seed int64) (maxSpanMs int64) {
+	if window <= 1 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for start := 0; start < len(pts); {
+		end := start + 1
+		lo, hi := pts[start].TimeMs, pts[start].TimeMs
+		for end < len(pts) && end-start < window {
+			t := pts[end].TimeMs
+			nlo, nhi := lo, hi
+			if t < nlo {
+				nlo = t
+			}
+			if t > nhi {
+				nhi = t
+			}
+			if capMs > 0 && nhi-nlo > capMs {
+				break
+			}
+			lo, hi = nlo, nhi
+			end++
+		}
+		if span := hi - lo; span > maxSpanMs {
+			maxSpanMs = span
+		}
+		w := pts[start:end]
+		rng.Shuffle(len(w), func(i, j int) { w[i], w[j] = w[j], w[i] })
+		start = end
+	}
+	return maxSpanMs
+}

@@ -70,6 +70,9 @@ const (
 	DropDegenerateSpan DropReason = "degenerate_span" // O-D span shorter than two points
 	DropUnroutable     DropReason = "unroutable"      // the matcher found no route
 
+	// Streaming ingest (units: route points).
+	DropLate DropReason = "late" // event time below the low watermark, or its trip already closed
+
 	// Fleet level (units: cars).
 	DropCancelled DropReason = "cancelled" // abandoned by abort or cancellation
 )

@@ -1,33 +1,49 @@
 package serve
 
 import (
+	"net/url"
 	"strings"
 	"testing"
 
 	"repro/internal/sink"
 )
 
-// FuzzQueryParsing covers the three request parsers the API trusts
-// with raw client input: the If-None-Match list matcher, the bbox
-// query parameter, and the /v1/od/{FROM-TO} path segment. None may
+// FuzzQueryParsing covers the request parsers the API trusts with raw
+// client input: the If-None-Match list matcher, the shared grid query
+// helper (min-points + bbox — the single untrusted-input funnel for
+// those filters), and the /v1/od/{FROM-TO} path segment. None may
 // panic; accepted values must satisfy the parser's advertised
-// contract (non-empty rects, registered and reassemblable OD keys).
+// contract (non-negative thresholds, non-empty rects, registered and
+// reassemblable OD keys).
 func FuzzQueryParsing(f *testing.F) {
-	f.Add(`"v1", W/"v2"`, `"v1"`, "0,0,100,100", "T-S")
-	f.Add("*", `"zzz"`, "10.5,-3,10.6,4", "T-north-S")
-	f.Add("", "", "1,2,3", "A-B-C")
-	f.Add("W/*", `"v"`, "a,b,c,d", "-S")
-	f.Add(`"v2"`, `"v2"`, "5,5,5,5", "T-")
+	f.Add(`"v1", W/"v2"`, `"v1"`, "0,0,100,100", "7", "T-S")
+	f.Add("*", `"zzz"`, "10.5,-3,10.6,4", "0", "T-north-S")
+	f.Add("", "", "1,2,3", "-1", "A-B-C")
+	f.Add("W/*", `"v"`, "a,b,c,d", "1e3", "-S")
+	f.Add(`"v2"`, `"v2"`, "5,5,5,5", "9999999999999999999", "T-")
 
 	gated := &sink.Snapshot{Gates: []string{"T-north", "S", "L"}}
 	open := &sink.Snapshot{}
 
-	f.Fuzz(func(t *testing.T, header, etag, bbox, pair string) {
+	f.Fuzz(func(t *testing.T, header, etag, bbox, minPoints, pair string) {
 		ifNoneMatch(header, etag)
 
-		if r, err := parseBBox(bbox); err == nil {
-			if r.IsEmpty() {
-				t.Fatalf("parseBBox(%q) accepted an empty rect", bbox)
+		q := url.Values{}
+		if bbox != "" {
+			q.Set("bbox", bbox)
+		}
+		if minPoints != "" {
+			q.Set("min-points", minPoints)
+		}
+		if gq, err := parseQuery(q); err == nil {
+			if gq.minPoints < 0 {
+				t.Fatalf("parseQuery(min-points=%q) accepted a negative threshold", minPoints)
+			}
+			if gq.bbox != nil && gq.bbox.IsEmpty() {
+				t.Fatalf("parseQuery(bbox=%q) accepted an empty rect", bbox)
+			}
+			if bbox != "" && gq.bbox == nil {
+				t.Fatalf("parseQuery(bbox=%q) accepted but dropped the filter", bbox)
 			}
 		}
 

@@ -151,8 +151,9 @@ func TestPanicRecovery(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("panicking handler returned %d, want 500", rec.Code)
 	}
-	var body map[string]string
-	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+	var body errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil ||
+		body.Error.Code != "internal" || body.Error.Message == "" {
 		t.Fatalf("500 body = %q (%v)", rec.Body.String(), err)
 	}
 

@@ -31,6 +31,7 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"net/url"
 	"runtime/debug"
 	"strconv"
 	"strings"
@@ -87,13 +88,15 @@ func NewAPI(src Source, reg *obs.Registry) *API {
 		mux: http.NewServeMux(),
 		met: apiMetrics{
 			requests: map[string]*obs.Counter{
-				"snapshot": reg.Counter("serve_requests_snapshot"),
-				"healthz":  reg.Counter("serve_requests_healthz"),
-				"lineage":  reg.Counter("serve_requests_lineage"),
-				"grid":     reg.Counter("serve_requests_grid"),
-				"cell":     reg.Counter("serve_requests_cell"),
-				"od":       reg.Counter("serve_requests_od"),
-				"odpair":   reg.Counter("serve_requests_odpair"),
+				"snapshot":    reg.Counter("serve_requests_snapshot"),
+				"healthz":     reg.Counter("serve_requests_healthz"),
+				"lineage":     reg.Counter("serve_requests_lineage"),
+				"grid":        reg.Counter("serve_requests_grid"),
+				"cell":        reg.Counter("serve_requests_cell"),
+				"od":          reg.Counter("serve_requests_od"),
+				"odpair":      reg.Counter("serve_requests_odpair"),
+				"ingest":      reg.Counter("serve_requests_ingest"),
+				"ingestclose": reg.Counter("serve_requests_ingest_close"),
 			},
 			notModified: reg.Counter("serve_responses_not_modified"),
 			badRequest:  reg.Counter("serve_responses_bad_request"),
@@ -175,7 +178,10 @@ func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			if sw.status == 0 {
 				sw.Header().Set("Content-Type", "application/json; charset=utf-8")
 				sw.WriteHeader(http.StatusInternalServerError)
-				json.NewEncoder(sw).Encode(map[string]string{"error": "internal server error"})
+				json.NewEncoder(sw).Encode(errorBody{Error: errorDetail{
+					Code:    errorCode(http.StatusInternalServerError),
+					Message: "internal server error",
+				}})
 			}
 			if a.log != nil {
 				a.log.Error("handler panicked",
@@ -248,16 +254,46 @@ func (a *API) writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
+// errorBody is the uniform error envelope every /v1 endpoint returns:
+// a machine-readable code slug alongside the human-readable message.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorCode maps an HTTP status to its envelope code slug.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return strings.ReplaceAll(strings.ToLower(http.StatusText(status)), " ", "_")
+	}
+}
+
 func (a *API) fail(w http.ResponseWriter, code int, format string, args ...any) {
 	switch code {
 	case http.StatusBadRequest:
 		a.met.badRequest.Inc()
 	case http.StatusNotFound:
 		a.met.notFound.Inc()
+	case http.StatusInternalServerError:
+		a.met.serverError.Inc()
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	json.NewEncoder(w).Encode(errorBody{Error: errorDetail{
+		Code:    errorCode(code),
+		Message: fmt.Sprintf(format, args...),
+	}})
 }
 
 // --- /v1/snapshot -----------------------------------------------------------
@@ -365,25 +401,12 @@ func newCellResponse(g *grid.Grid, id grid.CellID, cs sink.CellStats) cellRespon
 }
 
 func (a *API) handleGrid(w http.ResponseWriter, r *http.Request, snap *sink.Snapshot) {
-	q := r.URL.Query()
-	minPoints := 0
-	if v := q.Get("min-points"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			a.fail(w, http.StatusBadRequest, "bad min-points %q", v)
-			return
-		}
-		minPoints = n
+	gq, err := parseQuery(r.URL.Query())
+	if err != nil {
+		a.fail(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	var bbox *geo.Rect
-	if v := q.Get("bbox"); v != "" {
-		b, err := parseBBox(v)
-		if err != nil {
-			a.fail(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		bbox = &b
-	}
+	minPoints, bbox := gq.minPoints, gq.bbox
 	resp := gridResponse{
 		Epoch:    snap.Epoch,
 		Complete: snap.Complete,
@@ -401,6 +424,34 @@ func (a *API) handleGrid(w http.ResponseWriter, r *http.Request, snap *sink.Snap
 		resp.Cells = append(resp.Cells, newCellResponse(snap.Grid, id, cs))
 	}
 	a.writeJSON(w, resp)
+}
+
+// gridQuery is the validated filter set shared by the grid endpoints.
+type gridQuery struct {
+	minPoints int
+	bbox      *geo.Rect // nil: no spatial filter
+}
+
+// parseQuery validates the common query parameters (min-points, bbox)
+// of the grid endpoints. It is the single untrusted-input funnel for
+// those filters and is fuzz-covered (FuzzQueryParsing).
+func parseQuery(q url.Values) (gridQuery, error) {
+	var gq gridQuery
+	if v := q.Get("min-points"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return gridQuery{}, fmt.Errorf("bad min-points %q", v)
+		}
+		gq.minPoints = n
+	}
+	if v := q.Get("bbox"); v != "" {
+		b, err := parseBBox(v)
+		if err != nil {
+			return gridQuery{}, err
+		}
+		gq.bbox = &b
+	}
+	return gq, nil
 }
 
 // parseBBox parses "minx,miny,maxx,maxy".

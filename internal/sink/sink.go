@@ -249,6 +249,44 @@ func (s *Sink) AbsorbResult(res *core.Result) {
 	}
 }
 
+// AbsorbTransitions folds newly completed transitions of one car into
+// the aggregation without counting the car as ingested — the streaming
+// ingest layer's partial-absorb path, called once per trip the
+// watermark closes. The car's transitions may arrive across many calls
+// (and interleaved with other cars); once no more will come, one
+// CarComplete call finishes the car's accounting. The final sealed
+// snapshot is then value-identical to absorbing the same transitions
+// through Absorb in one piece.
+//
+// AbsorbTransitions never auto-publishes: watermark-driven owners
+// publish explicitly after each flush round so snapshot epochs track
+// watermark advances rather than trip counts.
+func (s *Sink) AbsorbTransitions(car int, recs []*core.TransitionRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	start := time.Now()
+	sh := s.shardFor(car)
+	sh.mu.Lock()
+	sh.absorbTransitions(recs)
+	sh.mu.Unlock()
+	s.met.absorbTime.Observe(time.Since(start).Seconds())
+}
+
+// CarComplete marks one car's stream of transitions finished, counting
+// it toward CarsIngested and applying the auto-publish cadence. Call
+// exactly once per car, after its last AbsorbTransitions.
+func (s *Sink) CarComplete(car int) {
+	sh := s.shardFor(car)
+	sh.mu.Lock()
+	sh.cars++
+	sh.mu.Unlock()
+	s.met.carsAbsorbed.Inc()
+	if n := s.absorbed.Add(1); s.cfg.PublishEvery > 0 && n%uint64(s.cfg.PublishEvery) == 0 {
+		s.Publish()
+	}
+}
+
 func (s *Sink) shardFor(car int) *shard {
 	if car < 0 {
 		car = -car
@@ -259,7 +297,13 @@ func (s *Sink) shardFor(car int) *shard {
 // absorb folds one car in; the caller holds the shard lock.
 func (sh *shard) absorb(cr *core.CarResult) {
 	sh.cars++
-	for _, rec := range cr.Transitions {
+	sh.absorbTransitions(cr.Transitions)
+}
+
+// absorbTransitions folds transition records into the shard's grid and
+// OD accumulators; the caller holds the shard lock.
+func (sh *shard) absorbTransitions(recs []*core.TransitionRecord) {
+	for _, rec := range recs {
 		for _, sp := range core.TransitionSpeedPoints(rec) {
 			if sh.agg.Add(sp.Pos, sp.SpeedKmh) {
 				sh.points++

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Exported quantisation surface for per-point event codecs. The
+// streaming ingest layer frames individual route points over the wire
+// (internal/ingest) and must quantise them exactly like the TAXITRCB
+// trip format, so a point that travelled the firehose decodes to the
+// same float64 values as the same point written to a binary (or CSV)
+// trace file — the ingest/batch differential tests rely on this.
+//
+// All functions share quantDecimal's contract: the integer mantissa of
+// strconv.FormatFloat(x, 'f', prec, 64) at the column's CSV precision,
+// with correctly-rounded decode by the exact power of ten.
+
+// Quantisation precisions (decimal digits), as stored by the binary
+// formats and the CSV writer.
+const (
+	// LonLatPrec quantises WGS84 degrees (E7, ~1 cm).
+	LonLatPrec = lonLatPrec
+	// SpeedPrec quantises km/h (centi).
+	SpeedPrec = speedPrec
+	// FuelPrec quantises millilitres (deci).
+	FuelPrec = fuelPrec
+	// DistPrec quantises metres (deci).
+	DistPrec = distPrec
+)
+
+// QuantLonLat quantises a WGS84 coordinate to its E7 integer. Errors
+// on non-finite input or int32 overflow.
+func QuantLonLat(v float64) (int32, error) { return quantEvent(v, lonLatPrec) }
+
+// QuantSpeedKmh quantises a speed to centi-km/h.
+func QuantSpeedKmh(v float64) (int32, error) { return quantEvent(v, speedPrec) }
+
+// QuantFuelMl quantises cumulative fuel to deci-millilitres.
+func QuantFuelMl(v float64) (int32, error) { return quantEvent(v, fuelPrec) }
+
+// QuantDistM quantises cumulative distance to deci-metres.
+func QuantDistM(v float64) (int32, error) { return quantEvent(v, distPrec) }
+
+// DequantLonLat decodes an E7 coordinate back to degrees.
+func DequantLonLat(q int32) float64 { return float64(q) / pow10[lonLatPrec] }
+
+// DequantSpeedKmh decodes centi-km/h back to km/h.
+func DequantSpeedKmh(q int32) float64 { return float64(q) / pow10[speedPrec] }
+
+// DequantFuelMl decodes deci-millilitres back to millilitres.
+func DequantFuelMl(q int32) float64 { return float64(q) / pow10[fuelPrec] }
+
+// DequantDistM decodes deci-metres back to metres.
+func DequantDistM(q int32) float64 { return float64(q) / pow10[distPrec] }
+
+// MaxEventTimeMs is the largest |UnixMilli| timestamp the event and
+// trip formats accept (the nanosecond-representable window).
+const MaxEventTimeMs = maxTimeMs
+
+func quantEvent(v float64, prec int) (int32, error) {
+	var buf [32]byte
+	m, err := quantDecimal(buf[:], v, prec)
+	if err != nil {
+		return 0, fmt.Errorf("trace: %w", err)
+	}
+	if m < math.MinInt32 || m > math.MaxInt32 {
+		return 0, fmt.Errorf("trace: value %v overflows int32 at %d decimals", v, prec)
+	}
+	return int32(m), nil
+}

@@ -44,9 +44,12 @@
 // isolated as a typed CarError and reported alongside the other cars'
 // results; Config.MaxFailures bounds how much failure the run
 // tolerates before aborting, and Pipeline.Stream exposes the per-car
-// results incrementally as they complete. The ctx-free Run/RunCar/
-// Process methods remain as thin wrappers over the context-taking
-// variants.
+// results incrementally as they complete. The execution surface is
+// context-first throughout: RunContext, RunCarContext and
+// ProcessContext (the historical ctx-free Run/RunCar/Process wrappers
+// have been removed), plus Pipeline.AnalyseSegments for callers that
+// segment incrementally, such as the event-time ingest layer
+// (internal/ingest).
 //
 // The experiments subpackage (internal/experiments) regenerates every
 // table and figure of the paper; cmd/experiments writes them to disk.

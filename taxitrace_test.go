@@ -1,6 +1,7 @@
 package taxitrace
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/tracegen"
@@ -16,7 +17,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	res, err := p.Run()
+	res, err := p.RunContext(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
