@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-runner bench-serve bench-fleet bench-obs bench-ingest race ci fuzz profile results examples clean help
+.PHONY: all build test vet bench bench-runner bench-serve bench-fleet bench-obs bench-ingest bench-cluster race ci fuzz profile results examples clean help
 
 all: build vet test
 
@@ -35,6 +35,10 @@ help:
 	@echo "           bounded-shuffle firehose replay: points/s + p99"
 	@echo "           ingest-to-visible latency, plus NDJSON/binary frame"
 	@echo "           decode) into results/BENCH_ingest.json"
+	@echo "  bench-cluster snapshot multi-node scaling (1 vs 4 worker"
+	@echo "           processes on the paced-feed fleet, cars/s; the 4-shard"
+	@echo "           arm must hold >=2.5x the single-node baseline) into"
+	@echo "           results/BENCH_cluster.json"
 	@echo "  profile  run a large taxiflow workload with -debug-addr and"
 	@echo "           capture a 10 s CPU profile into cpu.pprof"
 	@echo "  results  regenerate all paper tables/figures into results/"
@@ -78,7 +82,9 @@ FUZZ_TARGETS = \
 	./internal/ingest:FuzzPointCodec \
 	./internal/trace:FuzzReadCSV \
 	./internal/trace:FuzzReadBinary \
-	./internal/digiroad:FuzzReadCSV
+	./internal/digiroad:FuzzReadCSV \
+	./internal/sink:FuzzDecodeSnapshot \
+	./internal/cluster:FuzzDecodePartial
 
 fuzz:
 	@set -e; for t in $(FUZZ_TARGETS); do \
@@ -178,6 +184,22 @@ bench-ingest:
 		-notes "32-car fleet x 3 trips flattened to a point firehose, 30s lateness, watermark every 256 points; ordered vs bounded-shuffle replay through admission/watermark/trip-close into the sink, plus NDJSON vs TAXIPNTB decode" \
 		< /tmp/bench_ingest.txt > results/BENCH_ingest.json
 	@echo "wrote results/BENCH_ingest.json"
+
+# Multi-node scaling trajectory: the paced-feed fleet (every car
+# charges a fixed trace-acquisition latency) run by 1 vs 4 real worker
+# OS processes coordinated over localhost HTTP, reporting merged-fleet
+# cars/s; medians over 3 single-shot runs (one op is a whole cluster
+# lifecycle) into results/BENCH_cluster.json. The 4-shard arm must
+# hold >=2.5x the single-node baseline.
+bench-cluster:
+	$(GO) test -run xxx -bench '^BenchmarkClusterWorkers' -benchtime=1x -count=3 \
+		./internal/cluster/ | tee /tmp/bench_cluster.txt
+	$(GO) run ./cmd/benchfmt \
+		-snapshot "$$(date +%Y-%m-%d)" \
+		-command "go test -run xxx -bench '^BenchmarkClusterWorkers' -benchtime=1x -count=3 ./internal/cluster/" \
+		-notes "49-car fleet x 4 trips, 200ms paced feed per car; worker processes re-exec the test binary, coordinator pulls+merges partials over localhost HTTP; cars/s is merged-fleet throughput, 4 shards must be >=2.5x 1 shard" \
+		< /tmp/bench_cluster.txt > results/BENCH_cluster.json
+	@echo "wrote results/BENCH_cluster.json"
 
 # Regenerate every paper table and figure (plus ablations) into results/.
 results:

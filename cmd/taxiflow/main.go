@@ -38,6 +38,13 @@
 // run (partial fleet) and after it (sealed final snapshot, identical
 // to the batch aggregation). With -serve-addr the process keeps
 // serving after the summary until interrupted.
+//
+// Cluster mode (internal/cluster) splits the fleet across processes:
+// -cluster-coordinator serves the merged /v1 view and the worker
+// control endpoints on -serve-addr, while -cluster-worker N runs shard
+// N's slice of the fleet (hash(car) mod -cluster-shards) and reports to
+// -cluster-coord. The merged sealed snapshot is value-identical to a
+// single-node run over the same flags.
 package main
 
 import (
@@ -58,6 +65,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/obs"
@@ -86,6 +94,11 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060, :0 for ephemeral)")
 	serveAddr := flag.String("serve-addr", "", "serve the /v1 query API (plus the debug surface) on this address and keep serving after the run until interrupted")
 	ingestAddr := flag.String("ingest-addr", "", "event-time streaming mode: accept a point firehose on POST /v1/ingest (plus the /v1 query API) on this address instead of running the batch fleet; Ctrl-C to exit")
+	clusterCoordinator := flag.Bool("cluster-coordinator", false, "cluster mode: merge worker partials and serve the global /v1 view on -serve-addr instead of running a pipeline")
+	clusterWorker := flag.Int("cluster-worker", -1, "cluster mode: run this shard (0-based, < -cluster-shards) of the fleet and report to -cluster-coord")
+	clusterShards := flag.Int("cluster-shards", 0, "cluster mode: number of shards the fleet is split into")
+	clusterCoord := flag.String("cluster-coord", "", "cluster mode: coordinator base URL a worker registers with (e.g. http://127.0.0.1:8600)")
+	nodeID := flag.String("node-id", "", "cluster mode: node name for registration and /v1/healthz (default coordinator / worker-<shard>)")
 	lateness := flag.Duration("lateness", 30*time.Second, "with -ingest-addr: allowed event-time lateness (out-of-orderness bound)")
 	idleTimeout := flag.Duration("idle-timeout", 10*time.Minute, "with -ingest-addr: event-time silence after which a car stops holding the watermark back")
 	checkOn := flag.Bool("check", false, "validate pipeline invariants at every stage boundary (check_violations_total metrics)")
@@ -118,6 +131,21 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("debug server: http://%s/metrics /debug/vars /debug/pprof/\n", srv.Addr)
+	}
+
+	if *clusterCoordinator && *clusterWorker >= 0 {
+		log.Fatal("-cluster-coordinator and -cluster-worker are mutually exclusive")
+	}
+
+	// The coordinator never builds a pipeline — workers run those. It
+	// merges their partial snapshots into the global serving view and
+	// answers the /v1 query API on it until interrupted.
+	if *clusterCoordinator {
+		if err := runClusterCoordinator(ctx, reg, logger,
+			*serveAddr, *clusterShards, *maxFailures, *nodeID); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	// The lineage ledger always runs (its cost is a handful of atomic
@@ -157,6 +185,26 @@ func main() {
 	fmt.Printf("city: %d traffic elements, %d point objects\n",
 		p.City.DB.NumElements(), p.City.DB.NumObjects())
 	fmt.Printf("network: %s\n", p.Graph.Stats())
+
+	// With -cluster-worker the process owns one shard of the fleet: it
+	// runs the full pipeline over its hash-assigned cars, publishes
+	// partial snapshots for the coordinator to pull, and exits once its
+	// sealed epoch has been folded into the merged serving view.
+	if *clusterWorker >= 0 {
+		if err := runClusterWorker(ctx, p, reg, lin, logger,
+			*clusterWorker, *clusterShards, *cars, *clusterCoord, *serveAddr, *nodeID); err != nil {
+			log.Fatal(err)
+		}
+		printLineageTable(lin)
+		if *metricsOut != "" {
+			if err := writeMetrics(reg, *metricsOut); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *metricsOut)
+		}
+		fmt.Printf("\ndone in %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	// With -ingest-addr the process is a streaming server: points
 	// arrive over HTTP (e.g. from tracegen -firehose), per-car state
@@ -203,7 +251,13 @@ func main() {
 		if apiSrv, err = obs.Serve(*serveAddr, mux); err != nil {
 			log.Fatal(err)
 		}
-		defer apiSrv.Close()
+		// Graceful: drain in-flight /v1 requests (bounded) on the way out
+		// rather than snapping their connections.
+		defer func() {
+			if err := apiSrv.Shutdown(5 * time.Second); err != nil {
+				log.Printf("query API shutdown: %v", err)
+			}
+		}()
 		fmt.Printf("query API: http://%s/v1/snapshot /v1/healthz /v1/lineage /v1/grid /v1/od (+debug surface)\n", apiSrv.Addr)
 	}
 
@@ -375,11 +429,121 @@ func printStageTable(snap obs.Snapshot) {
 	w.Flush()
 }
 
+// runClusterCoordinator runs the process as the cluster's merge/serve
+// node: workers register, heartbeat and publish partials against it,
+// and the /v1 query API answers on the merged view. Run returns when
+// the fleet seals (then the process keeps serving until interrupted)
+// or when the worker-loss budget is spent.
+func runClusterCoordinator(ctx context.Context, reg *obs.Registry, logger *slog.Logger,
+	addr string, shards, maxFailures int, nodeID string) error {
+	if addr == "" {
+		return errors.New("-cluster-coordinator requires -serve-addr")
+	}
+	if nodeID == "" {
+		nodeID = "coordinator"
+	}
+	start := time.Now()
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		NumShards:   shards,
+		MaxFailures: maxFailures,
+		Metrics:     reg,
+		Log:         logger,
+	})
+	if err != nil {
+		return err
+	}
+	mux := reg.DebugMux()
+	coord.RegisterHandlers(mux)
+	serve.Mount(mux, serve.NewAPI(coord, reg).
+		WithLogger(logger).
+		WithNode("coordinator", nodeID).
+		WithCluster(coord.WorkerHealth).
+		WithLineageSnapshot(coord.LineageSnapshot))
+	srv, err := obs.Serve(addr, mux)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := srv.Shutdown(5 * time.Second); err != nil {
+			log.Printf("coordinator shutdown: %v", err)
+		}
+	}()
+	fmt.Printf("cluster coordinator %s: %d shards, control endpoints at http://%s/v1/cluster/\n",
+		nodeID, shards, srv.Addr)
+	fmt.Printf("query API (merged view): http://%s/v1/snapshot /v1/healthz /v1/lineage /v1/grid /v1/od\n", srv.Addr)
+
+	switch err := coord.Run(ctx); {
+	case err == nil: // every shard sealed and merged
+	case errors.Is(err, context.Canceled):
+		log.Printf("coordinator interrupted before the fleet sealed")
+		return nil
+	case errors.Is(err, taxitrace.ErrBudgetExceeded):
+		printLineageSnapshot(coord.LineageSnapshot())
+		return fmt.Errorf("cluster aborted: %v", err)
+	default:
+		return err
+	}
+	snap := coord.Snapshot()
+	fmt.Printf("serving sealed snapshot: epoch %d, %d cars, %d cells, %d directions\n",
+		snap.Epoch, snap.CarsIngested, len(snap.Cells), len(snap.OD))
+	printLineageSnapshot(coord.LineageSnapshot())
+	fmt.Printf("\nfleet sealed in %s\n", time.Since(start).Round(time.Millisecond))
+	if ctx.Err() == nil {
+		fmt.Printf("query API still serving on http://%s/v1/ — Ctrl-C to exit\n", srv.Addr)
+		<-ctx.Done()
+	}
+	return nil
+}
+
+// runClusterWorker runs the process as one shard of the cluster. The
+// worker's own /v1 query API (its shard-local view) shares the
+// listener with the partial endpoint the coordinator pulls.
+func runClusterWorker(ctx context.Context, p *taxitrace.Pipeline, reg *obs.Registry,
+	lin *taxitrace.Lineage, logger *slog.Logger,
+	shard, shards, cars int, coordURL, addr, id string) error {
+	mux := reg.DebugMux()
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		ID:          id,
+		Shard:       shard,
+		NumShards:   shards,
+		Cars:        cars,
+		Coordinator: coordURL,
+		Addr:        addr,
+		Pipeline:    p,
+		Mux:         mux,
+		Log:         logger,
+	})
+	if err != nil {
+		return err
+	}
+	serve.Mount(mux, serve.NewAPI(w, reg).
+		WithLogger(logger).
+		WithLineage(lin).
+		WithNode("worker", w.ID()))
+	fmt.Printf("cluster worker %s: shard %d/%d (%d of %d cars), coordinator %s\n",
+		w.ID(), shard, shards, len(w.Cars()), cars, coordURL)
+	if err := w.Run(ctx); err != nil {
+		return err
+	}
+	final := w.Snapshot()
+	fmt.Printf("shard sealed and merged by coordinator: epoch %d, %d cars, %d cells, %d directions\n",
+		final.Epoch, final.CarsIngested, len(final.Cells), len(final.OD))
+	return nil
+}
+
 // printLineageTable renders the drop-reason ledger: the per-stage
 // conservation rows (in = out + Σ dropped-by-reason) and the most
 // lossy cars.
 func printLineageTable(lin *taxitrace.Lineage) {
-	snap := lin.Snapshot(5)
+	printLineageSnapshot(lin.Snapshot(5))
+	if err := lin.Check(); err != nil {
+		log.Printf("LINEAGE CONSERVATION VIOLATED: %v", err)
+	}
+}
+
+// printLineageSnapshot renders an already-captured lineage table — the
+// live ledger's, or the coordinator's merged one.
+func printLineageSnapshot(snap obs.LineageSnapshot) {
 	if len(snap.Stages) == 0 {
 		return
 	}
@@ -402,8 +566,8 @@ func printLineageTable(lin *taxitrace.Lineage) {
 		}
 		fmt.Printf("most dropped-from cars: %s\n", strings.Join(parts, ", "))
 	}
-	if err := lin.Check(); err != nil {
-		log.Printf("LINEAGE CONSERVATION VIOLATED: %v", err)
+	if !snap.Conserved {
+		log.Printf("LINEAGE CONSERVATION VIOLATED (see stage rows above)")
 	}
 }
 
@@ -582,7 +746,14 @@ func runIngestServer(ctx context.Context, p *taxitrace.Pipeline, reg *obs.Regist
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
+	// Graceful: let an in-flight firehose POST finish (bounded) before
+	// the listener goes away, so a producer mid-stream sees a clean
+	// response instead of a reset.
+	defer func() {
+		if err := srv.Shutdown(5 * time.Second); err != nil {
+			log.Printf("ingest server shutdown: %v", err)
+		}
+	}()
 	fmt.Printf("streaming ingest: POST http://%s/v1/ingest (NDJSON or TAXIPNTB binary), POST /v1/ingest/close to seal\n", srv.Addr)
 	fmt.Printf("query API: http://%s/v1/snapshot /v1/healthz /v1/lineage /v1/grid /v1/od (+debug surface)\n", srv.Addr)
 	fmt.Printf("watermark: lateness %s, idle timeout %s — Ctrl-C to exit\n", lateness, idleTimeout)

@@ -16,7 +16,7 @@
 //
 //	tracegen [-cars N] [-trips N] [-seed N] [-traces FILE] [-map FILE] [-format csv|binary|both]
 //	tracegen [-cars N] [-trips N] [-seed N] -firehose http://HOST:PORT/v1/ingest
-//	         [-shuffle-window N] [-no-close] [-format binary]
+//	         [-shuffle-window N] [-no-close] [-format binary] [-retries N]
 package main
 
 import (
@@ -52,6 +52,7 @@ func main() {
 	shuffleWindow := flag.Int("shuffle-window", 0, "with -firehose: permute events within windows of this many points (bounded out-of-orderness; 0 keeps event order)")
 	shuffleSpan := flag.Duration("shuffle-span", 20*time.Second, "with -shuffle-window: cap a window's event-time span (keep below the server's -lateness)")
 	noClose := flag.Bool("no-close", false, "with -firehose: leave the stream open (skip POST …/close)")
+	retries := flag.Int("retries", 5, "with -firehose: attempts per request; transport errors and 5xx retry with backoff, 4xx fails fast")
 	flag.Parse()
 	wantCSV, wantBinary := false, false
 	switch *format {
@@ -84,7 +85,7 @@ func main() {
 	log.Printf("simulated %d trips, %d route points", len(fleet), points)
 
 	if *firehose != "" {
-		if err := runFirehose(*firehose, fleet, city, *seed, *shuffleWindow, shuffleSpan.Milliseconds(), wantBinary, !*noClose); err != nil {
+		if err := runFirehose(*firehose, fleet, city, *seed, *shuffleWindow, shuffleSpan.Milliseconds(), wantBinary, !*noClose, *retries); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -137,9 +138,12 @@ func main() {
 // runFirehose flattens the fleet to per-point events in event-time
 // order, optionally applies the bounded in-window shuffle, streams the
 // body to the ingest URL (NDJSON, or the binary point framing when the
-// caller asked for -format binary) and finally closes the stream.
+// caller asked for -format binary) and finally closes the stream. Both
+// POSTs retry transport errors (connection refused while the server is
+// still coming up) and 5xx with doubling backoff, bounded by attempts;
+// a 4xx is a caller bug and fails fast.
 func runFirehose(url string, fleet []*trace.Trip, city *digiroad.City, seed int64,
-	window int, spanCapMs int64, binaryBody, closeStream bool) error {
+	window int, spanCapMs int64, binaryBody, closeStream bool, attempts int) error {
 	byCar := map[int][]*trace.Trip{}
 	for _, t := range fleet {
 		byCar[t.CarID] = append(byCar[t.CarID], t)
@@ -150,44 +154,80 @@ func runFirehose(url string, fleet []*trace.Trip, city *digiroad.City, seed int6
 		log.Printf("shuffled within windows of %d points (max in-window span %dms)", window, span)
 	}
 
-	pr, pw := io.Pipe()
-	go func() {
-		var err error
-		if binaryBody {
-			err = ingest.WriteBinary(pw, pts)
-		} else {
-			err = ingest.WriteNDJSON(pw, pts)
-		}
-		pw.CloseWithError(err)
-	}()
 	contentType := "application/x-ndjson"
 	if binaryBody {
 		contentType = "application/octet-stream"
 	}
-	resp, err := http.Post(url, contentType, pr)
+	// The streaming body is consumed by each attempt, so the retry loop
+	// gets a body factory: every attempt pipes a fresh encoding.
+	body, err := postRetry(url, contentType, attempts, func() io.Reader {
+		pr, pw := io.Pipe()
+		go func() {
+			var err error
+			if binaryBody {
+				err = ingest.WriteBinary(pw, pts)
+			} else {
+				err = ingest.WriteNDJSON(pw, pts)
+			}
+			pw.CloseWithError(err)
+		}()
+		return pr
+	})
 	if err != nil {
 		return fmt.Errorf("firehose: %w", err)
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("firehose: %s replied %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
-	}
-	log.Printf("firehose: sent %d points: %s", len(pts), strings.TrimSpace(string(body)))
+	log.Printf("firehose: sent %d points: %s", len(pts), body)
 
 	if closeStream {
-		resp, err := http.Post(strings.TrimRight(url, "/")+"/close", "application/json", nil)
+		body, err := postRetry(strings.TrimRight(url, "/")+"/close", "application/json", attempts, nil)
 		if err != nil {
 			return fmt.Errorf("firehose close: %w", err)
 		}
-		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("firehose close: %s: %s", resp.Status, strings.TrimSpace(string(body)))
-		}
-		log.Printf("firehose: closed stream: %s", strings.TrimSpace(string(body)))
+		log.Printf("firehose: closed stream: %s", body)
 	}
 	return nil
+}
+
+// postRetry POSTs with bounded retries: transport errors and 5xx back
+// off (250ms doubling, capped at 2s) and try again, any other non-200
+// fails fast. makeBody builds a fresh request body per attempt (nil
+// for an empty body); the response body is returned trimmed.
+func postRetry(url, contentType string, attempts int, makeBody func() io.Reader) (string, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := 250 * time.Millisecond
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		var reqBody io.Reader
+		if makeBody != nil {
+			reqBody = makeBody()
+		}
+		resp, err := http.Post(url, contentType, reqBody)
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			text := strings.TrimSpace(string(body))
+			if resp.StatusCode == http.StatusOK {
+				return text, nil
+			}
+			lastErr = fmt.Errorf("%s replied %s: %s", url, resp.Status, text)
+			if resp.StatusCode < 500 {
+				return "", lastErr // 4xx: not a server hiccup, retrying can't help
+			}
+		} else {
+			lastErr = err
+		}
+		if attempt == attempts {
+			break
+		}
+		log.Printf("firehose: attempt %d/%d failed (%v), retrying in %s", attempt, attempts, lastErr, backoff)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+	return "", fmt.Errorf("giving up after %d attempts: %w", attempts, lastErr)
 }
 
 // withExt forces path's extension when both formats are written (so

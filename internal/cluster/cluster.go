@@ -1,0 +1,231 @@
+// Package cluster scales the pipeline + serving stack across
+// processes: N workers each run the full pipeline and an aggregation
+// sink over a deterministic shard of the fleet (hash(car) mod N), and
+// one coordinator pulls their per-epoch partial snapshots over HTTP,
+// merges them with sink.MergeSnapshots into a global serving snapshot,
+// and exposes the existing /v1 query API on the merged view.
+//
+// The paper's pipeline is embarrassingly parallel across cars and the
+// sink was built mergeable from the start (Welford moments, grid
+// aggregates, frozen histograms with layout stamps); this package is
+// only the coordination layer on top of that algebra:
+//
+//   - shard assignment is pure arithmetic (ShardOf), so any process
+//     can recompute which worker owns a car without a directory;
+//   - snapshots travel in the versioned TAXISNPB wire format, wrapped
+//     in a TAXIPART envelope carrying the worker identity, shard and
+//     the worker's lineage table;
+//   - the coordinator rebuilds the merged view from the latest partial
+//     of every shard on each change — at-most-once per (worker, epoch)
+//     by construction: a retried or re-pulled partial replaces its
+//     shard slot instead of folding in twice, and a restarted worker's
+//     fresh run replaces the shard wholesale;
+//   - worker loss (heartbeat staleness) spends an error budget with
+//     runner.Config semantics (MaxFailures / MaxFailureFrac via
+//     Config.Budget), mirroring how the in-process fleet runner treats
+//     failed cars.
+//
+// The differential guarantee mirrors the sink's final-snapshot-vs-
+// batch test: a cluster run over a split fleet seals a snapshot
+// value-identical to the single-node run, with the lineage ledger
+// conserved across the worker→coordinator handoff.
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sink"
+)
+
+// ShardOf deterministically assigns a car to one of n shards by
+// hashing the car id (splitmix64 finalizer — cheap, well-mixed, and
+// independent of Go's map hash so every process, worker or
+// coordinator, computes the same assignment forever).
+func ShardOf(car, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := uint64(car)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// ShardCars lists the cars of fleet 1..totalCars owned by shard (0 ≤
+// shard < n), in ascending car order.
+func ShardCars(totalCars, shard, n int) []int {
+	var cars []int
+	for car := 1; car <= totalCars; car++ {
+		if ShardOf(car, n) == shard {
+			cars = append(cars, car)
+		}
+	}
+	return cars
+}
+
+// Partial is one worker's contribution at one epoch: its sink snapshot
+// (the mergeable sufficient statistics) plus its lineage table, tagged
+// with the worker identity and shard so the coordinator can slot it.
+type Partial struct {
+	WorkerID  string
+	Shard     int
+	NumShards int
+	Snapshot  *sink.Snapshot
+	Lineage   obs.LineageSnapshot
+}
+
+// The TAXIPART envelope: magic, version, worker identity, shard
+// coordinates, then a length-prefixed TAXISNPB snapshot and a
+// length-prefixed JSON lineage table. Snapshot bytes go through the
+// strict sink decoder, so every structural guarantee of that format
+// (typed version errors, histogram layout stamps) holds for the
+// envelope too.
+var partialMagic = [8]byte{'T', 'A', 'X', 'I', 'P', 'A', 'R', 'T'}
+
+const partialVersion = 1
+
+// ErrBadPartial marks a TAXIPART envelope that fails structural
+// validation.
+var ErrBadPartial = errors.New("cluster: bad partial-snapshot envelope")
+
+// EncodePartial renders the envelope.
+func EncodePartial(p *Partial) ([]byte, error) {
+	lin, err := json.Marshal(p.Lineage)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode lineage: %w", err)
+	}
+	dst := append([]byte(nil), partialMagic[:]...)
+	dst = append(dst, partialVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(p.WorkerID)))
+	dst = append(dst, p.WorkerID...)
+	dst = binary.AppendUvarint(dst, uint64(p.Shard))
+	dst = binary.AppendUvarint(dst, uint64(p.NumShards))
+	snap := sink.EncodeSnapshot(p.Snapshot)
+	dst = binary.AppendUvarint(dst, uint64(len(snap)))
+	dst = append(dst, snap...)
+	dst = binary.AppendUvarint(dst, uint64(len(lin)))
+	dst = append(dst, lin...)
+	return dst, nil
+}
+
+// DecodePartial parses the envelope. Snapshot decoding is strict: an
+// unknown TAXISNPB version surfaces as sink.ErrUnknownSnapshotVersion
+// (deployment skew), any corruption as an error wrapping ErrBadPartial
+// or sink.ErrBadSnapshot.
+func DecodePartial(data []byte) (*Partial, error) {
+	bad := func(format string, args ...any) (*Partial, error) {
+		return nil, fmt.Errorf("%w: %s", ErrBadPartial, fmt.Sprintf(format, args...))
+	}
+	if len(data) < len(partialMagic)+1 {
+		return bad("%d bytes is too short", len(data))
+	}
+	if [8]byte(data[:8]) != partialMagic {
+		return bad("bad magic %q", data[:8])
+	}
+	if v := data[8]; v != partialVersion {
+		return bad("unknown envelope version %d", v)
+	}
+	off := 9
+	uvarint := func(what string) (uint64, bool) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		if v > uint64(len(data)-off) && what != "" {
+			return 0, false
+		}
+		return v, true
+	}
+	idLen, ok := uvarint("worker id")
+	if !ok {
+		return bad("truncated worker id")
+	}
+	p := &Partial{WorkerID: string(data[off : off+int(idLen)])}
+	off += int(idLen)
+	shard, ok1 := uvarint("")
+	shards, ok2 := uvarint("")
+	if !ok1 || !ok2 {
+		return bad("truncated shard coordinates")
+	}
+	p.Shard, p.NumShards = int(shard), int(shards)
+	if p.NumShards <= 0 || p.Shard < 0 || p.Shard >= p.NumShards {
+		return bad("shard %d of %d out of range", p.Shard, p.NumShards)
+	}
+	snapLen, ok := uvarint("snapshot")
+	if !ok {
+		return bad("truncated snapshot")
+	}
+	snap, err := sink.DecodeSnapshot(data[off : off+int(snapLen)])
+	if err != nil {
+		return nil, fmt.Errorf("cluster: partial from %s: %w", p.WorkerID, err)
+	}
+	p.Snapshot = snap
+	off += int(snapLen)
+	linLen, ok := uvarint("lineage")
+	if !ok {
+		return bad("truncated lineage")
+	}
+	if err := json.Unmarshal(data[off:off+int(linLen)], &p.Lineage); err != nil {
+		return bad("lineage: %v", err)
+	}
+	off += int(linLen)
+	if off != len(data) {
+		return bad("%d trailing bytes", len(data)-off)
+	}
+	return p, nil
+}
+
+// --- protocol bodies (worker ↔ coordinator, JSON over HTTP) -----------------
+
+type registerRequest struct {
+	ID     string `json:"id"`
+	Shard  int    `json:"shard"`
+	Shards int    `json:"shards"`
+	// Addr is the worker's base URL ("http://127.0.0.1:41327"); the
+	// coordinator pulls GET {addr}/v1/cluster/partial from it.
+	Addr string `json:"addr"`
+	Cars int    `json:"cars"`
+}
+
+type registerResponse struct {
+	OK bool `json:"ok"`
+}
+
+type heartbeatRequest struct {
+	ID     string `json:"id"`
+	Epoch  uint64 `json:"epoch"`
+	Sealed bool   `json:"sealed"`
+}
+
+type heartbeatResponse struct {
+	// MergedEpoch is the worker's own snapshot epoch last folded into
+	// the coordinator's merged view — the worker may exit once its
+	// sealed epoch is covered.
+	MergedEpoch uint64 `json:"merged_epoch"`
+}
+
+type drainRequest struct {
+	ID string `json:"id"`
+}
+
+// WorkerHealth is the coordinator's per-worker admin view, served by
+// GET /v1/cluster/workers and folded into the coordinator's /v1/healthz.
+type WorkerHealth struct {
+	ID             string  `json:"id"`
+	Shard          int     `json:"shard"`
+	Addr           string  `json:"addr"`
+	Epoch          uint64  `json:"epoch"`
+	LastMergeEpoch uint64  `json:"last_merge_epoch"`
+	StalenessS     float64 `json:"staleness_s"`
+	Sealed         bool    `json:"sealed"`
+	Lost           bool    `json:"lost"`
+	Drained        bool    `json:"drained"`
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/sink"
+)
+
+func TestShardCarsPartition(t *testing.T) {
+	const cars, n = 100, 4
+	seen := map[int]int{}
+	for shard := 0; shard < n; shard++ {
+		for _, car := range ShardCars(cars, shard, n) {
+			seen[car]++
+			if got := ShardOf(car, n); got != shard {
+				t.Fatalf("car %d listed under shard %d but ShardOf says %d", car, shard, got)
+			}
+		}
+	}
+	if len(seen) != cars {
+		t.Fatalf("%d cars assigned, want %d", len(seen), cars)
+	}
+	for car, times := range seen {
+		if times != 1 {
+			t.Fatalf("car %d assigned %d times", car, times)
+		}
+	}
+	// Degenerate geometries.
+	if got := len(ShardCars(7, 0, 1)); got != 7 {
+		t.Fatalf("single shard owns %d of 7 cars", got)
+	}
+	if ShardOf(42, 0) != 0 || ShardOf(42, -3) != 0 {
+		t.Fatal("non-positive shard counts must collapse to shard 0")
+	}
+}
+
+func TestShardOfSpreads(t *testing.T) {
+	// Sequential car ids must not pile onto one shard (the point of
+	// hashing instead of car mod N is robustness to id structure, e.g.
+	// fleets numbered in blocks).
+	const cars, n = 1000, 4
+	counts := make([]int, n)
+	for car := 1; car <= cars; car++ {
+		counts[ShardOf(car, n)]++
+	}
+	for shard, got := range counts {
+		if got < cars/n/2 || got > cars/n*2 {
+			t.Fatalf("shard %d owns %d of %d cars — hash is not spreading", shard, got, cars)
+		}
+	}
+}
+
+func testPartial(t testing.TB) *Partial {
+	t.Helper()
+	g, err := grid.New(geo.R(0, 0, 2000, 2000), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sink.New(sink.Config{Grid: g, PublishEvery: 1, Gates: []string{"T", "S"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := obs.NewLineage(nil)
+	st := lin.Stage("clean", "points")
+	st.RecordCar(7, 10, 8)
+	st.Reason(obs.DropReason("duplicate_ts")).Add(2)
+	return &Partial{
+		WorkerID:  "worker-1",
+		Shard:     1,
+		NumShards: 3,
+		Snapshot:  s.Seal(),
+		Lineage:   lin.Snapshot(5),
+	}
+}
+
+func TestPartialRoundTrip(t *testing.T) {
+	p := testPartial(t)
+	blob, err := EncodePartial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePartial(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WorkerID != p.WorkerID || got.Shard != p.Shard || got.NumShards != p.NumShards {
+		t.Fatalf("identity mangled: %+v", got)
+	}
+	if !got.Snapshot.Complete || got.Snapshot.Epoch != p.Snapshot.Epoch {
+		t.Fatalf("snapshot mangled: %+v", got.Snapshot)
+	}
+	if len(got.Lineage.Stages) != 1 || got.Lineage.Stages[0].In != 10 ||
+		got.Lineage.Stages[0].Reasons[0].N != 2 || !got.Lineage.Conserved {
+		t.Fatalf("lineage mangled: %+v", got.Lineage)
+	}
+}
+
+func TestDecodePartialRejects(t *testing.T) {
+	blob, err := EncodePartial(testPartial(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every truncation must fail typed, never panic.
+	for i := 0; i < len(blob); i++ {
+		if _, err := DecodePartial(blob[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		} else if !errors.Is(err, ErrBadPartial) && !errors.Is(err, sink.ErrBadSnapshot) {
+			t.Fatalf("truncation at %d: untyped error %v", i, err)
+		}
+	}
+	if _, err := DecodePartial(append(append([]byte(nil), blob...), 0)); !errors.Is(err, ErrBadPartial) {
+		t.Fatalf("trailing byte: %v", err)
+	}
+
+	bad := append([]byte(nil), blob...)
+	bad[0] = 'X'
+	if _, err := DecodePartial(bad); !errors.Is(err, ErrBadPartial) ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	skew := append([]byte(nil), blob...)
+	skew[8] = 99
+	if _, err := DecodePartial(skew); !errors.Is(err, ErrBadPartial) {
+		t.Fatalf("envelope version skew: %v", err)
+	}
+
+	// Version skew of the embedded snapshot surfaces as the sink's
+	// typed deployment-skew error, distinguishable from corruption.
+	verBump := append([]byte(nil), blob...)
+	// The embedded TAXISNPB magic locates the snapshot; its version
+	// byte follows the 8-byte magic.
+	i := strings.Index(string(verBump), "TAXISNPB")
+	if i < 0 {
+		t.Fatal("embedded snapshot magic not found")
+	}
+	verBump[i+8] = 99
+	if _, err := DecodePartial(verBump); !errors.Is(err, sink.ErrUnknownSnapshotVersion) {
+		t.Fatalf("snapshot version skew: %v", err)
+	}
+}
+
+func TestWorkerConfigValidation(t *testing.T) {
+	if _, err := NewWorker(WorkerConfig{}); err == nil {
+		t.Fatal("nil pipeline accepted")
+	}
+	p := testPipeline(t, 4, nil)
+	for _, cfg := range []WorkerConfig{
+		{Pipeline: p, Shard: 3, NumShards: 3, Coordinator: "http://x"},
+		{Pipeline: p, Shard: -1, NumShards: 3, Coordinator: "http://x"},
+		{Pipeline: p, Shard: 0, NumShards: 0, Coordinator: "http://x"},
+		{Pipeline: p, Shard: 0, NumShards: 3},
+	} {
+		if _, err := NewWorker(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestCoordinatorConfigValidation(t *testing.T) {
+	if _, err := NewCoordinator(CoordinatorConfig{}); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	c, err := NewCoordinator(CoordinatorConfig{NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-merge serving view: empty, unsealed, conserved.
+	if snap := c.Snapshot(); snap == nil || snap.Complete || snap.Points != 0 {
+		t.Fatalf("initial view: %+v", snap)
+	}
+	if lin := c.LineageSnapshot(); !lin.Conserved {
+		t.Fatalf("initial lineage: %+v", lin)
+	}
+}
+
+// testPipeline builds a small deterministic pipeline over the shared
+// test city. Per-car traces are a pure function of (fleet seed, car),
+// so a shard run and the whole-fleet run agree car by car — the
+// property the cluster differential rests on.
+func testPipeline(t testing.TB, cars int, lin *obs.Lineage) *core.Pipeline {
+	t.Helper()
+	p, err := core.NewPipeline(pipelineConfig(cars, lin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

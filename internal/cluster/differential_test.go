@@ -1,0 +1,404 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/sink"
+	"repro/internal/tracegen"
+)
+
+// pipelineConfig is the shared cluster-test fleet: small enough to run
+// several pipelines in one test process, busy enough to populate grid
+// cells, OD pairs and lineage drops. Every node (reference or worker)
+// must construct the same config — only the lineage ledger is its own.
+func pipelineConfig(cars int, lin *obs.Lineage) core.Config {
+	return core.Config{
+		CitySeed: 42,
+		Fleet:    tracegen.Config{Seed: 42, Cars: cars, TripsPerCar: 30, GateRunFraction: 0.3},
+		Lineage:  lin,
+	}
+}
+
+// singleNode runs the whole fleet through one pipeline + sink — the
+// reference the cluster must reproduce value-for-value.
+func singleNode(t *testing.T, cars int) (*sink.Snapshot, obs.LineageSnapshot) {
+	t.Helper()
+	lin := obs.NewLineage(nil)
+	p := testPipeline(t, cars, lin)
+	g, err := sink.GridForPipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sink.New(sink.Config{Grid: g, PublishEvery: 1, Gates: p.Selector.GateNames()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunObserved(context.Background(), s.AbsorbEvent); err != nil {
+		t.Fatal(err)
+	}
+	return s.Seal(), lin.Snapshot(10)
+}
+
+func feq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+// assertEquivalent is the differential gate: integers, extrema and
+// histogram buckets must match exactly, means and variances to within
+// accumulation-order rounding.
+func assertEquivalent(t *testing.T, got, want *sink.Snapshot) {
+	t.Helper()
+	if got.CarsIngested != want.CarsIngested || got.CarsFailed != want.CarsFailed ||
+		got.Points != want.Points || got.Complete != want.Complete {
+		t.Fatalf("counters: got ingested=%d failed=%d points=%d complete=%v, want %d/%d/%d/%v",
+			got.CarsIngested, got.CarsFailed, got.Points, got.Complete,
+			want.CarsIngested, want.CarsFailed, want.Points, want.Complete)
+	}
+	if len(got.Cells) != len(want.Cells) {
+		t.Fatalf("cell count %d vs %d", len(got.Cells), len(want.Cells))
+	}
+	for id, w := range want.Cells {
+		g, ok := got.Cells[id]
+		if !ok {
+			t.Fatalf("cell %v missing from cluster snapshot", id)
+		}
+		if g.N != w.N || g.MinKmh != w.MinKmh || g.MaxKmh != w.MaxKmh ||
+			!feq(g.MeanKmh, w.MeanKmh) || !feq(g.VarKmh, w.VarKmh) {
+			t.Fatalf("cell %v: got %+v want %+v", id, g, w)
+		}
+	}
+	if len(got.OD) != len(want.OD) {
+		t.Fatalf("OD count %d vs %d", len(got.OD), len(want.OD))
+	}
+	for key, w := range want.OD {
+		g, ok := got.OD[key]
+		if !ok {
+			t.Fatalf("direction %v missing from cluster snapshot", key)
+		}
+		if g.Trips != w.Trips || g.Attrs != w.Attrs || !g.TravelTimeS.Equal(w.TravelTimeS) {
+			t.Fatalf("direction %v: got %+v want %+v", key, g, w)
+		}
+		for _, m := range []struct {
+			name     string
+			got, wnt sink.MetricStats
+		}{
+			{"dist", g.DistKm, w.DistKm},
+			{"fuel", g.FuelMl, w.FuelMl},
+			{"low-speed", g.LowSpeedPct, w.LowSpeedPct},
+			{"normal-speed", g.NormalSpeedPct, w.NormalSpeedPct},
+		} {
+			if m.got.N != m.wnt.N || m.got.Min != m.wnt.Min || m.got.Max != m.wnt.Max ||
+				!feq(m.got.Mean, m.wnt.Mean) {
+				t.Fatalf("direction %v metric %s: got %+v want %+v", key, m.name, m.got, m.wnt)
+			}
+		}
+	}
+}
+
+// assertLineageConserved checks conservation survived the handoff and
+// the merged stage totals equal the single-node ledger row for row.
+func assertLineageConserved(t *testing.T, got, want obs.LineageSnapshot) {
+	t.Helper()
+	if !got.Conserved {
+		t.Fatalf("merged lineage violates conservation: %+v", got)
+	}
+	byName := map[string]obs.StageSnapshot{}
+	for _, st := range got.Stages {
+		byName[st.Stage] = st
+	}
+	for _, w := range want.Stages {
+		g, ok := byName[w.Stage]
+		if !ok {
+			t.Fatalf("stage %q missing from merged lineage", w.Stage)
+		}
+		if g.In != w.In || g.Out != w.Out || g.Dropped != w.Dropped {
+			t.Fatalf("stage %q: got in/out/dropped %d/%d/%d, want %d/%d/%d",
+				w.Stage, g.In, g.Out, g.Dropped, w.In, w.Out, w.Dropped)
+		}
+		wantReasons := map[string]uint64{}
+		for _, r := range w.Reasons {
+			wantReasons[r.Reason] = r.N
+		}
+		for _, r := range g.Reasons {
+			if r.N != wantReasons[r.Reason] {
+				t.Fatalf("stage %q reason %q: got %d want %d", w.Stage, r.Reason, r.N, wantReasons[r.Reason])
+			}
+		}
+	}
+}
+
+// testCoordinator starts a coordinator with its control endpoints on a
+// real localhost listener and its pull loop running.
+func testCoordinator(t *testing.T, cfg CoordinatorConfig) (*Coordinator, string, <-chan error) {
+	t.Helper()
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	coord.RegisterHandlers(mux)
+	srv, err := obs.Serve("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	t.Cleanup(cancel)
+	done := make(chan error, 1)
+	go func() { done <- coord.Run(ctx) }()
+	return coord, "http://" + srv.Addr, done
+}
+
+func startWorker(t *testing.T, ctx context.Context, cfg WorkerConfig) (*Worker, <-chan error) {
+	t.Helper()
+	w, err := NewWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	return w, done
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterMatchesSingleNode is the ordered differential gate: three
+// workers over a 3-way split fleet, coordinated over real localhost
+// HTTP, must seal a snapshot value-identical to the single-node run
+// with the lineage ledger conserved across the handoff.
+func TestClusterMatchesSingleNode(t *testing.T) {
+	const cars, shards = 12, 3
+	whole, refTable := singleNode(t, cars)
+
+	coord, url, coordDone := testCoordinator(t, CoordinatorConfig{
+		NumShards: shards,
+		PullEvery: 10 * time.Millisecond,
+	})
+
+	ctx := context.Background()
+	var done []<-chan error
+	for shard := 0; shard < shards; shard++ {
+		p := testPipeline(t, cars, obs.NewLineage(nil))
+		_, ch := startWorker(t, ctx, WorkerConfig{
+			Shard: shard, NumShards: shards, Cars: cars,
+			Coordinator:    url,
+			Pipeline:       p,
+			HeartbeatEvery: 25 * time.Millisecond,
+		})
+		done = append(done, ch)
+	}
+	for i, ch := range done {
+		if err := <-ch; err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if err := <-coordDone; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	assertEquivalent(t, coord.Snapshot(), whole)
+	assertLineageConserved(t, coord.LineageSnapshot(), refTable)
+
+	// Workers drained deliberately; none may be charged as lost.
+	for _, w := range coord.WorkerHealth() {
+		if w.Lost || !w.Drained {
+			t.Fatalf("worker %s: lost=%v drained=%v after clean finish", w.ID, w.Lost, w.Drained)
+		}
+		if w.LastMergeEpoch == 0 {
+			t.Fatalf("worker %s merged nothing", w.ID)
+		}
+	}
+}
+
+// TestClusterSurvivesWorkerRestart injects the fault the error budget
+// exists for: a worker dies mid-shard after some of its partials were
+// already merged, the coordinator detects the loss via heartbeat
+// staleness and charges the budget, and a replacement re-registers the
+// shard and reruns it. The sealed result must still be value-identical
+// to the single-node run — the merge-from-scratch rebuild makes the
+// dead worker's half-finished contribution vanish instead of
+// double-counting.
+func TestClusterSurvivesWorkerRestart(t *testing.T) {
+	const cars, shards = 12, 2
+	whole, refTable := singleNode(t, cars)
+
+	coord, url, coordDone := testCoordinator(t, CoordinatorConfig{
+		NumShards:        shards,
+		PullEvery:        10 * time.Millisecond,
+		HeartbeatTimeout: 300 * time.Millisecond,
+		MaxFailures:      1,
+	})
+
+	// The doomed worker owns shard 1, paced so it cannot finish before
+	// the kill: every stage entry costs 25ms.
+	slowCfg := pipelineConfig(cars, obs.NewLineage(nil))
+	slowCfg.Faults = runner.FaultFunc(func(car int, stage string) error {
+		time.Sleep(25 * time.Millisecond)
+		return nil
+	})
+	slowP, err := core.NewPipeline(slowCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomedCtx, kill := context.WithCancel(context.Background())
+	defer kill()
+	_, doomedDone := startWorker(t, doomedCtx, WorkerConfig{
+		ID: "doomed", Shard: 1, NumShards: shards, Cars: cars,
+		Coordinator:    url,
+		Pipeline:       slowP,
+		HeartbeatEvery: 25 * time.Millisecond,
+	})
+
+	// Let the coordinator merge some of the doomed worker's partial
+	// progress first — the restart must erase it, not add to it.
+	waitFor(t, 30*time.Second, "first merge from doomed worker", func() bool {
+		for _, w := range coord.WorkerHealth() {
+			if w.ID == "doomed" && w.LastMergeEpoch >= 1 {
+				return true
+			}
+		}
+		return false
+	})
+	kill()
+	if err := <-doomedDone; err == nil {
+		t.Fatal("killed worker reported success")
+	}
+	waitFor(t, 30*time.Second, "loss detection", func() bool {
+		for _, w := range coord.WorkerHealth() {
+			if w.ID == "doomed" && w.Lost {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Replacement for shard 1 plus the regular shard-0 worker.
+	ctx := context.Background()
+	var done []<-chan error
+	for _, wc := range []WorkerConfig{
+		{ID: "worker-0", Shard: 0, NumShards: shards, Cars: cars},
+		{ID: "doomed-replacement", Shard: 1, NumShards: shards, Cars: cars},
+	} {
+		wc.Coordinator = url
+		wc.Pipeline = testPipeline(t, cars, obs.NewLineage(nil))
+		wc.HeartbeatEvery = 25 * time.Millisecond
+		_, ch := startWorker(t, ctx, wc)
+		done = append(done, ch)
+	}
+	for i, ch := range done {
+		if err := <-ch; err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if err := <-coordDone; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	assertEquivalent(t, coord.Snapshot(), whole)
+	assertLineageConserved(t, coord.LineageSnapshot(), refTable)
+
+	// The loss is on the books: the cluster lineage row accounts the
+	// dead registration, and conservation still holds with it.
+	lin := coord.LineageSnapshot()
+	var clusterRow *obs.StageSnapshot
+	for i := range lin.Stages {
+		if lin.Stages[i].Stage == "cluster" {
+			clusterRow = &lin.Stages[i]
+		}
+	}
+	if clusterRow == nil {
+		t.Fatal("merged lineage has no cluster row")
+	}
+	if clusterRow.In != 3 || clusterRow.Dropped != 1 ||
+		len(clusterRow.Reasons) != 1 || clusterRow.Reasons[0].Reason != "worker_lost" {
+		t.Fatalf("cluster row %+v, want 3 registrations with 1 worker_lost", clusterRow)
+	}
+}
+
+// TestClusterLossBudget: with MaxFailures < 0 (abort on first loss,
+// runner semantics) a dead worker must abort the coordinator's run
+// with the runner's typed budget error.
+func TestClusterLossBudget(t *testing.T) {
+	const cars = 6
+	coord, url, coordDone := testCoordinator(t, CoordinatorConfig{
+		NumShards:        1,
+		PullEvery:        10 * time.Millisecond,
+		HeartbeatTimeout: 150 * time.Millisecond,
+		MaxFailures:      -1,
+	})
+
+	slowCfg := pipelineConfig(cars, obs.NewLineage(nil))
+	slowCfg.Faults = runner.FaultFunc(func(car int, stage string) error {
+		time.Sleep(25 * time.Millisecond)
+		return nil
+	})
+	slowP, err := core.NewPipeline(slowCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomedCtx, kill := context.WithCancel(context.Background())
+	defer kill()
+	_, doomedDone := startWorker(t, doomedCtx, WorkerConfig{
+		ID: "doomed", Shard: 0, NumShards: 1, Cars: cars,
+		Coordinator:    url,
+		Pipeline:       slowP,
+		HeartbeatEvery: 25 * time.Millisecond,
+	})
+	waitFor(t, 30*time.Second, "registration", func() bool {
+		return len(coord.WorkerHealth()) == 1
+	})
+	kill()
+	<-doomedDone
+
+	if err := <-coordDone; !errors.Is(err, runner.ErrBudgetExceeded) {
+		t.Fatalf("coordinator error = %v, want ErrBudgetExceeded", err)
+	}
+	// The view survives the abort (stale-but-correct serving).
+	if coord.Snapshot() == nil {
+		t.Fatal("serving view lost after budget abort")
+	}
+}
+
+// TestClusterRejectsGeometrySkew: a worker built for a different shard
+// count must be refused at registration (fail fast, the cluster
+// analogue of the frame check).
+func TestClusterRejectsGeometrySkew(t *testing.T) {
+	_, url, _ := testCoordinator(t, CoordinatorConfig{NumShards: 2, PullEvery: 10 * time.Millisecond})
+	p := testPipeline(t, 4, nil)
+	w, err := NewWorker(WorkerConfig{
+		Shard: 0, NumShards: 3, Cars: 4,
+		Coordinator: url, Pipeline: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := w.Run(ctx); err == nil || !strings.Contains(err.Error(), "rejected by coordinator") {
+		t.Fatalf("geometry skew not refused: %v", err)
+	}
+}

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sink"
+)
+
+// FuzzDecodePartial hammers the TAXIPART envelope decoder with hostile
+// bytes: whatever happens, it must return a typed error — never panic,
+// never over-allocate on lying length prefixes — and any accepted
+// input must re-encode.
+func FuzzDecodePartial(f *testing.F) {
+	blob, err := EncodePartial(testPartial(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte("TAXIPART"))
+	f.Add([]byte{})
+	for i := 0; i < len(blob); i += 97 {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePartial(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadPartial) && !errors.Is(err, sink.ErrBadSnapshot) &&
+				!errors.Is(err, sink.ErrUnknownSnapshotVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if p.Snapshot == nil {
+			t.Fatal("accepted partial with nil snapshot")
+		}
+		if _, err := EncodePartial(p); err != nil {
+			t.Fatalf("accepted partial does not re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sink"
+)
+
+// WorkerConfig assembles one cluster worker: a full pipeline plus an
+// aggregation sink over the worker's deterministic fleet shard, and
+// the admin endpoint the coordinator pulls partials from.
+type WorkerConfig struct {
+	// ID names the worker for registration and lineage (default
+	// "worker-<shard>"). A restarted worker may reuse its ID; the
+	// coordinator replaces the shard's state wholesale on re-register.
+	ID string
+	// Shard (0 ≤ Shard < NumShards) selects the cars this worker owns
+	// out of fleet 1..Cars via ShardOf.
+	Shard     int
+	NumShards int
+	// Cars is the total fleet size across all workers.
+	Cars int
+	// Coordinator is the coordinator's base URL ("http://127.0.0.1:8600").
+	Coordinator string
+	// Addr is the worker's listen address (default "127.0.0.1:0").
+	Addr string
+	// Pipeline runs the shard. The worker reads its lineage ledger and
+	// gate/grid frame from the pipeline's Config, so every worker of a
+	// cluster must be built from the same pipeline configuration — the
+	// frame check in sink.MergeSnapshots enforces it.
+	Pipeline *core.Pipeline
+	// PublishEvery is the sink's publish cadence in cars (default 1).
+	PublishEvery int
+	// TopCars caps the per-car table in exported lineage (default 10).
+	TopCars int
+	// HeartbeatEvery paces the heartbeat loop (default 250ms).
+	HeartbeatEvery time.Duration
+	// RegisterTimeout bounds registration retries (default 10s).
+	RegisterTimeout time.Duration
+	// DrainTimeout bounds how long a sealed worker waits for the
+	// coordinator to confirm its final epoch merged (default 30s).
+	DrainTimeout time.Duration
+	// Mux receives the worker's /v1/cluster/partial endpoint. Nil
+	// builds a private mux; pass one to co-host the debug/query API.
+	Mux    *http.ServeMux
+	Client *http.Client
+	Log    *slog.Logger
+}
+
+func (c WorkerConfig) withDefaults() (WorkerConfig, error) {
+	if c.Pipeline == nil {
+		return c, errors.New("cluster: worker needs a pipeline")
+	}
+	if c.NumShards <= 0 || c.Shard < 0 || c.Shard >= c.NumShards {
+		return c, fmt.Errorf("cluster: shard %d of %d out of range", c.Shard, c.NumShards)
+	}
+	if c.Coordinator == "" {
+		return c, errors.New("cluster: worker needs a coordinator URL")
+	}
+	if c.ID == "" {
+		c.ID = fmt.Sprintf("worker-%d", c.Shard)
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.PublishEvery <= 0 {
+		c.PublishEvery = 1
+	}
+	if c.TopCars == 0 {
+		c.TopCars = 10
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if c.RegisterTimeout <= 0 {
+		c.RegisterTimeout = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if c.Log == nil {
+		c.Log = slog.New(discardHandler{})
+	}
+	return c, nil
+}
+
+// Worker runs one shard of the fleet and serves its mergeable partial
+// snapshot to the coordinator.
+type Worker struct {
+	cfg WorkerConfig
+	snk *sink.Sink
+	srv *obs.DebugServer
+
+	// mergedEpoch caches the coordinator's last heartbeat answer: the
+	// highest of this worker's epochs folded into the merged view.
+	mergedEpoch atomic.Uint64
+}
+
+// NewWorker validates the config and builds the worker's sink on the
+// pipeline's frame (grid + gate set), which is what makes partials
+// from sibling workers mergeable.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	g, err := sink.GridForPipeline(cfg.Pipeline)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker grid: %w", err)
+	}
+	snk, err := sink.New(sink.Config{
+		Grid:         g,
+		PublishEvery: cfg.PublishEvery,
+		Gates:        cfg.Pipeline.Selector.GateNames(),
+		Metrics:      cfg.Pipeline.Metrics,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker sink: %w", err)
+	}
+	return &Worker{cfg: cfg, snk: snk}, nil
+}
+
+// ID returns the worker's registration name.
+func (w *Worker) ID() string { return w.cfg.ID }
+
+// Cars lists the fleet cars this worker owns, ascending.
+func (w *Worker) Cars() []int { return ShardCars(w.cfg.Cars, w.cfg.Shard, w.cfg.NumShards) }
+
+// Snapshot implements serve.Source over the worker's own shard, so the
+// /v1 query API can be mounted directly on a worker for debugging.
+func (w *Worker) Snapshot() *sink.Snapshot { return w.snk.Snapshot() }
+
+// Addr returns the bound listen address once Run has started serving
+// ("" before that).
+func (w *Worker) Addr() string {
+	if w.srv == nil {
+		return ""
+	}
+	return w.srv.Addr
+}
+
+// partial captures the worker's current contribution. The sink
+// snapshot is an immutable published value and the lineage ledger
+// snapshots consistently under its own locks, so the capture needs no
+// worker-level coordination; at seal time both are final.
+func (w *Worker) partial() *Partial {
+	return &Partial{
+		WorkerID:  w.cfg.ID,
+		Shard:     w.cfg.Shard,
+		NumShards: w.cfg.NumShards,
+		Snapshot:  w.snk.Snapshot(),
+		Lineage:   w.cfg.Pipeline.Config.Lineage.Snapshot(w.cfg.TopCars),
+	}
+}
+
+func (w *Worker) handlePartial(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	b, err := EncodePartial(w.partial())
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Write(b)
+}
+
+// Run executes the worker lifecycle: serve the partial endpoint,
+// register with the coordinator (bounded retries), heartbeat, process
+// the shard, seal, wait until the coordinator confirms the sealed
+// epoch merged, then drain and shut down. It returns the shard's
+// processing error, if any.
+func (w *Worker) Run(ctx context.Context) error {
+	mux := w.cfg.Mux
+	if mux == nil {
+		mux = http.NewServeMux()
+	}
+	mux.HandleFunc("/v1/cluster/partial", w.handlePartial)
+	srv, err := obs.Serve(w.cfg.Addr, mux)
+	if err != nil {
+		return fmt.Errorf("cluster: worker listen: %w", err)
+	}
+	w.srv = srv
+	defer srv.Shutdown(2 * time.Second)
+
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeatLoop(hbCtx)
+	}()
+	defer func() { stopHB(); <-hbDone }()
+
+	cars := w.Cars()
+	w.cfg.Log.Info("cluster worker running shard",
+		"worker", w.cfg.ID, "shard", w.cfg.Shard, "of", w.cfg.NumShards, "cars", len(cars))
+	_, runErr := w.cfg.Pipeline.RunObservedCars(ctx, cars, w.snk.AbsorbEvent)
+	if runErr != nil {
+		return fmt.Errorf("cluster: worker %s shard run: %w", w.cfg.ID, runErr)
+	}
+	final := w.snk.Seal()
+
+	if err := w.awaitMerge(ctx, final.Epoch); err != nil {
+		return err
+	}
+	w.drain(ctx)
+	w.cfg.Log.Info("cluster worker drained", "worker", w.cfg.ID, "epoch", final.Epoch)
+	return nil
+}
+
+// register announces the worker, retrying transport errors and 5xx
+// with backoff until RegisterTimeout; a 4xx (shard-count mismatch) is
+// a config error and fails fast.
+func (w *Worker) register(ctx context.Context) error {
+	req := registerRequest{
+		ID:     w.cfg.ID,
+		Shard:  w.cfg.Shard,
+		Shards: w.cfg.NumShards,
+		Addr:   "http://" + w.srv.Addr,
+		Cars:   w.cfg.Cars,
+	}
+	deadline := time.Now().Add(w.cfg.RegisterTimeout)
+	backoff := 50 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		var resp registerResponse
+		err := postJSON(ctx, w.cfg.Client, w.cfg.Coordinator+"/v1/cluster/register", req, &resp)
+		if err == nil {
+			return nil
+		}
+		var he *httpStatusError
+		if errors.As(err, &he) && he.Code >= 400 && he.Code < 500 {
+			return fmt.Errorf("cluster: worker %s rejected by coordinator: %w", w.cfg.ID, err)
+		}
+		if ctx.Err() != nil || time.Now().Add(backoff).After(deadline) {
+			return fmt.Errorf("cluster: worker %s register (%d attempts): %w", w.cfg.ID, attempt, err)
+		}
+		w.cfg.Log.Warn("cluster register retry", "worker", w.cfg.ID, "attempt", attempt, "err", err)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	tick := time.NewTicker(w.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		w.heartbeat(ctx)
+	}
+}
+
+// heartbeat reports the worker's progress and learns how far the
+// coordinator has merged it. Failures are tolerated silently — the
+// coordinator's staleness detector is the authority on liveness.
+func (w *Worker) heartbeat(ctx context.Context) {
+	snap := w.snk.Snapshot()
+	req := heartbeatRequest{ID: w.cfg.ID, Epoch: snap.Epoch, Sealed: snap.Complete}
+	var resp heartbeatResponse
+	if err := postJSON(ctx, w.cfg.Client, w.cfg.Coordinator+"/v1/cluster/heartbeat", req, &resp); err != nil {
+		w.cfg.Log.Warn("cluster heartbeat failed", "worker", w.cfg.ID, "err", err)
+		return
+	}
+	if resp.MergedEpoch > w.mergedEpoch.Load() {
+		w.mergedEpoch.Store(resp.MergedEpoch)
+	}
+}
+
+// awaitMerge blocks until the coordinator's merged view covers the
+// sealed epoch (learned via heartbeats), so a worker that exits has
+// handed off everything it computed.
+func (w *Worker) awaitMerge(ctx context.Context, epoch uint64) error {
+	deadline := time.NewTimer(w.cfg.DrainTimeout)
+	defer deadline.Stop()
+	poll := time.NewTicker(w.cfg.HeartbeatEvery / 2)
+	defer poll.Stop()
+	for w.mergedEpoch.Load() < epoch {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: worker %s interrupted awaiting merge of epoch %d: %w",
+				w.cfg.ID, epoch, ctx.Err())
+		case <-deadline.C:
+			return fmt.Errorf("cluster: worker %s sealed epoch %d not merged within %s (last merged %d)",
+				w.cfg.ID, epoch, w.cfg.DrainTimeout, w.mergedEpoch.Load())
+		case <-poll.C:
+			w.heartbeat(ctx)
+		}
+	}
+	return nil
+}
+
+// drain tells the coordinator this worker is leaving deliberately, so
+// its disappearance is not charged against the loss budget. Best
+// effort: a missed drain only costs budget, never correctness.
+func (w *Worker) drain(ctx context.Context) {
+	var resp registerResponse
+	if err := postJSON(ctx, w.cfg.Client, w.cfg.Coordinator+"/v1/cluster/drain",
+		drainRequest{ID: w.cfg.ID}, &resp); err != nil {
+		w.cfg.Log.Warn("cluster drain failed", "worker", w.cfg.ID, "err", err)
+	}
+}
+
+// --- small HTTP/JSON plumbing ----------------------------------------------
+
+// httpStatusError reports a non-2xx response; the code lets callers
+// separate config rejections (4xx, fail fast) from server trouble
+// (5xx, retryable).
+type httpStatusError struct {
+	Code int
+	Body string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.Code, e.Body)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return &httpStatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// discardHandler is a no-op slog handler (slog.DiscardHandler arrived
+// in go1.24; the module targets 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

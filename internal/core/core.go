@@ -429,6 +429,18 @@ func (p *Pipeline) Stream(ctx context.Context) *FleetStream {
 	return st
 }
 
+// StreamCars is Stream over an explicit car list instead of the whole
+// fleet — the execution shape of a cluster worker, which owns the
+// subset of cars hashing to its shard. Identical semantics otherwise;
+// the error budget resolves against len(cars).
+func (p *Pipeline) StreamCars(ctx context.Context, cars []int) *FleetStream {
+	st := runner.RunList(ctx, p.runnerConfig(), cars, p.RunCarContext)
+	if p.Config.Lineage != nil || p.Config.Log != nil {
+		st = runner.Tee(st, p.recordFleetEvent)
+	}
+	return st
+}
+
 // RunContext executes the pipeline for the whole fleet under ctx and
 // collects the stream into the batch shape. Each car's simulation and
 // processing are independent and deterministic, so the result is
@@ -452,11 +464,22 @@ func (p *Pipeline) RunContext(ctx context.Context) (*Result, error) {
 // observed in completion order, exactly once, before being folded into
 // the returned Result.
 func (p *Pipeline) RunObserved(ctx context.Context, observe func(CarEvent)) (*Result, error) {
-	st := p.Stream(ctx)
+	return collectStream(p.Stream(ctx), p.Gen.Cars(), observe)
+}
+
+// RunObservedCars is RunObserved over an explicit car list — the
+// batch-collection entry point of a cluster worker running its shard.
+func (p *Pipeline) RunObservedCars(ctx context.Context, carIDs []int, observe func(CarEvent)) (*Result, error) {
+	return collectStream(p.StreamCars(ctx, carIDs), len(carIDs), observe)
+}
+
+// collectStream drains a fleet stream into the sorted batch Result,
+// teeing each event to observe (may be nil) first.
+func collectStream(st *FleetStream, n int, observe func(CarEvent)) (*Result, error) {
 	if observe != nil {
 		st = runner.Tee(st, observe)
 	}
-	cars := make([]CarResult, 0, p.Gen.Cars())
+	cars := make([]CarResult, 0, n)
 	var carErrs []*CarError
 	for ev := range st.Events() {
 		if ev.Err != nil {

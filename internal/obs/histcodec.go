@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary encoding of a FrozenHistogram — the unit the cluster snapshot
+// codec ships between worker and coordinator. The layout stamp travels
+// with the counts, so a histogram frozen under one bucket scheme can
+// never be silently combined with another: Merge on the decoded value
+// still enforces ErrLayoutMismatch exactly as it does in-process.
+//
+// Format (little-endian):
+//
+//	u8   version (currently 1)
+//	i8   layout.SubBits, i8 layout.MinExp, i8 layout.MaxExp
+//	uvarint count
+//	f64  sum
+//	f64  max
+//	uvarint nBuckets
+//	nBuckets × (uvarint idxDelta, uvarint count)
+//
+// Bucket indexes are delta-encoded (first delta is the absolute index),
+// which both compresses the common dense runs and makes "strictly
+// ascending" checkable for free on decode: every delta after the first
+// must be positive.
+const histCodecVersion = 1
+
+// ErrBadHistogramEncoding marks a frozen-histogram blob that does not
+// decode: wrong version, truncated body, or non-ascending buckets.
+var ErrBadHistogramEncoding = errors.New("obs: bad frozen-histogram encoding")
+
+// AppendBinary appends the histogram's binary encoding to dst and
+// returns the extended slice. A nil histogram encodes as empty under
+// the current layout.
+func (f *FrozenHistogram) AppendBinary(dst []byte) []byte {
+	layout := f.layoutOf()
+	dst = append(dst, histCodecVersion,
+		byte(layout.SubBits), byte(layout.MinExp), byte(layout.MaxExp))
+	dst = binary.AppendUvarint(dst, f.Count())
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f.Sum()))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f.Max()))
+	idx := frozenBuckets(f)
+	dst = binary.AppendUvarint(dst, uint64(len(idx)))
+	prev := int32(0)
+	for i, ix := range idx {
+		delta := ix
+		if i > 0 {
+			delta = ix - prev
+		}
+		prev = ix
+		dst = binary.AppendUvarint(dst, uint64(delta))
+		dst = binary.AppendUvarint(dst, f.bucketN[i])
+	}
+	return dst
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *FrozenHistogram) MarshalBinary() ([]byte, error) {
+	return f.AppendBinary(nil), nil
+}
+
+// DecodeFrozenHistogram decodes one histogram from the front of data
+// and returns it together with the number of bytes consumed. Every
+// structural violation — unknown version, truncation, a bucket run
+// that is not strictly ascending, an index outside int32 — is reported
+// as an error wrapping ErrBadHistogramEncoding.
+func DecodeFrozenHistogram(data []byte) (*FrozenHistogram, int, error) {
+	bad := func(format string, args ...any) (*FrozenHistogram, int, error) {
+		return nil, 0, fmt.Errorf("%w: %s", ErrBadHistogramEncoding, fmt.Sprintf(format, args...))
+	}
+	if len(data) < 4 {
+		return bad("truncated header (%d bytes)", len(data))
+	}
+	if v := data[0]; v != histCodecVersion {
+		return bad("unknown version %d", v)
+	}
+	f := &FrozenHistogram{layout: histLayout{
+		SubBits: int8(data[1]), MinExp: int8(data[2]), MaxExp: int8(data[3]),
+	}}
+	off := 4
+	uvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	count, ok := uvarint()
+	if !ok {
+		return bad("truncated count")
+	}
+	f.count = count
+	if off+16 > len(data) {
+		return bad("truncated sum/max")
+	}
+	f.sum = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+	f.max = math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+	off += 16
+	nBuckets, ok := uvarint()
+	if !ok {
+		return bad("truncated bucket count")
+	}
+	// Each bucket needs at least two bytes (delta + count); this bounds
+	// allocation by the input size, so a hostile length cannot balloon.
+	if nBuckets > uint64(len(data)-off)/2+1 {
+		return bad("bucket count %d exceeds body", nBuckets)
+	}
+	if nBuckets > 0 {
+		f.idx = make([]int32, 0, nBuckets)
+		f.bucketN = make([]uint64, 0, nBuckets)
+	}
+	var cur int64
+	for i := uint64(0); i < nBuckets; i++ {
+		delta, ok := uvarint()
+		if !ok {
+			return bad("truncated bucket %d", i)
+		}
+		if i > 0 && delta == 0 {
+			return bad("bucket indexes not strictly ascending at %d", i)
+		}
+		n, ok := uvarint()
+		if !ok {
+			return bad("truncated bucket count %d", i)
+		}
+		cur += int64(delta)
+		if cur > math.MaxInt32 {
+			return bad("bucket index %d out of range", cur)
+		}
+		f.idx = append(f.idx, int32(cur))
+		f.bucketN = append(f.bucketN, n)
+	}
+	return f, off, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Trailing
+// bytes after the encoded histogram are an error (a standalone blob is
+// exactly one histogram; embedded decoding uses DecodeFrozenHistogram).
+func (f *FrozenHistogram) UnmarshalBinary(data []byte) error {
+	dec, n, err := DecodeFrozenHistogram(data)
+	if err != nil {
+		return err
+	}
+	if n != len(data) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadHistogramEncoding, len(data)-n)
+	}
+	*f = *dec
+	return nil
+}

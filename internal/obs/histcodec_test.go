@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+)
+
+func freezeOf(values ...float64) *FrozenHistogram {
+	h := &Histogram{}
+	for _, v := range values {
+		h.Observe(v)
+	}
+	return h.Freeze()
+}
+
+func TestHistogramCodecRoundTrip(t *testing.T) {
+	cases := map[string]*FrozenHistogram{
+		"empty":  freezeOf(),
+		"single": freezeOf(1.5),
+		"spread": freezeOf(0.001, 0.25, 1.5, 1.5, 3.75, 1e6, 2e-9),
+		"nil":    nil,
+	}
+	for name, f := range cases {
+		t.Run(name, func(t *testing.T) {
+			blob := f.AppendBinary(nil)
+			var got FrozenHistogram
+			if err := got.UnmarshalBinary(blob); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !got.Equal(f) {
+				t.Fatalf("round-trip mismatch: got %+v want %+v", got, f)
+			}
+			// Decoded histograms must stay mergeable with live ones.
+			if _, err := got.Merge(freezeOf(2)); err != nil {
+				t.Fatalf("merge after decode: %v", err)
+			}
+		})
+	}
+}
+
+func TestHistogramCodecEmbedded(t *testing.T) {
+	// Two histograms back to back: DecodeFrozenHistogram must report the
+	// byte split exactly.
+	a, b := freezeOf(1, 2, 3), freezeOf(4.5)
+	blob := b.AppendBinary(a.AppendBinary(nil))
+	gotA, n, err := DecodeFrozenHistogram(blob)
+	if err != nil {
+		t.Fatalf("decode first: %v", err)
+	}
+	if !gotA.Equal(a) {
+		t.Fatalf("first histogram mismatch")
+	}
+	gotB, m, err := DecodeFrozenHistogram(blob[n:])
+	if err != nil {
+		t.Fatalf("decode second: %v", err)
+	}
+	if !gotB.Equal(b) || n+m != len(blob) {
+		t.Fatalf("second histogram mismatch (consumed %d+%d of %d)", n, m, len(blob))
+	}
+}
+
+func TestHistogramCodecRejects(t *testing.T) {
+	good := freezeOf(1, 2, 3).AppendBinary(nil)
+
+	t.Run("unknown version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] = 99
+		var f FrozenHistogram
+		if err := f.UnmarshalBinary(bad); !errors.Is(err, ErrBadHistogramEncoding) {
+			t.Fatalf("want ErrBadHistogramEncoding, got %v", err)
+		}
+	})
+	t.Run("truncations", func(t *testing.T) {
+		for cut := 0; cut < len(good); cut++ {
+			var f FrozenHistogram
+			if err := f.UnmarshalBinary(good[:cut]); !errors.Is(err, ErrBadHistogramEncoding) {
+				t.Fatalf("cut=%d: want ErrBadHistogramEncoding, got %v", cut, err)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		var f FrozenHistogram
+		if err := f.UnmarshalBinary(append(append([]byte(nil), good...), 0xff)); !errors.Is(err, ErrBadHistogramEncoding) {
+			t.Fatalf("want ErrBadHistogramEncoding, got %v", err)
+		}
+	})
+	t.Run("layout mismatch survives the wire", func(t *testing.T) {
+		blob := append([]byte(nil), good...)
+		blob[1]++ // bump SubBits in the layout stamp
+		var foreign FrozenHistogram
+		if err := foreign.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if _, err := foreign.Merge(freezeOf(1)); !errors.Is(err, ErrLayoutMismatch) {
+			t.Fatalf("want ErrLayoutMismatch, got %v", err)
+		}
+	})
+}

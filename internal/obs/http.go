@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -83,4 +84,22 @@ func (s *DebugServer) Close() error {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown drains the server gracefully: the listener stops accepting
+// immediately, in-flight requests get up to timeout to finish, and
+// anything still running after that is cut off hard. Returns the
+// graceful-shutdown error (context.DeadlineExceeded when the deadline
+// forced the hard close).
+func (s *DebugServer) Shutdown(timeout time.Duration) error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close()
+	}
+	return err
 }

@@ -1,0 +1,96 @@
+package obs
+
+import "sort"
+
+// MergeLineageSnapshots folds per-worker lineage tables into one fleet
+// table — the coordinator-side half of carrying the conservation
+// invariant across the worker→coordinator handoff. Stages are matched
+// by name (order = first appearance across the inputs), in/out/reason
+// totals are summed, and the per-stage Conserved flag is recomputed
+// from the merged sums; because in = out + Σ dropped holds under
+// addition, a merge of conserving tables conserves and a violation in
+// any shard stays visible in the merged row. Per-car drop accounts are
+// summed by car and re-ranked, keeping the topCars most lossy (0 omits
+// the car table).
+func MergeLineageSnapshots(topCars int, snaps ...LineageSnapshot) LineageSnapshot {
+	out := LineageSnapshot{Stages: []StageSnapshot{}, Conserved: true}
+
+	type stageAcc struct {
+		row     StageSnapshot
+		reasons map[string]uint64
+		order   []string
+	}
+	var stageOrder []string
+	stages := map[string]*stageAcc{}
+	cars := map[int]*CarDropSnapshot{}
+
+	for _, s := range snaps {
+		for _, st := range s.Stages {
+			acc := stages[st.Stage]
+			if acc == nil {
+				acc = &stageAcc{
+					row:     StageSnapshot{Stage: st.Stage, Unit: st.Unit},
+					reasons: map[string]uint64{},
+				}
+				stages[st.Stage] = acc
+				stageOrder = append(stageOrder, st.Stage)
+			}
+			acc.row.In += st.In
+			acc.row.Out += st.Out
+			for _, r := range st.Reasons {
+				if _, seen := acc.reasons[r.Reason]; !seen {
+					acc.order = append(acc.order, r.Reason)
+				}
+				acc.reasons[r.Reason] += r.N
+			}
+		}
+		for _, c := range s.TopDroppedCars {
+			dst := cars[c.Car]
+			if dst == nil {
+				dst = &CarDropSnapshot{Car: c.Car, ByStage: map[string]uint64{}}
+				cars[c.Car] = dst
+			}
+			dst.Dropped += c.Dropped
+			for st, n := range c.ByStage {
+				dst.ByStage[st] += n
+			}
+		}
+	}
+
+	for _, name := range stageOrder {
+		acc := stages[name]
+		row := acc.row
+		if row.In >= row.Out {
+			row.Dropped = row.In - row.Out
+		}
+		var byReason uint64
+		for _, reason := range acc.order {
+			n := acc.reasons[reason]
+			byReason += n
+			if n > 0 {
+				row.Reasons = append(row.Reasons, ReasonCount{Reason: reason, N: n})
+			}
+		}
+		row.Conserved = row.In == row.Out+byReason
+		out.Conserved = out.Conserved && row.Conserved
+		out.Stages = append(out.Stages, row)
+	}
+
+	if topCars > 0 && len(cars) > 0 {
+		ranked := make([]CarDropSnapshot, 0, len(cars))
+		for _, c := range cars {
+			ranked = append(ranked, *c)
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].Dropped != ranked[j].Dropped {
+				return ranked[i].Dropped > ranked[j].Dropped
+			}
+			return ranked[i].Car < ranked[j].Car
+		})
+		if len(ranked) > topCars {
+			ranked = ranked[:topCars]
+		}
+		out.TopDroppedCars = ranked
+	}
+	return out
+}

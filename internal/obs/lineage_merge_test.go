@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// shardLedger builds a small per-worker ledger with car-attributed
+// drops, mimicking one cluster worker's run.
+func shardLedger(cars []int, dropPerCar uint64) LineageSnapshot {
+	l := NewLineage(nil)
+	st := l.Stage("clean", "points")
+	for _, car := range cars {
+		st.RecordCar(car, 10, 10-dropPerCar)
+		st.Reason(DropSpike).Add(dropPerCar)
+	}
+	l.Stage("segment", "segments").Add(4, 4)
+	return l.Snapshot(16)
+}
+
+func TestMergeLineageSnapshots(t *testing.T) {
+	a := shardLedger([]int{1, 4}, 2)
+	b := shardLedger([]int{2}, 3)
+	c := shardLedger([]int{3, 6}, 1)
+
+	merged := MergeLineageSnapshots(2, a, b, c)
+	if err := merged.Check(); err != nil {
+		t.Fatalf("merged table must conserve: %v", err)
+	}
+	if !merged.Conserved {
+		t.Fatal("Conserved flag must survive the merge")
+	}
+	if len(merged.Stages) != 2 || merged.Stages[0].Stage != "clean" || merged.Stages[1].Stage != "segment" {
+		t.Fatalf("stage order/coverage wrong: %+v", merged.Stages)
+	}
+	clean := merged.Stages[0]
+	if clean.In != 50 || clean.Out != 50-2*2-3-2*1 || clean.Dropped != 9 {
+		t.Fatalf("clean totals wrong: %+v", clean)
+	}
+	wantReasons := []ReasonCount{{Reason: string(DropSpike), N: 9}}
+	if !reflect.DeepEqual(clean.Reasons, wantReasons) {
+		t.Fatalf("reasons wrong: %+v", clean.Reasons)
+	}
+	// Car 2 dropped 3, cars 1 and 4 dropped 2 each: top-2 is car 2 then
+	// car 1 (ties break by car id).
+	if len(merged.TopDroppedCars) != 2 ||
+		merged.TopDroppedCars[0].Car != 2 || merged.TopDroppedCars[0].Dropped != 3 ||
+		merged.TopDroppedCars[1].Car != 1 || merged.TopDroppedCars[1].Dropped != 2 {
+		t.Fatalf("top cars wrong: %+v", merged.TopDroppedCars)
+	}
+}
+
+func TestMergeLineageSnapshotsIdentityAndViolation(t *testing.T) {
+	a := shardLedger([]int{1}, 2)
+	empty := LineageSnapshot{Conserved: true}
+
+	merged := MergeLineageSnapshots(8, a, empty)
+	if !reflect.DeepEqual(merged.Stages, a.Stages) {
+		t.Fatalf("empty snapshot must be merge identity: %+v vs %+v", merged.Stages, a.Stages)
+	}
+
+	// A shard that lost data without accounting for it must keep the
+	// merged table non-conserving.
+	bad := LineageSnapshot{Stages: []StageSnapshot{{Stage: "clean", Unit: "points", In: 5, Out: 1, Dropped: 4}}}
+	merged = MergeLineageSnapshots(0, a, bad)
+	if merged.Conserved || merged.Check() == nil {
+		t.Fatal("unaccounted drops must surface after the merge")
+	}
+}

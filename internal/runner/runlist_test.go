@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+)
+
+func TestRunListCoversExactlyTheList(t *testing.T) {
+	cars := []int{7, 3, 42, 1000, 11}
+	st := RunList(context.Background(), Config{Workers: 2}, cars,
+		func(_ context.Context, car int) (int, error) { return car * 2, nil })
+	evs, err := Collect(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for _, ev := range evs {
+		if ev.Result != ev.Car*2 {
+			t.Fatalf("car %d result %d", ev.Car, ev.Result)
+		}
+		got = append(got, ev.Car)
+	}
+	sort.Ints(got)
+	want := append([]int(nil), cars...)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ran %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunListEmpty(t *testing.T) {
+	st := RunList(context.Background(), Config{}, nil,
+		func(_ context.Context, car int) (int, error) { return car, nil })
+	evs, err := Collect(st)
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("empty list: %v, %v", evs, err)
+	}
+}
+
+// TestRunListBudget: the error budget resolves against the list length,
+// with the same semantics the dense-range Run applies.
+func TestRunListBudget(t *testing.T) {
+	cars := []int{2, 4, 6, 8, 10, 12}
+	boom := errors.New("boom")
+	st := RunList(context.Background(), Config{Workers: 1, MaxFailures: 2}, cars,
+		func(_ context.Context, car int) (int, error) { return 0, boom })
+	_, err := Collect(st)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+func TestBudgetExported(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		n    int
+		want int
+	}{
+		{Config{}, 100, -1},
+		{Config{MaxFailures: 5}, 100, 5},
+		{Config{MaxFailures: -1}, 100, 0},
+		{Config{MaxFailureFrac: 0.1}, 40, 4},
+		{Config{MaxFailures: 10, MaxFailureFrac: 0.05}, 100, 5},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Budget(c.n); got != c.want {
+			t.Fatalf("Budget(%d) with %+v = %d, want %d", c.n, c.cfg, got, c.want)
+		}
+	}
+}

@@ -107,6 +107,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Budget resolves the effective failure budget for an n-car fleet: the
+// number of failures tolerated before the run aborts, or -1 for
+// unlimited. Exported so other fleet-shaped loops — notably the
+// cluster coordinator's worker-loss accounting — can mirror the
+// runner's MaxFailures/MaxFailureFrac semantics exactly instead of
+// re-implementing them.
+func (c Config) Budget(n int) int { return c.budget(n) }
+
 // budget resolves the effective failure budget for an n-car fleet:
 // the number of failures tolerated before abort, or -1 for unlimited.
 func (c Config) budget(n int) int {
@@ -217,6 +225,21 @@ func Collect[T any](s *Stream[T]) ([]Event[T], error) {
 // Config.Workers goroutines), run each with retry/panic isolation, and
 // stream outcomes as they complete.
 func Run[T any](ctx context.Context, cfg Config, n int, task Task[T]) *Stream[T] {
+	return run(ctx, cfg, n, func(i int) int { return i + 1 }, task)
+}
+
+// RunList is Run over an explicit car list instead of the dense range
+// 1..n — the shape a cluster worker needs, where a shard owns an
+// arbitrary subset of the fleet (hash(car) mod N). Semantics are
+// identical: same pool, same retries, same error budget (resolved
+// against len(cars)).
+func RunList[T any](ctx context.Context, cfg Config, cars []int, task Task[T]) *Stream[T] {
+	return run(ctx, cfg, len(cars), func(i int) int { return cars[i] }, task)
+}
+
+// run is the shared engine: n jobs, with carAt mapping job index
+// (0-based) to car id.
+func run[T any](ctx context.Context, cfg Config, n int, carAt func(int) int, task Task[T]) *Stream[T] {
 	cfg = cfg.withDefaults()
 	met := newMetrics(cfg.Metrics)
 	runCtx, cancel := context.WithCancel(ctx)
@@ -244,9 +267,9 @@ func Run[T any](ctx context.Context, cfg Config, n int, task Task[T]) *Stream[T]
 	jobs := make(chan int)
 	go func() {
 		defer close(jobs)
-		for car := 1; car <= n; car++ {
+		for i := 0; i < n; i++ {
 			select {
-			case jobs <- car:
+			case jobs <- carAt(i):
 			case <-runCtx.Done():
 				return
 			}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 )
 
@@ -190,5 +191,69 @@ func TestPanicRecovery(t *testing.T) {
 	api.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/boom2", nil))
 	if rec.Code != http.StatusTeapot {
 		t.Fatalf("late panic rewrote status: %d", rec.Code)
+	}
+}
+
+func TestHealthzNodeIdentity(t *testing.T) {
+	// Default deployment: one process, role "single", no worker table.
+	_, api := testAPI(t, nil)
+	var hz struct {
+		Role    string                 `json:"role"`
+		Node    string                 `json:"node"`
+		Workers []cluster.WorkerHealth `json:"workers"`
+	}
+	get(t, api, "/v1/healthz", &hz)
+	if hz.Role != "single" || hz.Node != "" || hz.Workers != nil {
+		t.Fatalf("default healthz identity = %+v", hz)
+	}
+
+	// Coordinator: role, node id, and the per-worker merge state.
+	_, api = testAPI(t, nil)
+	api.WithNode("coordinator", "coord-1").WithCluster(func() []cluster.WorkerHealth {
+		return []cluster.WorkerHealth{
+			{ID: "worker-0", Shard: 0, LastMergeEpoch: 7, StalenessS: 0.25},
+			{ID: "worker-1", Shard: 1, LastMergeEpoch: 5, StalenessS: 3.5, Lost: true},
+		}
+	})
+	get(t, api, "/v1/healthz", &hz)
+	if hz.Role != "coordinator" || hz.Node != "coord-1" {
+		t.Fatalf("coordinator healthz identity = %+v", hz)
+	}
+	if len(hz.Workers) != 2 || hz.Workers[0].LastMergeEpoch != 7 || !hz.Workers[1].Lost {
+		t.Fatalf("coordinator healthz workers = %+v", hz.Workers)
+	}
+
+	// Worker: role + id, no worker table.
+	_, api = testAPI(t, nil)
+	api.WithNode("worker", "worker-3")
+	hz.Workers = nil // decode leaves absent fields untouched
+	get(t, api, "/v1/healthz", &hz)
+	if hz.Role != "worker" || hz.Node != "worker-3" || hz.Workers != nil {
+		t.Fatalf("worker healthz identity = %+v", hz)
+	}
+}
+
+func TestLineageSnapshotOverride(t *testing.T) {
+	// The coordinator serves a merged (precomputed) lineage table; it
+	// must win over a live ledger and mark the endpoint enabled.
+	_, api := testAPI(t, nil)
+	table := obs.LineageSnapshot{
+		Stages: []obs.StageSnapshot{
+			{Stage: "clean", Unit: "points", In: 10, Out: 8, Dropped: 2, Conserved: true},
+			{Stage: "cluster", Unit: "workers", In: 3, Out: 2, Dropped: 1, Conserved: true},
+		},
+		Conserved: true,
+	}
+	api.WithLineage(obs.NewLineage(nil)).WithLineageSnapshot(func() obs.LineageSnapshot { return table })
+	var resp struct {
+		Enabled bool                 `json:"enabled"`
+		Lineage *obs.LineageSnapshot `json:"lineage"`
+	}
+	get(t, api, "/v1/lineage", &resp)
+	if !resp.Enabled || resp.Lineage == nil {
+		t.Fatalf("lineage override disabled: %+v", resp)
+	}
+	if len(resp.Lineage.Stages) != 2 || resp.Lineage.Stages[1].Stage != "cluster" {
+		t.Fatalf("lineage override not served: %+v", resp.Lineage)
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/obs"
@@ -64,6 +65,18 @@ type API struct {
 	log *slog.Logger
 	// lineage backs /v1/lineage (WithLineage; nil reports disabled).
 	lineage *obs.Lineage
+	// lineageSnap overrides the ledger with a precomputed table
+	// (WithLineageSnapshot) — the coordinator serves its merged
+	// cluster lineage this way, since it holds snapshots from remote
+	// workers rather than a live ledger.
+	lineageSnap func() obs.LineageSnapshot
+	// role/node identify this process in healthz (WithNode): "single"
+	// (default), "worker" or "coordinator", plus the node id.
+	role string
+	node string
+	// workers surfaces the coordinator's per-worker merge state in
+	// healthz (WithCluster; nil omits the field).
+	workers func() []cluster.WorkerHealth
 	// inflight is the runner_inflight gauge from the shared registry —
 	// how many cars ingest is working on right now, surfaced by healthz.
 	inflight *obs.Gauge
@@ -136,6 +149,31 @@ func (a *API) WithLogger(log *slog.Logger) *API {
 // returns a for chaining. Safe to call only before serving.
 func (a *API) WithLineage(l *obs.Lineage) *API {
 	a.lineage = l
+	return a
+}
+
+// WithLineageSnapshot backs /v1/lineage with a precomputed table
+// instead of a live ledger — the coordinator's merged cluster lineage.
+// Takes precedence over WithLineage. Safe to call only before serving.
+func (a *API) WithLineageSnapshot(fn func() obs.LineageSnapshot) *API {
+	a.lineageSnap = fn
+	return a
+}
+
+// WithNode identifies this process in healthz: role is "single",
+// "worker" or "coordinator", id the node name. Safe to call only
+// before serving.
+func (a *API) WithNode(role, id string) *API {
+	a.role = role
+	a.node = id
+	return a
+}
+
+// WithCluster surfaces the coordinator's per-worker merge state
+// (last-merge epoch, staleness, loss/drain flags) in healthz. Safe to
+// call only before serving.
+func (a *API) WithCluster(workers func() []cluster.WorkerHealth) *API {
+	a.workers = workers
 	return a
 }
 
@@ -327,13 +365,21 @@ func (a *API) handleSnapshot(w http.ResponseWriter, _ *http.Request, snap *sink.
 // --- /v1/healthz ------------------------------------------------------------
 
 type healthzResponse struct {
-	Status         string  `json:"status"`
+	Status string `json:"status"`
+	// Role is this node's place in the topology: "single" (the
+	// default one-process deployment), "worker" or "coordinator".
+	Role           string  `json:"role"`
+	Node           string  `json:"node,omitempty"`
 	Epoch          uint64  `json:"epoch"`
 	AgeSeconds     float64 `json:"age_seconds"`
 	Sealed         bool    `json:"sealed"`
 	IngestInflight int64   `json:"ingest_inflight"`
 	CarsIngested   int     `json:"cars_ingested"`
 	CarsFailed     int     `json:"cars_failed"`
+	// Workers is the coordinator's per-worker merge state: last-merge
+	// epoch and heartbeat staleness per registered worker (coordinator
+	// role only).
+	Workers []cluster.WorkerHealth `json:"workers,omitempty"`
 }
 
 // handleHealthz answers the liveness probe: how stale the served epoch
@@ -341,15 +387,24 @@ type healthzResponse struct {
 // working on. Always 200 — reachability is the health signal; the body
 // carries the freshness details a poller alerts on.
 func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request, snap *sink.Snapshot) {
-	a.writeJSON(w, healthzResponse{
+	resp := healthzResponse{
 		Status:         "ok",
+		Role:           a.role,
+		Node:           a.node,
 		Epoch:          snap.Epoch,
 		AgeSeconds:     time.Since(snap.PublishedAt).Seconds(),
 		Sealed:         snap.Complete,
 		IngestInflight: a.inflight.Value(),
 		CarsIngested:   snap.CarsIngested,
 		CarsFailed:     snap.CarsFailed,
-	})
+	}
+	if resp.Role == "" {
+		resp.Role = "single"
+	}
+	if a.workers != nil {
+		resp.Workers = a.workers()
+	}
+	a.writeJSON(w, resp)
 }
 
 // --- /v1/lineage ------------------------------------------------------------
@@ -364,7 +419,12 @@ type lineageResponse struct {
 
 func (a *API) handleLineage(w http.ResponseWriter, _ *http.Request, snap *sink.Snapshot) {
 	resp := lineageResponse{Epoch: snap.Epoch}
-	if a.lineage != nil {
+	switch {
+	case a.lineageSnap != nil:
+		ls := a.lineageSnap()
+		resp.Enabled = true
+		resp.Lineage = &ls
+	case a.lineage != nil:
 		ls := a.lineage.Snapshot(10)
 		resp.Enabled = true
 		resp.Lineage = &ls

@@ -1,0 +1,41 @@
+package sink
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// FuzzDecodeSnapshot drives the TAXISNPB decode path with arbitrary
+// bytes. The invariants: decoding never panics, every failure is one of
+// the two typed errors, and every accepted snapshot re-encodes and
+// re-decodes cleanly and survives a self-merge (or fails it with a
+// typed mismatch). The committed seed corpus under
+// testdata/fuzz/FuzzDecodeSnapshot replays on every plain `go test`.
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeSnapshot(&Snapshot{}))
+	f.Add(EncodeSnapshot(&Snapshot{Epoch: 3, CarsIngested: 2, Points: 9, Complete: true}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadSnapshot) && !errors.Is(err, ErrUnknownSnapshotVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		blob := EncodeSnapshot(s)
+		again, err := DecodeSnapshot(blob)
+		if err != nil {
+			t.Fatalf("accepted snapshot does not re-decode: %v", err)
+		}
+		if again.Epoch != s.Epoch || again.Points != s.Points || len(again.Cells) != len(s.Cells) || len(again.OD) != len(s.OD) {
+			t.Fatalf("re-decode drift: %+v vs %+v", again, s)
+		}
+		if _, err := MergeSnapshots(s, again); err != nil &&
+			!errors.Is(err, ErrFrameMismatch) && !errors.Is(err, obs.ErrLayoutMismatch) {
+			t.Fatalf("untyped merge error: %v", err)
+		}
+	})
+}

@@ -212,3 +212,35 @@ func (w *Welford) Max() float64 {
 	}
 	return w.max
 }
+
+// WelfordState is the exported sufficient-statistic tuple of a Welford
+// accumulator — what a snapshot codec ships between processes so that
+// per-node moments can be merged remotely with exactly the algebra
+// Merge applies locally. M2 is the sum of squared deviations from the
+// mean (variance = M2/(N-1)).
+type WelfordState struct {
+	N    int
+	Mean float64
+	M2   float64
+	Min  float64
+	Max  float64
+}
+
+// State exports the accumulator's sufficient statistics. The zero
+// accumulator exports the zero state.
+func (w *Welford) State() WelfordState {
+	if w.n == 0 {
+		return WelfordState{}
+	}
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2, Min: w.min, Max: w.max}
+}
+
+// WelfordFromState rebuilds an accumulator from exported sufficient
+// statistics: WelfordFromState(w.State()) continues exactly where w
+// stood. A state with N <= 0 yields the empty accumulator.
+func WelfordFromState(s WelfordState) Welford {
+	if s.N <= 0 {
+		return Welford{}
+	}
+	return Welford{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max}
+}
