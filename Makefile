@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-runner bench-serve bench-fleet bench-obs bench-ingest bench-cluster race ci fuzz profile results examples clean help
+.PHONY: all build test vet bench bench-runner bench-serve bench-fleet bench-obs bench-ingest bench-cluster bench-predict race ci fuzz profile results examples clean help
 
 all: build vet test
 
@@ -39,6 +39,10 @@ help:
 	@echo "           processes on the paced-feed fleet, cars/s; the 4-shard"
 	@echo "           arm must hold >=2.5x the single-node baseline) into"
 	@echo "           results/BENCH_cluster.json"
+	@echo "  bench-predict snapshot prediction-layer perf (travel-time"
+	@echo "           prediction over a 24x24 street grid, free-flow vs"
+	@echo "           fully profiled, plus anomaly-report scoring at 100"
+	@echo "           and 1000 cells) into results/BENCH_predict.json"
 	@echo "  profile  run a large taxiflow workload with -debug-addr and"
 	@echo "           capture a 10 s CPU profile into cpu.pprof"
 	@echo "  results  regenerate all paper tables/figures into results/"
@@ -200,6 +204,21 @@ bench-cluster:
 		-notes "49-car fleet x 4 trips, 200ms paced feed per car; worker processes re-exec the test binary, coordinator pulls+merges partials over localhost HTTP; cars/s is merged-fleet throughput, 4 shards must be >=2.5x 1 shard" \
 		< /tmp/bench_cluster.txt > results/BENCH_cluster.json
 	@echo "wrote results/BENCH_cluster.json"
+
+# Prediction-layer perf trajectory: one /v1/predict evaluation (profile
+# fold + weighted shortest path) on a 24x24 street grid with and
+# without learned profiles, and one /v1/anomalies evaluation (score +
+# fold) at 100 and 1000 cells; medians over 5 repetitions into
+# results/BENCH_predict.json.
+bench-predict:
+	$(GO) test -run xxx -bench 'BenchmarkPredict|BenchmarkAnomalyReport' -benchmem -count=5 \
+		./internal/predict/ | tee /tmp/bench_predict.txt
+	$(GO) run ./cmd/benchfmt \
+		-snapshot "$$(date +%Y-%m-%d)" \
+		-command "go test -run xxx -bench 'BenchmarkPredict|BenchmarkAnomalyReport' -benchmem -count=5 ./internal/predict/" \
+		-notes "24x24 grid (1100 edges), 36 km/h, profiles on every edge at 3 rush hours; anomaly reports score+fold 100/1000 cells + 1 OD against a 4-epoch EW reference" \
+		< /tmp/bench_predict.txt > results/BENCH_predict.json
+	@echo "wrote results/BENCH_predict.json"
 
 # Regenerate every paper table and figure (plus ablations) into results/.
 results:

@@ -36,8 +36,12 @@
 // complete, and GET /v1/snapshot, /v1/grid, /v1/cells/{id}, /v1/od and
 // /v1/od/{from}-{to} answer with epoch-consistent JSON — during the
 // run (partial fleet) and after it (sealed final snapshot, identical
-// to the batch aggregation). With -serve-addr the process keeps
-// serving after the summary until interrupted.
+// to the batch aggregation). GET /v1/predict?from=x,y&to=x,y&t=H
+// routes over the learned per-edge travel-time profiles (-predict-k
+// tunes the shrinkage prior) and GET /v1/anomalies z-scores the
+// current epoch against a rolling reference (-anomaly-alpha,
+// -anomaly-z). With -serve-addr the process keeps serving after the
+// summary until interrupted.
 //
 // Cluster mode (internal/cluster) splits the fleet across processes:
 // -cluster-coordinator serves the merged /v1 view and the worker
@@ -69,6 +73,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/render"
 	"repro/internal/report"
 	"repro/internal/serve"
@@ -101,6 +106,9 @@ func main() {
 	nodeID := flag.String("node-id", "", "cluster mode: node name for registration and /v1/healthz (default coordinator / worker-<shard>)")
 	lateness := flag.Duration("lateness", 30*time.Second, "with -ingest-addr: allowed event-time lateness (out-of-orderness bound)")
 	idleTimeout := flag.Duration("idle-timeout", 10*time.Minute, "with -ingest-addr: event-time silence after which a car stops holding the watermark back")
+	predictK := flag.Float64("predict-k", predict.DefaultShrinkK, "travel-time predictor shrinkage weight: thin edge profiles are pulled toward the fleet-wide pace ratio with this prior strength (negative = raw per-edge paces)")
+	anomalyAlpha := flag.Float64("anomaly-alpha", 0, "anomaly detector EW reference smoothing factor in (0,1] (0 = package default)")
+	anomalyZ := flag.Float64("anomaly-z", 0, "anomaly detector |z| flag threshold (0 = package default)")
 	checkOn := flag.Bool("check", false, "validate pipeline invariants at every stage boundary (check_violations_total metrics)")
 	checkStrict := flag.Bool("check-strict", false, "like -check, but an invariant violation fails the offending car")
 	reportOut := flag.String("report", "", "write the run report (lineage table, stage timings, fleet summary) as JSON at exit")
@@ -135,17 +143,6 @@ func main() {
 
 	if *clusterCoordinator && *clusterWorker >= 0 {
 		log.Fatal("-cluster-coordinator and -cluster-worker are mutually exclusive")
-	}
-
-	// The coordinator never builds a pipeline — workers run those. It
-	// merges their partial snapshots into the global serving view and
-	// answers the /v1 query API on it until interrupted.
-	if *clusterCoordinator {
-		if err := runClusterCoordinator(ctx, reg, logger,
-			*serveAddr, *clusterShards, *maxFailures, *nodeID); err != nil {
-			log.Fatal(err)
-		}
-		return
 	}
 
 	// The lineage ledger always runs (its cost is a handful of atomic
@@ -186,12 +183,32 @@ func main() {
 		p.City.DB.NumElements(), p.City.DB.NumObjects())
 	fmt.Printf("network: %s\n", p.Graph.Stats())
 
+	// Every serving mode mounts the prediction layer over the same
+	// deterministic road network the pipeline (or, for the coordinator,
+	// its workers) computed from -seed.
+	predictor := predict.NewPredictor(p.Graph, p.Router).WithMetrics(reg)
+	predictor.ShrinkK = *predictK
+	detector := predict.NewAnomalyDetector(predict.AnomalyConfig{
+		Alpha: *anomalyAlpha, ZThreshold: *anomalyZ,
+	}).WithMetrics(reg)
+
+	// The coordinator never runs the fleet — workers do. It merges their
+	// partial snapshots into the global serving view and answers the /v1
+	// query API (prediction included) on it until interrupted.
+	if *clusterCoordinator {
+		if err := runClusterCoordinator(ctx, reg, logger, predictor, detector,
+			*serveAddr, *clusterShards, *maxFailures, *nodeID); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	// With -cluster-worker the process owns one shard of the fleet: it
 	// runs the full pipeline over its hash-assigned cars, publishes
 	// partial snapshots for the coordinator to pull, and exits once its
 	// sealed epoch has been folded into the merged serving view.
 	if *clusterWorker >= 0 {
-		if err := runClusterWorker(ctx, p, reg, lin, logger,
+		if err := runClusterWorker(ctx, p, reg, lin, logger, predictor, detector,
 			*clusterWorker, *clusterShards, *cars, *clusterCoord, *serveAddr, *nodeID); err != nil {
 			log.Fatal(err)
 		}
@@ -211,7 +228,8 @@ func main() {
 	// machines clean and segment them online, and the watermark closes
 	// trips into the sink — the batch fleet never runs.
 	if *ingestAddr != "" {
-		if err := runIngestServer(ctx, p, reg, lin, logger, *ingestAddr, *lateness, *idleTimeout,
+		if err := runIngestServer(ctx, p, reg, lin, logger, predictor, detector,
+			*ingestAddr, *lateness, *idleTimeout,
 			taxitrace.CheckConfig{Enabled: *checkOn, Strict: *checkStrict}); err != nil {
 			log.Fatal(err)
 		}
@@ -247,7 +265,8 @@ func main() {
 			log.Fatal(err)
 		}
 		mux := reg.DebugMux()
-		serve.Mount(mux, serve.NewAPI(snk, reg).WithLogger(logger).WithLineage(lin))
+		serve.Mount(mux, serve.NewAPI(snk, reg).WithLogger(logger).WithLineage(lin).
+			WithPredictor(predictor).WithAnomalies(detector))
 		if apiSrv, err = obs.Serve(*serveAddr, mux); err != nil {
 			log.Fatal(err)
 		}
@@ -258,7 +277,7 @@ func main() {
 				log.Printf("query API shutdown: %v", err)
 			}
 		}()
-		fmt.Printf("query API: http://%s/v1/snapshot /v1/healthz /v1/lineage /v1/grid /v1/od (+debug surface)\n", apiSrv.Addr)
+		fmt.Printf("query API: http://%s/v1/snapshot /v1/healthz /v1/lineage /v1/grid /v1/od /v1/predict /v1/anomalies (+debug surface)\n", apiSrv.Addr)
 	}
 
 	var res *taxitrace.Result
@@ -435,6 +454,7 @@ func printStageTable(snap obs.Snapshot) {
 // the fleet seals (then the process keeps serving until interrupted)
 // or when the worker-loss budget is spent.
 func runClusterCoordinator(ctx context.Context, reg *obs.Registry, logger *slog.Logger,
+	predictor *predict.Predictor, detector *predict.AnomalyDetector,
 	addr string, shards, maxFailures int, nodeID string) error {
 	if addr == "" {
 		return errors.New("-cluster-coordinator requires -serve-addr")
@@ -458,7 +478,9 @@ func runClusterCoordinator(ctx context.Context, reg *obs.Registry, logger *slog.
 		WithLogger(logger).
 		WithNode("coordinator", nodeID).
 		WithCluster(coord.WorkerHealth).
-		WithLineageSnapshot(coord.LineageSnapshot))
+		WithLineageSnapshot(coord.LineageSnapshot).
+		WithPredictor(predictor).
+		WithAnomalies(detector))
 	srv, err := obs.Serve(addr, mux)
 	if err != nil {
 		return err
@@ -470,7 +492,7 @@ func runClusterCoordinator(ctx context.Context, reg *obs.Registry, logger *slog.
 	}()
 	fmt.Printf("cluster coordinator %s: %d shards, control endpoints at http://%s/v1/cluster/\n",
 		nodeID, shards, srv.Addr)
-	fmt.Printf("query API (merged view): http://%s/v1/snapshot /v1/healthz /v1/lineage /v1/grid /v1/od\n", srv.Addr)
+	fmt.Printf("query API (merged view): http://%s/v1/snapshot /v1/healthz /v1/lineage /v1/grid /v1/od /v1/predict /v1/anomalies\n", srv.Addr)
 
 	switch err := coord.Run(ctx); {
 	case err == nil: // every shard sealed and merged
@@ -500,6 +522,7 @@ func runClusterCoordinator(ctx context.Context, reg *obs.Registry, logger *slog.
 // listener with the partial endpoint the coordinator pulls.
 func runClusterWorker(ctx context.Context, p *taxitrace.Pipeline, reg *obs.Registry,
 	lin *taxitrace.Lineage, logger *slog.Logger,
+	predictor *predict.Predictor, detector *predict.AnomalyDetector,
 	shard, shards, cars int, coordURL, addr, id string) error {
 	mux := reg.DebugMux()
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
@@ -519,7 +542,9 @@ func runClusterWorker(ctx context.Context, p *taxitrace.Pipeline, reg *obs.Regis
 	serve.Mount(mux, serve.NewAPI(w, reg).
 		WithLogger(logger).
 		WithLineage(lin).
-		WithNode("worker", w.ID()))
+		WithNode("worker", w.ID()).
+		WithPredictor(predictor).
+		WithAnomalies(detector))
 	fmt.Printf("cluster worker %s: shard %d/%d (%d of %d cars), coordinator %s\n",
 		w.ID(), shard, shards, len(w.Cars()), cars, coordURL)
 	if err := w.Run(ctx); err != nil {
@@ -712,7 +737,8 @@ func writeSpeedMap(p *taxitrace.Pipeline, recs []*taxitrace.TransitionRecord, pa
 // slow streams, and interruption closes the engine so the final
 // snapshot seals before the summary prints.
 func runIngestServer(ctx context.Context, p *taxitrace.Pipeline, reg *obs.Registry,
-	lin *taxitrace.Lineage, logger *slog.Logger, addr string,
+	lin *taxitrace.Lineage, logger *slog.Logger,
+	predictor *predict.Predictor, detector *predict.AnomalyDetector, addr string,
 	lateness, idleTimeout time.Duration, check taxitrace.CheckConfig) error {
 	g, err := sink.GridForPipeline(p)
 	if err != nil {
@@ -741,7 +767,8 @@ func runIngestServer(ctx context.Context, p *taxitrace.Pipeline, reg *obs.Regist
 		return err
 	}
 	mux := reg.DebugMux()
-	serve.Mount(mux, serve.NewAPI(snk, reg).WithLogger(logger).WithLineage(lin).WithIngest(eng))
+	serve.Mount(mux, serve.NewAPI(snk, reg).WithLogger(logger).WithLineage(lin).WithIngest(eng).
+		WithPredictor(predictor).WithAnomalies(detector))
 	srv, err := obs.Serve(addr, mux)
 	if err != nil {
 		return err
@@ -755,7 +782,7 @@ func runIngestServer(ctx context.Context, p *taxitrace.Pipeline, reg *obs.Regist
 		}
 	}()
 	fmt.Printf("streaming ingest: POST http://%s/v1/ingest (NDJSON or TAXIPNTB binary), POST /v1/ingest/close to seal\n", srv.Addr)
-	fmt.Printf("query API: http://%s/v1/snapshot /v1/healthz /v1/lineage /v1/grid /v1/od (+debug surface)\n", srv.Addr)
+	fmt.Printf("query API: http://%s/v1/snapshot /v1/healthz /v1/lineage /v1/grid /v1/od /v1/predict /v1/anomalies (+debug surface)\n", srv.Addr)
 	fmt.Printf("watermark: lateness %s, idle timeout %s — Ctrl-C to exit\n", lateness, idleTimeout)
 
 	// Slow or stalled streams would otherwise only flush on the

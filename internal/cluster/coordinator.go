@@ -108,10 +108,18 @@ type mergedView struct {
 type Coordinator struct {
 	cfg CoordinatorConfig
 
-	mu          sync.Mutex
-	workers     map[string]*workerState
-	shards      []shardState
-	losses      int    // lost-worker transitions charged to the budget
+	mu      sync.Mutex
+	workers map[string]*workerState
+	shards  []shardState
+	// losses counts every lost-worker transition; recovered counts the
+	// lost workers that came back (heartbeat, or re-registration under
+	// the same id). The loss budget is charged the OUTSTANDING losses
+	// (losses - recovered): a worker that blips out and returns is not a
+	// permanently spent failure, so repeated blips must not accumulate
+	// into a spurious budget abort. A superseding registration under a
+	// NEW id recovers nothing — the original worker really died.
+	losses      int
+	recovered   int
 	registered  int    // registrations ever accepted
 	mergeSeq    uint64 // serving epoch: bumped on every view rebuild
 	fatal       error  // merge-algebra violation; Run aborts with it
@@ -249,6 +257,11 @@ func (c *Coordinator) handleRegister(rw http.ResponseWriter, r *http.Request) {
 			w.drained = true
 		}
 	}
+	// The same worker re-registering after being swept as lost is a
+	// recovery: its earlier loss is no longer outstanding.
+	if old := c.workers[req.ID]; old != nil && old.lost && !old.drained {
+		c.recovered++
+	}
 	c.workers[req.ID] = &workerState{
 		id:       req.ID,
 		shard:    req.Shard,
@@ -279,9 +292,12 @@ func (c *Coordinator) handleHeartbeat(rw http.ResponseWriter, r *http.Request) {
 	w.epoch = req.Epoch
 	w.sealed = req.Sealed
 	if w.lost {
-		// A worker presumed dead is talking again; it stays charged to
-		// the budget (the transition happened) but resumes serving.
+		// A worker presumed dead is talking again: it resumes serving
+		// and its loss is no longer outstanding. The cumulative
+		// cluster_worker_losses_total metric keeps the transition — only
+		// the budget charge is released.
 		w.lost = false
+		c.recovered++
 		c.met.workers.Set(int64(c.liveLocked()))
 	}
 	merged := w.merged
@@ -374,9 +390,9 @@ func (c *Coordinator) sweep() error {
 	}
 	budget := runner.Config{MaxFailures: c.cfg.MaxFailures, MaxFailureFrac: c.cfg.MaxFailureFrac}.
 		Budget(c.cfg.NumShards)
-	if budget >= 0 && c.losses > budget {
-		return fmt.Errorf("cluster: %d workers lost, budget %d: %w",
-			c.losses, budget, runner.ErrBudgetExceeded)
+	if outstanding := c.losses - c.recovered; budget >= 0 && outstanding > budget {
+		return fmt.Errorf("cluster: %d workers lost (%d in total, %d recovered), budget %d: %w",
+			outstanding, c.losses, c.recovered, budget, runner.ErrBudgetExceeded)
 	}
 	return nil
 }
@@ -507,19 +523,23 @@ func (c *Coordinator) rebuildLocked() error {
 
 // clusterRowLocked is the coordinator's own lineage row, counting
 // workers rather than points: every registration either still serves
-// (or drained deliberately) or was lost to staleness, so conservation
-// (in = out + dropped) holds by construction at every instant.
+// (or drained deliberately, or recovered from a blip) or remains lost
+// to staleness, so conservation (in = out + dropped) holds by
+// construction at every instant. Only OUTSTANDING losses are dropped —
+// a recovered worker is back in the out column, which also keeps the
+// subtraction from underflowing when one worker blips repeatedly.
 func (c *Coordinator) clusterRowLocked() obs.StageSnapshot {
+	outstanding := c.losses - c.recovered
 	row := obs.StageSnapshot{
 		Stage:     "cluster",
 		Unit:      "workers",
 		In:        uint64(c.registered),
-		Out:       uint64(c.registered - c.losses),
-		Dropped:   uint64(c.losses),
+		Out:       uint64(c.registered - outstanding),
+		Dropped:   uint64(outstanding),
 		Conserved: true,
 	}
-	if c.losses > 0 {
-		row.Reasons = []obs.ReasonCount{{Reason: "worker_lost", N: uint64(c.losses)}}
+	if outstanding > 0 {
+		row.Reasons = []obs.ReasonCount{{Reason: "worker_lost", N: uint64(outstanding)}}
 	}
 	return row
 }

@@ -200,9 +200,13 @@ func TestClusterMatchesSingleNode(t *testing.T) {
 	})
 
 	ctx := context.Background()
+	var refP *core.Pipeline
 	var done []<-chan error
 	for shard := 0; shard < shards; shard++ {
 		p := testPipeline(t, cars, obs.NewLineage(nil))
+		if refP == nil {
+			refP = p
+		}
 		_, ch := startWorker(t, ctx, WorkerConfig{
 			Shard: shard, NumShards: shards, Cars: cars,
 			Coordinator:    url,
@@ -222,6 +226,9 @@ func TestClusterMatchesSingleNode(t *testing.T) {
 
 	assertEquivalent(t, coord.Snapshot(), whole)
 	assertLineageConserved(t, coord.LineageSnapshot(), refTable)
+	// The merged view must also serve identically through the prediction
+	// layer: same /v1/predict answers, same (empty) anomaly reports.
+	assertServingEquivalent(t, refP, coord.Snapshot(), whole)
 
 	// Workers drained deliberately; none may be charged as lost.
 	for _, w := range coord.WorkerHealth() {

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// lossHarness drives the coordinator's loss accounting directly: an
+// injected clock, handler-level register/heartbeat calls, and explicit
+// sweep() invocations — no goroutines, no real time.
+type lossHarness struct {
+	t     *testing.T
+	coord *Coordinator
+	now   time.Time
+}
+
+func newLossHarness(t *testing.T, cfg CoordinatorConfig) *lossHarness {
+	t.Helper()
+	h := &lossHarness{t: t, now: time.Unix(1000, 0)}
+	cfg.Now = func() time.Time { return h.now }
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.coord = coord
+	return h
+}
+
+func (h *lossHarness) post(handler http.HandlerFunc, req any) *httptest.ResponseRecorder {
+	h.t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	handler(rec, httptest.NewRequest("POST", "/", bytes.NewReader(body)))
+	return rec
+}
+
+func (h *lossHarness) register(id string, shard int) {
+	h.t.Helper()
+	rec := h.post(h.coord.handleRegister, registerRequest{
+		ID: id, Shard: shard, Shards: h.coord.cfg.NumShards, Addr: "http://unreachable.invalid", Cars: 1,
+	})
+	if rec.Code != http.StatusOK {
+		h.t.Fatalf("register %s: status %d: %s", id, rec.Code, rec.Body.String())
+	}
+}
+
+func (h *lossHarness) heartbeat(id string) {
+	h.t.Helper()
+	if rec := h.post(h.coord.handleHeartbeat, heartbeatRequest{ID: id}); rec.Code != http.StatusOK {
+		h.t.Fatalf("heartbeat %s: status %d: %s", id, rec.Code, rec.Body.String())
+	}
+}
+
+// counts reports (cumulative losses, recoveries) under the lock.
+func (h *lossHarness) counts() (int, int) {
+	h.coord.mu.Lock()
+	defer h.coord.mu.Unlock()
+	return h.coord.losses, h.coord.recovered
+}
+
+// TestCoordinatorLossRecoveredOnReturn is the regression test for the
+// loss double-charging bug: a worker that blips out and comes back
+// (heartbeat or same-id re-registration) used to stay charged forever,
+// so a single flaky worker eventually burned the whole loss budget and
+// aborted a healthy cluster with ErrBudgetExceeded.
+func TestCoordinatorLossRecoveredOnReturn(t *testing.T) {
+	h := newLossHarness(t, CoordinatorConfig{
+		NumShards:        1,
+		HeartbeatTimeout: time.Second,
+		MaxFailures:      1, // budget: 1 outstanding loss
+	})
+	h.register("flaky", 0)
+
+	// Blip 1: staleness past the timeout charges one loss — within
+	// budget, so sweep stays quiet.
+	h.now = h.now.Add(2 * time.Second)
+	if err := h.coord.sweep(); err != nil {
+		t.Fatalf("first loss within budget, sweep = %v", err)
+	}
+
+	// The worker comes back via heartbeat, then blips again. Pre-fix
+	// this second sweep counted losses=2 > budget 1 and aborted.
+	h.heartbeat("flaky")
+	h.now = h.now.Add(2 * time.Second)
+	if err := h.coord.sweep(); err != nil {
+		t.Fatalf("recovered loss must not stay charged, sweep = %v", err)
+	}
+
+	// Same dance via re-registration under the same id.
+	h.register("flaky", 0)
+	h.now = h.now.Add(2 * time.Second)
+	if err := h.coord.sweep(); err != nil {
+		t.Fatalf("re-registered loss must not stay charged, sweep = %v", err)
+	}
+
+	// Every transition is still on the books: the cumulative counters
+	// (and the cluster_worker_losses_total metric behind them) keep all
+	// three losses; only the budget charge was released twice.
+	if losses, recovered := h.counts(); losses != 3 || recovered != 2 {
+		t.Fatalf("losses = %d recovered = %d, want 3 and 2", losses, recovered)
+	}
+
+	// The lineage row drops only the outstanding loss, so worker
+	// conservation (in = out + dropped) holds without double counting:
+	// two registrations (the heartbeat return is not one), one worker
+	// currently lost. Pre-fix this row underflowed Out once cumulative
+	// losses outgrew registrations.
+	h.coord.mu.Lock()
+	row := h.coord.clusterRowLocked()
+	h.coord.mu.Unlock()
+	if row.In != 2 || row.Out != 1 || row.Dropped != 1 {
+		t.Fatalf("cluster row = in %d out %d dropped %d, want 2/1/1", row.In, row.Out, row.Dropped)
+	}
+}
+
+// TestCoordinatorLossReplacementStaysCharged pins the other side of the
+// contract: a NEW worker taking over the shard does not acquit the old
+// one — the original really died, its loss stays outstanding, and a
+// further loss exceeds the budget.
+func TestCoordinatorLossReplacementStaysCharged(t *testing.T) {
+	h := newLossHarness(t, CoordinatorConfig{
+		NumShards:        1,
+		HeartbeatTimeout: time.Second,
+		MaxFailures:      1,
+	})
+	h.register("doomed", 0)
+	h.now = h.now.Add(2 * time.Second)
+	if err := h.coord.sweep(); err != nil {
+		t.Fatalf("first loss within budget, sweep = %v", err)
+	}
+
+	h.register("replacement", 0) // different id: no recovery credit
+	if losses, recovered := h.counts(); losses != 1 || recovered != 0 {
+		t.Fatalf("losses = %d recovered = %d, want 1 and 0 after replacement", losses, recovered)
+	}
+
+	h.now = h.now.Add(2 * time.Second)
+	err := h.coord.sweep()
+	if !errors.Is(err, runner.ErrBudgetExceeded) {
+		t.Fatalf("second outstanding loss must exceed the budget, sweep = %v", err)
+	}
+}

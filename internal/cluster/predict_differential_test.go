@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/predict"
+	"repro/internal/sink"
+)
+
+// gateMidpoints maps each OD gate name to the midpoint of its road —
+// the natural query coordinates for gate-to-gate predictions.
+func gateMidpoints(p *core.Pipeline) map[string]geo.XY {
+	mid := func(pl geo.Polyline) geo.XY { return pl[len(pl)/2] }
+	return map[string]geo.XY{
+		"T": mid(p.City.GateT),
+		"S": mid(p.City.GateS),
+		"L": mid(p.City.GateL),
+	}
+}
+
+// assertServingEquivalent is the prediction-layer differential gate:
+// the two snapshots must be indistinguishable through /v1/predict and
+// /v1/anomalies, not just through the raw aggregates. Predictions are
+// compared for every observed OD direction at several hours, and
+// anomaly reports from identically primed detectors must match — with
+// the cross check that a detector whose reference is one snapshot sees
+// nothing anomalous in the other.
+func assertServingEquivalent(t *testing.T, p *core.Pipeline, got, want *sink.Snapshot) {
+	t.Helper()
+	pr := predict.NewPredictor(p.Graph, p.Router)
+	gates := gateMidpoints(p)
+
+	keys := make([]sink.ODKey, 0, len(want.OD))
+	for key := range want.OD {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i].From < keys[j].From ||
+			(keys[i].From == keys[j].From && keys[i].To < keys[j].To)
+	})
+	for _, key := range keys {
+		for _, hour := range []int{-1, 8, 17} {
+			g, gerr := pr.Predict(got, gates[key.From], gates[key.To], hour)
+			w, werr := pr.Predict(want, gates[key.From], gates[key.To], hour)
+			if (gerr == nil) != (werr == nil) {
+				t.Fatalf("predict %s-%s h=%d: errors diverge: %v vs %v", key.From, key.To, hour, gerr, werr)
+			}
+			if gerr != nil {
+				continue
+			}
+			if g.Edges != w.Edges || g.ObservedEdges != w.ObservedEdges ||
+				!feq(g.TravelS, w.TravelS) || !feq(g.FreeFlowS, w.FreeFlowS) ||
+				!feq(g.DistanceKm, w.DistanceKm) || !feq(g.GlobalRatio, w.GlobalRatio) {
+				t.Fatalf("predict %s-%s h=%d: got %+v want %+v", key.From, key.To, hour, g, w)
+			}
+		}
+	}
+
+	// Identically primed detectors must produce matching reports.
+	reportFor := func(snap *sink.Snapshot) *predict.AnomalyReport {
+		det := predict.NewAnomalyDetector(predict.AnomalyConfig{})
+		for i := 0; i < 3; i++ {
+			det.Observe(want)
+		}
+		return det.Report(snap)
+	}
+	gr, wr := reportFor(got), reportFor(want)
+	if gr.CellsScored != wr.CellsScored || gr.ODsScored != wr.ODsScored ||
+		len(gr.Cells) != len(wr.Cells) || len(gr.ODs) != len(wr.ODs) {
+		t.Fatalf("anomaly reports diverge: got %+v want %+v", gr, wr)
+	}
+	for i := range wr.Cells {
+		if gr.Cells[i].Cell != wr.Cells[i].Cell || !feq(gr.Cells[i].Z, wr.Cells[i].Z) {
+			t.Fatalf("cell anomaly %d: got %+v want %+v", i, gr.Cells[i], wr.Cells[i])
+		}
+	}
+	for i := range wr.ODs {
+		if gr.ODs[i].Dir != wr.ODs[i].Dir || !feq(gr.ODs[i].Z, wr.ODs[i].Z) {
+			t.Fatalf("od anomaly %d: got %+v want %+v", i, gr.ODs[i], wr.ODs[i])
+		}
+	}
+	// Value-identity means the cluster snapshot looks exactly like more
+	// of the same traffic to a single-node-primed reference: no alarms.
+	if len(gr.Cells) != 0 || len(gr.ODs) != 0 {
+		t.Fatalf("cross-mode report flagged anomalies on equivalent data: %+v", gr)
+	}
+}
+
+// TestPredictorAccuracy is the end-to-end accuracy gate: predictions
+// routed over the learned per-edge profiles must land near the travel
+// times the fleet actually recorded per OD direction. The comparison is
+// honest — the predictor only sees per-edge (hour-bucketed) pace
+// statistics, while the observed means come from whole-trip histograms
+// — so the gate bounds the median absolute relative error rather than
+// demanding exactness.
+func TestPredictorAccuracy(t *testing.T) {
+	const cars = 12
+	whole, _ := singleNode(t, cars)
+	p := testPipeline(t, cars, nil)
+	pr := predict.NewPredictor(p.Graph, p.Router)
+	gates := gateMidpoints(p)
+
+	var relErrs []float64
+	for key, od := range whole.OD {
+		observed := od.TravelTimeS.Mean()
+		if od.Trips < 3 || observed <= 0 || math.IsNaN(observed) {
+			continue
+		}
+		pred, err := pr.Predict(whole, gates[key.From], gates[key.To], -1)
+		if err != nil {
+			t.Fatalf("predict %s-%s: %v", key.From, key.To, err)
+		}
+		if pred.ObservedEdges == 0 {
+			t.Fatalf("predict %s-%s used no learned profiles (snapshot has %d)",
+				key.From, key.To, len(whole.EdgeProfiles))
+		}
+		relErrs = append(relErrs, math.Abs(pred.TravelS-observed)/observed)
+	}
+	if len(relErrs) == 0 {
+		t.Fatal("no OD direction had enough trips to gate on")
+	}
+	sort.Float64s(relErrs)
+	median := relErrs[len(relErrs)/2]
+	t.Logf("accuracy over %d directions: median abs rel error %.3f, worst %.3f",
+		len(relErrs), median, relErrs[len(relErrs)-1])
+	if median > 0.5 {
+		t.Fatalf("median abs relative error %.3f exceeds the 0.5 gate", median)
+	}
+}

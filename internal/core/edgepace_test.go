@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mapmatch"
+	"repro/internal/odselect"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// paceRecord builds a matched transition whose span points carry the
+// given per-point (edge, along-metres, skipped) assignments, spaced
+// stepS seconds apart starting at start.
+func paceRecord(start time.Time, stepS float64, edges []roadnet.EdgeID, along []float64, skipped []bool) *TransitionRecord {
+	tr := &trace.Trip{ID: 1, CarID: 1}
+	match := &mapmatch.Result{}
+	for i := range edges {
+		tr.Points = append(tr.Points, trace.RoutePoint{
+			PointID: i, TripID: 1,
+			Pos:  geo.V(float64(i)*100, 0),
+			Time: start.Add(time.Duration(float64(i) * stepS * float64(time.Second))),
+		})
+		match.Points = append(match.Points, mapmatch.MatchedPoint{
+			Index: i, Skipped: skipped[i], Edge: edges[i],
+			Proj: geo.ProjectResult{Along: along[i]},
+		})
+	}
+	return &TransitionRecord{
+		Car: 1,
+		Transition: &odselect.Transition{
+			Seg: tr, From: "T", To: "S", Direction: "T-S",
+			FromCross: geo.Crossing{EntryIndex: 0},
+			ToCross:   geo.Crossing{ExitIndex: len(edges) - 1},
+		},
+		Match: match,
+	}
+}
+
+func TestTransitionEdgePaces(t *testing.T) {
+	start := time.Date(2022, 3, 1, 8, 30, 0, 0, time.UTC)
+
+	t.Run("single run yields one pace", func(t *testing.T) {
+		// Three points on edge 7, 30 s apart, covering 500 m: 60 s over
+		// 0.5 km = 120 s/km.
+		rec := paceRecord(start, 30,
+			[]roadnet.EdgeID{7, 7, 7}, []float64{0, 250, 500}, []bool{false, false, false})
+		got := TransitionEdgePaces(rec)
+		if len(got) != 1 {
+			t.Fatalf("paces = %+v, want one", got)
+		}
+		if got[0].Edge != 7 || got[0].Hour != 8 {
+			t.Fatalf("pace key = %+v, want edge 7 hour 8", got[0])
+		}
+		if math.Abs(got[0].SecPerKm-120) > 1e-9 {
+			t.Fatalf("pace = %g s/km, want 120", got[0].SecPerKm)
+		}
+	})
+
+	t.Run("edge change splits runs", func(t *testing.T) {
+		rec := paceRecord(start, 30,
+			[]roadnet.EdgeID{7, 7, 9, 9}, []float64{0, 300, 10, 310},
+			[]bool{false, false, false, false})
+		got := TransitionEdgePaces(rec)
+		if len(got) != 2 || got[0].Edge != 7 || got[1].Edge != 9 {
+			t.Fatalf("paces = %+v, want runs on edges 7 and 9", got)
+		}
+	})
+
+	t.Run("skipped points break runs", func(t *testing.T) {
+		// The middle point is unmatched, so neither single-point side
+		// yields an observation.
+		rec := paceRecord(start, 30,
+			[]roadnet.EdgeID{7, 0, 7}, []float64{0, 0, 500}, []bool{false, true, false})
+		if got := TransitionEdgePaces(rec); len(got) != 0 {
+			t.Fatalf("paces = %+v, want none across a skipped gap", got)
+		}
+	})
+
+	t.Run("noise-length runs are dropped", func(t *testing.T) {
+		rec := paceRecord(start, 30,
+			[]roadnet.EdgeID{7, 7}, []float64{100, 102}, []bool{false, false})
+		if got := TransitionEdgePaces(rec); len(got) != 0 {
+			t.Fatalf("paces = %+v, want none for a %gm run", got, 2.0)
+		}
+	})
+
+	t.Run("zero elapsed time yields nothing", func(t *testing.T) {
+		rec := paceRecord(start, 0,
+			[]roadnet.EdgeID{7, 7}, []float64{0, 500}, []bool{false, false})
+		if got := TransitionEdgePaces(rec); len(got) != 0 {
+			t.Fatalf("paces = %+v, want none with dt=0", got)
+		}
+	})
+
+	t.Run("unmatched transition yields nothing", func(t *testing.T) {
+		rec := paceRecord(start, 30,
+			[]roadnet.EdgeID{7, 7}, []float64{0, 500}, []bool{false, false})
+		rec.Match = nil
+		if got := TransitionEdgePaces(rec); got != nil {
+			t.Fatalf("paces = %+v, want nil without a match", got)
+		}
+	})
+}

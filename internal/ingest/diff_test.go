@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/geo"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/sink"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -189,6 +191,19 @@ func compareSnapshots(t *testing.T, got, want *sink.Snapshot) {
 			}
 		}
 	}
+	if len(got.EdgeProfiles) != len(want.EdgeProfiles) {
+		t.Fatalf("edge profiles = %d, want %d", len(got.EdgeProfiles), len(want.EdgeProfiles))
+	}
+	for key, wp := range want.EdgeProfiles {
+		gp, ok := got.EdgeProfiles[key]
+		if !ok {
+			t.Fatalf("edge profile %+v missing from streamed snapshot", key)
+		}
+		if gp.N != wp.N || gp.MinSPerKm != wp.MinSPerKm || gp.MaxSPerKm != wp.MaxSPerKm ||
+			!feq(gp.MeanSPerKm, wp.MeanSPerKm) || !feq(gp.VarSPerKm, wp.VarSPerKm) {
+			t.Fatalf("edge profile %+v: %+v, want %+v", key, gp, wp)
+		}
+	}
 }
 
 // streamSnapshot replays pts point by point through an engine and
@@ -235,6 +250,43 @@ func TestStreamedSnapshotMatchesBatch(t *testing.T) {
 		t.Fatalf("stats = %+v: Close must drain every buffer", st)
 	}
 	checkLineage(t, lin, st)
+	comparePredictions(t, fx.p, got, want)
+}
+
+// comparePredictions is the serving-layer differential: the streamed
+// and batch snapshots must answer /v1/predict identically for every
+// observed gate pair, and identically primed anomaly detectors must
+// agree that neither snapshot deviates from the other.
+func comparePredictions(t *testing.T, p *core.Pipeline, got, want *sink.Snapshot) {
+	t.Helper()
+	pr := predict.NewPredictor(p.Graph, p.Router)
+	mid := func(pl geo.Polyline) geo.XY { return pl[len(pl)/2] }
+	gates := map[string]geo.XY{
+		"T": mid(p.City.GateT), "S": mid(p.City.GateS), "L": mid(p.City.GateL),
+	}
+	for dir := range want.OD {
+		for _, hour := range []int{-1, 12} {
+			g, gerr := pr.Predict(got, gates[dir.From], gates[dir.To], hour)
+			w, werr := pr.Predict(want, gates[dir.From], gates[dir.To], hour)
+			if (gerr == nil) != (werr == nil) {
+				t.Fatalf("predict %s-%s h=%d: errors diverge: %v vs %v", dir.From, dir.To, hour, gerr, werr)
+			}
+			if gerr != nil {
+				continue
+			}
+			if g.Edges != w.Edges || g.ObservedEdges != w.ObservedEdges ||
+				!feq(g.TravelS, w.TravelS) || !feq(g.GlobalRatio, w.GlobalRatio) {
+				t.Fatalf("predict %s-%s h=%d: got %+v want %+v", dir.From, dir.To, hour, g, w)
+			}
+		}
+	}
+	det := predict.NewAnomalyDetector(predict.AnomalyConfig{})
+	for i := 0; i < 3; i++ {
+		det.Observe(want)
+	}
+	if rep := det.Report(got); len(rep.Cells) != 0 || len(rep.ODs) != 0 {
+		t.Fatalf("streamed snapshot anomalous against its batch twin: %+v", rep)
+	}
 }
 
 // TestStreamedSnapshotMatchesBatchShuffled repeats the differential

@@ -131,12 +131,12 @@ type tripBuf struct {
 type linHandles struct {
 	ingest, clean, segment, od, match *obs.StageLineage
 
-	inNonFinite, inOutOfArea, inLate               *obs.DropCounter
-	cleanNonFinite, cleanOutOfArea, cleanDup       *obs.DropCounter
-	cleanSpike                                     *obs.DropCounter
-	segShort, segLong                              *obs.DropCounter
-	odNoGate, odSingleGate, odOutsideCentre        *obs.DropCounter
-	odPostFilter, matchDegenerate, matchUnroutable *obs.DropCounter
+	inNonFinite, inOutOfArea, inLate, inIdleResumed *obs.DropCounter
+	cleanNonFinite, cleanOutOfArea, cleanDup        *obs.DropCounter
+	cleanSpike                                      *obs.DropCounter
+	segShort, segLong                               *obs.DropCounter
+	odNoGate, odSingleGate, odOutsideCentre         *obs.DropCounter
+	odPostFilter, matchDegenerate, matchUnroutable  *obs.DropCounter
 }
 
 func newLinHandles(l *obs.Lineage) linHandles {
@@ -150,6 +150,7 @@ func newLinHandles(l *obs.Lineage) linHandles {
 	h.inNonFinite = h.ingest.Reason(obs.DropNonFinite)
 	h.inOutOfArea = h.ingest.Reason(obs.DropOutOfArea)
 	h.inLate = h.ingest.Reason(obs.DropLate)
+	h.inIdleResumed = h.ingest.Reason(obs.DropIdleResumed)
 	h.cleanNonFinite = h.clean.Reason(obs.DropNonFinite)
 	h.cleanOutOfArea = h.clean.Reason(obs.DropOutOfArea)
 	h.cleanDup = h.clean.Reason(obs.DropDuplicateID)
@@ -279,10 +280,12 @@ func (e *Engine) admitLocked(p *Point, recvNs int64) (obs.DropReason, bool) {
 		e.cars[p.Car] = cs
 	}
 	if wm := e.wm.Load(); wm != unsetWatermark && p.TimeMs < wm {
-		return e.dropLocked(p.Car, obs.DropLate, e.lin.inLate), false
+		reason, dc := e.staleReason(cs, p)
+		return e.dropLocked(p.Car, reason, dc), false
 	}
 	if _, done := cs.closed[p.Trip]; done {
-		return e.dropLocked(p.Car, obs.DropLate, e.lin.inLate), false
+		reason, dc := e.staleReason(cs, p)
+		return e.dropLocked(p.Car, reason, dc), false
 	}
 	tb := cs.open[p.Trip]
 	if tb == nil {
@@ -310,6 +313,21 @@ func (e *Engine) admitLocked(p *Point, recvNs int64) (obs.DropReason, bool) {
 	e.met.bufPoints.Add(1)
 	e.lin.ingest.Add(1, 1)
 	return "", true
+}
+
+// staleReason classifies a rejected stale point. A dormant car — one
+// whose every trip has been flushed — sending a point NEWER than
+// everything it ever sent is not disordered data: the car went idle,
+// the watermark passed it, and it is now resuming. Those are reported
+// as idle_resumed so resurrection after an idle close is visible
+// separately from genuine late arrivals. A car with an open trip is
+// live, and a never-admitted car (cs.maxMs == 0) has no idle close to
+// resume from; both stay "late".
+func (e *Engine) staleReason(cs *carState, p *Point) (obs.DropReason, *obs.DropCounter) {
+	if len(cs.open) == 0 && cs.maxMs != 0 && p.TimeMs > cs.maxMs {
+		return obs.DropIdleResumed, e.lin.inIdleResumed
+	}
+	return obs.DropLate, e.lin.inLate
 }
 
 // dropLocked counts one rejected point; the caller holds e.mu.

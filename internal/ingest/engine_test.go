@@ -198,9 +198,85 @@ func TestSilentCarTripCloses(t *testing.T) {
 		t.Fatalf("open trips = %d, want 1 (car 2's live trip)", st.OpenTrips)
 	}
 
-	// The late rule still applies to the dead car's trip.
-	if res := e.Push(syntheticPoint(p, 1, 1, 11, 11)); res.Dropped[obs.DropLate] != 1 {
-		t.Fatalf("tail point of the closed trip = %+v, want a late drop", res)
+	// The dead car's tail point is still rejected, but as a resurrection
+	// (newer than everything the car ever sent), not as disordered data.
+	if res := e.Push(syntheticPoint(p, 1, 1, 11, 11)); res.Dropped[obs.DropIdleResumed] != 1 {
+		t.Fatalf("tail point of the closed trip = %+v, want an idle_resumed drop", res)
+	}
+}
+
+// TestIdleResumedCarDistinctReason is the regression test for the
+// idle-car resurrection bug: a car that went silent, had its trips
+// idle-flushed, and then came back used to have its comeback points
+// lumped under "late" — indistinguishable from disordered data, so
+// operators could not see resurrections in the drop ledger. The
+// classifier: a rejected point NEWER than everything its own car sent
+// is idle_resumed; anything at or below the car's own frontier stays
+// late.
+func TestIdleResumedCarDistinctReason(t *testing.T) {
+	lin := obs.NewLineage(nil)
+	e := newTestEngine(t, Config{
+		AllowedLateness: 5 * time.Second,
+		IdleTimeout:     60 * time.Second,
+		Lineage:         lin,
+	})
+	p := testPipeline(t)
+
+	// Car 1 dies mid-trip at 10s; car 2 streams on to 80s (starting
+	// above car 1's watermark), so the idle timeout passes car 1 and
+	// flushes its open trip.
+	for i := int64(1); i <= 10; i++ {
+		e.Push(syntheticPoint(p, 1, 1, int(i), i))
+	}
+	for i := int64(6); i <= 80; i++ {
+		e.Push(syntheticPoint(p, 2, 20, int(i), i))
+	}
+	if st := e.Stats(); st.ClosedTrips != 1 {
+		t.Fatalf("closed trips = %d, want car 1's idle-flushed trip", st.ClosedTrips)
+	}
+
+	// Resurrection against the closed trip: above the watermark, newer
+	// than the car's own frontier -> idle_resumed at the closed-trip gate.
+	if res := e.Push(syntheticPoint(p, 1, 1, 90, 78)); res.Dropped[obs.DropIdleResumed] != 1 {
+		t.Fatalf("resumed point into closed trip = %+v, want idle_resumed", res)
+	}
+	// Resurrection under the watermark: a new trip whose first point is
+	// below the watermark (75s) but still newer than the car's own max
+	// (10s) -> idle_resumed at the watermark gate.
+	if res := e.Push(syntheticPoint(p, 1, 2, 1, 20)); res.Dropped[obs.DropIdleResumed] != 1 {
+		t.Fatalf("resumed point under watermark = %+v, want idle_resumed", res)
+	}
+
+	// Contrast 1: a genuinely disordered point from the LIVE car (50s,
+	// below both the watermark and car 2's own 80s frontier) stays late.
+	if res := e.Push(syntheticPoint(p, 2, 21, 1, 50)); res.Dropped[obs.DropLate] != 1 {
+		t.Fatalf("disordered live-car point = %+v, want late", res)
+	}
+	// Contrast 2: a brand-new car arriving below the watermark has no
+	// idle close to resume from -> late.
+	if res := e.Push(syntheticPoint(p, 3, 30, 1, 5)); res.Dropped[obs.DropLate] != 1 {
+		t.Fatalf("fresh car below watermark = %+v, want late", res)
+	}
+
+	// The ledger separates the two reasons and still conserves.
+	st := e.Stats()
+	if st.Dropped[obs.DropIdleResumed] != 2 || st.Dropped[obs.DropLate] != 2 {
+		t.Fatalf("drops = %+v, want 2 idle_resumed and 2 late", st.Dropped)
+	}
+	var reasons map[string]uint64
+	for _, stage := range lin.Snapshot(0).Stages {
+		if stage.Stage == "ingest" {
+			reasons = map[string]uint64{}
+			for _, r := range stage.Reasons {
+				reasons[r.Reason] = r.N
+			}
+		}
+	}
+	if reasons[string(obs.DropIdleResumed)] != 2 || reasons[string(obs.DropLate)] != 2 {
+		t.Fatalf("ledger reasons = %+v, want 2 idle_resumed and 2 late", reasons)
+	}
+	if err := lin.Check(); err != nil {
+		t.Fatalf("lineage conservation violated: %v", err)
 	}
 }
 

@@ -72,6 +72,12 @@ const (
 
 	// Streaming ingest (units: route points).
 	DropLate DropReason = "late" // event time below the low watermark, or its trip already closed
+	// DropIdleResumed marks a rejected point NEWER than everything its
+	// own car ever sent: the car was silent long enough for the
+	// watermark to pass it (its open trips were idle-flushed) and is now
+	// resuming. Genuine out-of-order arrivals stay "late"; resurrection
+	// after an idle close is a distinct operational signal.
+	DropIdleResumed DropReason = "idle_resumed"
 
 	// Fleet level (units: cars).
 	DropCancelled DropReason = "cancelled" // abandoned by abort or cancellation

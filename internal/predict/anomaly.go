@@ -1,0 +1,309 @@
+package predict
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/sink"
+)
+
+// AnomalyConfig tunes the reference-vs-current comparator.
+type AnomalyConfig struct {
+	// Alpha is the exponential weight of the newest epoch in the rolling
+	// reference (default 0.3): mean += α·(x−mean), var decays by (1−α).
+	Alpha float64
+	// ZThreshold is the |z| at which a deviation is flagged (default 3).
+	ZThreshold float64
+	// MinRefEpochs is how many epochs a series must appear in before it
+	// can alarm (default 3) — a reference of one observation has no
+	// notion of "usual".
+	MinRefEpochs int
+	// MinN is the minimum per-epoch sample count (cell points / OD
+	// trips) for an observation to enter scoring or the reference
+	// (default 5); thinner aggregates are too noisy either way.
+	MinN int
+	// MinRelStd floors the z denominator at this fraction of the
+	// reference mean (default 0.05), so a reference that happened to
+	// repeat exactly cannot alarm on a 1%% wiggle, and zero-variance
+	// references still score finitely.
+	MinRelStd float64
+}
+
+func (c AnomalyConfig) withDefaults() AnomalyConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.ZThreshold <= 0 {
+		c.ZThreshold = 3
+	}
+	if c.MinRefEpochs <= 0 {
+		c.MinRefEpochs = 3
+	}
+	if c.MinN <= 0 {
+		c.MinN = 5
+	}
+	if c.MinRelStd <= 0 {
+		c.MinRelStd = 0.05
+	}
+	return c
+}
+
+// ewStat is one series' exponentially-weighted reference: mean and
+// variance of its per-epoch values, plus the number of epochs folded.
+type ewStat struct {
+	n    int
+	mean float64
+	vr   float64
+}
+
+func (s *ewStat) observe(x, alpha float64) {
+	if s.n == 0 {
+		s.mean = x
+	} else {
+		d := x - s.mean
+		incr := alpha * d
+		s.mean += incr
+		s.vr = (1 - alpha) * (s.vr + d*incr)
+	}
+	s.n++
+}
+
+// CellAnomaly is one grid cell whose current mean speed deviates from
+// its reference.
+type CellAnomaly struct {
+	Cell grid.CellID
+	// CurrentKmh / ReferenceKmh are this epoch's and the rolling
+	// reference's mean speeds; Z is the deviation in (floored) reference
+	// standard deviations — negative means slower than usual.
+	CurrentKmh   float64
+	ReferenceKmh float64
+	Z            float64
+	N            int
+}
+
+// ODAnomaly is one direction whose current pace (s/km) deviates from
+// its reference. Pace, not raw travel time, so the signal tracks
+// congestion rather than route-length mix.
+type ODAnomaly struct {
+	Dir             sink.ODKey
+	CurrentSPerKm   float64
+	ReferenceSPerKm float64
+	Z               float64
+	Trips           int
+}
+
+// AnomalyReport scores one epoch against the rolling reference. Equal
+// epochs yield the identical report (it is memoized), preserving the
+// serving layer's ETag contract.
+type AnomalyReport struct {
+	Epoch uint64
+	// RefEpochs counts epochs folded into the reference before this one
+	// was scored; below MinRefEpochs nothing can be flagged yet.
+	RefEpochs int
+	// CellsScored / ODsScored count the series that passed the MinN and
+	// MinRefEpochs admission — the denominator behind the flag lists.
+	CellsScored int
+	ODsScored   int
+	// Cells and ODs list the flagged deviations, most severe (largest
+	// |z|) first.
+	Cells []CellAnomaly
+	ODs   []ODAnomaly
+}
+
+// AnomalyDetector maintains the rolling reference over observed epochs
+// and scores each new snapshot against it. Safe for concurrent use.
+type AnomalyDetector struct {
+	cfg AnomalyConfig
+
+	mu        sync.Mutex
+	cells     map[grid.CellID]*ewStat
+	ods       map[sink.ODKey]*ewStat
+	refEpochs int
+	lastEpoch uint64
+	last      *AnomalyReport
+
+	met detectorMetrics
+}
+
+type detectorMetrics struct {
+	reports *obs.Counter
+	cells   *obs.Gauge
+	ods     *obs.Gauge
+}
+
+// NewAnomalyDetector builds a detector; zero config fields take the
+// documented defaults.
+func NewAnomalyDetector(cfg AnomalyConfig) *AnomalyDetector {
+	return &AnomalyDetector{
+		cfg:   cfg.withDefaults(),
+		cells: map[grid.CellID]*ewStat{},
+		ods:   map[sink.ODKey]*ewStat{},
+	}
+}
+
+// WithMetrics registers the anomaly_* instrumentation with reg; returns
+// d for chaining.
+func (d *AnomalyDetector) WithMetrics(reg *obs.Registry) *AnomalyDetector {
+	d.met = detectorMetrics{
+		reports: reg.Counter("anomaly_reports_total"),
+		cells:   reg.Gauge("anomaly_flagged_cells"),
+		ods:     reg.Gauge("anomaly_flagged_od"),
+	}
+	return d
+}
+
+// Observe folds snap into the rolling reference without scoring it —
+// priming for tests and replays. Unlike Report it folds
+// unconditionally, whatever the epoch.
+func (d *AnomalyDetector) Observe(snap *sink.Snapshot) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.observeLocked(snap)
+	if snap.Epoch > d.lastEpoch {
+		d.lastEpoch = snap.Epoch
+	}
+}
+
+// Report scores snap against the rolling reference, then — only when
+// the epoch advanced past everything already folded — absorbs it into
+// the reference. Scoring before folding keeps the comparison honest (an
+// epoch is never compared against itself), and the epoch guard plus
+// memoization make Report(snap) a pure function of the snapshot: the
+// serving layer may call it on every request.
+func (d *AnomalyDetector) Report(snap *sink.Snapshot) *AnomalyReport {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.last != nil && d.last.Epoch == snap.Epoch {
+		return d.last
+	}
+	rep := d.scoreLocked(snap)
+	if snap.Epoch > d.lastEpoch {
+		d.observeLocked(snap)
+		d.lastEpoch = snap.Epoch
+	}
+	d.last = rep
+	d.met.reports.Inc()
+	d.met.cells.Set(int64(len(rep.Cells)))
+	d.met.ods.Set(int64(len(rep.ODs)))
+	return rep
+}
+
+// odPace extracts a direction's mean pace in s/km, with ok=false when
+// the aggregate is too thin to define one.
+func odPace(od sink.ODStats, minN int) (float64, bool) {
+	if od.Trips < minN || od.DistKm.Mean <= 0 {
+		return 0, false
+	}
+	mean := od.TravelTimeS.Mean()
+	if math.IsNaN(mean) || mean <= 0 {
+		return 0, false
+	}
+	return mean / od.DistKm.Mean, true
+}
+
+func (d *AnomalyDetector) observeLocked(snap *sink.Snapshot) {
+	for id, c := range snap.Cells {
+		if c.N < d.cfg.MinN {
+			continue
+		}
+		s := d.cells[id]
+		if s == nil {
+			s = &ewStat{}
+			d.cells[id] = s
+		}
+		s.observe(c.MeanKmh, d.cfg.Alpha)
+	}
+	for key, od := range snap.OD {
+		pace, ok := odPace(od, d.cfg.MinN)
+		if !ok {
+			continue
+		}
+		s := d.ods[key]
+		if s == nil {
+			s = &ewStat{}
+			d.ods[key] = s
+		}
+		s.observe(pace, d.cfg.Alpha)
+	}
+	d.refEpochs++
+}
+
+// score computes the floored z of x against ref, and whether the series
+// is admissible for flagging at all.
+func (d *AnomalyDetector) score(ref *ewStat, x float64) (float64, bool) {
+	if ref == nil || ref.n < d.cfg.MinRefEpochs {
+		return 0, false
+	}
+	sd := math.Sqrt(math.Max(ref.vr, 0))
+	floor := d.cfg.MinRelStd * math.Abs(ref.mean)
+	if sd < floor {
+		sd = floor
+	}
+	if sd <= 0 {
+		return 0, false
+	}
+	return (x - ref.mean) / sd, true
+}
+
+func (d *AnomalyDetector) scoreLocked(snap *sink.Snapshot) *AnomalyReport {
+	rep := &AnomalyReport{Epoch: snap.Epoch, RefEpochs: d.refEpochs}
+	for _, id := range snap.CellIDs() {
+		c := snap.Cells[id]
+		if c.N < d.cfg.MinN {
+			continue
+		}
+		z, ok := d.score(d.cells[id], c.MeanKmh)
+		if !ok {
+			continue
+		}
+		rep.CellsScored++
+		if math.Abs(z) >= d.cfg.ZThreshold {
+			rep.Cells = append(rep.Cells, CellAnomaly{
+				Cell: id, CurrentKmh: c.MeanKmh,
+				ReferenceKmh: d.cells[id].mean, Z: z, N: c.N,
+			})
+		}
+	}
+	for _, key := range snap.Directions() {
+		od := snap.OD[key]
+		pace, ok := odPace(od, d.cfg.MinN)
+		if !ok {
+			continue
+		}
+		z, ok := d.score(d.ods[key], pace)
+		if !ok {
+			continue
+		}
+		rep.ODsScored++
+		if math.Abs(z) >= d.cfg.ZThreshold {
+			rep.ODs = append(rep.ODs, ODAnomaly{
+				Dir: key, CurrentSPerKm: pace,
+				ReferenceSPerKm: d.ods[key].mean, Z: z, Trips: od.Trips,
+			})
+		}
+	}
+	sort.Slice(rep.Cells, func(i, j int) bool {
+		if math.Abs(rep.Cells[i].Z) != math.Abs(rep.Cells[j].Z) {
+			return math.Abs(rep.Cells[i].Z) > math.Abs(rep.Cells[j].Z)
+		}
+		a, b := rep.Cells[i].Cell, rep.Cells[j].Cell
+		if a.I != b.I {
+			return a.I < b.I
+		}
+		return a.J < b.J
+	})
+	sort.Slice(rep.ODs, func(i, j int) bool {
+		if math.Abs(rep.ODs[i].Z) != math.Abs(rep.ODs[j].Z) {
+			return math.Abs(rep.ODs[i].Z) > math.Abs(rep.ODs[j].Z)
+		}
+		a, b := rep.ODs[i].Dir, rep.ODs[j].Dir
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	return rep
+}

@@ -1,0 +1,146 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/sink"
+)
+
+// quietSnapshot builds one epoch of "usual" traffic: two cells around
+// the given speeds and one OD direction at the given travel time over a
+// fixed 2 km route. jitter shifts the values slightly so the reference
+// accumulates a realistic nonzero variance.
+func quietSnapshot(epoch uint64, jitter float64) *sink.Snapshot {
+	h := &obs.Histogram{}
+	for i := 0; i < 10; i++ {
+		h.Observe(240 + jitter)
+	}
+	return &sink.Snapshot{
+		Epoch: epoch,
+		Cells: map[grid.CellID]sink.CellStats{
+			{I: 1, J: 1}: {N: 40, MeanKmh: 30 + jitter},
+			{I: 2, J: 1}: {N: 40, MeanKmh: 45 - jitter},
+			{I: 3, J: 9}: {N: 2, MeanKmh: 80}, // under MinN, never scored
+		},
+		OD: map[sink.ODKey]sink.ODStats{
+			{From: "T", To: "S"}: {
+				From: "T", To: "S", Trips: 10,
+				TravelTimeS: h.Freeze(),
+				DistKm:      sink.MetricStats{N: 10, Mean: 2, Min: 2, Max: 2},
+			},
+		},
+	}
+}
+
+// primedDetector folds n quiet epochs into a fresh detector.
+func primedDetector(n int) *AnomalyDetector {
+	d := NewAnomalyDetector(AnomalyConfig{})
+	for i := 0; i < n; i++ {
+		d.Observe(quietSnapshot(uint64(i+1), float64(i%3)-1))
+	}
+	return d
+}
+
+func TestAnomalyQuietEpochNotFlagged(t *testing.T) {
+	d := primedDetector(4)
+	rep := d.Report(quietSnapshot(10, 0))
+	if len(rep.Cells) != 0 || len(rep.ODs) != 0 {
+		t.Fatalf("quiet epoch flagged: %+v", rep)
+	}
+	if rep.CellsScored != 2 || rep.ODsScored != 1 {
+		t.Fatalf("scored = %d cells %d ods, want 2 and 1 (thin cell excluded)", rep.CellsScored, rep.ODsScored)
+	}
+	if rep.RefEpochs != 4 || rep.Epoch != 10 {
+		t.Fatalf("report header: %+v", rep)
+	}
+}
+
+func TestAnomalyFlagsInjectedIncident(t *testing.T) {
+	d := primedDetector(4)
+	// The incident: cell (1,1) halves its speed, and the OD direction's
+	// travel time doubles (pace 120 -> 240 s/km).
+	snap := quietSnapshot(10, 0)
+	snap.Cells[grid.CellID{I: 1, J: 1}] = sink.CellStats{N: 40, MeanKmh: 15}
+	h := &obs.Histogram{}
+	for i := 0; i < 10; i++ {
+		h.Observe(480)
+	}
+	od := snap.OD[sink.ODKey{From: "T", To: "S"}]
+	od.TravelTimeS = h.Freeze()
+	snap.OD[sink.ODKey{From: "T", To: "S"}] = od
+
+	rep := d.Report(snap)
+	if len(rep.Cells) != 1 || rep.Cells[0].Cell != (grid.CellID{I: 1, J: 1}) {
+		t.Fatalf("flagged cells = %+v, want exactly the slowed cell", rep.Cells)
+	}
+	if ca := rep.Cells[0]; ca.Z >= -3 || math.Abs(ca.CurrentKmh-15) > 1e-9 {
+		t.Fatalf("cell anomaly = %+v, want strongly negative z at 15 km/h", ca)
+	}
+	if len(rep.ODs) != 1 || rep.ODs[0].Dir != (sink.ODKey{From: "T", To: "S"}) {
+		t.Fatalf("flagged ODs = %+v, want exactly the slowed direction", rep.ODs)
+	}
+	if oa := rep.ODs[0]; oa.Z <= 3 || oa.CurrentSPerKm <= oa.ReferenceSPerKm {
+		t.Fatalf("od anomaly = %+v, want strongly positive pace z", oa)
+	}
+
+	// After the incident epoch, normal traffic at a later epoch must
+	// not stay flagged (the incident only nudges the EW reference).
+	after := d.Report(quietSnapshot(11, 0))
+	if len(after.Cells) != 0 || len(after.ODs) != 0 {
+		t.Fatalf("recovery epoch still flagged: %+v", after)
+	}
+}
+
+func TestAnomalyColdStartStaysSilent(t *testing.T) {
+	d := primedDetector(2) // below the default MinRefEpochs of 3
+	snap := quietSnapshot(10, 0)
+	snap.Cells[grid.CellID{I: 1, J: 1}] = sink.CellStats{N: 40, MeanKmh: 1}
+	rep := d.Report(snap)
+	if len(rep.Cells) != 0 || len(rep.ODs) != 0 || rep.CellsScored != 0 {
+		t.Fatalf("thin reference must not alarm: %+v", rep)
+	}
+}
+
+func TestAnomalyReportMemoizedPerEpoch(t *testing.T) {
+	d := primedDetector(4)
+	snap := quietSnapshot(10, 0)
+	first := d.Report(snap)
+	if again := d.Report(snap); again != first {
+		t.Fatal("same epoch must return the memoized report")
+	}
+	// Scoring the same epoch twice must not have folded it twice: a
+	// later report still sees exactly 5 reference epochs.
+	next := d.Report(quietSnapshot(11, 0))
+	if next.RefEpochs != 5 {
+		t.Fatalf("reference epochs = %d, want 5 (epoch 10 folded once)", next.RefEpochs)
+	}
+	// A stale (already-folded) epoch is scored but never re-folded.
+	if stale := d.Report(quietSnapshot(3, 0)); stale.Epoch != 3 {
+		t.Fatalf("stale report: %+v", stale)
+	}
+	if last := d.Report(quietSnapshot(12, 0)); last.RefEpochs != 6 {
+		t.Fatalf("reference epochs = %d, want 6 (stale epoch not folded)", last.RefEpochs)
+	}
+}
+
+func TestAnomalyZeroVarianceReferenceScoresFinitely(t *testing.T) {
+	// Byte-identical quiet epochs leave the EW variance at exactly zero;
+	// the relative floor must keep z finite and still catch the
+	// incident.
+	d := NewAnomalyDetector(AnomalyConfig{})
+	for i := 0; i < 4; i++ {
+		d.Observe(quietSnapshot(uint64(i+1), 0))
+	}
+	snap := quietSnapshot(10, 0)
+	snap.Cells[grid.CellID{I: 1, J: 1}] = sink.CellStats{N: 40, MeanKmh: 15}
+	rep := d.Report(snap)
+	if len(rep.Cells) != 1 {
+		t.Fatalf("flagged = %+v, want the slowed cell", rep.Cells)
+	}
+	if z := rep.Cells[0].Z; math.IsInf(z, 0) || math.IsNaN(z) {
+		t.Fatalf("z must stay finite on a zero-variance reference, got %g", z)
+	}
+}

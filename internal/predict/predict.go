@@ -1,0 +1,214 @@
+// Package predict is the serving layer's estimation side: it turns the
+// sink's learned per-edge travel-time profiles into answers — OD
+// travel-time predictions routed over learned edge costs, and
+// reference-vs-current anomaly reports over epoch history.
+//
+// The travel-time model follows the floating-car-data recipe: each
+// matched route contributes per-edge pace observations (seconds per
+// kilometre, bucketed by hour of day) on the ingest path; prediction
+// routes the query OD pair over the road graph with each edge costed by
+// its learned pace. Edges the fleet never drove fall back to free-flow
+// time (length over speed limit), and sparsely observed edges are
+// shrunk toward the fleet-wide mean congestion ratio with an LMM-style
+// precision-weighted prior — a bucket with n observations gets weight
+// n/(n+k) on its own mean and k/(n+k) on the global one, so a single
+// noisy traversal cannot dominate an edge cost.
+//
+// Everything here reads immutable sink snapshots: a Predictor carries
+// only the graph and router (safe for concurrent use), and every answer
+// is a pure function of one snapshot, which keeps the /v1 ETag contract
+// (equal epochs imply equal answers) intact.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/roadnet"
+	"repro/internal/sink"
+)
+
+// DefaultShrinkK is the default shrinkage prior weight: an edge bucket
+// needs this many observations to count its own mean as much as the
+// global prior.
+const DefaultShrinkK = 8
+
+// Predictor answers OD travel-time queries over one road graph. All
+// fields are read-only after construction; methods are safe for
+// concurrent use.
+type Predictor struct {
+	Graph  *roadnet.Graph
+	Router *roadnet.Router
+	// ShrinkK is the shrinkage prior weight k (default DefaultShrinkK;
+	// negative disables shrinkage entirely — observed means are used
+	// raw).
+	ShrinkK float64
+
+	met predictorMetrics
+}
+
+type predictorMetrics struct {
+	requests *obs.Counter
+	noPath   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// NewPredictor builds a predictor over the pipeline's graph and router.
+func NewPredictor(g *roadnet.Graph, r *roadnet.Router) *Predictor {
+	return &Predictor{Graph: g, Router: r, ShrinkK: DefaultShrinkK}
+}
+
+// WithMetrics registers the predict_* instrumentation with reg
+// (requests, no-path misses, latency); returns p for chaining.
+func (p *Predictor) WithMetrics(reg *obs.Registry) *Predictor {
+	p.met = predictorMetrics{
+		requests: reg.Counter("predict_requests_total"),
+		noPath:   reg.Counter("predict_no_path_total"),
+		latency:  reg.Histogram("predict_seconds"),
+	}
+	return p
+}
+
+// Prediction is one answered OD query.
+type Prediction struct {
+	// TravelS is the predicted travel time in seconds: the path cost
+	// over learned (shrunk) edge paces with free-flow fallback.
+	TravelS float64
+	// FreeFlowS is the same path timed at free flow — the congestion-
+	// free lower bound the learned costs deviate from.
+	FreeFlowS float64
+	// DistanceKm is the routed path length.
+	DistanceKm float64
+	// Edges and ObservedEdges count the path's directed edge traversals
+	// and how many of them had a learned profile bucket — the coverage
+	// signal behind the prediction.
+	Edges         int
+	ObservedEdges int
+	// GlobalRatio is the fleet-wide mean congestion ratio (observed
+	// pace over free-flow pace) of the queried hour bucket — the
+	// shrinkage prior target (1 with no observations).
+	GlobalRatio float64
+	// Hour is the queried hour bucket (-1: all-day profile).
+	Hour int
+}
+
+// edgeObservation is one edge's aggregated profile for the queried
+// hour: observation count and mean pace in s/km.
+type edgeObservation struct {
+	n    int
+	pace float64
+}
+
+// freeFlowPaceSPerKm is an edge's free-flow pace in seconds per km.
+func freeFlowPaceSPerKm(e *roadnet.Edge) float64 {
+	if e.SpeedLimitKmh <= 0 {
+		return 0
+	}
+	return 3600 / e.SpeedLimitKmh
+}
+
+// profileFor collects the per-edge observations of the queried hour
+// (hour < 0 folds all buckets of an edge together, n-weighted) and the
+// global congestion ratio prior. Iteration is in sorted key order so
+// the float accumulation — and therefore the prediction — is a
+// deterministic function of the snapshot values.
+func (p *Predictor) profileFor(snap *sink.Snapshot, hour int) (map[roadnet.EdgeID]edgeObservation, float64) {
+	edges := make(map[roadnet.EdgeID]edgeObservation)
+	var ratioSum, weight float64
+	for _, key := range snap.EdgeProfileKeys() {
+		if hour >= 0 && key.Hour != hour {
+			continue
+		}
+		ps := snap.EdgeProfiles[key]
+		if ps.N <= 0 || int(key.Edge) < 0 || int(key.Edge) >= len(p.Graph.Edges) {
+			continue
+		}
+		ff := freeFlowPaceSPerKm(&p.Graph.Edges[key.Edge])
+		if ff <= 0 {
+			continue
+		}
+		prev := edges[key.Edge]
+		n := prev.n + ps.N
+		edges[key.Edge] = edgeObservation{
+			n:    n,
+			pace: (prev.pace*float64(prev.n) + ps.MeanSPerKm*float64(ps.N)) / float64(n),
+		}
+		ratioSum += float64(ps.N) * (ps.MeanSPerKm / ff)
+		weight += float64(ps.N)
+	}
+	if weight == 0 {
+		return edges, 1
+	}
+	return edges, ratioSum / weight
+}
+
+// Predict routes from the node nearest `from` to the node nearest `to`
+// over learned edge costs for the given hour bucket (0-23; negative
+// uses the all-day profile) and returns the predicted travel time.
+// Unroutable pairs return roadnet.ErrNoPath.
+func (p *Predictor) Predict(snap *sink.Snapshot, from, to geo.XY, hour int) (*Prediction, error) {
+	start := time.Now()
+	p.met.requests.Inc()
+	defer func() { p.met.latency.Observe(time.Since(start).Seconds()) }()
+
+	if hour > 23 {
+		return nil, fmt.Errorf("predict: hour %d out of range 0..23", hour)
+	}
+	a, b := p.Graph.NearestNode(from), p.Graph.NearestNode(to)
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("predict: the road graph has no nodes")
+	}
+	edges, global := p.profileFor(snap, hour)
+	k := p.ShrinkK
+	if k == 0 {
+		k = DefaultShrinkK
+	} else if k < 0 {
+		k = 0
+	}
+
+	weight := func(e *roadnet.Edge, forward bool) float64 {
+		ff := roadnet.TravelTimeWeight(e, forward)
+		o, ok := edges[e.ID]
+		if !ok {
+			return ff
+		}
+		ffPace := freeFlowPaceSPerKm(e)
+		if ffPace <= 0 {
+			return ff
+		}
+		ratio := o.pace / ffPace
+		shrunk := (float64(o.n)*ratio + k*global) / (float64(o.n) + k)
+		return ff * shrunk
+	}
+	path, err := p.Router.ShortestPath(a.ID, b.ID, weight)
+	if err != nil {
+		p.met.noPath.Inc()
+		return nil, err
+	}
+
+	pred := &Prediction{
+		TravelS:     path.Cost,
+		DistanceKm:  path.Length / 1000,
+		Edges:       len(path.Steps),
+		GlobalRatio: global,
+		Hour:        hour,
+	}
+	if hour < 0 {
+		pred.Hour = -1
+	}
+	for _, st := range path.Steps {
+		pred.FreeFlowS += roadnet.TravelTimeWeight(st.Edge, st.Forward)
+		if _, ok := edges[st.Edge.ID]; ok {
+			pred.ObservedEdges++
+		}
+	}
+	// Guard against IEEE residue on the sums: the prediction must never
+	// carry NaN/Inf into a JSON surface.
+	if math.IsNaN(pred.TravelS) || math.IsInf(pred.TravelS, 0) {
+		return nil, fmt.Errorf("predict: non-finite travel time over %d edges", pred.Edges)
+	}
+	return pred, nil
+}

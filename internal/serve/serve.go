@@ -17,6 +17,8 @@
 //	/v1/cells/{id}         one cell by its "cI.J" key
 //	/v1/od                 the OD matrix (all directions)
 //	/v1/od/{from}-{to}     one direction: travel-time quantiles + metrics
+//	/v1/predict            OD travel-time prediction: ?from=x,y&to=x,y&t=hour
+//	/v1/anomalies          current-vs-reference deviations (cells and ODs)
 //
 // Every request passes through a recovery + access-log middleware
 // (ServeHTTP): a handler panic becomes a logged 500 instead of a
@@ -27,6 +29,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math"
@@ -42,6 +45,8 @@ import (
 	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/obs"
+	"repro/internal/predict"
+	"repro/internal/roadnet"
 	"repro/internal/sink"
 )
 
@@ -77,6 +82,12 @@ type API struct {
 	// workers surfaces the coordinator's per-worker merge state in
 	// healthz (WithCluster; nil omits the field).
 	workers func() []cluster.WorkerHealth
+	// predictor backs /v1/predict (WithPredictor; nil reports the
+	// endpoint as unconfigured).
+	predictor *predict.Predictor
+	// anomalies backs /v1/anomalies (WithAnomalies; nil reports the
+	// endpoint as unconfigured).
+	anomalies *predict.AnomalyDetector
 	// inflight is the runner_inflight gauge from the shared registry —
 	// how many cars ingest is working on right now, surfaced by healthz.
 	inflight *obs.Gauge
@@ -110,6 +121,8 @@ func NewAPI(src Source, reg *obs.Registry) *API {
 				"odpair":      reg.Counter("serve_requests_odpair"),
 				"ingest":      reg.Counter("serve_requests_ingest"),
 				"ingestclose": reg.Counter("serve_requests_ingest_close"),
+				"predict":     reg.Counter("serve_requests_predict"),
+				"anomalies":   reg.Counter("serve_requests_anomalies"),
 			},
 			notModified: reg.Counter("serve_responses_not_modified"),
 			badRequest:  reg.Counter("serve_responses_bad_request"),
@@ -135,6 +148,8 @@ func NewAPI(src Source, reg *obs.Registry) *API {
 	a.mux.HandleFunc("GET /v1/cells/{id}", a.wrap("cell", a.handleCell))
 	a.mux.HandleFunc("GET /v1/od", a.wrap("od", a.handleOD))
 	a.mux.HandleFunc("GET /v1/od/{pair}", a.wrap("odpair", a.handleODPair))
+	a.mux.HandleFunc("GET /v1/predict", a.wrap("predict", a.handlePredict))
+	a.mux.HandleFunc("GET /v1/anomalies", a.wrap("anomalies", a.handleAnomalies))
 	return a
 }
 
@@ -166,6 +181,21 @@ func (a *API) WithLineageSnapshot(fn func() obs.LineageSnapshot) *API {
 func (a *API) WithNode(role, id string) *API {
 	a.role = role
 	a.node = id
+	return a
+}
+
+// WithPredictor attaches the travel-time predictor, backing
+// /v1/predict; returns a for chaining. Safe to call only before
+// serving.
+func (a *API) WithPredictor(p *predict.Predictor) *API {
+	a.predictor = p
+	return a
+}
+
+// WithAnomalies attaches the anomaly detector, backing /v1/anomalies;
+// returns a for chaining. Safe to call only before serving.
+func (a *API) WithAnomalies(d *predict.AnomalyDetector) *API {
+	a.anomalies = d
 	return a
 }
 
@@ -574,39 +604,45 @@ type odEntry struct {
 	Attrs     sink.AttrTotals  `json:"attrs"`
 }
 
+// travelTimeStats summarises a direction's travel-time distribution.
+// Quantiles are pointers so they can be omitted entirely below two
+// samples: an empty histogram has no quantiles at all (the earlier
+// NaN→0 coercion rendered them as an impossible 0 s), and a single
+// observation defines no distribution — reporting its value as
+// p10==p50==p99 read as false precision. Count, mean and max remain the
+// honest summary at n < 2.
 type travelTimeStats struct {
-	N    uint64  `json:"n"`
-	Mean float64 `json:"mean"`
-	Max  float64 `json:"max"`
-	P10  float64 `json:"p10"`
-	P25  float64 `json:"p25"`
-	P50  float64 `json:"p50"`
-	P75  float64 `json:"p75"`
-	P90  float64 `json:"p90"`
-	P99  float64 `json:"p99"`
+	N    uint64   `json:"n"`
+	Mean float64  `json:"mean"`
+	Max  float64  `json:"max"`
+	P10  *float64 `json:"p10,omitempty"`
+	P25  *float64 `json:"p25,omitempty"`
+	P50  *float64 `json:"p50,omitempty"`
+	P75  *float64 `json:"p75,omitempty"`
+	P90  *float64 `json:"p90,omitempty"`
+	P99  *float64 `json:"p99,omitempty"`
 }
 
 func newODEntry(dir sink.ODKey, od sink.ODStats) odEntry {
 	h := od.TravelTimeS
-	// Quantile's NaN empty-histogram sentinel must not reach the JSON
-	// encoder (JSON has no NaN); an all-zero summary with N 0 is
-	// unambiguous.
-	q := func(p float64) float64 {
-		if v := h.Quantile(p); !math.IsNaN(v) {
-			return v
+	ts := travelTimeStats{N: h.Count(), Mean: h.Mean(), Max: h.Max()}
+	if ts.N >= 2 {
+		q := func(p float64) *float64 {
+			v := h.Quantile(p)
+			if math.IsNaN(v) {
+				v = 0
+			}
+			return &v
 		}
-		return 0
+		ts.P10, ts.P25, ts.P50 = q(0.10), q(0.25), q(0.50)
+		ts.P75, ts.P90, ts.P99 = q(0.75), q(0.90), q(0.99)
 	}
 	return odEntry{
 		Direction: dir.String(),
 		From:      od.From,
 		To:        od.To,
 		Trips:     od.Trips,
-		TravelS: travelTimeStats{
-			N: h.Count(), Mean: h.Mean(), Max: h.Max(),
-			P10: q(0.10), P25: q(0.25), P50: q(0.50),
-			P75: q(0.75), P90: q(0.90), P99: q(0.99),
-		},
+		TravelS:   ts,
 		DistKm:    od.DistKm,
 		FuelMl:    od.FuelMl,
 		LowPct:    od.LowSpeedPct,
@@ -692,6 +728,167 @@ func parseODPair(pair string, snap *sink.Snapshot) (sink.ODKey, error) {
 		return sink.ODKey{}, fmt.Errorf("bad direction %q (want FROM-TO, e.g. T-S)", pair)
 	}
 	return sink.ODKey{From: pair[:i], To: pair[i+1:]}, nil
+}
+
+// --- /v1/predict ------------------------------------------------------------
+
+type predictResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	Complete bool   `json:"complete"`
+	// TravelS is the predicted travel time over learned edge costs;
+	// FreeFlowS the same route at free flow.
+	TravelS    float64 `json:"travel_s"`
+	FreeFlowS  float64 `json:"free_flow_s"`
+	DistanceKm float64 `json:"distance_km"`
+	// Edges / ObservedEdges expose the route's profile coverage: how
+	// many of its edges had learned paces at this epoch.
+	Edges         int     `json:"edges"`
+	ObservedEdges int     `json:"observed_edges"`
+	GlobalRatio   float64 `json:"global_ratio"`
+	// Hour is the scored hour bucket; -1 is the all-day profile.
+	Hour int `json:"hour"`
+}
+
+// parseXY parses a "x,y" projected-metres coordinate pair.
+func parseXY(name, s string) (geo.XY, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return geo.XY{}, fmt.Errorf("bad %s %q (want x,y in projected metres)", name, s)
+	}
+	x, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	y, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err1 != nil || err2 != nil || math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+		return geo.XY{}, fmt.Errorf("bad %s %q (want x,y in projected metres)", name, s)
+	}
+	return geo.V(x, y), nil
+}
+
+// parseHour parses the optional t parameter: a bare hour 0-23, or an
+// RFC 3339 timestamp whose UTC hour is used. Empty means the all-day
+// profile (-1).
+func parseHour(s string) (int, error) {
+	if s == "" {
+		return -1, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 0 || n > 23 {
+			return 0, fmt.Errorf("bad t %q (hour must be 0..23)", s)
+		}
+		return n, nil
+	}
+	if ts, err := time.Parse(time.RFC3339, s); err == nil {
+		return ts.UTC().Hour(), nil
+	}
+	return 0, fmt.Errorf("bad t %q (want an hour 0..23 or an RFC 3339 timestamp)", s)
+}
+
+func (a *API) handlePredict(w http.ResponseWriter, r *http.Request, snap *sink.Snapshot) {
+	if a.predictor == nil {
+		a.fail(w, http.StatusNotImplemented, "prediction is not configured on this node")
+		return
+	}
+	q := r.URL.Query()
+	from, err := parseXY("from", q.Get("from"))
+	if err != nil {
+		a.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	to, err := parseXY("to", q.Get("to"))
+	if err != nil {
+		a.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hour, err := parseHour(q.Get("t"))
+	if err != nil {
+		a.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pred, err := a.predictor.Predict(snap, from, to, hour)
+	if err != nil {
+		if errors.Is(err, roadnet.ErrNoPath) {
+			a.fail(w, http.StatusNotFound, "no route from %s to %s", q.Get("from"), q.Get("to"))
+			return
+		}
+		a.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	a.writeJSON(w, predictResponse{
+		Epoch:         snap.Epoch,
+		Complete:      snap.Complete,
+		TravelS:       pred.TravelS,
+		FreeFlowS:     pred.FreeFlowS,
+		DistanceKm:    pred.DistanceKm,
+		Edges:         pred.Edges,
+		ObservedEdges: pred.ObservedEdges,
+		GlobalRatio:   pred.GlobalRatio,
+		Hour:          pred.Hour,
+	})
+}
+
+// --- /v1/anomalies ----------------------------------------------------------
+
+type cellAnomalyResponse struct {
+	ID           string  `json:"id"`
+	I            int     `json:"i"`
+	J            int     `json:"j"`
+	CurrentKmh   float64 `json:"current_kmh"`
+	ReferenceKmh float64 `json:"reference_kmh"`
+	Z            float64 `json:"z"`
+	N            int     `json:"n"`
+}
+
+type odAnomalyResponse struct {
+	Direction       string  `json:"direction"`
+	From            string  `json:"from"`
+	To              string  `json:"to"`
+	CurrentSPerKm   float64 `json:"current_s_per_km"`
+	ReferenceSPerKm float64 `json:"reference_s_per_km"`
+	Z               float64 `json:"z"`
+	Trips           int     `json:"trips"`
+}
+
+type anomaliesResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	Complete bool   `json:"complete"`
+	// RefEpochs is how many epochs back the rolling reference; below
+	// the detector's minimum nothing is flagged yet (cold start).
+	RefEpochs   int                   `json:"ref_epochs"`
+	CellsScored int                   `json:"cells_scored"`
+	ODsScored   int                   `json:"ods_scored"`
+	Cells       []cellAnomalyResponse `json:"cells"`
+	ODs         []odAnomalyResponse   `json:"ods"`
+}
+
+func (a *API) handleAnomalies(w http.ResponseWriter, _ *http.Request, snap *sink.Snapshot) {
+	if a.anomalies == nil {
+		a.fail(w, http.StatusNotImplemented, "anomaly detection is not configured on this node")
+		return
+	}
+	rep := a.anomalies.Report(snap)
+	resp := anomaliesResponse{
+		Epoch:       rep.Epoch,
+		Complete:    snap.Complete,
+		RefEpochs:   rep.RefEpochs,
+		CellsScored: rep.CellsScored,
+		ODsScored:   rep.ODsScored,
+		Cells:       []cellAnomalyResponse{},
+		ODs:         []odAnomalyResponse{},
+	}
+	for _, c := range rep.Cells {
+		resp.Cells = append(resp.Cells, cellAnomalyResponse{
+			ID: c.Cell.String(), I: c.Cell.I, J: c.Cell.J,
+			CurrentKmh: c.CurrentKmh, ReferenceKmh: c.ReferenceKmh,
+			Z: c.Z, N: c.N,
+		})
+	}
+	for _, o := range rep.ODs {
+		resp.ODs = append(resp.ODs, odAnomalyResponse{
+			Direction: o.Dir.String(), From: o.Dir.From, To: o.Dir.To,
+			CurrentSPerKm: o.CurrentSPerKm, ReferenceSPerKm: o.ReferenceSPerKm,
+			Z: o.Z, Trips: o.Trips,
+		})
+	}
+	a.writeJSON(w, resp)
 }
 
 // Mount attaches the API (under /v1/) to an existing mux — typically

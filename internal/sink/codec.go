@@ -11,6 +11,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/obs"
+	"repro/internal/roadnet"
 )
 
 // TAXISNPB — the versioned snapshot wire format. This is the unit the
@@ -23,7 +24,7 @@ import (
 // are uvarints, cell indexes are signed varints):
 //
 //	[8]byte  magic "TAXISNPB"
-//	u8       version (currently 1)
+//	u8       version (currently 2)
 //	uvarint  epoch
 //	u8       flags (bit0 Complete, bit1 grid present, bit2 publish time present)
 //	uvarint  carsIngested, uvarint carsFailed, uvarint points
@@ -32,20 +33,35 @@ import (
 //	uvarint  nGates, nGates × string        (uvarint len + bytes)
 //	uvarint  nCells, nCells × cell
 //	uvarint  nOD,    nOD × direction
+//	uvarint  nProfiles, nProfiles × profile (version >= 2 only)
 //
 //	cell      = varint I, varint J, uvarint N, f64 mean, f64 var, f64 min, f64 max
 //	direction = string from, string to, uvarint trips,
 //	            frozen histogram (obs codec, self-delimiting),
 //	            metric ×4 (dist, fuel, lowSpeed, normalSpeed), attrs ×4 uvarint
 //	metric    = uvarint N, f64 mean, f64 min, f64 max
+//	profile   = varint edge, uvarint hour, uvarint N,
+//	            f64 mean, f64 var, f64 min, f64 max   (pace in s/km)
 //
-// Decoding is strict: a wrong magic or version is a typed error, every
-// length is bounds-checked against the remaining input before any
-// allocation, and embedded histograms go through the obs decoder so a
-// corrupt or cross-layout blob can never silently enter a merge.
+// Version history: v1 had no profile section; v2 (per-edge travel-time
+// profiles) appends it after the directions. Decoding accepts both — a
+// v1 blob yields a snapshot with nil EdgeProfiles, so a mixed-version
+// cluster merges correctly (the old worker simply contributes no
+// profiles) — and encoding always writes the current version.
+//
+// Decoding is strict: a wrong magic or unknown version is a typed
+// error, every length is bounds-checked against the remaining input
+// before any allocation, and embedded histograms go through the obs
+// decoder so a corrupt or cross-layout blob can never silently enter a
+// merge.
 var snapshotMagic = [8]byte{'T', 'A', 'X', 'I', 'S', 'N', 'P', 'B'}
 
-const snapshotVersion = 1
+const (
+	snapshotVersion = 2
+	// snapshotVersionV1 is the oldest decodable format: identical up to
+	// the directions, no profile section.
+	snapshotVersionV1 = 1
+)
 
 const (
 	snapFlagComplete  = 1 << 0
@@ -127,6 +143,18 @@ func AppendSnapshot(dst []byte, s *Snapshot) []byte {
 		}
 		for _, a := range []int{od.Attrs.TrafficLights, od.Attrs.BusStops, od.Attrs.PedestrianCrossings, od.Attrs.Junctions} {
 			dst = binary.AppendUvarint(dst, uint64(a))
+		}
+	}
+
+	keys := s.EdgeProfileKeys()
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, key := range keys {
+		ps := s.EdgeProfiles[key]
+		dst = binary.AppendVarint(dst, int64(key.Edge))
+		dst = binary.AppendUvarint(dst, uint64(key.Hour))
+		dst = binary.AppendUvarint(dst, uint64(ps.N))
+		for _, f := range []float64{ps.MeanSPerKm, ps.VarSPerKm, ps.MinSPerKm, ps.MaxSPerKm} {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
 		}
 	}
 	return dst
@@ -280,8 +308,10 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if [8]byte(data[:8]) != snapshotMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, data[:8])
 	}
-	if v := data[8]; v != snapshotVersion {
-		return nil, fmt.Errorf("%w: got version %d, this build speaks %d", ErrUnknownSnapshotVersion, v, snapshotVersion)
+	version := data[8]
+	if version < snapshotVersionV1 || version > snapshotVersion {
+		return nil, fmt.Errorf("%w: got version %d, this build speaks %d..%d",
+			ErrUnknownSnapshotVersion, version, snapshotVersionV1, snapshotVersion)
 	}
 
 	d := &snapDecoder{data: data, off: 9}
@@ -359,6 +389,30 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 					break
 				}
 				s.OD[key] = od
+			}
+		}
+	}
+
+	if version >= 2 {
+		if n := d.count("profiles", 3+4*8); n > 0 {
+			s.EdgeProfiles = make(map[EdgeProfileKey]EdgeProfileStats, n)
+			for i := 0; i < n && d.err == nil; i++ {
+				key := EdgeProfileKey{
+					Edge: roadnet.EdgeID(d.varint("profile edge")),
+					Hour: int(d.uvarint("profile hour")),
+				}
+				ps := EdgeProfileStats{N: int(d.uvarint("profile n"))}
+				ps.MeanSPerKm = d.f64("profile mean")
+				ps.VarSPerKm = d.f64("profile var")
+				ps.MinSPerKm = d.f64("profile min")
+				ps.MaxSPerKm = d.f64("profile max")
+				if d.err == nil {
+					if _, dup := s.EdgeProfiles[key]; dup {
+						d.fail("duplicate profile %v", key)
+						break
+					}
+					s.EdgeProfiles[key] = ps
+				}
 			}
 		}
 	}

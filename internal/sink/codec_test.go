@@ -166,12 +166,13 @@ func TestSeedFuzzCorpus(t *testing.T) {
 	seeds := [][]byte{
 		EncodeSnapshot(&Snapshot{}),
 		EncodeSnapshot(codecFixture(t, 5)),
+		EncodeSnapshot(profileFixture(6)),
 	}
-	// A version-skewed and a truncated variant keep the reject paths in
-	// the corpus too.
+	// A version-skewed, a truncated, and a previous-version variant keep
+	// the reject and compatibility paths in the corpus too.
 	skew := append([]byte(nil), seeds[1]...)
 	skew[8] = 9
-	seeds = append(seeds, skew, seeds[1][:len(seeds[1])/2])
+	seeds = append(seeds, skew, seeds[1][:len(seeds[1])/2], asV1(t, seeds[1]))
 	for i, data := range seeds {
 		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
 		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))

@@ -17,6 +17,13 @@ func FuzzDecodeSnapshot(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(EncodeSnapshot(&Snapshot{}))
 	f.Add(EncodeSnapshot(&Snapshot{Epoch: 3, CarsIngested: 2, Points: 9, Complete: true}))
+	f.Add(EncodeSnapshot(profileFixture(4)))
+	// The previous format version: a v2 blob of a profile-less snapshot
+	// minus its trailing zero profile count, version byte rewound.
+	v1 := EncodeSnapshot(&Snapshot{Epoch: 3, Points: 9})
+	v1 = v1[:len(v1)-1]
+	v1[8] = snapshotVersionV1
+	f.Add(v1)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := DecodeSnapshot(data)
 		if err != nil {
@@ -30,7 +37,8 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		if err != nil {
 			t.Fatalf("accepted snapshot does not re-decode: %v", err)
 		}
-		if again.Epoch != s.Epoch || again.Points != s.Points || len(again.Cells) != len(s.Cells) || len(again.OD) != len(s.OD) {
+		if again.Epoch != s.Epoch || again.Points != s.Points || len(again.Cells) != len(s.Cells) ||
+			len(again.OD) != len(s.OD) || len(again.EdgeProfiles) != len(s.EdgeProfiles) {
 			t.Fatalf("re-decode drift: %+v vs %+v", again, s)
 		}
 		if _, err := MergeSnapshots(s, again); err != nil &&

@@ -63,6 +63,31 @@ func welfordOfCell(c CellStats) stats.Welford {
 	})
 }
 
+// mergeProfileStats folds two profile buckets of the same (edge, hour)
+// key with the same sufficient-statistic algebra as mergeCellStats.
+func mergeProfileStats(a, b EdgeProfileStats) EdgeProfileStats {
+	w := welfordOfProfile(a)
+	w.Merge(welfordOfProfile(b))
+	out := EdgeProfileStats{N: w.N(), MeanSPerKm: w.Mean()}
+	if out.N >= 2 {
+		out.VarSPerKm = w.Variance()
+	}
+	if out.N > 0 {
+		out.MinSPerKm, out.MaxSPerKm = w.Min(), w.Max()
+	}
+	return out
+}
+
+func welfordOfProfile(p EdgeProfileStats) stats.Welford {
+	if p.N <= 0 {
+		return stats.Welford{}
+	}
+	return stats.WelfordFromState(stats.WelfordState{
+		N: p.N, Mean: p.MeanSPerKm, M2: p.VarSPerKm * float64(p.N-1),
+		Min: p.MinSPerKm, Max: p.MaxSPerKm,
+	})
+}
+
 // mergeMetricStats folds two metric summaries. MetricStats does not
 // expose a variance, so M2 rides along as zero; count, mean and
 // extrema combine with the same arithmetic Welford.Merge applies.
@@ -167,6 +192,16 @@ func MergeSnapshots(snaps ...*Snapshot) (*Snapshot, error) {
 				out.Cells[id] = mergeCellStats(prev, c)
 			} else {
 				out.Cells[id] = c
+			}
+		}
+		for key, ps := range s.EdgeProfiles {
+			if out.EdgeProfiles == nil {
+				out.EdgeProfiles = make(map[EdgeProfileKey]EdgeProfileStats, len(s.EdgeProfiles))
+			}
+			if prev, ok := out.EdgeProfiles[key]; ok {
+				out.EdgeProfiles[key] = mergeProfileStats(prev, ps)
+			} else {
+				out.EdgeProfiles[key] = ps
 			}
 		}
 		for key, od := range s.OD {

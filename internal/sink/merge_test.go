@@ -10,6 +10,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/obs"
+	"repro/internal/roadnet"
 )
 
 // shardSnapshot runs a slice of cars through a fresh sink on the
@@ -55,6 +56,21 @@ func snapshotsEquivalent(t *testing.T, got, want *Snapshot) {
 			t.Fatalf("cell %v moments: got %+v want %+v", id, g, w)
 		}
 	}
+	if len(got.EdgeProfiles) != len(want.EdgeProfiles) {
+		t.Fatalf("profile count %d vs %d", len(got.EdgeProfiles), len(want.EdgeProfiles))
+	}
+	for key, w := range want.EdgeProfiles {
+		g, ok := got.EdgeProfiles[key]
+		if !ok {
+			t.Fatalf("profile %v missing", key)
+		}
+		if g.N != w.N || g.MinSPerKm != w.MinSPerKm || g.MaxSPerKm != w.MaxSPerKm {
+			t.Fatalf("profile %v: got %+v want %+v", key, g, w)
+		}
+		if !feq(g.MeanSPerKm, w.MeanSPerKm) || !feq(g.VarSPerKm, w.VarSPerKm) {
+			t.Fatalf("profile %v moments: got %+v want %+v", key, g, w)
+		}
+	}
 	if len(got.OD) != len(want.OD) {
 		t.Fatalf("OD count %d vs %d", len(got.OD), len(want.OD))
 	}
@@ -93,8 +109,15 @@ func mergeFleet(t *testing.T) (shards []*Snapshot, whole *Snapshot) {
 	var all []core.CarResult
 	byShard := make([][]core.CarResult, 4)
 	for car := 1; car <= 12; car++ {
-		cr := synthCar(car, dirs[car%2],
-			10+float64(car), 25+float64(car%5)*3, 40+float64(car%3)*7, 55)
+		var cr core.CarResult
+		if car%3 == 0 {
+			// A third of the fleet carries a matched route, so the merge
+			// algebra is exercised over edge profiles too.
+			cr = matchedCar(car, roadnet.EdgeID(car%2), 8+car%2, 100+float64(car)*10, 4)
+		} else {
+			cr = synthCar(car, dirs[car%2],
+				10+float64(car), 25+float64(car%5)*3, 40+float64(car%3)*7, 55)
+		}
 		all = append(all, cr)
 		byShard[car%4] = append(byShard[car%4], cr)
 	}

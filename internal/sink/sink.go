@@ -128,6 +128,9 @@ type shard struct {
 	points int
 	agg    *grid.Aggregator
 	od     map[ODKey]*odAcc
+	// profiles accumulates per-edge pace observations (seconds per km
+	// by edge and hour bucket) from the shard's matched routes.
+	profiles map[EdgeProfileKey]*stats.Welford
 }
 
 // odAcc accumulates one direction's transition statistics.
@@ -152,6 +155,7 @@ type sinkMetrics struct {
 	epoch        *obs.Gauge
 	cells        *obs.Gauge
 	odPairs      *obs.Gauge
+	profiles     *obs.Gauge
 }
 
 // New builds a sink and publishes the empty epoch-0 snapshot, so
@@ -169,8 +173,9 @@ func New(cfg Config) (*Sink, error) {
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{
-			agg: grid.NewAggregator(cfg.Grid),
-			od:  map[ODKey]*odAcc{},
+			agg:      grid.NewAggregator(cfg.Grid),
+			od:       map[ODKey]*odAcc{},
+			profiles: map[EdgeProfileKey]*stats.Welford{},
 		}
 	}
 	reg := cfg.Metrics
@@ -183,6 +188,7 @@ func New(cfg Config) (*Sink, error) {
 		epoch:        reg.Gauge("sink_epoch"),
 		cells:        reg.Gauge("sink_cells_nonempty"),
 		odPairs:      reg.Gauge("sink_od_pairs"),
+		profiles:     reg.Gauge("sink_edge_profiles"),
 	}
 	s.cur.Store(&Snapshot{
 		Grid:        cfg.Grid,
@@ -325,6 +331,15 @@ func (sh *shard) absorbTransitions(recs []*core.TransitionRecord) {
 		od.busStops += rec.Attrs.BusStops
 		od.pedestrian += rec.Attrs.PedestrianCrossings
 		od.junctions += rec.Attrs.Junctions
+		for _, ep := range core.TransitionEdgePaces(rec) {
+			key := EdgeProfileKey{Edge: ep.Edge, Hour: ep.Hour}
+			w := sh.profiles[key]
+			if w == nil {
+				w = &stats.Welford{}
+				sh.profiles[key] = w
+			}
+			w.Add(ep.SecPerKm)
+		}
 	}
 }
 
@@ -361,6 +376,7 @@ func (s *Sink) publish(complete bool) *Snapshot {
 		travel *obs.Histogram
 	}
 	ods := map[ODKey]*odMerge{}
+	profiles := map[EdgeProfileKey]*stats.Welford{}
 	// Merge shard-by-shard in index order: each shard is locked only
 	// while it is copied, so ingest into other shards proceeds in
 	// parallel with the merge.
@@ -387,10 +403,24 @@ func (s *Sink) publish(complete bool) *Snapshot {
 			m.acc.pedestrian += od.pedestrian
 			m.acc.junctions += od.junctions
 		}
+		for key, w := range sh.profiles {
+			m := profiles[key]
+			if m == nil {
+				m = &stats.Welford{}
+				profiles[key] = m
+			}
+			m.Merge(*w)
+		}
 		sh.mu.Unlock()
 	}
 	for _, c := range merged.Cells() {
 		snap.Cells[c.ID] = newCellStats(c)
+	}
+	if len(profiles) > 0 {
+		snap.EdgeProfiles = make(map[EdgeProfileKey]EdgeProfileStats, len(profiles))
+		for key, w := range profiles {
+			snap.EdgeProfiles[key] = newEdgeProfileStats(w)
+		}
 	}
 	for dir, m := range ods {
 		snap.OD[dir] = ODStats{
@@ -426,6 +456,7 @@ func (s *Sink) publish(complete bool) *Snapshot {
 	s.met.epoch.Set(int64(snap.Epoch))
 	s.met.cells.Set(int64(len(snap.Cells)))
 	s.met.odPairs.Set(int64(len(snap.OD)))
+	s.met.profiles.Set(int64(len(snap.EdgeProfiles)))
 	if log := s.cfg.Log; log != nil {
 		msg, level := "snapshot published", slog.LevelDebug
 		if snap.Complete {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/obs"
+	"repro/internal/roadnet"
 	"repro/internal/stats"
 )
 
@@ -41,6 +42,11 @@ type Snapshot struct {
 	// validates OD lookups against. Empty when the sink was built
 	// without gate registration; lookups then skip name validation.
 	Gates []string
+	// EdgeProfiles holds the learned per-edge travel-time profiles:
+	// pace moments (seconds per kilometre) per (edge, hour-of-day)
+	// bucket, the sufficient statistics the predictor routes over. Nil
+	// when no matched route has yielded a pace observation yet.
+	EdgeProfiles map[EdgeProfileKey]EdgeProfileStats
 }
 
 // ODKey is an ordered origin-destination gate pair — the snapshot's OD
@@ -93,6 +99,53 @@ type ODStats struct {
 	LowSpeedPct    MetricStats
 	NormalSpeedPct MetricStats
 	Attrs          AttrTotals
+}
+
+// EdgeProfileKey buckets pace observations by edge and UTC hour of
+// day — the time-of-day profile granularity of the travel-time model.
+type EdgeProfileKey struct {
+	Edge roadnet.EdgeID
+	Hour int
+}
+
+// EdgeProfileStats is one profile bucket's pace aggregate, carrying the
+// full Welford sufficient statistics so buckets merge exactly across
+// shards and cluster partials (like CellStats, var only when N >= 2).
+type EdgeProfileStats struct {
+	N          int     `json:"n"`
+	MeanSPerKm float64 `json:"mean_s_per_km"`
+	VarSPerKm  float64 `json:"var_s_per_km"`
+	MinSPerKm  float64 `json:"min_s_per_km"`
+	MaxSPerKm  float64 `json:"max_s_per_km"`
+}
+
+// EdgeProfileKeys returns the snapshot's profile buckets sorted (by
+// edge, then hour) for deterministic iteration — encoding and the
+// predictor's global-mean pass both depend on a stable order.
+func (s *Snapshot) EdgeProfileKeys() []EdgeProfileKey {
+	out := make([]EdgeProfileKey, 0, len(s.EdgeProfiles))
+	for k := range s.EdgeProfiles {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Edge != out[j].Edge {
+			return out[i].Edge < out[j].Edge
+		}
+		return out[i].Hour < out[j].Hour
+	})
+	return out
+}
+
+// newEdgeProfileStats freezes one profile bucket's accumulator.
+func newEdgeProfileStats(w *stats.Welford) EdgeProfileStats {
+	ps := EdgeProfileStats{N: w.N(), MeanSPerKm: w.Mean()}
+	if ps.N >= 2 {
+		ps.VarSPerKm = w.Variance()
+	}
+	if ps.N > 0 {
+		ps.MinSPerKm, ps.MaxSPerKm = w.Min(), w.Max()
+	}
+	return ps
 }
 
 // Directions returns the snapshot's OD keys sorted (by origin, then
